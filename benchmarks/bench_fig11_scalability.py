@@ -1,0 +1,26 @@
+"""Regenerate Figure 11 — runtime scalability of the online policies.
+
+Paper shape asserted: total online runtime grows with the number of
+profiles while msec/EI stays within a small factor (linear scaling).
+"""
+
+from conftest import record_result
+
+from repro.experiments import fig11_scalability
+
+
+def test_fig11_scalability(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig11_scalability.run,
+        kwargs={"scale": bench_scale, "seed": 1, "repetitions": 1},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    eis = result.series("EIs")
+    totals = result.series("MRSF total s")
+    assert eis == sorted(eis)
+    assert totals[-1] > totals[0]
+    per_ei = result.series("MRSF ms/EI")
+    # msec/EI stays in the same ballpark across a 5x size increase.
+    assert max(per_ei) < 20 * min(per_ei)

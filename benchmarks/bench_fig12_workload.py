@@ -1,0 +1,40 @@
+"""Regenerate Figure 12 — completeness vs update intensity.
+
+Paper shapes asserted: completeness decreases as λ grows; MRSF(P) and
+M-EDF(P) track each other and dominate S-EDF(NP).
+"""
+
+from conftest import record_result
+
+from repro.experiments import fig12_workload
+
+
+def test_fig12_workload(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        fig12_workload.run,
+        kwargs={"scale": bench_scale, "seed": 3, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    mrsf = result.series("MRSF(P)")
+    medf = result.series("M-EDF(P)")
+    sedf = result.series("S-EDF(NP)")
+    assert mrsf[0] > mrsf[-1]
+    assert all(m >= s - 0.02 for m, s in zip(mrsf, sedf))
+    assert all(abs(m - e) < 0.1 for m, e in zip(mrsf, medf))
+
+
+def test_fig12_profiles_companion(benchmark, bench_scale, bench_reps):
+    """The paper's omitted m-axis sweep (Section V-E)."""
+    result = benchmark.pedantic(
+        fig12_workload.run_profiles,
+        kwargs={"scale": bench_scale, "seed": 3, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    mrsf = result.series("MRSF(P)")
+    sedf = result.series("S-EDF(NP)")
+    assert mrsf[0] > mrsf[-1]
+    assert all(m >= s - 0.02 for m, s in zip(mrsf, sedf))

@@ -1,0 +1,23 @@
+"""Regenerate Figure 13 — completeness vs probing budget.
+
+Paper shapes asserted: completeness rises strongly with C, and the
+rank-aware policies utilize the budget at least as well as S-EDF(P).
+"""
+
+from conftest import record_result
+
+from repro.experiments import fig13_budget
+
+
+def test_fig13_budget(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        fig13_budget.run,
+        kwargs={"scale": bench_scale, "seed": 3, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    mrsf = result.series("MRSF(P)")
+    sedf = result.series("S-EDF(P)")
+    assert mrsf[-1] > mrsf[0]  # budget helps
+    assert all(m >= s - 0.05 for m, s in zip(mrsf, sedf))

@@ -1,0 +1,36 @@
+"""Regenerate Figure 15 — sensitivity to update-model noise (both parts).
+
+Paper shapes asserted: completeness decreases with noise at fixed rank
+and with rank at fixed noise (auction/FPN grid); the news-trace rank
+sweep with a homogeneous Poisson model also decreases with rank.
+"""
+
+from conftest import record_result
+
+from repro.experiments import fig15_noise
+
+
+def test_fig15_noise_grid(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        fig15_noise.run,
+        kwargs={"scale": bench_scale, "seed": 2, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    for row in result.rows:
+        assert row[1] >= row[-1] - 0.02  # noise hurts along each row
+    clean_column = [row[1] for row in result.rows]
+    assert clean_column[0] >= clean_column[-1]  # rank hurts down the column
+
+
+def test_fig15_news_poisson_model(benchmark, bench_scale, bench_reps):
+    result = benchmark.pedantic(
+        fig15_noise.run_news,
+        kwargs={"scale": bench_scale, "seed": 2, "repetitions": bench_reps},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    series = result.series("M-EDF(P)")
+    assert series[0] > series[-1]

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the scheduling hot paths.
+
+These time the primitives the complexity analysis of Appendix B speaks
+about: policy value evaluation (Θ(1) for S-EDF/MRSF, O(rank) for M-EDF)
+and one full monitor chronon over a loaded candidate pool.
+"""
+
+import numpy as np
+
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.monitor import OnlineMonitor
+from repro.policies import MEDF, MRSF, SEDF, m_edf_value, s_edf_value
+from repro.traces.noise import perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import LengthRule
+
+
+def _workload(seed=3, num_profiles=100, rank_max=5):
+    epoch = Epoch(400)
+    rng = np.random.default_rng(seed)
+    trace = poisson_trace(200, epoch, 8.0, rng)
+    profiles = generate_profiles(
+        perfect_predictions(trace), epoch,
+        GeneratorSpec(num_profiles=num_profiles, rank_max=rank_max),
+        LengthRule.window(10), rng,
+    )
+    return epoch, profiles
+
+
+def test_sedf_value_evaluation(benchmark):
+    __, profiles = _workload()
+    eis = list(profiles.eis())[:500]
+    result = benchmark(lambda: sum(s_edf_value(ei, 50) for ei in eis))
+    assert result > 0
+
+
+def test_medf_value_evaluation(benchmark):
+    __, profiles = _workload()
+    eis = list(profiles.eis())[:500]
+
+    class View:
+        def is_ei_captured(self, ei):
+            return False
+
+        def captured_count(self, cei):
+            return 0
+
+        def active_uncaptured_on(self, resource):
+            return 0
+
+    view = View()
+    result = benchmark(lambda: sum(m_edf_value(ei, 50, view) for ei in eis))
+    assert result > 0
+
+
+def _run_full_monitor(policy_factory):
+    epoch, profiles = _workload()
+    monitor = OnlineMonitor(policy_factory(), BudgetVector.constant(2, len(epoch)))
+    monitor.run(epoch, arrivals_from_profiles(profiles))
+    return monitor.probes_used
+
+
+def test_monitor_full_run_sedf(benchmark):
+    probes = benchmark(_run_full_monitor, SEDF)
+    assert probes > 0
+
+
+def test_monitor_full_run_mrsf(benchmark):
+    probes = benchmark(_run_full_monitor, MRSF)
+    assert probes > 0
+
+
+def test_monitor_full_run_medf(benchmark):
+    probes = benchmark(_run_full_monitor, MEDF)
+    assert probes > 0

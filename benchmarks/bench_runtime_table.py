@@ -1,0 +1,23 @@
+"""Regenerate the Section V-D runtime table (offline vs online, msec/EI).
+
+Paper shape asserted: the offline approximation is clearly slower per EI
+than the online policies, and the gap widens with instance size (the
+split-interval graph construction is O(N^2)).
+"""
+
+from conftest import record_result
+
+from repro.experiments import runtime_table
+
+
+def test_runtime_table(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        runtime_table.run,
+        kwargs={"scale": bench_scale, "seed": 1, "repetitions": 1},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+    ratios = [row[-1] for row in result.rows]
+    assert ratios[-1] > 3.0
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,12 @@
+"""Regenerate Table I (controlled parameters) and verify library defaults."""
+
+from conftest import record_result
+
+from repro.experiments import table1_config
+
+
+def test_table1_controlled_parameters(benchmark):
+    result = benchmark.pedantic(table1_config.run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    assert len(result.rows) == 10
+    assert all(row[-1] for row in result.rows)

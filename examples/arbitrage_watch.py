@@ -1,0 +1,102 @@
+"""Arbitrage monitoring across markets (paper Example 1 / Example 3).
+
+A financial analyst hunts price differentials: whenever the stock
+exchange ticks, the futures and currency exchanges must be observed with
+overlapping time reference — within one chronon — or the snapshot is
+useless.  The stock exchange pushes its ticks (Example 3's "WHEN ON
+PUSH"); the other two markets are pull-only, so the proxy must cross
+their streams on its own budget.
+
+This example also exercises two library extensions: push-enabled
+resources (the trigger's EIs are captured for free) and the FPN(Z) noisy
+update model (the proxy's tick predictions for a second, pull-only
+exchange degrade as Z drops).
+
+Run:  python examples/arbitrage_watch.py
+"""
+
+import numpy as np
+
+from repro import (
+    BudgetVector,
+    Epoch,
+    FPNModel,
+    OnlineMonitor,
+    Resource,
+    ResourcePool,
+    arbitrage_ceis,
+    arrivals_from_profiles,
+    evaluate_schedule,
+    make_policy,
+    poisson_trace,
+)
+from repro.core.profile import ProfileSet
+from repro.traces.noise import perfect_predictions
+
+
+def build_instance(z: float, rng: np.random.Generator):
+    epoch = Epoch(600)
+    pool = ResourcePool(
+        [
+            Resource(rid=0, name="StockExchange", push_enabled=True),
+            Resource(rid=1, name="FuturesExchange"),
+            Resource(rid=2, name="CurrencyExchange"),
+            Resource(rid=3, name="CommodityExchange"),
+        ]
+    )
+    # Tick streams: the stock exchange ticks ~40 times over the epoch.
+    ticks = poisson_trace(4, epoch, mean_updates=40.0, rng=rng)
+    if z >= 1.0:
+        predictions = perfect_predictions(ticks)
+    else:
+        predictions = FPNModel(z=z, max_shift=4).predict_bundle(ticks, epoch, rng)
+
+    # Two analysts: one triggered by pushed stock ticks (predictions for a
+    # pushed stream are exact), one by *predicted* commodity ticks.
+    pushed = arbitrage_ceis(
+        0, [1, 2], perfect_predictions(ticks.restricted_to([0])) | {},
+        epoch, trigger_slack=0, follower_slack=1,
+    )
+    predicted = arbitrage_ceis(
+        3, [1, 2], predictions, epoch, trigger_slack=1, follower_slack=1,
+    )
+    profiles = ProfileSet.from_ceis([*pushed, *predicted], per_profile=len(pushed))
+    return epoch, pool, profiles
+
+
+def main() -> None:
+    print("arbitrage crossings: stock (pushed) + commodity (predicted) "
+          "triggers,\nfutures + currency must be crossed within 1 chronon\n")
+    print(f"{'model noise':>11s} {'completeness':>13s} {'pushed-trigger':>15s} "
+          f"{'predicted-trigger':>18s}")
+    for z in (1.0, 0.8, 0.5, 0.2):
+        rng = np.random.default_rng(21)
+        epoch, pool, profiles = build_instance(z, rng)
+        monitor = OnlineMonitor(
+            make_policy("MRSF"),
+            BudgetVector.constant(2, len(epoch)),
+            resources=pool,
+        )
+        schedule = monitor.run(epoch, arrivals_from_profiles(profiles))
+        report = evaluate_schedule(profiles, schedule)
+        pushed_report = evaluate_schedule(
+            ProfileSet([profiles[0]]), schedule
+        )
+        predicted_report = evaluate_schedule(
+            ProfileSet([profiles[1]]), schedule
+        )
+        print(
+            f"{1.0 - z:11.1f} {report.completeness:13.1%} "
+            f"{pushed_report.completeness:15.1%} "
+            f"{predicted_report.completeness:18.1%}"
+        )
+
+    print(
+        "\npushed triggers stay reliable (the exchange tells the proxy when "
+        "to cross);\npredicted triggers miss more crossings as the update "
+        "model gets noisier."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""AuctionWatch: the paper's eBay scenario (Sections II and V).
+
+A client watches k simultaneous auctions and wants to be notified when a
+new bid lands in *all* of them — a rank-k complex execution interval per
+bid round.  The proxy must decide which auction pages to poll each
+chronon under a tight budget, while bids cluster near auction deadlines
+(sniping).
+
+This example:
+
+1. simulates the paper's eBay trace (732 three-day auctions, ~11k bids);
+2. instantiates AuctionWatch(k) profiles for k = 1..4;
+3. shows how completeness degrades with profile complexity and how the
+   rank-aware MRSF policy beats deadline-only scheduling as k grows.
+
+Run:  python examples/auction_sniper.py
+"""
+
+import numpy as np
+
+from repro import (
+    BudgetVector,
+    Epoch,
+    GeneratorSpec,
+    LengthRule,
+    generate_profiles,
+    perfect_predictions,
+    simulate,
+    simulate_auction_trace,
+)
+
+
+def main() -> None:
+    epoch = Epoch(1000)
+    rng = np.random.default_rng(42)
+
+    trace = simulate_auction_trace(epoch, rng)
+    print(
+        f"auction trace: {trace.num_auctions} auctions, "
+        f"{trace.total_bids} bids, sniping clustered near deadlines"
+    )
+    predictions = perfect_predictions(trace.bundle)
+    budget = BudgetVector.constant(1, len(epoch))
+
+    # Bids must be caught the moment they land (w = 0) — the sniper's
+    # requirement — under a single probe per chronon.
+    print("\nbudget: 1 probe/chronon; immediate (w=0) delivery requirement")
+    print(f"{'k':>2s} {'#CEIs':>6s} {'S-EDF(P)':>9s} {'MRSF(P)':>9s} {'M-EDF(P)':>9s}")
+    for k in (1, 2, 3, 4):
+        profiles = generate_profiles(
+            predictions,
+            epoch,
+            GeneratorSpec(
+                num_profiles=100,
+                rank_max=4,
+                fixed_rank=k,
+                alpha=0.0,
+                exclusive_resources=True,
+                max_ceis_per_profile=5,
+            ),
+            LengthRule.window(0),
+            np.random.default_rng(100 + k),
+        )
+        row = [f"{k:2d}", f"{profiles.num_ceis:6d}"]
+        for name in ("S-EDF", "MRSF", "M-EDF"):
+            result = simulate(profiles, epoch, budget, name, preemptive=True)
+            row.append(f"{result.completeness:9.1%}")
+        print(" ".join(row))
+
+    print(
+        "\nwatching more auctions at once (higher k) makes each crossing "
+        "harder to complete;\nrank-aware policies (MRSF/M-EDF) triage "
+        "nearly-complete crossings first."
+    )
+
+
+if __name__ == "__main__":
+    main()

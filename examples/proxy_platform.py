@@ -1,0 +1,116 @@
+"""The full Web Monitoring 2.0 platform, end to end.
+
+This example exercises the high-level stack the paper envisions in
+Sections I-II: clients register at a proxy, express their needs in the
+paper's pseudo-continuous-query language, the proxy compiles them into
+complex execution intervals against fitted update models, runs a
+monitoring epoch under a budget, and reports per-client satisfaction,
+delivery latency, and run diagnostics.
+
+Run:  python examples/proxy_platform.py
+"""
+
+import numpy as np
+
+from repro import Epoch, ResourcePool, poisson_trace
+from repro.analysis import diagnose
+from repro.models import BinnedIntensityModel, predictions_from_model
+from repro.proxy import MonitoringProxy
+
+FEEDS = [
+    "MishBlog", "CNNBreakingNews", "CNNMoney",
+    "StockExchange", "FuturesExchange", "CurrencyExchange",
+    "TechCrunch", "WeatherService",
+]
+
+ANALYST_QUERIES = """
+q1: SELECT item AS F1
+FROM feed(MishBlog)
+WHEN EVERY 10 MINUTES AS T1
+WITHIN T1+2 MINUTES
+
+q2: SELECT item AS F2
+FROM feed(CNNBreakingNews)
+WHEN F1 CONTAINS %oil%
+WITHIN T1+10 MINUTES
+
+q3: SELECT item AS F3
+FROM feed(CNNMoney)
+WHEN F1 CONTAINS %oil%
+WITHIN T1+10 MINUTES
+"""
+
+TRADER_QUERIES = """
+q1: SELECT tick AS F1
+FROM feed(StockExchange)
+WHEN ON UPDATE AS T1
+WITHIN T1+1 MINUTES
+
+q2: SELECT tick AS F2
+FROM feed(FuturesExchange)
+WITHIN T1+2 MINUTES
+
+q3: SELECT rate AS F3
+FROM feed(CurrencyExchange)
+WITHIN T1+2 MINUTES
+"""
+
+NEWS_JUNKIE_QUERIES = """
+q1: SELECT item AS F1
+FROM feed(TechCrunch)
+WHEN EVERY 15 MINUTES AS T1
+WITHIN T1+5 MINUTES
+"""
+
+
+def main() -> None:
+    epoch = Epoch(600)  # one chronon per "minute"
+    rng = np.random.default_rng(3)
+    pool = ResourcePool.from_names(FEEDS)
+
+    # The proxy learns update behaviour from a history window, then
+    # monitors a future window with the fitted model's predictions.
+    history = poisson_trace(len(FEEDS), epoch, mean_updates=30.0, rng=rng)
+    future = poisson_trace(len(FEEDS), epoch, mean_updates=30.0, rng=rng)
+    predictions = predictions_from_model(
+        BinnedIntensityModel(num_bins=12), history, future, epoch, rng
+    )
+
+    proxy = MonitoringProxy(
+        epoch, pool, budget=2.0, policy="MRSF", chronons_per_minute=1.0
+    )
+
+    proxy.register_client("analyst")
+    proxy.submit_queries(
+        "analyst", ANALYST_QUERIES,
+        keyword_hits={"oil": {100, 250, 480}},  # pulls that matched %oil%
+    )
+
+    proxy.register_client("trader")
+    proxy.submit_queries("trader", TRADER_QUERIES, predictions=predictions)
+
+    proxy.register_client("news-junkie")
+    proxy.submit_queries("news-junkie", NEWS_JUNKIE_QUERIES)
+
+    result = proxy.run()
+
+    print("Web Monitoring 2.0 proxy — one epoch, 3 clients, budget 2/chronon\n")
+    print(f"{'client':12s} {'CEIs':>5s} {'satisfied':>10s} {'mean latency':>13s}")
+    for client in result.clients:
+        print(
+            f"{client.client:12s} {client.num_ceis:5d} "
+            f"{client.completeness:10.1%} {client.mean_latency:10.1f} chr"
+        )
+    print(f"\noverall completeness: {result.completeness:.1%} "
+          f"({result.probes_used} probes used)")
+
+    profiles = proxy.build_profiles()
+    report = diagnose(
+        profiles, result.schedule, epoch, total_budget=proxy.budget.total
+    )
+    print()
+    print(report.to_text())
+
+
+if __name__ == "__main__":
+    main()

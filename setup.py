@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+environments without the ``wheel`` package (legacy editable installs).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

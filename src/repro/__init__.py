@@ -1,0 +1,231 @@
+"""Web Monitoring 2.0: crossing streams to satisfy complex data needs.
+
+A production-quality reproduction of Roitman, Gal & Raschid (ICDE 2009).
+The library schedules pull probes of volatile web resources so that
+clients' *complex execution intervals* — conjunctions of per-resource
+time windows — are captured under a per-chronon probing budget.
+
+Quick start::
+
+    import numpy as np
+    from repro import (
+        BudgetVector, Epoch, simulate, gained_completeness,
+        poisson_trace, perfect_predictions,
+        GeneratorSpec, LengthRule, generate_profiles,
+    )
+
+    epoch = Epoch(200)
+    rng = np.random.default_rng(7)
+    trace = poisson_trace(50, epoch, mean_updates=10, rng=rng)
+    profiles = generate_profiles(
+        perfect_predictions(trace), epoch,
+        GeneratorSpec(num_profiles=20, rank_max=3),
+        LengthRule.window(5), rng,
+    )
+    result = simulate(profiles, epoch, BudgetVector.constant(1, len(epoch)),
+                      "MRSF", preemptive=True)
+    print(f"completeness = {result.completeness:.2%}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    BudgetError,
+    BudgetVector,
+    Chronon,
+    ComplexExecutionInterval,
+    CompletenessReport,
+    Epoch,
+    ExecutionInterval,
+    InstanceTooLargeError,
+    ModelError,
+    Profile,
+    ProfileSet,
+    ReproError,
+    Resource,
+    ResourceId,
+    ResourcePool,
+    RuntimeStats,
+    Schedule,
+    ScheduleError,
+    Semantics,
+    SolverError,
+    TraceError,
+    WorkloadError,
+    cei,
+    evaluate_schedule,
+    gained_completeness,
+    intra_resource_overlap,
+)
+from repro.offline import (
+    LocalRatioScheduler,
+    approximation_ratio_bound,
+    single_ei_upper_bound,
+    solve_exact,
+    to_unit_instance,
+)
+from repro.online import CandidatePool, OnlineMonitor
+from repro.online.arrivals import arrival_map, arrivals_from_profiles
+from repro.policies import (
+    MEDF,
+    MRSF,
+    SEDF,
+    WIC,
+    Policy,
+    available_policies,
+    make_policy,
+)
+from repro.sim import (
+    AggregateResult,
+    ExperimentConfig,
+    SimulationResult,
+    policy_label,
+    run_suite,
+    simulate,
+    simulate_offline,
+)
+from repro.traces import (
+    AuctionTrace,
+    EventStream,
+    FPNModel,
+    NewsTrace,
+    TraceBundle,
+    perfect_predictions,
+    poisson_trace,
+    simulate_auction_trace,
+    simulate_news_trace,
+)
+from repro.analysis import diagnose, event_coverage, probe_breakdown
+from repro.io import (
+    load_json,
+    profiles_from_dict,
+    profiles_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.models import (
+    BinnedIntensityModel,
+    EmpiricalIntervalModel,
+    HomogeneousPoissonModel,
+    PeriodicIntensityModel,
+    UpdateModel,
+    evaluate_model,
+    make_model,
+    predictions_from_model,
+)
+from repro.proxy import (
+    ContinuousOperation,
+    MonitoringProxy,
+    ProxySession,
+    compile_queries,
+    parse_queries,
+)
+from repro.workloads import (
+    GeneratorSpec,
+    LengthRule,
+    ZipfSampler,
+    arbitrage_ceis,
+    crossing_ceis,
+    generate_profiles,
+    periodic_ceis,
+    validate_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateResult",
+    "AuctionTrace",
+    "BinnedIntensityModel",
+    "BudgetError",
+    "BudgetVector",
+    "ContinuousOperation",
+    "EmpiricalIntervalModel",
+    "HomogeneousPoissonModel",
+    "MonitoringProxy",
+    "PeriodicIntensityModel",
+    "ProxySession",
+    "UpdateModel",
+    "CandidatePool",
+    "Chronon",
+    "ComplexExecutionInterval",
+    "CompletenessReport",
+    "Epoch",
+    "EventStream",
+    "ExecutionInterval",
+    "ExperimentConfig",
+    "FPNModel",
+    "GeneratorSpec",
+    "InstanceTooLargeError",
+    "LengthRule",
+    "LocalRatioScheduler",
+    "MEDF",
+    "MRSF",
+    "ModelError",
+    "NewsTrace",
+    "OnlineMonitor",
+    "Policy",
+    "Profile",
+    "ProfileSet",
+    "ReproError",
+    "Resource",
+    "ResourceId",
+    "ResourcePool",
+    "RuntimeStats",
+    "SEDF",
+    "Schedule",
+    "ScheduleError",
+    "Semantics",
+    "SimulationResult",
+    "SolverError",
+    "TraceBundle",
+    "TraceError",
+    "WIC",
+    "WorkloadError",
+    "ZipfSampler",
+    "approximation_ratio_bound",
+    "arbitrage_ceis",
+    "arrival_map",
+    "arrivals_from_profiles",
+    "available_policies",
+    "cei",
+    "compile_queries",
+    "crossing_ceis",
+    "diagnose",
+    "evaluate_model",
+    "evaluate_schedule",
+    "event_coverage",
+    "gained_completeness",
+    "generate_profiles",
+    "intra_resource_overlap",
+    "load_json",
+    "make_model",
+    "make_policy",
+    "parse_queries",
+    "perfect_predictions",
+    "periodic_ceis",
+    "poisson_trace",
+    "policy_label",
+    "predictions_from_model",
+    "probe_breakdown",
+    "profiles_from_dict",
+    "profiles_to_dict",
+    "run_suite",
+    "save_json",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "simulate",
+    "trace_from_dict",
+    "trace_to_dict",
+    "validate_instance",
+    "simulate_auction_trace",
+    "simulate_news_trace",
+    "simulate_offline",
+    "single_ei_upper_bound",
+    "solve_exact",
+    "to_unit_instance",
+]

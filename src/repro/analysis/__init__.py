@@ -1,0 +1,29 @@
+"""Run diagnostics: probe breakdowns, congestion, load skew."""
+
+from repro.analysis.coverage import (
+    CoverageReport,
+    event_coverage,
+    observed_events,
+)
+from repro.analysis.diagnostics import (
+    DiagnosticsReport,
+    ProbeBreakdown,
+    congestion_timeline,
+    diagnose,
+    gini_coefficient,
+    probe_breakdown,
+    resource_load,
+)
+
+__all__ = [
+    "CoverageReport",
+    "DiagnosticsReport",
+    "ProbeBreakdown",
+    "congestion_timeline",
+    "diagnose",
+    "event_coverage",
+    "gini_coefficient",
+    "observed_events",
+    "probe_breakdown",
+    "resource_load",
+]

@@ -1,0 +1,108 @@
+"""Event coverage: what the probes actually collected.
+
+Gained completeness (Eq. 1) scores *client* satisfaction.  A monitoring
+proxy also has a content-side view — of all the updates that occurred,
+which did the probes retrieve before they became unavailable?  This is
+WIC's native objective ([3] optimizes retrieved content, not client
+deadlines), so reporting both metrics side by side shows the paper's
+central trade-off: a policy can hoard content while starving complex
+client needs.
+
+Retrievability follows the paper's life semantics (Section III-A):
+
+* ``overwrite`` — an update stays retrievable until the next update on
+  the same resource overwrites it;
+* ``window(w)`` — an update stays retrievable for ``w`` chronons.
+
+:func:`observed_events` additionally reconstructs *which* events each
+probe collected — the observation history a model-refitting loop trains
+on (:mod:`repro.proxy.continuous`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+from repro.core.schedule import Schedule
+from repro.core.timebase import Chronon, Epoch
+from repro.traces.events import TraceBundle
+from repro.workloads.templates import LengthKind, LengthRule
+
+
+def _retrieval_deadline(
+    events: tuple[Chronon, ...], index: int, rule: LengthRule, epoch: Epoch
+) -> Chronon:
+    """Last chronon at which event ``index`` is still retrievable."""
+    if rule.kind is LengthKind.WINDOW:
+        return epoch.clamp(events[index] + rule.w)
+    if index + 1 < len(events):
+        return events[index + 1] - 1
+    return epoch.last
+
+
+def observed_events(
+    schedule: Schedule,
+    truth: TraceBundle,
+    epoch: Epoch,
+    rule: LengthRule,
+) -> TraceBundle:
+    """The events the schedule's probes actually collected.
+
+    A probe of resource ``r`` at chronon ``t`` collects every event of
+    ``r`` that occurred at or before ``t`` and is still retrievable at
+    ``t`` under ``rule``.  Returns the collected events as a trace bundle
+    (the observation history for model refitting).
+    """
+    collected: dict[int, list[Chronon]] = {}
+    probes_by_resource: dict[int, list[Chronon]] = {}
+    for resource, chronon in schedule.pairs():
+        probes_by_resource.setdefault(resource, []).append(chronon)
+
+    for rid in truth.resources:
+        events = truth.stream(rid).chronons
+        probes = sorted(probes_by_resource.get(rid, ()))
+        if not events or not probes:
+            continue
+        got: list[Chronon] = []
+        for index, event in enumerate(events):
+            deadline = _retrieval_deadline(events, index, rule, epoch)
+            # Earliest probe at or after the event:
+            position = bisect.bisect_left(probes, event)
+            if position < len(probes) and probes[position] <= deadline:
+                got.append(event)
+        if got:
+            collected[rid] = got
+    return TraceBundle.from_mapping(collected)
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageReport:
+    """Content-side scoring of a schedule against the ground truth."""
+
+    total_events: int
+    collected_events: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of all true events the probes retrieved in time."""
+        if self.total_events == 0:
+            return 1.0
+        return self.collected_events / self.total_events
+
+
+def event_coverage(
+    schedule: Schedule,
+    truth: TraceBundle,
+    epoch: Epoch,
+    rule: LengthRule,
+) -> CoverageReport:
+    """Score a schedule by event coverage under the given life rule."""
+    if rule.kind is LengthKind.WINDOW and rule.w < 0:
+        raise ModelError(f"window must be >= 0, got {rule.w}")
+    collected = observed_events(schedule, truth, epoch, rule)
+    return CoverageReport(
+        total_events=truth.total_events,
+        collected_events=collected.total_events,
+    )

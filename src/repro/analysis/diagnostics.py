@@ -1,0 +1,169 @@
+"""Schedule and workload diagnostics.
+
+Operating a monitoring proxy raises questions the completeness number
+alone cannot answer: where did the budget go?  How congested was each
+moment?  Which resources concentrate the demand?  These utilities
+dissect a run:
+
+* :func:`probe_breakdown` — classify every probe of a schedule as
+  *productive* (captured at least one EI within its true window),
+  *doomed* (captured EIs only of CEIs that ultimately failed) or
+  *wasted* (captured nothing);
+* :func:`congestion_timeline` — active-EI demand per chronon, the
+  inter-resource congestion of Section III-A;
+* :func:`resource_load` — EIs per resource, the skew Figure 14 studies;
+* :func:`diagnose` — everything above in one report with an ASCII
+  rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.profile import ProfileSet
+from repro.core.resource import ResourceId
+from repro.core.schedule import Schedule
+from repro.core.timebase import Epoch
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeBreakdown:
+    """Where the probing budget went."""
+
+    total: int
+    productive: int  # captured >= 1 EI of an eventually-satisfied CEI
+    doomed: int  # captured EIs, but only of CEIs that failed anyway
+    wasted: int  # captured nothing
+
+    @property
+    def productive_fraction(self) -> float:
+        return self.productive / self.total if self.total else 1.0
+
+    @property
+    def wasted_fraction(self) -> float:
+        return self.wasted / self.total if self.total else 0.0
+
+
+def probe_breakdown(profiles: ProfileSet, schedule: Schedule) -> ProbeBreakdown:
+    """Classify every probe of ``schedule`` against ``profiles``."""
+    satisfied: set[int] = set()
+    for cei in profiles.ceis():
+        if schedule.captures_cei(cei):
+            satisfied.add(cei.cid)
+
+    # Index EIs by (resource) with their true windows and parent ids.
+    by_resource: dict[ResourceId, list[tuple[int, int, int]]] = {}
+    for cei in profiles.ceis():
+        for ei in cei.eis:
+            assert ei.true_start is not None and ei.true_finish is not None
+            by_resource.setdefault(ei.resource, []).append(
+                (ei.true_start, ei.true_finish, cei.cid)
+            )
+
+    total = productive = doomed = wasted = 0
+    for resource, chronon in schedule.pairs():
+        total += 1
+        captured_parents = [
+            cid
+            for (start, finish, cid) in by_resource.get(resource, ())
+            if start <= chronon <= finish
+        ]
+        if not captured_parents:
+            wasted += 1
+        elif any(cid in satisfied for cid in captured_parents):
+            productive += 1
+        else:
+            doomed += 1
+    return ProbeBreakdown(
+        total=total, productive=productive, doomed=doomed, wasted=wasted
+    )
+
+
+def congestion_timeline(profiles: ProfileSet, epoch: Epoch) -> np.ndarray:
+    """Active-EI count per chronon (scheduling windows)."""
+    timeline = np.zeros(len(epoch), dtype=np.int64)
+    last = len(epoch)
+    for ei in profiles.eis():
+        start = max(0, ei.start)
+        finish = min(last - 1, ei.finish)
+        if start < last and finish >= start:
+            timeline[start] += 1
+            if finish + 1 < last:
+                timeline[finish + 1] -= 1
+    return np.cumsum(timeline)
+
+
+def resource_load(profiles: ProfileSet) -> dict[ResourceId, int]:
+    """EIs per resource, descending by load."""
+    load: dict[ResourceId, int] = {}
+    for ei in profiles.eis():
+        load[ei.resource] = load.get(ei.resource, 0) + 1
+    return dict(sorted(load.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+def gini_coefficient(values) -> float:
+    """Inequality of a non-negative distribution (0 = uniform).
+
+    Used to quantify the resource-load skew induced by α (Figure 14).
+    """
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0 or array.sum() == 0:
+        return 0.0
+    n = array.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * array).sum()) / (n * array.sum()) - (n + 1) / n)
+
+
+@dataclass(frozen=True, slots=True)
+class DiagnosticsReport:
+    """The full dissection of one run."""
+
+    probes: ProbeBreakdown
+    peak_congestion: int
+    mean_congestion: float
+    demand_to_budget: float  # total EI chronon-demand / total budget
+    load_gini: float
+    busiest_resources: tuple[tuple[ResourceId, int], ...]
+
+    def to_text(self) -> str:
+        lines = [
+            "run diagnostics",
+            f"  probes: {self.probes.total} total — "
+            f"{self.probes.productive} productive, "
+            f"{self.probes.doomed} doomed, {self.probes.wasted} wasted "
+            f"({self.probes.wasted_fraction:.0%})",
+            f"  congestion: peak {self.peak_congestion} active EIs, "
+            f"mean {self.mean_congestion:.1f}",
+            f"  demand/budget: {self.demand_to_budget:.2f} candidate EIs "
+            "per available probe",
+            f"  resource-load Gini: {self.load_gini:.2f}",
+        ]
+        if self.busiest_resources:
+            busiest = ", ".join(
+                f"r{rid}({count})" for rid, count in self.busiest_resources
+            )
+            lines.append(f"  busiest resources: {busiest}")
+        return "\n".join(lines)
+
+
+def diagnose(
+    profiles: ProfileSet,
+    schedule: Schedule,
+    epoch: Epoch,
+    total_budget: float,
+    top_resources: int = 5,
+) -> DiagnosticsReport:
+    """Produce the full diagnostics report for one run."""
+    timeline = congestion_timeline(profiles, epoch)
+    load = resource_load(profiles)
+    demand = profiles.num_eis
+    return DiagnosticsReport(
+        probes=probe_breakdown(profiles, schedule),
+        peak_congestion=int(timeline.max()) if timeline.size else 0,
+        mean_congestion=float(timeline.mean()) if timeline.size else 0.0,
+        demand_to_budget=demand / total_budget if total_budget else float("inf"),
+        load_gini=gini_coefficient(load.values()),
+        busiest_resources=tuple(list(load.items())[:top_resources]),
+    )

@@ -1,0 +1,71 @@
+"""Core model: time, resources, intervals, profiles, schedules, metrics."""
+
+from repro.core.errors import (
+    BudgetError,
+    ExperimentError,
+    InstanceTooLargeError,
+    ModelError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+    TraceError,
+    WorkloadError,
+)
+from repro.core.intervals import (
+    ComplexExecutionInterval,
+    ExecutionInterval,
+    Semantics,
+    cei,
+    intra_resource_overlap,
+)
+from repro.core.metrics import (
+    CompletenessReport,
+    RuntimeStats,
+    evaluate_schedule,
+    gained_completeness,
+    percent_of_upper_bound,
+    relative_performance,
+)
+from repro.core.profile import Profile, ProfileSet
+from repro.core.resource import Resource, ResourceId, ResourcePool
+from repro.core.schedule import (
+    BudgetVector,
+    Schedule,
+    count_feasible_schedules,
+    schedule_from_matrix,
+)
+from repro.core.timebase import Chronon, Epoch
+
+__all__ = [
+    "BudgetError",
+    "BudgetVector",
+    "Chronon",
+    "ComplexExecutionInterval",
+    "CompletenessReport",
+    "Epoch",
+    "ExecutionInterval",
+    "ExperimentError",
+    "InstanceTooLargeError",
+    "ModelError",
+    "Profile",
+    "ProfileSet",
+    "ReproError",
+    "Resource",
+    "ResourceId",
+    "ResourcePool",
+    "RuntimeStats",
+    "Schedule",
+    "ScheduleError",
+    "Semantics",
+    "SolverError",
+    "TraceError",
+    "WorkloadError",
+    "cei",
+    "count_feasible_schedules",
+    "evaluate_schedule",
+    "gained_completeness",
+    "intra_resource_overlap",
+    "percent_of_upper_bound",
+    "relative_performance",
+    "schedule_from_matrix",
+]

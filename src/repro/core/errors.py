@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Web Monitoring 2.0 reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """An invalid model object was constructed (bad interval, profile, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A schedule operation violated the problem constraints."""
+
+
+class BudgetError(ScheduleError):
+    """A probe assignment would exceed the per-chronon budget."""
+
+
+class TraceError(ReproError):
+    """An update-event trace is malformed or inconsistent with the epoch."""
+
+
+class WorkloadError(ReproError):
+    """Profile/workload generation received inconsistent parameters."""
+
+
+class SolverError(ReproError):
+    """An offline solver was asked to handle an instance it cannot solve."""
+
+
+class InstanceTooLargeError(SolverError):
+    """An exponential-cost solver refused an instance above its guard size.
+
+    The offline enumeration (Proposition 4) and the Proposition 5
+    transformation both have exponential worst-case cost; they raise this
+    error instead of silently consuming unbounded time and memory.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured."""

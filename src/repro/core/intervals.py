@@ -1,0 +1,287 @@
+"""Execution intervals (EIs) and complex execution intervals (CEIs).
+
+An *execution interval* (EI, [4] in the paper) is a closed chronon window
+``[start, finish]`` on one resource during which the proxy must probe that
+resource once.  A *complex execution interval* (CEI, [1] in the paper)
+combines several EIs, possibly over several resources; under the paper's
+AND semantics a CEI is captured only when **all** of its EIs are captured
+(Section III-A).
+
+Two windows live on each EI:
+
+* the **scheduling window** ``[start, finish]`` — what the proxy believes,
+  derived from its (possibly noisy) update model, and what every policy
+  sees;
+* the **true window** ``[true_start, true_finish]`` — where the real update
+  event is available.  Completeness is validated against the true window
+  (paper Section V-H: "we then validated the capture of events against the
+  real event trace").  With a perfect update model both windows coincide.
+
+The paper's Section VII future work proposes relaxing the AND semantics to
+alternatives; :class:`Semantics` implements AND (``ALL``), OR (``ANY``) and
+k-of-n (``AT_LEAST``) so those extensions can be studied.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.core.errors import ModelError
+from repro.core.resource import ResourceId
+from repro.core.timebase import Chronon, validate_window, window_length
+
+_ei_counter = itertools.count()
+_cei_counter = itertools.count()
+
+
+def _next_ei_seq() -> int:
+    return next(_ei_counter)
+
+
+def _next_cei_seq() -> int:
+    return next(_cei_counter)
+
+
+class Semantics(enum.Enum):
+    """How many EIs of a CEI must be captured for the CEI to be satisfied."""
+
+    ALL = "all"  # the paper's AND semantics (conjunction)
+    ANY = "any"  # OR semantics (paper Section VII future work)
+    AT_LEAST = "at_least"  # k-of-n semantics (paper Section VII future work)
+
+
+@dataclass(eq=False, slots=True)
+class ExecutionInterval:
+    """One EI: probe ``resource`` once during ``[start, finish]``.
+
+    Attributes
+    ----------
+    resource:
+        Id of the resource to probe.
+    start, finish:
+        Closed scheduling window, in chronons (``start <= finish``).
+    true_start, true_finish:
+        Closed ground-truth window; defaults to the scheduling window.
+    seq:
+        Process-unique sequence number used for deterministic tie-breaking
+        in policies and data structures.  Assigned automatically.
+    parent:
+        Back-reference to the owning CEI, set by the CEI constructor.
+    """
+
+    resource: ResourceId
+    start: Chronon
+    finish: Chronon
+    true_start: Optional[Chronon] = None
+    true_finish: Optional[Chronon] = None
+    seq: int = field(default_factory=_next_ei_seq)
+    parent: Optional["ComplexExecutionInterval"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.resource < 0:
+            raise ModelError(f"EI resource id must be non-negative, got {self.resource}")
+        validate_window(self.start, self.finish, "execution interval")
+        if self.true_start is None:
+            self.true_start = self.start
+        if self.true_finish is None:
+            self.true_finish = self.finish
+        validate_window(self.true_start, self.true_finish, "true execution interval")
+
+    def __hash__(self) -> int:
+        return self.seq
+
+    @property
+    def length(self) -> int:
+        """``|I|``: number of chronons in the scheduling window."""
+        return window_length(self.start, self.finish)
+
+    @property
+    def is_unit(self) -> bool:
+        """True when the scheduling window spans exactly one chronon."""
+        return self.start == self.finish
+
+    def active_at(self, chronon: Chronon) -> bool:
+        """Is the scheduling window open at ``chronon``?"""
+        return self.start <= chronon <= self.finish
+
+    def truly_active_at(self, chronon: Chronon) -> bool:
+        """Does the ground-truth window cover ``chronon``?"""
+        assert self.true_start is not None and self.true_finish is not None
+        return self.true_start <= chronon <= self.true_finish
+
+    def overlaps(self, other: "ExecutionInterval") -> bool:
+        """Do the two scheduling windows share at least one chronon?"""
+        return self.start <= other.finish and other.start <= self.finish
+
+    def chronons(self) -> range:
+        """All chronons of the scheduling window, in order."""
+        return range(self.start, self.finish + 1)
+
+    def shifted(self, offset: int) -> "ExecutionInterval":
+        """A copy of this EI with the *scheduling* window shifted by ``offset``.
+
+        The true window is left in place, which is exactly how a noisy
+        update model manifests: the proxy schedules in the wrong place.
+        Negative starts are clamped to 0 (the window keeps its length).
+        """
+        new_start = max(0, self.start + offset)
+        new_finish = new_start + self.length - 1
+        return ExecutionInterval(
+            resource=self.resource,
+            start=new_start,
+            finish=new_finish,
+            true_start=self.true_start,
+            true_finish=self.true_finish,
+        )
+
+
+@dataclass(eq=False, slots=True)
+class ComplexExecutionInterval:
+    """A CEI: a combination of EIs that must be captured together.
+
+    Attributes
+    ----------
+    eis:
+        The member execution intervals.  Must be non-empty.
+    semantics:
+        Capture semantics; the paper uses :attr:`Semantics.ALL`.
+    required:
+        For :attr:`Semantics.AT_LEAST`, how many EIs must be captured.
+        Derived automatically for ALL (``len(eis)``) and ANY (1).
+    weight:
+        Client utility of capturing this CEI (paper Section VII future
+        work).  The paper's Problem 1 corresponds to ``weight == 1.0``.
+    cid:
+        Process-unique sequence number (deterministic tie-breaking).
+    """
+
+    eis: tuple[ExecutionInterval, ...]
+    semantics: Semantics = Semantics.ALL
+    required: int = 0
+    weight: float = 1.0
+    cid: int = field(default_factory=_next_cei_seq)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.eis, list):
+            self.eis = tuple(self.eis)
+        if not self.eis:
+            raise ModelError("a CEI must contain at least one execution interval")
+        if self.weight <= 0:
+            raise ModelError(f"CEI weight must be positive, got {self.weight}")
+        if self.semantics is Semantics.ALL:
+            self.required = len(self.eis)
+        elif self.semantics is Semantics.ANY:
+            self.required = 1
+        else:
+            if not 1 <= self.required <= len(self.eis):
+                raise ModelError(
+                    f"k-of-n CEI needs 1 <= required <= {len(self.eis)}, "
+                    f"got {self.required}"
+                )
+        for ei in self.eis:
+            if ei.parent is not None and ei.parent is not self:
+                raise ModelError(
+                    f"EI {ei.seq} already belongs to CEI {ei.parent.cid}; "
+                    "copy the EI instead of sharing it across CEIs"
+                )
+            ei.parent = self
+
+    def __hash__(self) -> int:
+        return self.cid
+
+    def __len__(self) -> int:
+        return len(self.eis)
+
+    def __iter__(self) -> Iterator[ExecutionInterval]:
+        return iter(self.eis)
+
+    @property
+    def rank(self) -> int:
+        """``|η|``: the number of execution intervals in this CEI."""
+        return len(self.eis)
+
+    @property
+    def release(self) -> Chronon:
+        """Earliest scheduling-window start over member EIs.
+
+        The online monitor reveals the CEI to the proxy at this chronon.
+        """
+        return min(ei.start for ei in self.eis)
+
+    @property
+    def deadline(self) -> Chronon:
+        """Latest scheduling-window finish over member EIs."""
+        return max(ei.finish for ei in self.eis)
+
+    @property
+    def total_chronons(self) -> int:
+        """``sum_{I in η} |I|`` — the quantity bounding MRSF (Prop. 2)."""
+        return sum(ei.length for ei in self.eis)
+
+    @property
+    def is_unit(self) -> bool:
+        """True when every member EI spans exactly one chronon (P^[1])."""
+        return all(ei.is_unit for ei in self.eis)
+
+    @property
+    def resources(self) -> frozenset[ResourceId]:
+        """The set of distinct resources this CEI touches."""
+        return frozenset(ei.resource for ei in self.eis)
+
+    def satisfied_by_count(self, captured: int) -> bool:
+        """Is the CEI satisfied once ``captured`` member EIs are captured?"""
+        return captured >= self.required
+
+    def has_intra_resource_overlap(self) -> bool:
+        """Do two member EIs on the same resource share a chronon?"""
+        by_resource: dict[ResourceId, list[ExecutionInterval]] = {}
+        for ei in self.eis:
+            by_resource.setdefault(ei.resource, []).append(ei)
+        for group in by_resource.values():
+            group.sort(key=lambda e: (e.start, e.finish))
+            for left, right in zip(group, group[1:]):
+                if left.overlaps(right):
+                    return True
+        return False
+
+
+def cei(
+    *windows: tuple[ResourceId, Chronon, Chronon],
+    semantics: Semantics = Semantics.ALL,
+    required: int = 0,
+    weight: float = 1.0,
+) -> ComplexExecutionInterval:
+    """Convenience constructor: ``cei((r, s, f), (r2, s2, f2), ...)``.
+
+    Builds one EI per ``(resource, start, finish)`` triple with true windows
+    equal to the scheduling windows.
+    """
+    eis = tuple(
+        ExecutionInterval(resource=r, start=s, finish=f) for (r, s, f) in windows
+    )
+    return ComplexExecutionInterval(
+        eis=eis, semantics=semantics, required=required, weight=weight
+    )
+
+
+def intra_resource_overlap(eis: Sequence[ExecutionInterval]) -> bool:
+    """Do any two EIs in ``eis`` on the same resource share a chronon?
+
+    This is the *intra-resource overlap* property from Section III-A; the
+    theoretical guarantees of the paper (Props. 1, 2 and the offline
+    approximation ratio) hold only in its absence.
+    """
+    by_resource: dict[ResourceId, list[ExecutionInterval]] = {}
+    for ei in eis:
+        by_resource.setdefault(ei.resource, []).append(ei)
+    for group in by_resource.values():
+        group.sort(key=lambda e: (e.start, e.finish))
+        for left, right in zip(group, group[1:]):
+            if left.overlaps(right):
+                return True
+    return False

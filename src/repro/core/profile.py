@@ -1,0 +1,215 @@
+"""Client profiles and profile sets.
+
+A *profile* is the complex information need of one client, stored at the
+proxy: a collection of CEIs (paper Section III-A).  Profiles, CEIs and EIs
+form a hierarchy: a profile is the parent of its CEIs, a CEI the parent of
+its EIs.  The *rank* of a profile is the maximal number of EIs in any of
+its CEIs; the rank of a profile set is the maximum over its profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.core.errors import ModelError
+from repro.core.intervals import (
+    ComplexExecutionInterval,
+    ExecutionInterval,
+    intra_resource_overlap,
+)
+from repro.core.resource import ResourceId
+
+
+@dataclass(eq=False, slots=True)
+class Profile:
+    """One client profile: a collection of CEIs.
+
+    Attributes
+    ----------
+    pid:
+        Identifier, unique within a :class:`ProfileSet`.
+    ceis:
+        The member complex execution intervals; may be empty at creation
+        and extended via :meth:`add`.
+    """
+
+    pid: int
+    ceis: list[ComplexExecutionInterval] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ModelError(f"profile id must be non-negative, got {self.pid}")
+
+    def __hash__(self) -> int:
+        return hash(("profile", self.pid))
+
+    def __len__(self) -> int:
+        """``|p|``: the number of CEIs in the profile (Eq. 1 denominator)."""
+        return len(self.ceis)
+
+    def __iter__(self) -> Iterator[ComplexExecutionInterval]:
+        return iter(self.ceis)
+
+    def add(self, cei: ComplexExecutionInterval) -> None:
+        """Append a CEI to this profile."""
+        self.ceis.append(cei)
+
+    @property
+    def rank(self) -> int:
+        """``rank(p) = max_{η in p} |η|`` (0 for an empty profile)."""
+        if not self.ceis:
+            return 0
+        return max(cei.rank for cei in self.ceis)
+
+    @property
+    def num_eis(self) -> int:
+        """Total number of EIs across all CEIs of this profile."""
+        return sum(cei.rank for cei in self.ceis)
+
+    def eis(self) -> Iterator[ExecutionInterval]:
+        """Iterate over every EI of every CEI (bag semantics)."""
+        for cei in self.ceis:
+            yield from cei.eis
+
+
+@dataclass(eq=False, slots=True)
+class ProfileSet:
+    """The set of client profiles ``P`` managed by the proxy."""
+
+    profiles: list[Profile] = field(default_factory=list)
+
+    @classmethod
+    def from_ceis(
+        cls, ceis: Iterable[ComplexExecutionInterval], per_profile: int = 0
+    ) -> "ProfileSet":
+        """Wrap loose CEIs into profiles.
+
+        With ``per_profile == 0`` all CEIs go into a single profile; with a
+        positive value CEIs are chunked into profiles of that size.  Gained
+        completeness (Eq. 1) is insensitive to the grouping, so this is a
+        convenience for tests and small experiments.
+        """
+        cei_list = list(ceis)
+        if per_profile <= 0:
+            return cls([Profile(pid=0, ceis=cei_list)])
+        profiles = [
+            Profile(pid=i, ceis=cei_list[start : start + per_profile])
+            for i, start in enumerate(range(0, len(cei_list), per_profile))
+        ]
+        return cls(profiles)
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __iter__(self) -> Iterator[Profile]:
+        return iter(self.profiles)
+
+    def __getitem__(self, index: int) -> Profile:
+        return self.profiles[index]
+
+    def add(self, profile: Profile) -> None:
+        """Append a profile to the set."""
+        self.profiles.append(profile)
+
+    @property
+    def rank(self) -> int:
+        """``rank(P) = max_p rank(p)`` (0 for an empty set)."""
+        if not self.profiles:
+            return 0
+        return max(profile.rank for profile in self.profiles)
+
+    @property
+    def num_ceis(self) -> int:
+        """Total number of CEIs across all profiles (Eq. 1 denominator)."""
+        return sum(len(profile) for profile in self.profiles)
+
+    @property
+    def num_eis(self) -> int:
+        """Total number of EIs across all profiles."""
+        return sum(profile.num_eis for profile in self.profiles)
+
+    def ceis(self) -> Iterator[ComplexExecutionInterval]:
+        """Iterate over every CEI of every profile."""
+        for profile in self.profiles:
+            yield from profile.ceis
+
+    def eis(self) -> Iterator[ExecutionInterval]:
+        """Iterate over every EI of every CEI of every profile (a bag)."""
+        for profile in self.profiles:
+            yield from profile.eis()
+
+    @property
+    def is_unit(self) -> bool:
+        """True when this is a ``P^[1]`` instance (every EI is one chronon).
+
+        ``P^[1]`` is the profile class of Proposition 3, on which M-EDF and
+        MRSF coincide and for which the offline approximation bounds hold.
+        """
+        return all(cei.is_unit for cei in self.ceis())
+
+    def has_intra_resource_overlap(self) -> bool:
+        """Do any two EIs (across all profiles) on one resource overlap?"""
+        return intra_resource_overlap(list(self.eis()))
+
+    @property
+    def resources_used(self) -> frozenset[ResourceId]:
+        """All resource ids referenced by at least one EI."""
+        used: set[ResourceId] = set()
+        for ei in self.eis():
+            used.add(ei.resource)
+        return frozenset(used)
+
+    @property
+    def horizon(self) -> int:
+        """One past the latest finish chronon over all EIs (0 if empty).
+
+        A schedule over an epoch of at least this many chronons can reach
+        every EI of the set.
+        """
+        latest = -1
+        for ei in self.eis():
+            if ei.finish > latest:
+                latest = ei.finish
+        return latest + 1
+
+    def rank_histogram(self) -> dict[int, int]:
+        """Count CEIs by rank — used by the per-rank completeness reports."""
+        histogram: dict[int, int] = {}
+        for cei in self.ceis():
+            histogram[cei.rank] = histogram.get(cei.rank, 0) + 1
+        return histogram
+
+    def filter_ceis(
+        self, predicate: "Callable[[ComplexExecutionInterval], bool]"
+    ) -> "ProfileSet":
+        """A new set keeping only CEIs matching ``predicate``.
+
+        Profile ids are preserved; profiles whose CEIs are all filtered
+        out remain as empty profiles (so Eq. 1 denominators shrink with
+        the filter, as intended).  The CEI objects are shared, not
+        copied — treat the result as a read-only view for scoring.
+        """
+        filtered = ProfileSet()
+        for profile in self.profiles:
+            filtered.add(
+                Profile(
+                    pid=profile.pid,
+                    ceis=[cei for cei in profile.ceis if predicate(cei)],
+                )
+            )
+        return filtered
+
+    def restricted_to_rank(self, rank: int) -> "ProfileSet":
+        """Only the CEIs of exactly this rank (Figure 10/15 breakdowns)."""
+        return self.filter_ceis(lambda cei: cei.rank == rank)
+
+    def merged_with(self, other: "ProfileSet") -> "ProfileSet":
+        """A new set containing both sets' profiles, pids renumbered."""
+        merged = ProfileSet()
+        pid = 0
+        for source in (self, other):
+            for profile in source:
+                merged.add(Profile(pid=pid, ceis=list(profile.ceis)))
+                pid += 1
+        return merged

@@ -1,0 +1,129 @@
+"""Resources (pull-only web sources) and pools of resources.
+
+A resource models one probe-able web source (an RSS feed, an auction page,
+a stock ticker...).  The proxy consumes budget when it probes a resource;
+each probe of resource ``r`` at chronon ``t`` simultaneously captures every
+candidate execution interval on ``r`` whose window contains ``t``.
+
+The paper assumes a uniform probe cost (Problem 1) and defers varying
+costs to future work (Section III-C); we support a per-resource
+``probe_cost`` (default 1.0) so that the future-work extension can be
+exercised by the ablation benchmarks, and ``push_enabled`` for resources
+whose updates are pushed to the proxy (Example 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.errors import ModelError
+
+#: Resources are identified by dense integer ids ``0 .. n-1``.
+ResourceId = int
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """A single monitorable web resource.
+
+    Parameters
+    ----------
+    rid:
+        Dense integer identifier, unique within a :class:`ResourcePool`.
+    name:
+        Human-readable label (e.g. feed URL); defaults to ``"r<rid>"``.
+    probe_cost:
+        Budget units consumed by one probe.  1.0 reproduces Problem 1.
+    push_enabled:
+        If True, update events on this resource are pushed to the proxy
+        and the corresponding execution intervals are captured for free.
+    """
+
+    rid: ResourceId
+    name: str = ""
+    probe_cost: float = 1.0
+    push_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rid < 0:
+            raise ModelError(f"resource id must be non-negative, got {self.rid}")
+        if self.probe_cost <= 0:
+            raise ModelError(
+                f"probe cost must be positive, got {self.probe_cost} for resource {self.rid}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", f"r{self.rid}")
+
+
+@dataclass(slots=True)
+class ResourcePool:
+    """An indexed collection of :class:`Resource` objects.
+
+    The pool guarantees dense ids ``0 .. n-1`` so that schedules and traces
+    can use plain arrays keyed by resource id.
+    """
+
+    resources: list[Resource] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for expected, resource in enumerate(self.resources):
+            if resource.rid != expected:
+                raise ModelError(
+                    f"resource ids must be dense and ordered: position {expected} "
+                    f"holds resource id {resource.rid}"
+                )
+
+    @classmethod
+    def uniform(
+        cls,
+        count: int,
+        probe_cost: float = 1.0,
+        name_prefix: str = "r",
+    ) -> "ResourcePool":
+        """Create ``count`` identical resources named ``<prefix><i>``."""
+        if count <= 0:
+            raise ModelError(f"resource pool needs at least one resource, got {count}")
+        return cls(
+            [
+                Resource(rid=i, name=f"{name_prefix}{i}", probe_cost=probe_cost)
+                for i in range(count)
+            ]
+        )
+
+    @classmethod
+    def from_names(cls, names: Sequence[str]) -> "ResourcePool":
+        """Create a pool with one resource per name, ids in order."""
+        if not names:
+            raise ModelError("resource pool needs at least one resource name")
+        return cls([Resource(rid=i, name=name) for i, name in enumerate(names)])
+
+    def __len__(self) -> int:
+        return len(self.resources)
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self.resources)
+
+    def __getitem__(self, rid: ResourceId) -> Resource:
+        if not 0 <= rid < len(self.resources):
+            raise ModelError(f"unknown resource id {rid} (pool holds {len(self)})")
+        return self.resources[rid]
+
+    def __contains__(self, rid: object) -> bool:
+        return isinstance(rid, int) and 0 <= rid < len(self.resources)
+
+    @property
+    def ids(self) -> range:
+        """All resource ids as a range."""
+        return range(len(self.resources))
+
+    def probe_cost(self, rid: ResourceId) -> float:
+        """Budget units consumed by one probe of resource ``rid``."""
+        return self[rid].probe_cost
+
+    def by_name(self, name: str) -> Resource:
+        """Look up a resource by its name (linear scan)."""
+        for resource in self.resources:
+            if resource.name == name:
+                return resource
+        raise ModelError(f"no resource named {name!r}")

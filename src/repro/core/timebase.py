@@ -1,0 +1,87 @@
+"""Discrete time model: chronons and epochs.
+
+The paper models time as an epoch ``T = (T_1 .. T_K)`` of ``K`` chronons,
+where a chronon is an indivisible unit of time (paper, Section III-A).  We
+represent chronons as ``int`` values ``0 .. K-1``; the epoch is the
+half-open range ``[0, K)``.  All model objects (execution intervals,
+schedules, event traces) use this convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import ModelError
+
+#: Type alias used throughout the library for readability.
+Chronon = int
+
+
+@dataclass(frozen=True, slots=True)
+class Epoch:
+    """An epoch of ``num_chronons`` consecutive chronons ``0 .. K-1``.
+
+    Parameters
+    ----------
+    num_chronons:
+        ``K``, the number of chronons in the epoch.  Must be positive.
+    """
+
+    num_chronons: int
+
+    def __post_init__(self) -> None:
+        if self.num_chronons <= 0:
+            raise ModelError(
+                f"epoch must contain at least one chronon, got {self.num_chronons}"
+            )
+
+    def __len__(self) -> int:
+        return self.num_chronons
+
+    def __iter__(self) -> Iterator[Chronon]:
+        return iter(range(self.num_chronons))
+
+    def __contains__(self, chronon: object) -> bool:
+        if not isinstance(chronon, int) or isinstance(chronon, bool):
+            return False
+        return 0 <= chronon < self.num_chronons
+
+    @property
+    def first(self) -> Chronon:
+        """The first chronon of the epoch (always 0)."""
+        return 0
+
+    @property
+    def last(self) -> Chronon:
+        """The last chronon of the epoch (``K - 1``)."""
+        return self.num_chronons - 1
+
+    def clamp(self, chronon: int) -> Chronon:
+        """Clamp ``chronon`` into the epoch range."""
+        return max(self.first, min(self.last, chronon))
+
+    def require(self, chronon: int, what: str = "chronon") -> Chronon:
+        """Validate that ``chronon`` lies within the epoch and return it."""
+        if chronon not in self:
+            raise ModelError(
+                f"{what} {chronon} outside epoch [0, {self.num_chronons})"
+            )
+        return chronon
+
+
+def validate_window(start: int, finish: int, what: str = "interval") -> None:
+    """Validate a closed chronon window ``[start, finish]``.
+
+    The paper requires ``T_s <= T_f`` (Section III-A); both ends must be
+    non-negative.
+    """
+    if start < 0 or finish < 0:
+        raise ModelError(f"{what} endpoints must be non-negative, got [{start}, {finish}]")
+    if start > finish:
+        raise ModelError(f"{what} must satisfy start <= finish, got [{start}, {finish}]")
+
+
+def window_length(start: int, finish: int) -> int:
+    """Number of chronons in the closed window ``[start, finish]`` (|I|)."""
+    return finish - start + 1

@@ -1,0 +1,39 @@
+"""Experiment drivers: one module per paper table/figure plus ablations."""
+
+from repro.experiments import (  # noqa: F401 (re-exported for the CLI)
+    ablations,
+    competitive,
+    fig09_preemption,
+    fig10_vs_offline,
+    fig11_scalability,
+    fig12_workload,
+    fig13_budget,
+    fig14_skew,
+    fig15_noise,
+    model_quality,
+    panorama,
+    runtime_table,
+    summary,
+    table1_config,
+    workload_grid,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "ablations",
+    "competitive",
+    "fig09_preemption",
+    "fig10_vs_offline",
+    "fig11_scalability",
+    "fig12_workload",
+    "fig13_budget",
+    "fig14_skew",
+    "fig15_noise",
+    "model_quality",
+    "panorama",
+    "runtime_table",
+    "summary",
+    "table1_config",
+    "workload_grid",
+]

@@ -1,0 +1,137 @@
+"""Shared experiment plumbing: instance builders and result containers.
+
+Every experiment module in this package exposes ``run(scale, seed)``
+returning an :class:`ExperimentResult` whose rows are exactly the series
+the corresponding paper figure plots, plus ``main()`` that prints them.
+``scale`` shrinks the instance-size parameters (resources, profiles,
+chronons) proportionally so the benchmarks stay fast; ``scale=1.0``
+reproduces the paper-size instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.sim.reporting import ascii_table
+from repro.traces.auctions import simulate_auction_trace
+from repro.traces.news import simulate_news_trace
+from repro.traces.noise import FPNModel, perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import LengthRule
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """One experiment's reproduced table: headers + rows + commentary."""
+
+    experiment: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self, precision: int = 3) -> str:
+        text = ascii_table(self.headers, self.rows, title=self.experiment, precision=precision)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+    def series(self, column: str) -> list[object]:
+        """Extract one column by header name."""
+        index = self.headers.index(column)
+        return [row[index] for row in self.rows]
+
+    def column_by_x(self, x_column: str, y_column: str) -> dict[object, object]:
+        """Map x values to one series' values."""
+        xs = self.series(x_column)
+        ys = self.series(y_column)
+        return dict(zip(xs, ys))
+
+
+def scaled(value: int, scale: float, floor: int) -> int:
+    """Scale an instance-size parameter, never below ``floor``."""
+    return max(floor, int(round(value * scale)))
+
+
+def auction_instance(
+    rng: np.random.Generator,
+    epoch: Epoch,
+    num_auctions: int,
+    total_bids: int,
+    spec: GeneratorSpec,
+    rule: LengthRule,
+    noise: Optional[FPNModel] = None,
+) -> ProfileSet:
+    """Profiles over a simulated eBay auction trace (Sections V-B/C/H)."""
+    trace = simulate_auction_trace(
+        epoch, rng, num_auctions=num_auctions, total_bids=total_bids
+    )
+    if noise is None:
+        predictions = perfect_predictions(trace.bundle)
+    else:
+        predictions = noise.predict_bundle(trace.bundle, epoch, rng)
+    return generate_profiles(predictions, epoch, spec, rule, rng)
+
+
+def poisson_instance(
+    rng: np.random.Generator,
+    epoch: Epoch,
+    num_resources: int,
+    mean_updates: float,
+    spec: GeneratorSpec,
+    rule: LengthRule,
+    noise: Optional[FPNModel] = None,
+) -> ProfileSet:
+    """Profiles over the synthetic Poisson trace (Sections V-D/E/F/G)."""
+    trace = poisson_trace(num_resources, epoch, mean_updates, rng)
+    if noise is None:
+        predictions = perfect_predictions(trace)
+    else:
+        predictions = noise.predict_bundle(trace, epoch, rng)
+    return generate_profiles(predictions, epoch, spec, rule, rng)
+
+
+def news_instance(
+    rng: np.random.Generator,
+    epoch: Epoch,
+    num_feeds: int,
+    total_events: int,
+    spec: GeneratorSpec,
+    rule: LengthRule,
+    noise: Optional[FPNModel] = None,
+) -> ProfileSet:
+    """Profiles over the simulated RSS news trace (Section V-H)."""
+    trace = simulate_news_trace(
+        epoch, rng, num_feeds=num_feeds, total_events=total_events
+    )
+    if noise is None:
+        predictions = perfect_predictions(trace.bundle)
+    else:
+        predictions = noise.predict_bundle(trace.bundle, epoch, rng)
+    return generate_profiles(predictions, epoch, spec, rule, rng)
+
+
+def repeat_mean(
+    values_for_rep: Callable[[np.random.Generator], Sequence[float]],
+    repetitions: int,
+    seed: int,
+) -> list[float]:
+    """Average a vector-valued experiment over seeded repetitions."""
+    sequence = np.random.SeedSequence(seed)
+    totals: Optional[np.ndarray] = None
+    for child in sequence.spawn(repetitions):
+        values = np.asarray(values_for_rep(np.random.default_rng(child)), dtype=float)
+        totals = values if totals is None else totals + values
+    assert totals is not None
+    return list(totals / repetitions)
+
+
+def constant_budget(c: float, epoch: Epoch) -> BudgetVector:
+    """Shorthand for the uniform budget vectors every figure uses."""
+    return BudgetVector.constant(c, len(epoch))

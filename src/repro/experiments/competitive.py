@@ -1,0 +1,132 @@
+"""Extension experiment — empirical competitive ratios vs the optimum.
+
+Propositions 1 and 2 give worst-case guarantees (S-EDF optimal at rank 1
+without overlap; MRSF l-competitive).  This experiment measures what the
+policies achieve *empirically* against the exact offline optimum
+(:func:`repro.offline.enumeration.solve_exact`) on a population of small
+random ``P^[1]`` instances without intra-resource overlap — the regime
+where the guarantees live.
+
+Reported per policy: the mean and the worst observed ratio
+``optimal / achieved`` (1.0 = optimal; higher = worse), plus how often
+the policy is exactly optimal.  Expected shape: S-EDF is optimal on
+every rank-1 instance (Prop. 1 verified on random populations); MRSF's
+worst ratio stays far below its theoretical ``l``; rank-aware policies
+dominate the naive ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.experiments.common import ExperimentResult
+from repro.offline.enumeration import solve_exact
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.monitor import OnlineMonitor
+from repro.policies import make_policy
+
+POLICIES = ["S-EDF", "MRSF", "M-EDF", "HYBRID", "FIFO", "RANDOM"]
+NUM_CHRONONS = 10
+NUM_RESOURCES = 5
+NUM_CEIS = 6
+
+
+def _build_instance(rng: np.random.Generator, max_rank: int):
+    """A small random unit instance with no intra-resource overlap."""
+    from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+    from repro.core.profile import ProfileSet
+
+    used: set[tuple[int, int]] = set()
+    ceis = []
+    for __ in range(NUM_CEIS):
+        rank = int(rng.integers(1, max_rank + 1))
+        eis = []
+        attempts = 0
+        while len(eis) < rank and attempts < 100:
+            attempts += 1
+            resource = int(rng.integers(0, NUM_RESOURCES))
+            chronon = int(rng.integers(0, NUM_CHRONONS))
+            if (resource, chronon) in used:
+                continue
+            if any(e.resource == resource and e.start == chronon for e in eis):
+                continue
+            used.add((resource, chronon))
+            eis.append(
+                ExecutionInterval(resource=resource, start=chronon, finish=chronon)
+            )
+        if len(eis) == rank:
+            ceis.append(ComplexExecutionInterval(eis=tuple(eis)))
+    return ProfileSet.from_ceis(ceis)
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 0,
+    repetitions: int = 60,
+    max_rank: int = 2,
+) -> ExperimentResult:
+    """Measure empirical ratios over ``repetitions`` random instances.
+
+    ``scale`` shrinks the instance population (never the instances —
+    they must stay small enough for exact enumeration).
+    """
+    population = max(10, int(repetitions * scale))
+    epoch = Epoch(NUM_CHRONONS + 2)
+    budget = BudgetVector.constant(1, len(epoch))
+
+    ratios: dict[str, list[float]] = {name: [] for name in POLICIES}
+    optimal_hits: dict[str, int] = {name: 0 for name in POLICIES}
+    scored_instances = 0
+
+    children = np.random.SeedSequence(seed).spawn(population)
+    for child in children:
+        rng = np.random.default_rng(child)
+        profiles = _build_instance(rng, max_rank)
+        if profiles.num_ceis == 0:
+            continue
+        exact = solve_exact(profiles, epoch, budget, max_nodes=2_000_000)
+        if exact.captured_ceis == 0:
+            continue
+        scored_instances += 1
+        for name in POLICIES:
+            monitor = OnlineMonitor(make_policy(name), budget)
+            monitor.run(epoch, arrivals_from_profiles(profiles))
+            achieved = monitor.pool.num_satisfied
+            ratio = exact.captured_ceis / max(1, achieved)
+            ratios[name].append(ratio)
+            if achieved == exact.captured_ceis:
+                optimal_hits[name] += 1
+
+    result = ExperimentResult(
+        experiment="Extension — empirical competitive ratios vs exact optimum "
+        f"(P^[1], no overlap, rank<= {max_rank}, {scored_instances} instances)",
+        headers=["policy", "mean ratio", "worst ratio", "optimal %"],
+    )
+    for name in POLICIES:
+        values = ratios[name]
+        if not values:
+            continue
+        result.rows.append(
+            [
+                name,
+                float(np.mean(values)),
+                float(np.max(values)),
+                100.0 * optimal_hits[name] / scored_instances,
+            ]
+        )
+    result.notes.append(
+        "ratio = optimal/achieved (1.0 = optimal); Prop. 1 predicts S-EDF "
+        "ratio 1.0 on rank-1 instances; rank-aware policies should beat "
+        "the naive baselines"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

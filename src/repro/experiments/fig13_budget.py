@@ -1,0 +1,90 @@
+"""Figure 13 — effect of the probing budget (Section V-F).
+
+Setting: synthetic trace, rank(P) = 5 ("upto 5" mixture), budget C swept
+over 1..5.  The paper: "as the proxy budget increases ... a remarkable
+increase in performance is achieved.  In particular, both MRSF(P) and
+M-EDF(P) policies utilize the budget much better than the S-EDF(P)
+policy" — their example: MRSF(P) 29% -> 76% while S-EDF(P) only
+19% -> 69% from C = 1 to C = 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.timebase import Epoch
+from repro.experiments.common import (
+    ExperimentResult,
+    constant_budget,
+    poisson_instance,
+    repeat_mean,
+    scaled,
+)
+from repro.sim.engine import simulate
+from repro.workloads.generator import GeneratorSpec
+from repro.workloads.templates import LengthRule
+
+NUM_RESOURCES = 1000
+NUM_CHRONONS = 1000
+NUM_PROFILES = 150
+MEAN_UPDATES = 30.0  # calibrated so scarcity persists at C=5 (see EXPERIMENTS.md)
+BUDGETS = (1.0, 2.0, 3.0, 4.0, 5.0)
+RANK_MAX = 5
+WINDOW = 10
+LINEUP = [("S-EDF", True), ("MRSF", True), ("M-EDF", True)]
+
+
+def run(scale: float = 1.0, seed: int = 0, repetitions: int = 5) -> ExperimentResult:
+    """Reproduce the Figure 13 budget sweep."""
+    epoch = Epoch(scaled(NUM_CHRONONS, scale, 100))
+    # The resource pool is deliberately NOT scaled: shrinking it would
+    # concentrate profiles on few resources and inflate intra-resource
+    # overlap, which flips the S-EDF/MRSF ordering this figure is about.
+    num_resources = NUM_RESOURCES
+    num_profiles = NUM_PROFILES
+    # λ is an events-per-epoch count; scale it with the epoch so the
+    # events-per-chronon density (what actually drives contention) is
+    # preserved at reduced scale.
+    mean_updates = max(5.0, MEAN_UPDATES * scale)
+    rule = LengthRule.window(WINDOW)
+    spec = GeneratorSpec(
+        num_profiles=num_profiles,
+        rank_max=RANK_MAX,
+        alpha=0.3,
+        beta=0.0,
+    )
+
+    result = ExperimentResult(
+        experiment="Figure 13 — completeness vs budget C "
+        f"(synthetic, λ={MEAN_UPDATES:g}, rank upto {RANK_MAX}, w={WINDOW})",
+        headers=["C", "S-EDF(P)", "MRSF(P)", "M-EDF(P)"],
+    )
+
+    for c in BUDGETS:
+        budget = constant_budget(c, epoch)
+
+        def one_repetition(rng: np.random.Generator) -> list[float]:
+            profiles = poisson_instance(
+                rng, epoch, num_resources, mean_updates, spec, rule
+            )
+            return [
+                simulate(profiles, epoch, budget, name, preemptive=p).completeness
+                for name, p in LINEUP
+            ]
+
+        means = repeat_mean(one_repetition, repetitions, seed + int(c))
+        result.rows.append([int(c), *means])
+
+    result.notes.append(
+        "paper shape: strong gains with budget; MRSF(P)/M-EDF(P) utilize "
+        "extra budget better than S-EDF(P) (29->76% vs 19->69% in the paper)"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Figure 14 — impact of skew in accessing resources (Section V-G).
+
+Setting: synthetic trace, C = 1, rank upto 5 via Zipf(β = 0), resource
+selection skew α swept over [0, 1], performance reported *relative to the
+α = 0 baseline* of each policy.  As α grows, profiles concentrate on
+popular resources, EIs of different CEIs overlap on those resources, and
+one probe captures several EIs at once — so every online policy gains
+completeness ("more opportunities to capture intra-resource overlapping
+execution intervals of popular resources").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.timebase import Epoch
+from repro.experiments.common import (
+    ExperimentResult,
+    constant_budget,
+    poisson_instance,
+    repeat_mean,
+    scaled,
+)
+from repro.sim.engine import simulate
+from repro.workloads.generator import GeneratorSpec
+from repro.workloads.templates import LengthRule
+
+NUM_RESOURCES = 1000
+NUM_CHRONONS = 1000
+NUM_PROFILES = 100
+MEAN_UPDATES = 20.0
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+RANK_MAX = 5
+WINDOW = 10
+LINEUP = [("S-EDF", False), ("MRSF", True), ("M-EDF", True)]
+
+
+def run(scale: float = 1.0, seed: int = 0, repetitions: int = 5) -> ExperimentResult:
+    """Reproduce the Figure 14 resource-skew sweep (relative to α=0)."""
+    # Scaling policy: epoch and λ shrink together (density preserved);
+    # n and m stay fixed so the α-driven overlap structure is unchanged.
+    epoch = Epoch(scaled(NUM_CHRONONS, scale, 100))
+    num_resources = NUM_RESOURCES
+    num_profiles = NUM_PROFILES
+    mean_updates = max(4.0, MEAN_UPDATES * scale)
+    budget = constant_budget(1.0, epoch)
+    rule = LengthRule.window(WINDOW)
+
+    absolute: dict[float, list[float]] = {}
+    for alpha in ALPHAS:
+        spec = GeneratorSpec(
+            num_profiles=num_profiles,
+            rank_max=RANK_MAX,
+            alpha=alpha,
+            beta=0.0,
+        )
+
+        def one_repetition(rng: np.random.Generator) -> list[float]:
+            profiles = poisson_instance(
+                rng, epoch, num_resources, mean_updates, spec, rule
+            )
+            return [
+                simulate(profiles, epoch, budget, name, preemptive=p).completeness
+                for name, p in LINEUP
+            ]
+
+        # Same master seed at every alpha so the baseline division is
+        # between runs over statistically-identical traces.
+        absolute[alpha] = repeat_mean(one_repetition, repetitions, seed)
+
+    baseline = absolute[ALPHAS[0]]
+    result = ExperimentResult(
+        experiment="Figure 14 — relative completeness vs resource skew α "
+        f"(synthetic, C=1, rank upto {RANK_MAX}, vs α=0 baseline)",
+        headers=[
+            "alpha",
+            "S-EDF(NP) rel",
+            "MRSF(P) rel",
+            "M-EDF(P) rel",
+            "S-EDF(NP) abs",
+            "MRSF(P) abs",
+            "M-EDF(P) abs",
+        ],
+    )
+    for alpha in ALPHAS:
+        values = absolute[alpha]
+        relative = [
+            value / base if base > 0 else float("inf")
+            for value, base in zip(values, baseline)
+        ]
+        result.rows.append([alpha, *relative, *values])
+    result.notes.append(
+        "paper shape: relative completeness increases with alpha for every "
+        "policy (popular-resource overlap makes probes go further)"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

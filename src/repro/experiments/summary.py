@@ -1,0 +1,185 @@
+"""The reproduction self-check: every paper claim, verdicted in one run.
+
+``repro-experiments run summary`` executes every evaluation artifact at
+the requested scale and checks each figure's *shape claims* — the same
+assertions the benchmark suite enforces — printing a PASS/FAIL verdict
+per claim.  This is the one-command answer to "does this reproduction
+still reproduce the paper?", e.g. after modifying a policy or the
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    fig09_preemption,
+    fig10_vs_offline,
+    fig11_scalability,
+    fig12_workload,
+    fig13_budget,
+    fig14_skew,
+    fig15_noise,
+    runtime_table,
+    table1_config,
+)
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimCheck:
+    """One verdicted paper claim."""
+
+    artifact: str
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+def _check(
+    checks: list[ClaimCheck],
+    artifact: str,
+    claim: str,
+    predicate: Callable[[], bool],
+) -> None:
+    try:
+        passed = bool(predicate())
+        detail = ""
+    except Exception as error:  # noqa: BLE001 - verdicts must not abort the run
+        passed = False
+        detail = f"{type(error).__name__}: {error}"
+    checks.append(ClaimCheck(artifact=artifact, claim=claim, passed=passed, detail=detail))
+
+
+def run(scale: float = 0.2, seed: int = 0, repetitions: int = 2) -> ExperimentResult:
+    """Run every artifact and verdict its claims.
+
+    Defaults to a reduced scale so the whole sweep stays fast; run with
+    ``--scale 1.0`` for the paper-size verdict.
+    """
+    checks: list[ClaimCheck] = []
+
+    # Table I ----------------------------------------------------------
+    table1 = table1_config.run()
+    _check(checks, "Table I", "library defaults match the baseline column",
+           lambda: all(row[-1] for row in table1.rows))
+
+    # Figure 9 ----------------------------------------------------------
+    fig9 = fig09_preemption.run(scale=scale, seed=seed + 1, repetitions=repetitions)
+    by_policy = {row[0]: (row[1], row[2]) for row in fig9.rows}
+    _check(checks, "Figure 9", "MRSF gains from preemption",
+           lambda: by_policy["MRSF"][1] >= by_policy["MRSF"][0] - 0.02)
+    _check(checks, "Figure 9", "M-EDF gains from preemption",
+           lambda: by_policy["M-EDF"][1] >= by_policy["M-EDF"][0] - 0.02)
+
+    # Figure 10 ---------------------------------------------------------
+    fig10 = fig10_vs_offline.run(scale=scale, seed=seed + 5, repetitions=repetitions)
+    mrsf10 = fig10.series("MRSF(P) %")
+    sedf10 = fig10.series("S-EDF(P) %")
+    offline10 = fig10.series("offline %")
+    _check(checks, "Figure 10", "completeness decreases with rank",
+           lambda: mrsf10[0] >= mrsf10[-1])
+    _check(checks, "Figure 10", "MRSF(P) dominates S-EDF(P)",
+           lambda: all(m >= s - 1e-6 for m, s in zip(mrsf10, sedf10)))
+    _check(checks, "Figure 10", "MRSF(P) typically beats the offline baseline",
+           lambda: sum(1 for m, o in zip(mrsf10, offline10) if m >= o)
+           >= len(mrsf10) - 1)
+    _check(checks, "Figure 10", "all online policies optimal at rank 1",
+           lambda: abs(fig10.rows[0][3] - 100.0) < 1e-6)
+
+    # Runtime (V-D) — wall-clock claims, deliberately tolerant so the
+    # self-check stays robust on loaded machines.
+    runtime = runtime_table.run(scale=scale, seed=seed + 1, repetitions=1)
+    ratios = [row[-1] for row in runtime.rows]
+    _check(checks, "§V-D runtime", "offline clearly slower per EI at scale",
+           lambda: max(ratios) > 2.0)
+    _check(checks, "§V-D runtime", "offline/online gap widens with size",
+           lambda: max(ratios[len(ratios) // 2:]) > min(ratios[: max(1, len(ratios) // 2)]))
+
+    # Figure 11 ---------------------------------------------------------
+    fig11 = fig11_scalability.run(scale=scale, seed=seed + 1, repetitions=1)
+    totals = fig11.series("MRSF total s")
+    per_ei = fig11.series("MRSF ms/EI")
+    _check(checks, "Figure 11", "online runtime grows with workload",
+           lambda: totals[-1] > totals[0])
+    _check(checks, "Figure 11", "msec/EI roughly flat (linear scaling)",
+           lambda: max(per_ei) < 20 * min(per_ei))
+
+    # Figure 12 ---------------------------------------------------------
+    fig12 = fig12_workload.run(scale=scale, seed=seed + 3, repetitions=repetitions)
+    mrsf12 = fig12.series("MRSF(P)")
+    sedf12 = fig12.series("S-EDF(NP)")
+    medf12 = fig12.series("M-EDF(P)")
+    _check(checks, "Figure 12", "completeness decreases with lambda",
+           lambda: mrsf12[0] > mrsf12[-1])
+    _check(checks, "Figure 12", "MRSF(P) dominates S-EDF(NP)",
+           lambda: all(m >= s - 0.02 for m, s in zip(mrsf12, sedf12)))
+    _check(checks, "Figure 12", "M-EDF(P) tracks MRSF(P)",
+           lambda: all(abs(m - e) < 0.1 for m, e in zip(mrsf12, medf12)))
+
+    # Figure 13 ---------------------------------------------------------
+    fig13 = fig13_budget.run(scale=scale, seed=seed + 3, repetitions=repetitions)
+    mrsf13 = fig13.series("MRSF(P)")
+    sedf13 = fig13.series("S-EDF(P)")
+    _check(checks, "Figure 13", "budget strongly lifts completeness",
+           lambda: mrsf13[-1] > mrsf13[0])
+    _check(checks, "Figure 13", "MRSF(P) utilizes budget at least as well",
+           lambda: all(m >= s - 0.05 for m, s in zip(mrsf13, sedf13)))
+
+    # Figure 14 ---------------------------------------------------------
+    fig14 = fig14_skew.run(scale=scale, seed=seed + 2, repetitions=max(3, repetitions))
+    _check(checks, "Figure 14", "skew raises relative completeness (all policies)",
+           lambda: all(
+               fig14.series(column)[-1] > 1.0
+               for column in ("S-EDF(NP) rel", "MRSF(P) rel", "M-EDF(P) rel")
+           ))
+
+    # Figure 15 ---------------------------------------------------------
+    fig15 = fig15_noise.run(scale=scale, seed=seed + 2, repetitions=repetitions)
+    _check(checks, "Figure 15", "noise lowers completeness at every rank",
+           lambda: all(row[1] >= row[-1] - 0.02 for row in fig15.rows))
+    _check(checks, "Figure 15", "rank lowers completeness at zero noise",
+           lambda: fig15.rows[0][1] >= fig15.rows[-1][1])
+    news = fig15_noise.run_news(scale=scale, seed=seed + 2, repetitions=repetitions)
+    news_series = news.series("M-EDF(P)")
+    _check(checks, "Figure 15 (news)", "completeness falls with rank",
+           lambda: news_series[0] > news_series[-1])
+
+    # Ablations ---------------------------------------------------------
+    a1 = ablations.run_overlap(scale=scale, seed=seed + 1, repetitions=repetitions)
+    _check(checks, "Ablation A1", "probe sharing helps",
+           lambda: a1.rows[0][1] >= a1.rows[1][1])
+    a4 = ablations.run_offline_modes(scale=scale, seed=seed + 1, repetitions=repetitions)
+    _check(checks, "Ablation A4", "tight offline mode beats paper mode",
+           lambda: a4.rows[1][1] >= a4.rows[0][1])
+
+    result = ExperimentResult(
+        experiment=f"Reproduction self-check (scale={scale:g}, "
+        f"{repetitions} repetitions)",
+        headers=["artifact", "claim", "verdict", "detail"],
+    )
+    for check in checks:
+        result.rows.append(
+            [
+                check.artifact,
+                check.claim,
+                "PASS" if check.passed else "FAIL",
+                check.detail,
+            ]
+        )
+    failed = sum(1 for check in checks if not check.passed)
+    result.notes.append(
+        f"{len(checks) - failed}/{len(checks)} claims hold"
+        + ("" if failed == 0 else f" — {failed} FAILED")
+    )
+    return result
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

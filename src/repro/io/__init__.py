@@ -1,0 +1,37 @@
+"""Serialization: JSON round-tripping of traces, profiles, schedules."""
+
+from repro.io.serialization import (
+    FORMAT_PROFILES,
+    FORMAT_RESULT,
+    FORMAT_SCHEDULE,
+    FORMAT_TRACE,
+    SerializationError,
+    load_json,
+    profiles_from_dict,
+    profiles_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+__all__ = [
+    "FORMAT_PROFILES",
+    "FORMAT_RESULT",
+    "FORMAT_SCHEDULE",
+    "FORMAT_TRACE",
+    "SerializationError",
+    "load_json",
+    "profiles_from_dict",
+    "profiles_to_dict",
+    "result_from_dict",
+    "result_to_dict",
+    "save_json",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "trace_from_dict",
+    "trace_to_dict",
+]

@@ -1,0 +1,35 @@
+"""Update models: fitting, prediction, pairing and quality metrics."""
+
+from repro.models.base import (
+    ModelQuality,
+    UpdateModel,
+    evaluate_model,
+    evaluate_predictions,
+    pair_predictions,
+    predictions_from_model,
+)
+from repro.models.estimators import (
+    ESTIMATORS,
+    BinnedIntensityModel,
+    EmpiricalIntervalModel,
+    HomogeneousPoissonModel,
+    make_model,
+)
+from repro.models.periodic import PeriodicIntensityModel
+
+ESTIMATORS[PeriodicIntensityModel.name] = PeriodicIntensityModel
+
+__all__ = [
+    "BinnedIntensityModel",
+    "ESTIMATORS",
+    "EmpiricalIntervalModel",
+    "HomogeneousPoissonModel",
+    "ModelQuality",
+    "PeriodicIntensityModel",
+    "UpdateModel",
+    "evaluate_model",
+    "evaluate_predictions",
+    "make_model",
+    "pair_predictions",
+    "predictions_from_model",
+]

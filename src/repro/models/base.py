@@ -1,0 +1,179 @@
+"""Update models: predicting when resources will change.
+
+"A proxy may need to predict an update event using an update model and
+stochastic modeling [7] and pull the update event."  (paper Section III)
+
+An :class:`UpdateModel` is fitted on a *history* of observed update
+chronons for one resource and asked to predict the update chronons of a
+future (or held-out) window.  Predictions drive EI construction: the
+scheduler sees the predicted windows, completeness is validated against
+the real ones, so a model's error translates directly into missed
+captures (paper Section V-H).
+
+:func:`pair_predictions` aligns a predicted stream with the true stream
+into the ``(true, predicted)`` pairs the EI builders consume, and
+:func:`evaluate_model` quantifies prediction quality (hit rate within a
+tolerance, mean absolute deviation) so model quality can be related to
+monitoring completeness (the ``model quality`` experiment).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.timebase import Chronon, Epoch
+from repro.traces.events import EventStream, TraceBundle
+from repro.traces.noise import PredictedEvent
+
+
+class UpdateModel(abc.ABC):
+    """Predicts a resource's update chronons from an observed history."""
+
+    #: Registry name, set by subclasses.
+    name: str = ""
+
+    @abc.abstractmethod
+    def fit(self, history: Sequence[Chronon], horizon: int) -> "UpdateModel":
+        """Learn from ``history`` (sorted chronons in ``[0, horizon)``).
+
+        Returns ``self`` so calls chain.  Models must tolerate empty
+        histories (predicting nothing is acceptable).
+        """
+
+    @abc.abstractmethod
+    def predict(self, epoch: Epoch, rng: np.random.Generator) -> list[Chronon]:
+        """Predict sorted, distinct update chronons inside ``epoch``."""
+
+    def params(self) -> dict:
+        """Constructor kwargs for cloning a fresh instance of this model."""
+        return {}
+
+    def fit_predict(
+        self,
+        history: Sequence[Chronon],
+        epoch: Epoch,
+        rng: np.random.Generator,
+        horizon: int = 0,
+    ) -> list[Chronon]:
+        """Convenience: fit on ``history`` then predict over ``epoch``."""
+        self.fit(history, horizon or len(epoch))
+        return self.predict(epoch, rng)
+
+
+def pair_predictions(
+    true_events: Sequence[Chronon], predicted: Sequence[Chronon]
+) -> list[PredictedEvent]:
+    """Pair each true event with its nearest predicted chronon.
+
+    A greedy monotone matching: walk both sorted streams, assigning the
+    j-th true event the closest not-yet-passed prediction.  Unmatched
+    true events (the model predicted too few) reuse the nearest
+    prediction — the EI will sit in the wrong place, which is exactly
+    the behaviour of a model that missed an update.  If the model
+    predicted nothing at all, predictions fall back to the true events
+    shifted maximally late (the model is blind; EIs land at the horizon
+    and miss).
+    """
+    truths = sorted(true_events)
+    predictions = sorted(predicted)
+    if not truths:
+        return []
+    if not predictions:
+        # A blind model: there is nothing to schedule on.  Represent the
+        # failure as predictions stuck at the last true chronon (a single
+        # stale guess) so downstream windows are maximally wrong.
+        stale = truths[-1]
+        return [PredictedEvent(true_chronon=t, predicted_chronon=stale) for t in truths]
+
+    paired: list[PredictedEvent] = []
+    index = 0
+    for truth in truths:
+        # Advance while the next prediction is closer to this truth.
+        while index + 1 < len(predictions) and abs(
+            predictions[index + 1] - truth
+        ) <= abs(predictions[index] - truth):
+            index += 1
+        paired.append(
+            PredictedEvent(true_chronon=truth, predicted_chronon=predictions[index])
+        )
+    return paired
+
+
+def predictions_from_model(
+    model: UpdateModel,
+    history: TraceBundle,
+    future: TraceBundle,
+    epoch: Epoch,
+    rng: np.random.Generator,
+) -> dict[int, list[PredictedEvent]]:
+    """Fit ``model`` per resource on ``history``; pair against ``future``.
+
+    This is the full Section V-H methodology: the model only ever sees
+    the history, the schedule runs on its predictions, and scoring uses
+    the future's real events.  A fresh model instance is cloned per
+    resource via the class to keep per-resource state isolated.
+    """
+    predictions: dict[int, list[PredictedEvent]] = {}
+    for rid in future.resources:
+        per_resource = type(model)(**model.params())
+        predicted = per_resource.fit_predict(
+            history.stream(rid).chronons, epoch, rng
+        )
+        predictions[rid] = pair_predictions(future.stream(rid).chronons, predicted)
+    return predictions
+
+
+@dataclass(frozen=True, slots=True)
+class ModelQuality:
+    """Prediction-quality metrics of one model on one trace."""
+
+    num_events: int
+    hit_rate: float  # fraction of true events predicted within tolerance
+    mean_absolute_deviation: float
+    tolerance: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"hit_rate={self.hit_rate:.2f} within {self.tolerance} chronons, "
+            f"MAD={self.mean_absolute_deviation:.1f}"
+        )
+
+
+def evaluate_predictions(
+    paired: Sequence[PredictedEvent], tolerance: int = 5
+) -> ModelQuality:
+    """Score paired predictions: hit rate within ``tolerance`` and MAD."""
+    if tolerance < 0:
+        raise ModelError(f"tolerance must be >= 0, got {tolerance}")
+    if not paired:
+        return ModelQuality(
+            num_events=0, hit_rate=1.0, mean_absolute_deviation=0.0,
+            tolerance=tolerance,
+        )
+    deviations = [abs(p.deviation) for p in paired]
+    hits = sum(1 for d in deviations if d <= tolerance)
+    return ModelQuality(
+        num_events=len(paired),
+        hit_rate=hits / len(paired),
+        mean_absolute_deviation=float(np.mean(deviations)),
+        tolerance=tolerance,
+    )
+
+
+def evaluate_model(
+    model: UpdateModel,
+    history: EventStream,
+    future: EventStream,
+    epoch: Epoch,
+    rng: np.random.Generator,
+    tolerance: int = 5,
+) -> ModelQuality:
+    """Fit on ``history``, predict, and score against ``future``."""
+    predicted = model.fit_predict(history.chronons, epoch, rng)
+    paired = pair_predictions(future.chronons, predicted)
+    return evaluate_predictions(paired, tolerance=tolerance)

@@ -1,0 +1,109 @@
+"""A cycle-aware update model.
+
+News-like streams modulate with the news day (our simulated trace has
+~60 diurnal cycles over a two-month epoch).  A homogeneous model cannot
+see this; a binned model needs its bins finer than the cycle to catch
+it.  :class:`PeriodicIntensityModel` detects the dominant cycle from the
+history's Fourier spectrum and distributes its predicted events by the
+inverse CDF of a rate-modulated intensity — concentrating predictions in
+the busy phase of every cycle.
+
+When no significant cycle exists, the model degrades gracefully to the
+homogeneous behaviour (evenly-spaced predictions at the mean rate).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.timebase import Chronon, Epoch
+from repro.models.base import UpdateModel
+from repro.models.estimators import _distinct_sorted
+
+
+class PeriodicIntensityModel(UpdateModel):
+    """Fourier-detected cycle + phase-resolved intensity estimation."""
+
+    name = "periodic-intensity"
+
+    def __init__(self, phase_bins: int = 12, detection_bins: int = 240) -> None:
+        if phase_bins <= 0 or detection_bins <= 1:
+            raise ModelError("phase_bins and detection_bins must be positive")
+        self._phase_bins = phase_bins
+        self._detection_bins = detection_bins
+        self._count = 0
+        self._cycles = 0  # dominant cycle count over the horizon
+        self._phase_weights = np.ones(phase_bins)
+
+    def params(self) -> dict:
+        return {
+            "phase_bins": self._phase_bins,
+            "detection_bins": self._detection_bins,
+        }
+
+    def _detect_cycles(self, history: Sequence[Chronon], horizon: int) -> int:
+        bins = min(self._detection_bins, max(2, horizon))
+        counts = np.zeros(bins)
+        for chronon in history:
+            counts[min(bins - 1, int(chronon * bins / horizon))] += 1
+        centered = counts - counts.mean()
+        spectrum = np.abs(np.fft.rfft(centered))
+        if spectrum.size <= 1:
+            return 0
+        spectrum[0] = 0.0
+        peak = int(np.argmax(spectrum))
+        noise_floor = np.median(spectrum[1:])
+        if noise_floor <= 0 or spectrum[peak] < 6.0 * noise_floor:
+            return 0
+        return peak
+
+    def fit(
+        self, history: Sequence[Chronon], horizon: int
+    ) -> "PeriodicIntensityModel":
+        if horizon <= 0:
+            raise ModelError(f"horizon must be positive, got {horizon}")
+        self._count = len(history)
+        self._cycles = self._detect_cycles(history, horizon) if history else 0
+        self._phase_weights = np.ones(self._phase_bins)
+        if self._cycles > 0:
+            # Histogram events by phase within the detected cycle.
+            period = horizon / self._cycles
+            weights = np.zeros(self._phase_bins)
+            for chronon in history:
+                phase = (chronon % period) / period
+                weights[min(self._phase_bins - 1, int(phase * self._phase_bins))] += 1
+            if weights.sum() > 0:
+                self._phase_weights = weights / weights.mean()
+        return self
+
+    @property
+    def detected_cycles(self) -> int:
+        """How many cycles the fit found over its horizon (0 = none)."""
+        return self._cycles
+
+    def predict(self, epoch: Epoch, rng: np.random.Generator) -> list[Chronon]:
+        if self._count == 0:
+            return []
+        k = len(epoch)
+        count = max(1, int(round(self._count)))
+        if self._cycles <= 0:
+            return _distinct_sorted(
+                ((j + 0.5) * k / count for j in range(count)), epoch
+            )
+        # Build a per-chronon intensity from the phase weights and place
+        # events at the intensity CDF's quantile midpoints.
+        period = k / self._cycles
+        chronons = np.arange(k)
+        phases = ((chronons % period) / period * self._phase_bins).astype(int)
+        phases = np.clip(phases, 0, self._phase_bins - 1)
+        intensity = self._phase_weights[phases]
+        if intensity.sum() <= 0:
+            intensity = np.ones(k)
+        cdf = np.cumsum(intensity)
+        cdf = cdf / cdf[-1]
+        targets = (np.arange(count) + 0.5) / count
+        positions = np.searchsorted(cdf, targets)
+        return _distinct_sorted(positions, epoch)

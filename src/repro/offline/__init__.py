@@ -1,0 +1,46 @@
+"""Offline solvers: exact enumeration, local-ratio approximation, bounds."""
+
+from repro.offline.greedy import GreedyResult, greedy_offline_schedule
+from repro.offline.enumeration import (
+    ExactSolution,
+    enumeration_node_estimate,
+    solve_exact,
+)
+from repro.offline.local_ratio import (
+    ApproximationResult,
+    LocalRatioScheduler,
+    approximation_ratio_bound,
+)
+from repro.offline.transform import (
+    UnitCEI,
+    UnitInstance,
+    cei_to_combinations,
+    rebuild_unit_profiles,
+    to_unit_instance,
+    unit_instance_from_ceis,
+)
+from repro.offline.upper_bound import (
+    UpperBoundResult,
+    relax_to_rank_one,
+    single_ei_upper_bound,
+)
+
+__all__ = [
+    "ApproximationResult",
+    "ExactSolution",
+    "GreedyResult",
+    "LocalRatioScheduler",
+    "greedy_offline_schedule",
+    "UnitCEI",
+    "UnitInstance",
+    "UpperBoundResult",
+    "approximation_ratio_bound",
+    "cei_to_combinations",
+    "enumeration_node_estimate",
+    "rebuild_unit_profiles",
+    "relax_to_rank_one",
+    "single_ei_upper_bound",
+    "solve_exact",
+    "to_unit_instance",
+    "unit_instance_from_ceis",
+]

@@ -1,0 +1,172 @@
+"""Exact offline solver by feasible-schedule enumeration (Proposition 4).
+
+The paper shows that enumerating all feasible schedules costs
+``O(K * n^(K*C_max + 1))`` time — polynomial in ``n`` for fixed ``K`` and
+``C_max`` but hopeless in practice.  We implement a pruned depth-first
+search over chronons that is exact on small instances; it exists to
+
+* validate the online policies in tests (e.g. Proposition 1's optimality
+  of S-EDF on rank-1 instances),
+* validate the local-ratio approximation factor empirically, and
+* demonstrate the blow-up that motivates the heuristics.
+
+The search refuses instances whose node bound exceeds ``max_nodes``
+(:class:`~repro.core.errors.InstanceTooLargeError`) rather than hanging.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import InstanceTooLargeError
+from repro.core.intervals import ComplexExecutionInterval
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector, Schedule
+from repro.core.timebase import Epoch
+
+
+@dataclass(frozen=True, slots=True)
+class ExactSolution:
+    """Result of the exhaustive offline search."""
+
+    schedule: Schedule
+    captured_ceis: int
+    num_ceis: int
+    nodes_visited: int
+
+    @property
+    def completeness(self) -> float:
+        """Gained completeness (Eq. 1) of the optimal schedule."""
+        if self.num_ceis == 0:
+            return 1.0
+        return self.captured_ceis / self.num_ceis
+
+
+class _Instance:
+    """Flattened view of a profile set for the search."""
+
+    def __init__(self, profiles: ProfileSet) -> None:
+        self.ceis: list[ComplexExecutionInterval] = list(profiles.ceis())
+        self.eis = []  # (resource, start, finish, cei_index)
+        self.required = [cei.required for cei in self.ceis]
+        for index, cei in enumerate(self.ceis):
+            for ei in cei.eis:
+                self.eis.append((ei.resource, ei.start, ei.finish, index))
+
+
+def solve_exact(
+    profiles: ProfileSet,
+    epoch: Epoch,
+    budget: BudgetVector,
+    max_nodes: int = 2_000_000,
+) -> ExactSolution:
+    """Find a schedule maximizing gained completeness by pruned DFS.
+
+    Raises :class:`InstanceTooLargeError` once ``max_nodes`` search nodes
+    have been expanded.  Probes use the scheduling windows (the solver is
+    an idealized offline proxy and has no access to noise ground truth).
+    """
+    instance = _Instance(profiles)
+    num_ceis = len(instance.ceis)
+    num_eis = len(instance.eis)
+    horizon = min(len(epoch), len(budget))
+
+    best_captured = 0
+    best_probes: list[tuple[int, int]] = []
+    nodes = 0
+
+    captured_ei = [False] * num_eis
+    captured_count = [0] * num_ceis
+    probes: list[tuple[int, int]] = []
+
+    def alive_upper_bound(chronon: int) -> int:
+        """CEIs that could still be satisfied from ``chronon`` onward."""
+        possible = [captured_count[i] for i in range(num_ceis)]
+        for index, (__, __s, finish, cei_index) in enumerate(instance.eis):
+            if captured_ei[index]:
+                continue
+            if finish >= chronon:
+                possible[cei_index] += 1
+        return sum(
+            1 for i in range(num_ceis) if possible[i] >= instance.required[i]
+        )
+
+    def satisfied_now() -> int:
+        return sum(
+            1 for i in range(num_ceis) if captured_count[i] >= instance.required[i]
+        )
+
+    def dfs(chronon: int) -> None:
+        nonlocal best_captured, best_probes, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise InstanceTooLargeError(
+                f"offline enumeration exceeded {max_nodes} nodes "
+                f"(n-choose-C over {horizon} chronons; see Proposition 4)"
+            )
+        current = satisfied_now()
+        if current > best_captured:
+            best_captured = current
+            best_probes = list(probes)
+        if chronon >= horizon or current == num_ceis:
+            return
+        if alive_upper_bound(chronon) <= best_captured:
+            return  # cannot improve on the incumbent
+
+        # Candidate EIs active now and uncaptured, grouped by resource.
+        active_by_resource: dict[int, list[int]] = {}
+        for index, (resource, start, finish, cei_index) in enumerate(instance.eis):
+            if captured_ei[index]:
+                continue
+            if start <= chronon <= finish:
+                active_by_resource.setdefault(resource, []).append(index)
+        useful = sorted(active_by_resource)
+        limit = min(len(useful), int(budget.at(chronon)))
+
+        # Enumerate subsets from largest to smallest so greedy-complete
+        # prefixes are found early and sharpen the pruning bound.
+        for size in range(limit, -1, -1):
+            for subset in itertools.combinations(useful, size):
+                flipped: list[int] = []
+                for resource in subset:
+                    for index in active_by_resource[resource]:
+                        captured_ei[index] = True
+                        captured_count[instance.eis[index][3]] += 1
+                        flipped.append(index)
+                    probes.append((resource, chronon))
+                dfs(chronon + 1)
+                for resource in subset:
+                    probes.pop()
+                for index in flipped:
+                    captured_ei[index] = False
+                    captured_count[instance.eis[index][3]] -= 1
+
+    dfs(0)
+    schedule = Schedule.from_pairs(best_probes)
+    return ExactSolution(
+        schedule=schedule,
+        captured_ceis=best_captured,
+        num_ceis=num_ceis,
+        nodes_visited=nodes,
+    )
+
+
+def enumeration_node_estimate(
+    num_resources: int, budget: BudgetVector, horizon: Optional[int] = None
+) -> float:
+    """Loose estimate of the unpruned search-tree size (Proposition 4).
+
+    Useful to decide up-front whether :func:`solve_exact` is worth trying.
+    """
+    from math import comb
+
+    chronons: Sequence[float] = budget.values[:horizon] if horizon else budget.values
+    total = 1.0
+    for c_j in chronons:
+        limit = min(num_resources, int(c_j))
+        total *= sum(comb(num_resources, l) for l in range(limit + 1))
+        if total > 1e18:
+            return float("inf")
+    return total

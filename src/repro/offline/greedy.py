@@ -1,0 +1,94 @@
+"""Greedy offline scheduler for general (wide-EI) instances.
+
+The local-ratio baseline needs the Proposition 5 transformation on
+non-unit instances, which explodes exponentially in EI widths.  This
+greedy packs CEIs directly: it considers CEIs in increasing order of
+their total chronon mass (``sum |I|`` — the quantity of Proposition 2,
+cheap CEIs first), and commits to a CEI only if *every* needed EI can be
+assigned a probe chronon inside its window without violating the budget.
+Probe sharing is exploited: an EI whose (resource, chronon) slot is
+already probed rides along for free.
+
+No approximation guarantee is claimed; this is the practical clairvoyant
+baseline (:func:`repro.policies.clairvoyant_policy`) for instances the
+local-ratio pipeline cannot expand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.intervals import ComplexExecutionInterval
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector, Schedule
+from repro.core.timebase import Epoch
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class GreedyResult:
+    """Output of the greedy offline packer."""
+
+    schedule: Schedule
+    committed: int
+    num_ceis: int
+
+    @property
+    def completeness(self) -> float:
+        if self.num_ceis == 0:
+            return 1.0
+        return self.committed / self.num_ceis
+
+
+def greedy_offline_schedule(
+    profiles: ProfileSet, epoch: Epoch, budget: BudgetVector
+) -> GreedyResult:
+    """Pack CEIs greedily (cheapest total chronon mass first)."""
+    horizon = min(len(epoch), len(budget))
+    used: dict[int, set[int]] = {}  # chronon -> probed resources
+
+    def capacity_left(chronon: int) -> float:
+        return budget.at(chronon) - len(used.get(chronon, ()))
+
+    def try_place(cei: ComplexExecutionInterval) -> bool:
+        """Assign a probe chronon to every EI; commit only if all fit."""
+        placements: list[tuple[int, int]] = []  # (resource, chronon)
+        # Tight windows first, so scarce slots are claimed before loose
+        # EIs spend them.
+        tentative: dict[int, set[int]] = {}
+        for ei in sorted(cei.eis, key=lambda e: (e.length, e.finish, e.seq)):
+            placed = False
+            for chronon in ei.chronons():
+                if chronon >= horizon:
+                    break
+                here = used.get(chronon, set()) | tentative.get(chronon, set())
+                if ei.resource in here:
+                    placed = True  # free ride on an existing probe
+                    break
+                if budget.at(chronon) - len(here) >= 1.0 - _EPS:
+                    tentative.setdefault(chronon, set()).add(ei.resource)
+                    placements.append((ei.resource, chronon))
+                    placed = True
+                    break
+            if not placed:
+                return False
+        for resource, chronon in placements:
+            used.setdefault(chronon, set()).add(resource)
+        return True
+
+    ceis = sorted(
+        profiles.ceis(), key=lambda c: (c.total_chronons, c.deadline, c.cid)
+    )
+    committed = 0
+    for cei in ceis:
+        if try_place(cei):
+            committed += 1
+
+    schedule = Schedule()
+    for chronon, resources in used.items():
+        for resource in resources:
+            schedule.add_probe(resource, chronon)
+    return GreedyResult(
+        schedule=schedule, committed=committed, num_ceis=profiles.num_ceis
+    )

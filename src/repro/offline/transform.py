@@ -1,0 +1,216 @@
+"""The Proposition 5 transformation: arbitrary profiles → ``P^[1]``.
+
+Proposition 5 reduces a general instance (EIs of arbitrary width) to a
+unit-width instance: a CEI ``η = {I_1 .. I_k}`` with ``n_q = |I_q|``
+chronons per EI becomes ``prod_q n_q`` *combination CEIs*, one for every
+way of picking one chronon inside each EI.  Any schedule that captures the
+original CEI probes one specific chronon of each EI, i.e. captures exactly
+the combination CEIs consistent with those picks; conversely capturing any
+one combination CEI captures the original.
+
+The paper's construction adds a (k+1)-th *linking* EI per combination so
+that at most one combination per original CEI can count toward the
+objective.  Two realizations are provided:
+
+* ``add_linking=False`` — the exclusivity is enforced directly: every
+  combination CEI carries the ``origin`` id of its source CEI, and the
+  offline solver treats combinations sharing an origin as mutually
+  exclusive.  The instance stays at rank ``k`` (a *tighter* baseline than
+  the paper's).
+* ``add_linking=True`` — the paper-faithful pipeline: each combination
+  receives a (k+1)-th unit slot on a virtual per-origin resource, placed
+  one chronon after the combination's latest real slot (clamped to the
+  epoch).  That slot occupies schedule capacity inside the solver exactly
+  like a real probe — the structural overhead that makes the paper's
+  offline baseline lose to the online rank-aware policies (Figure 10) —
+  but is stripped from the extracted schedule, since no real resource is
+  probed for it.
+
+Either way an α(k)-approximation on the transformed instance yields an
+α(k+1)-approximation on the original (Proposition 5).
+
+The product explodes quickly, so :func:`to_unit_instance` refuses
+instances whose expansion exceeds ``max_combinations``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.errors import InstanceTooLargeError
+from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+from repro.core.profile import ProfileSet
+
+
+@dataclass(frozen=True, slots=True)
+class UnitCEI:
+    """One combination CEI of the transformed instance.
+
+    ``slots`` are the ``(chronon, resource)`` probes this combination
+    needs; ``origin`` identifies the source CEI (combinations sharing an
+    origin are mutually exclusive in the objective); ``weight`` is
+    inherited from the source CEI.
+    """
+
+    slots: tuple[tuple[int, int], ...]
+    origin: int
+    weight: float = 1.0
+
+    @property
+    def rank(self) -> int:
+        return len(self.slots)
+
+    @property
+    def earliest(self) -> int:
+        """First demanded chronon (the local-ratio selection key)."""
+        return min(chronon for chronon, __ in self.slots)
+
+    @property
+    def latest(self) -> int:
+        return max(chronon for chronon, __ in self.slots)
+
+    def chronons(self) -> Iterator[int]:
+        for chronon, __ in self.slots:
+            yield chronon
+
+    def real_slots(self) -> Iterator[tuple[int, int]]:
+        """Slots on real resources (linking slots use negative ids)."""
+        for chronon, resource in self.slots:
+            if resource >= 0:
+                yield chronon, resource
+
+
+def linking_resource(origin: int) -> int:
+    """The virtual per-origin resource id used by linking slots."""
+    return -(origin + 1)
+
+
+@dataclass(slots=True)
+class UnitInstance:
+    """A transformed ``P^[1]`` instance ready for the offline solvers."""
+
+    unit_ceis: list[UnitCEI] = field(default_factory=list)
+    num_origins: int = 0
+
+    def __len__(self) -> int:
+        return len(self.unit_ceis)
+
+
+def _with_linking(
+    slots: tuple[tuple[int, int], ...], origin: int, horizon: int
+) -> tuple[tuple[int, int], ...]:
+    """Append the (k+1)-th linking slot (paper-faithful construction).
+
+    The linking slot sits one chronon after the combination's latest real
+    slot, clamped to the epoch's last chronon, on a virtual per-origin
+    resource.  (If the latest slot is the epoch's last chronon the linking
+    slot lands on the same chronon, which makes the combination need two
+    probes there — the conservatism the paper's theory accepts.)
+    """
+    latest = max(chronon for chronon, __ in slots)
+    link_chronon = min(latest + 1, horizon - 1)
+    return slots + ((link_chronon, linking_resource(origin)),)
+
+
+def cei_to_combinations(
+    cei: ComplexExecutionInterval,
+    origin: int,
+    max_combinations: int,
+    linking_horizon: int = 0,
+) -> list[UnitCEI]:
+    """Expand one CEI into its combination CEIs (Proposition 5).
+
+    With ``linking_horizon > 0`` every combination gains the (k+1)-th
+    linking slot, clamped to that horizon (the epoch length).
+    """
+    size = 1
+    for ei in cei.eis:
+        size *= ei.length
+        if size > max_combinations:
+            raise InstanceTooLargeError(
+                f"CEI {cei.cid} expands to more than {max_combinations} "
+                "combinations; Proposition 5 is exponential in EI widths"
+            )
+    chronon_choices = [list(ei.chronons()) for ei in cei.eis]
+    resources = [ei.resource for ei in cei.eis]
+    combinations: list[UnitCEI] = []
+    for picks in itertools.product(*chronon_choices):
+        slots = tuple(
+            (chronon, resource) for chronon, resource in zip(picks, resources)
+        )
+        if linking_horizon > 0:
+            slots = _with_linking(slots, origin, linking_horizon)
+        combinations.append(UnitCEI(slots=slots, origin=origin, weight=cei.weight))
+    return combinations
+
+
+def to_unit_instance(
+    profiles: ProfileSet,
+    max_combinations: int = 100_000,
+    linking_horizon: int = 0,
+) -> UnitInstance:
+    """Transform a profile set into a ``P^[1]`` instance.
+
+    ``max_combinations`` bounds both the per-CEI expansion and the total
+    instance size.  CEIs that are already unit expand to themselves.
+    ``linking_horizon`` (the epoch length, or 0 to disable) switches on
+    the paper-faithful linking slots.
+    """
+    instance = UnitInstance()
+    total = 0
+    for origin, cei in enumerate(profiles.ceis()):
+        combos = cei_to_combinations(
+            cei, origin, max_combinations, linking_horizon=linking_horizon
+        )
+        total += len(combos)
+        if total > max_combinations:
+            raise InstanceTooLargeError(
+                f"transformed instance exceeds {max_combinations} unit CEIs"
+            )
+        instance.unit_ceis.extend(combos)
+        instance.num_origins = origin + 1
+    return instance
+
+
+def unit_instance_from_ceis(
+    ceis: list[ComplexExecutionInterval],
+    linking_horizon: int = 0,
+) -> UnitInstance:
+    """Fast path for instances that are already ``P^[1]``.
+
+    Each CEI maps to exactly one :class:`UnitCEI`; raises if any EI is
+    wider than one chronon.  ``linking_horizon`` as in
+    :func:`to_unit_instance`.
+    """
+    instance = UnitInstance()
+    for origin, cei in enumerate(ceis):
+        if not cei.is_unit:
+            raise InstanceTooLargeError(
+                f"CEI {cei.cid} is not unit-width; use to_unit_instance()"
+            )
+        slots = tuple((ei.start, ei.resource) for ei in cei.eis)
+        if linking_horizon > 0:
+            slots = _with_linking(slots, origin, linking_horizon)
+        instance.unit_ceis.append(
+            UnitCEI(slots=slots, origin=origin, weight=cei.weight)
+        )
+        instance.num_origins = origin + 1
+    return instance
+
+
+def rebuild_unit_profiles(instance: UnitInstance) -> ProfileSet:
+    """Materialize a :class:`ProfileSet` from a transformed instance.
+
+    Useful for running the online policies on the transformed problem
+    (Proposition 5 guarantees solutions carry back to the original).
+    """
+    ceis = []
+    for unit in instance.unit_ceis:
+        eis = tuple(
+            ExecutionInterval(resource=resource, start=chronon, finish=chronon)
+            for chronon, resource in unit.real_slots()
+        )
+        ceis.append(ComplexExecutionInterval(eis=eis, weight=unit.weight))
+    return ProfileSet.from_ceis(ceis)

@@ -1,0 +1,75 @@
+"""The single-EI upper bound used to normalize Figure 10.
+
+The paper: "To calculate this upper bound, for every rank(P) level, we
+measure the completeness in terms of single EIs that are captured (i.e.,
+assuming that rank(P) = 1)."
+
+Any schedule's gained completeness (fraction of CEIs fully captured) is at
+most its EI-level completeness (fraction of individual EIs captured), and
+the best rank-1 relaxed run maximizes the latter.  On the Figure 10
+setting — unit EIs, no intra-resource overlap — S-EDF is *optimal* for the
+relaxed problem (Proposition 1), so the bound is tight for that family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+from repro.core.metrics import evaluate_schedule
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector, Schedule
+from repro.core.timebase import Epoch
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.monitor import OnlineMonitor
+from repro.policies.sedf import SEDF
+
+
+@dataclass(frozen=True, slots=True)
+class UpperBoundResult:
+    """The relaxed (rank-1) run and the bounds derived from it."""
+
+    schedule: Schedule
+    ei_completeness: float
+    num_eis: int
+
+    @property
+    def completeness_bound(self) -> float:
+        """Upper bound on any schedule's gained completeness (Eq. 1)."""
+        return self.ei_completeness
+
+
+def relax_to_rank_one(profiles: ProfileSet) -> ProfileSet:
+    """Copy every EI of ``profiles`` into its own rank-1 CEI."""
+    relaxed: list[ComplexExecutionInterval] = []
+    for cei in profiles.ceis():
+        for ei in cei.eis:
+            copy = ExecutionInterval(
+                resource=ei.resource,
+                start=ei.start,
+                finish=ei.finish,
+                true_start=ei.true_start,
+                true_finish=ei.true_finish,
+            )
+            relaxed.append(
+                ComplexExecutionInterval(eis=(copy,), weight=cei.weight)
+            )
+    return ProfileSet.from_ceis(relaxed)
+
+
+def single_ei_upper_bound(
+    profiles: ProfileSet,
+    epoch: Epoch,
+    budget: BudgetVector,
+    use_true_window: bool = True,
+) -> UpperBoundResult:
+    """Run S-EDF on the rank-1 relaxation and report EI completeness."""
+    relaxed = relax_to_rank_one(profiles)
+    monitor = OnlineMonitor(policy=SEDF(), budget=budget, preemptive=True)
+    schedule = monitor.run(epoch, arrivals_from_profiles(relaxed))
+    report = evaluate_schedule(relaxed, schedule, use_true_window=use_true_window)
+    return UpperBoundResult(
+        schedule=schedule,
+        ei_completeness=report.completeness,
+        num_eis=report.num_ceis,
+    )

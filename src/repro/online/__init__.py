@@ -1,0 +1,6 @@
+"""Online monitoring: Algorithm 1 and its candidate-pool data structures."""
+
+from repro.online.candidates import CandidatePool, CEIState
+from repro.online.monitor import OnlineMonitor
+
+__all__ = ["CandidatePool", "CEIState", "OnlineMonitor"]

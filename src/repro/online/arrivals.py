@@ -1,0 +1,33 @@
+"""Arrival streams: when does the proxy learn about each CEI?
+
+In the online setting the proxy has no a-priori knowledge of future CEIs
+(paper Section IV): "At every chronon T_j, the proxy may receive a set of
+new CEIs."  The default revelation rule — used throughout the paper's
+experiments — reveals a CEI at the start chronon of its earliest EI, i.e.
+exactly when it first overlaps the present.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.intervals import ComplexExecutionInterval
+from repro.core.profile import ProfileSet
+from repro.core.timebase import Chronon
+
+
+def arrival_map(
+    ceis: Iterable[ComplexExecutionInterval],
+) -> dict[Chronon, list[ComplexExecutionInterval]]:
+    """Group CEIs by their revelation chronon (earliest EI start)."""
+    arrivals: dict[Chronon, list[ComplexExecutionInterval]] = {}
+    for cei in ceis:
+        arrivals.setdefault(cei.release, []).append(cei)
+    return arrivals
+
+
+def arrivals_from_profiles(
+    profiles: ProfileSet,
+) -> dict[Chronon, list[ComplexExecutionInterval]]:
+    """Arrival map over every CEI of a profile set."""
+    return arrival_map(profiles.ceis())

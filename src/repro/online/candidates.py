@@ -1,0 +1,290 @@
+"""Candidate pool: the monitor's view of pending CEIs and their EIs.
+
+At chronon ``T_j`` the proxy considers ``cands(η)`` — all CEIs submitted up
+to ``T_j`` and not yet completely captured — and the bag ``cands(I)`` of
+their EIs (paper Section IV).  This module maintains that state
+incrementally:
+
+* CEIs are *registered* when the arrival stream reveals them;
+* an EI becomes *active* when its scheduling window opens and leaves the
+  active set when it is captured, when its window closes, or when its
+  parent CEI dies (an uncaptured sibling expired) or is satisfied;
+* a per-resource index supports the intra-resource overlap optimization —
+  one probe of resource ``r`` captures every active EI on ``r`` — and
+  WIC's accumulated-utility view.
+
+Expiry follows Algorithm 1 (lines 20-27): at the end of chronon ``T_j``,
+any candidate CEI that still needs an EI whose window closed at ``T_j`` can
+never be satisfied and is dropped together with all its sibling EIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.core.errors import ModelError
+from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+from repro.core.resource import ResourceId
+from repro.core.timebase import Chronon
+
+
+@dataclass(eq=False, slots=True)
+class CEIState:
+    """Capture bookkeeping for one candidate CEI."""
+
+    cei: ComplexExecutionInterval
+    captured: set[int] = field(default_factory=set)  # EI seqs captured
+    failed: bool = False
+    satisfied: bool = False
+
+    @property
+    def captured_count(self) -> int:
+        return len(self.captured)
+
+    @property
+    def residual(self) -> int:
+        """EIs still needed for satisfaction (0 once satisfied)."""
+        return max(0, self.cei.required - self.captured_count)
+
+    @property
+    def closed(self) -> bool:
+        """No longer a candidate (captured or failed)."""
+        return self.failed or self.satisfied
+
+
+class CandidatePool:
+    """Incrementally-maintained ``cands(η)`` / ``cands(I)`` structures.
+
+    Also implements the :class:`repro.policies.base.MonitorView` protocol,
+    so policies rank candidates against the pool directly.
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[int, CEIState] = {}
+        self._active: dict[int, ExecutionInterval] = {}
+        self._by_resource: dict[ResourceId, set[ExecutionInterval]] = {}
+        self._to_activate: dict[Chronon, list[ExecutionInterval]] = {}
+        self._to_expire: dict[Chronon, list[ExecutionInterval]] = {}
+        self._num_registered = 0
+        self._num_satisfied = 0
+        self._num_failed = 0
+
+    # ------------------------------------------------------------------
+    # MonitorView protocol
+    # ------------------------------------------------------------------
+
+    def is_ei_captured(self, ei: ExecutionInterval) -> bool:
+        """Has this EI been captured (proxy belief)?"""
+        cei = ei.parent
+        if cei is None:
+            return False
+        state = self._states.get(cei.cid)
+        return state is not None and ei.seq in state.captured
+
+    def captured_count(self, cei: ComplexExecutionInterval) -> int:
+        """Captured-EI count of a candidate CEI (0 if unknown)."""
+        state = self._states.get(cei.cid)
+        return state.captured_count if state is not None else 0
+
+    def active_uncaptured_on(self, resource: ResourceId) -> int:
+        """Number of active uncaptured candidate EIs on ``resource``."""
+        return len(self._by_resource.get(resource, ()))
+
+    # ------------------------------------------------------------------
+    # Registration and activation
+    # ------------------------------------------------------------------
+
+    def register(
+        self, cei: ComplexExecutionInterval, now: Chronon
+    ) -> list[ExecutionInterval]:
+        """Add a newly-revealed CEI; returns the EIs active immediately.
+
+        A CEI is dead on arrival (empty return, state failed) when too
+        many of its EIs already expired before ``now`` — only possible
+        with late submission.
+        """
+        if cei.cid in self._states:
+            raise ModelError(f"CEI {cei.cid} registered twice")
+        state = CEIState(cei=cei)
+        self._states[cei.cid] = state
+        self._num_registered += 1
+
+        expired_on_arrival = sum(1 for ei in cei.eis if ei.finish < now)
+        alive = len(cei.eis) - expired_on_arrival
+        if alive < cei.required:
+            state.failed = True
+            self._num_failed += 1
+            return []
+
+        activated: list[ExecutionInterval] = []
+        for ei in cei.eis:
+            if ei.finish < now:
+                continue  # unusable, but enough siblings remain
+            if ei.start <= now:
+                self._activate(ei)
+                activated.append(ei)
+            else:
+                self._to_activate.setdefault(ei.start, []).append(ei)
+            self._to_expire.setdefault(ei.finish, []).append(ei)
+        return activated
+
+    def _activate(self, ei: ExecutionInterval) -> None:
+        self._active[ei.seq] = ei
+        self._by_resource.setdefault(ei.resource, set()).add(ei)
+
+    def open_windows(self, now: Chronon) -> list[ExecutionInterval]:
+        """Activate every EI whose window opens at ``now``; returns them."""
+        opened: list[ExecutionInterval] = []
+        for ei in self._to_activate.pop(now, []):
+            cei = ei.parent
+            assert cei is not None
+            state = self._states[cei.cid]
+            if state.closed or ei.seq in state.captured:
+                continue  # parent died or was satisfied while pending
+            self._activate(ei)
+            opened.append(ei)
+        return opened
+
+    # ------------------------------------------------------------------
+    # Capture and expiry
+    # ------------------------------------------------------------------
+
+    def capture_resource(
+        self, resource: ResourceId, now: Chronon
+    ) -> tuple[list[ExecutionInterval], list[ComplexExecutionInterval]]:
+        """A probe of ``resource`` captures all its active candidate EIs.
+
+        Returns ``(captured_eis, touched_ceis)`` where ``touched_ceis`` are
+        the parent CEIs whose capture state changed (policies that are
+        sibling-sensitive must re-rank their remaining EIs).
+        """
+        eis_here = self._by_resource.get(resource)
+        if not eis_here:
+            return [], []
+        captured = list(eis_here)
+        touched: list[ComplexExecutionInterval] = []
+        for ei in captured:
+            self._active.pop(ei.seq, None)
+            cei = ei.parent
+            assert cei is not None
+            state = self._states[cei.cid]
+            state.captured.add(ei.seq)
+            touched.append(cei)
+            if not state.satisfied and state.residual == 0:
+                state.satisfied = True
+                self._num_satisfied += 1
+        eis_here.clear()
+        # Satisfied CEIs (k-of-n / ANY semantics) release their leftover EIs.
+        for cei in touched:
+            state = self._states[cei.cid]
+            if state.satisfied:
+                self._drop_remaining_eis(state)
+        return captured, touched
+
+    def _drop_remaining_eis(self, state: CEIState) -> None:
+        """Remove every still-pending EI of a closed CEI from the indexes."""
+        for ei in state.cei.eis:
+            if ei.seq in state.captured:
+                continue
+            removed = self._active.pop(ei.seq, None)
+            if removed is not None:
+                group = self._by_resource.get(ei.resource)
+                if group is not None:
+                    group.discard(ei)
+
+    def close_windows(self, now: Chronon) -> list[ExecutionInterval]:
+        """End-of-chronon expiry (Algorithm 1, lines 20-27).
+
+        Every uncaptured EI whose window closed at ``now`` leaves the
+        active set; if its parent CEI can no longer reach its required
+        capture count, the CEI fails and all its sibling EIs are dropped.
+        Returns the EIs that expired uncaptured.
+        """
+        expired: list[ExecutionInterval] = []
+        for ei in self._to_expire.pop(now, []):
+            cei = ei.parent
+            assert cei is not None
+            state = self._states[cei.cid]
+            if state.closed or ei.seq in state.captured:
+                continue
+            removed = self._active.pop(ei.seq, None)
+            if removed is not None:
+                group = self._by_resource.get(ei.resource)
+                if group is not None:
+                    group.discard(ei)
+            expired.append(ei)
+            if self._cannot_satisfy(state, now):
+                state.failed = True
+                self._num_failed += 1
+                self._drop_remaining_eis(state)
+        return expired
+
+    def _cannot_satisfy(self, state: CEIState, now: Chronon) -> bool:
+        """Can the CEI still reach its required capture count after ``now``?"""
+        usable = state.captured_count
+        for ei in state.cei.eis:
+            if ei.seq in state.captured:
+                continue
+            if ei.finish > now:
+                usable += 1
+        return usable < state.cei.required
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def active_eis(self) -> Iterator[ExecutionInterval]:
+        """All currently active, uncaptured candidate EIs (the probe pool)."""
+        return iter(self._active.values())
+
+    def num_active(self) -> int:
+        """Size of the active candidate EI bag."""
+        return len(self._active)
+
+    def is_active(self, ei: ExecutionInterval) -> bool:
+        """Is this exact EI currently probe-able?"""
+        return ei.seq in self._active
+
+    def state_of(self, cei: ComplexExecutionInterval) -> Optional[CEIState]:
+        """Capture state of a registered CEI (None if never registered)."""
+        return self._states.get(cei.cid)
+
+    def split_by_prior_capture(
+        self, eis: Iterable[ExecutionInterval]
+    ) -> tuple[list[ExecutionInterval], list[ExecutionInterval]]:
+        """Partition candidates into ``cands+`` / ``cands-`` (Algorithm 1).
+
+        ``cands+`` holds EIs whose parent CEI already has at least one
+        captured EI; non-preemptive execution spends budget there first.
+        """
+        plus: list[ExecutionInterval] = []
+        minus: list[ExecutionInterval] = []
+        for ei in eis:
+            cei = ei.parent
+            assert cei is not None
+            if self._states[cei.cid].captured_count > 0:
+                plus.append(ei)
+            else:
+                minus.append(ei)
+        return plus, minus
+
+    @property
+    def num_registered(self) -> int:
+        """CEIs ever revealed to the monitor."""
+        return self._num_registered
+
+    @property
+    def num_satisfied(self) -> int:
+        """CEIs the proxy believes it fully captured."""
+        return self._num_satisfied
+
+    @property
+    def num_failed(self) -> int:
+        """CEIs that expired before satisfaction."""
+        return self._num_failed
+
+    @property
+    def num_open(self) -> int:
+        """CEIs still in play (registered, neither satisfied nor failed)."""
+        return self._num_registered - self._num_satisfied - self._num_failed

@@ -1,0 +1,48 @@
+"""Probing policies: the paper's three levels, WIC, and extensions.
+
+Importing this package registers every policy with the registry in
+:mod:`repro.policies.base`; use :func:`make_policy` to instantiate by name.
+"""
+
+from repro.policies.adaptive import ExpectedGain
+from repro.policies.base import (
+    MonitorView,
+    Policy,
+    Priority,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.policies.hybrid import FollowSchedule, Hybrid, clairvoyant_policy
+from repro.policies.medf import MEDF, m_edf_value
+from repro.policies.mrsf import MRSF, residual_count
+from repro.policies.naive import FIFO, RandomPolicy, RoundRobin
+from repro.policies.sedf import SEDF, s_edf_value
+from repro.policies.weighted import WeightedMEDF, WeightedMRSF, WeightedSEDF
+from repro.policies.wic import WIC
+
+__all__ = [
+    "ExpectedGain",
+    "FIFO",
+    "FollowSchedule",
+    "Hybrid",
+    "MEDF",
+    "MRSF",
+    "MonitorView",
+    "Policy",
+    "Priority",
+    "RandomPolicy",
+    "RoundRobin",
+    "SEDF",
+    "WIC",
+    "WeightedMEDF",
+    "WeightedMRSF",
+    "WeightedSEDF",
+    "available_policies",
+    "clairvoyant_policy",
+    "m_edf_value",
+    "make_policy",
+    "register_policy",
+    "residual_count",
+    "s_edf_value",
+]

@@ -1,0 +1,139 @@
+"""Policy interface and registry.
+
+A *policy* Φ is the pluggable heart of the online monitor: at chronon
+``T_j`` it looks at the candidate execution intervals and returns up to
+``C_j`` EIs to probe (paper Section IV-A).  We express a policy as a
+*priority function*: lower priority values are probed first.  This covers
+all three of the paper's policy levels —
+
+* **individual EI level** (S-EDF): only local properties of one EI;
+* **rank level** (MRSF): adds the parent CEI's residual;
+* **multi-EIs level** (M-EDF): uses all sibling EIs of the parent CEI —
+
+as well as WIC and the naive baselines.  Policies that need run state
+(WIC's accumulated utility, round-robin's last-probe table) get lifecycle
+hooks, all of which default to no-ops.
+
+Ties are broken deterministically by ``(priority, finish, seq)`` so that
+runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.core.errors import ModelError
+from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+from repro.core.resource import ResourceId
+from repro.core.timebase import Chronon
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class MonitorView(Protocol):
+    """What a policy may observe about the run while ranking candidates."""
+
+    def is_ei_captured(self, ei: ExecutionInterval) -> bool:
+        """Has this EI been captured (proxy's belief) so far?"""
+
+    def captured_count(self, cei: ComplexExecutionInterval) -> int:
+        """How many EIs of this CEI have been captured so far?"""
+
+    def active_uncaptured_on(self, resource: ResourceId) -> int:
+        """How many active, uncaptured candidate EIs sit on ``resource``?"""
+
+
+#: A priority is any totally-ordered value; lower means "probe first".
+Priority = float
+
+
+class Policy(abc.ABC):
+    """Base class for probing policies."""
+
+    #: Registry name, e.g. ``"S-EDF"``.  Set by subclasses.
+    name: str = ""
+
+    @abc.abstractmethod
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        """Rank a candidate EI at ``chronon``; lower values probe first."""
+
+    # -- lifecycle hooks (all optional) --------------------------------
+
+    def on_run_start(self, num_resources: int) -> None:
+        """Called once before the first chronon of a run."""
+
+    def on_chronon_start(self, chronon: Chronon) -> None:
+        """Called at the beginning of every chronon."""
+
+    def on_probe(self, resource: ResourceId, chronon: Chronon) -> None:
+        """Called after the monitor probes ``resource`` at ``chronon``."""
+
+    def on_ei_activated(self, ei: ExecutionInterval, chronon: Chronon) -> None:
+        """Called when an EI's scheduling window opens."""
+
+    def on_ei_expired(self, ei: ExecutionInterval, chronon: Chronon) -> None:
+        """Called when an EI's window closes without capture."""
+
+    def sibling_sensitive(self) -> bool:
+        """Does this policy's priority depend on sibling capture state?
+
+        The monitor uses this to know whether a capture event can change
+        the priorities of other pending candidates within the same chronon
+        (true for MRSF and M-EDF, false for S-EDF and WIC).
+        """
+        return False
+
+    def select_resources(
+        self, chronon: Chronon, limit: int, view: MonitorView
+    ) -> list[ResourceId] | None:
+        """Resource-level selection hook (None = use EI-level ranking).
+
+        A *resource-level* policy (WIC) allocates probes over resources by
+        its own utility, without consulting the candidate EIs; the monitor
+        then opportunistically captures whatever active EIs sit on the
+        probed resources.  Return at most ``limit`` resource ids, or None
+        to use the default EI-priority machinery.
+        """
+        return None
+
+    def sort_key(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> tuple[Priority, Chronon, int]:
+        """Full deterministic ordering key for a candidate EI."""
+        return (self.priority(ei, chronon, view), ei.finish, ei.seq)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, Callable[[], Policy]] = {}
+
+
+def register_policy(name: str) -> Callable[[type], type]:
+    """Class decorator registering a zero-argument-constructible policy."""
+
+    def decorate(cls: type) -> type:
+        cls.name = name
+        _REGISTRY[name.upper()] = cls
+        return cls
+
+    return decorate
+
+
+def make_policy(name: str, **kwargs) -> Policy:
+    """Instantiate a registered policy by name (case-insensitive)."""
+    try:
+        factory = _REGISTRY[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ModelError(f"unknown policy {name!r}; known policies: {known}") from None
+    return factory(**kwargs)
+
+
+def available_policies() -> list[str]:
+    """Names of all registered policies, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,64 @@
+"""MRSF: Minimal Residual Stub First (rank level).
+
+The paper's representative of the *rank level* class (Section IV-A): the
+policy prefers EIs whose parent CEI has the fewest EIs left to capture —
+such a CEI has the highest probability of being completed.
+
+The paper's formula reads
+
+    MRSF(I) = rank(p) - sum_{I' in η} I(I', S)
+
+with ``rank(p)`` the *profile* rank.  When a profile mixes CEIs of
+different ranks, the profile-rank constant inflates the value of every CEI
+by the same amount within the profile but skews comparisons *across*
+profiles; the stated intuition ("a CEI with less EIs remaining to probe has
+a higher probability of success") corresponds to the residual of the CEI
+itself, ``|η| - captured``.  We default to the CEI residual and offer
+``use_profile_rank=True`` for the literal formula; on the paper's
+experimental instances (all CEIs of a run share one rank) the two are
+identical up to a constant and produce the same schedules.
+
+Proposition 2: without intra-resource overlap, MRSF is l-competitive with
+``l = max_η sum_{I in η} |I|`` (see ``tests/test_propositions.py``).
+"""
+
+from __future__ import annotations
+
+from repro.core.intervals import ExecutionInterval
+from repro.core.timebase import Chronon
+from repro.policies.base import MonitorView, Policy, Priority, register_policy
+
+
+def residual_count(ei: ExecutionInterval, view: MonitorView) -> int:
+    """Number of EIs of ``ei``'s parent CEI still to be captured."""
+    cei = ei.parent
+    assert cei is not None, "EI must belong to a CEI before being scheduled"
+    return cei.rank - view.captured_count(cei)
+
+
+@register_policy("MRSF")
+class MRSF(Policy):
+    """Prefer EIs of CEIs with the fewest uncaptured EIs remaining."""
+
+    def __init__(self, use_profile_rank: bool = False) -> None:
+        self._use_profile_rank = use_profile_rank
+        self._profile_rank_of: dict[int, int] = {}
+
+    def set_profile_ranks(self, ranks_by_cid: dict[int, int]) -> None:
+        """Provide profile ranks for the literal paper formula (optional)."""
+        self._profile_rank_of = dict(ranks_by_cid)
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        cei = ei.parent
+        assert cei is not None
+        captured = view.captured_count(cei)
+        if self._use_profile_rank:
+            rank = self._profile_rank_of.get(cei.cid, cei.rank)
+        else:
+            rank = cei.rank
+        return float(rank - captured)
+
+    def sibling_sensitive(self) -> bool:
+        return True

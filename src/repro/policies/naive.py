@@ -1,0 +1,59 @@
+"""Naive baseline policies: random, round-robin and FIFO.
+
+These are not from the paper's evaluation; they are sanity baselines any
+production monitoring library should ship.  Every reasonable policy should
+dominate RANDOM, and FIFO (earliest window opening first) is the natural
+"do what arrived first" strawman.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.intervals import ExecutionInterval
+from repro.core.resource import ResourceId
+from repro.core.timebase import Chronon
+from repro.policies.base import MonitorView, Policy, Priority, register_policy
+
+
+@register_policy("RANDOM")
+class RandomPolicy(Policy):
+    """Probe uniformly random candidates (seeded, reproducible)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        return float(self._rng.random())
+
+
+@register_policy("ROUND-ROBIN")
+class RoundRobin(Policy):
+    """Prefer the resource probed longest ago (fair resource rotation)."""
+
+    def __init__(self) -> None:
+        self._last_probe: dict[ResourceId, Chronon] = {}
+
+    def on_run_start(self, num_resources: int) -> None:
+        self._last_probe.clear()
+
+    def on_probe(self, resource: ResourceId, chronon: Chronon) -> None:
+        self._last_probe[resource] = chronon
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        # Never-probed resources sort before everything else.
+        return float(self._last_probe.get(ei.resource, -1))
+
+
+@register_policy("FIFO")
+class FIFO(Policy):
+    """Probe the EI whose window opened earliest (arrival order)."""
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        return float(ei.start)

@@ -1,0 +1,33 @@
+"""S-EDF: Single-interval Earliest Deadline First (individual EI level).
+
+The paper's representative of the *individual EI level* class
+(Section IV-A): it looks only at local properties of a single EI, ignoring
+the parent CEI and sibling EIs.  Modeled on classic EDF [10]:
+
+    S-EDF(I, T) = I.T_f - T + 1
+
+i.e. the number of chronons remaining until the EI's deadline; EIs with the
+smallest value are probed first.  Proposition 1: with no intra-resource
+overlap and ``rank(P) = 1``, S-EDF is optimal.
+"""
+
+from __future__ import annotations
+
+from repro.core.intervals import ExecutionInterval
+from repro.core.timebase import Chronon
+from repro.policies.base import MonitorView, Policy, Priority, register_policy
+
+
+def s_edf_value(ei: ExecutionInterval, chronon: Chronon) -> int:
+    """The paper's S-EDF(I, T) = I.T_f - T + 1 (remaining chronons)."""
+    return ei.finish - chronon + 1
+
+
+@register_policy("S-EDF")
+class SEDF(Policy):
+    """Earliest-deadline-first over individual execution intervals."""
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        return float(s_edf_value(ei, chronon))

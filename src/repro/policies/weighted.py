@@ -1,0 +1,62 @@
+"""Utility-weighted policy variants (paper Section VII future work).
+
+The paper's conclusion proposes generalizing profile satisfaction with
+client-supplied utilities: "Such utilities can further help to construct
+better prioritized policies."  These variants divide the base policy value
+by the parent CEI's weight, so a CEI worth twice as much is probed as if
+it were twice as close to completion.  With all weights equal to 1 they
+reduce exactly to their unweighted counterparts.
+"""
+
+from __future__ import annotations
+
+from repro.core.intervals import ExecutionInterval
+from repro.core.timebase import Chronon
+from repro.policies.base import MonitorView, Policy, Priority, register_policy
+from repro.policies.medf import m_edf_value
+from repro.policies.sedf import s_edf_value
+
+
+def _weight(ei: ExecutionInterval) -> float:
+    cei = ei.parent
+    assert cei is not None
+    return cei.weight
+
+
+@register_policy("W-S-EDF")
+class WeightedSEDF(Policy):
+    """S-EDF scaled by CEI utility (higher weight probes earlier)."""
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        return s_edf_value(ei, chronon) / _weight(ei)
+
+
+@register_policy("W-MRSF")
+class WeightedMRSF(Policy):
+    """MRSF residual scaled by CEI utility."""
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        cei = ei.parent
+        assert cei is not None
+        residual = cei.rank - view.captured_count(cei)
+        return residual / cei.weight
+
+    def sibling_sensitive(self) -> bool:
+        return True
+
+
+@register_policy("W-M-EDF")
+class WeightedMEDF(Policy):
+    """M-EDF remaining-chronon mass scaled by CEI utility."""
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        return m_edf_value(ei, chronon, view) / _weight(ei)
+
+    def sibling_sensitive(self) -> bool:
+        return True

@@ -1,0 +1,62 @@
+"""The Web Monitoring 2.0 platform: query language, compiler, proxy."""
+
+from repro.proxy.compiler import (
+    CompilationContext,
+    QueryCompileError,
+    compile_queries,
+    compile_text,
+)
+from repro.proxy.continuous import (
+    ContinuousOperation,
+    EpochOutcome,
+    OperationResult,
+)
+from repro.proxy.delivery import (
+    ClientReport,
+    Delivery,
+    client_report,
+    deliveries_for,
+    delivery_for,
+)
+from repro.proxy.proxy import MonitoringProxy, ProxyRunResult
+from repro.proxy.session import ProxySession
+from repro.proxy.queries import (
+    ContinuousQuery,
+    QueryParseError,
+    TimeSpan,
+    WhenContains,
+    WhenEvery,
+    WhenPush,
+    WhenUpdate,
+    WithinClause,
+    parse_queries,
+    parse_query,
+)
+
+__all__ = [
+    "ClientReport",
+    "CompilationContext",
+    "ContinuousOperation",
+    "ContinuousQuery",
+    "Delivery",
+    "EpochOutcome",
+    "MonitoringProxy",
+    "OperationResult",
+    "ProxyRunResult",
+    "ProxySession",
+    "QueryCompileError",
+    "QueryParseError",
+    "TimeSpan",
+    "WhenContains",
+    "WhenEvery",
+    "WhenPush",
+    "WhenUpdate",
+    "WithinClause",
+    "client_report",
+    "compile_queries",
+    "compile_text",
+    "deliveries_for",
+    "delivery_for",
+    "parse_queries",
+    "parse_query",
+]

@@ -1,0 +1,131 @@
+"""``python -m repro.proxy`` — a self-contained platform demo.
+
+Runs the paper's Example 2 scenario end to end: the analyst's three
+continuous queries against a simulated news day, under a competing
+background workload, printing per-client reports and run diagnostics.
+
+Options::
+
+    python -m repro.proxy                  # defaults
+    python -m repro.proxy --policy S-EDF --budget 1 --chronons 400
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import diagnose
+from repro.core.resource import ResourcePool
+from repro.core.timebase import Epoch
+from repro.proxy.proxy import MonitoringProxy
+from repro.traces.news import simulate_news_trace
+from repro.traces.noise import perfect_predictions
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import LengthRule
+
+ANALYST_QUERIES = """
+q1: SELECT item AS F1
+FROM feed(feed0)
+WHEN EVERY 10 MINUTES AS T1
+WITHIN T1+2 MINUTES
+
+q2: SELECT item AS F2
+FROM feed(feed1)
+WHEN F1 CONTAINS %oil%
+WITHIN T1+10 MINUTES
+
+q3: SELECT item AS F3
+FROM feed(feed2)
+WHEN F1 CONTAINS %oil%
+WITHIN T1+10 MINUTES
+"""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.proxy",
+        description="Web Monitoring 2.0 proxy demo (paper Example 2).",
+    )
+    parser.add_argument("--policy", default="MRSF", help="probing policy name")
+    parser.add_argument("--budget", type=float, default=1.0, help="probes/chronon")
+    parser.add_argument("--chronons", type=int, default=600, help="epoch length")
+    parser.add_argument("--clients", type=int, default=30, help="background clients")
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    epoch = Epoch(args.chronons)
+    rng = np.random.default_rng(args.seed)
+
+    num_feeds = 40
+    pool = ResourcePool.from_names([f"feed{i}" for i in range(num_feeds)])
+    news = simulate_news_trace(
+        epoch, rng, num_feeds=num_feeds, total_events=args.chronons * 4
+    )
+    predictions = perfect_predictions(news.bundle)
+
+    proxy = MonitoringProxy(
+        epoch, pool, budget=args.budget, policy=args.policy
+    )
+
+    proxy.register_client("analyst")
+    oil_posts = {
+        int(t) for t in rng.choice(args.chronons, size=4, replace=False)
+    }
+    proxy.submit_queries(
+        "analyst", ANALYST_QUERIES, keyword_hits={"oil": oil_posts}
+    )
+
+    background = generate_profiles(
+        predictions,
+        epoch,
+        GeneratorSpec(
+            num_profiles=args.clients, rank_max=3, alpha=1.37,
+            max_ceis_per_profile=10,
+        ),
+        LengthRule.window(10),
+        rng,
+    )
+    for profile in background:
+        name = f"client-{profile.pid:02d}"
+        proxy.register_client(name)
+        proxy.submit_ceis(name, list(profile.ceis))
+
+    result = proxy.run()
+    print(
+        f"epoch={args.chronons} chronons, policy={args.policy}, "
+        f"budget={args.budget:g}/chronon, {len(proxy.client_names)} clients\n"
+    )
+    print(f"{'client':12s} {'CEIs':>5s} {'satisfied':>10s} {'latency':>9s}")
+    analyst = result.client("analyst")
+    print(
+        f"{'analyst':12s} {analyst.num_ceis:5d} {analyst.completeness:10.1%} "
+        f"{analyst.mean_latency:7.1f}ch"
+    )
+    others = [c for c in result.clients if c.client != "analyst"]
+    if others:
+        mean_completeness = sum(c.completeness for c in others) / len(others)
+        print(
+            f"{'background':12s} {sum(c.num_ceis for c in others):5d} "
+            f"{mean_completeness:10.1%} {'':>9s} ({len(others)} clients)"
+        )
+    print(f"\noverall completeness: {result.completeness:.1%} "
+          f"({result.probes_used} probes)")
+
+    profiles = proxy.build_profiles()
+    print()
+    print(
+        diagnose(
+            profiles, result.schedule, epoch, total_budget=proxy.budget.total
+        ).to_text()
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

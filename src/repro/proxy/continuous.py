@@ -1,0 +1,184 @@
+"""Continuous operation: epoch after epoch, with model refitting.
+
+A real proxy does not run once — it runs every day, and everything it
+learned yesterday (which events it managed to observe) is all it has for
+predicting tomorrow.  :class:`ContinuousOperation` closes that loop:
+
+1. predict the next epoch's events with the current update model, fit on
+   the *observation history* (what past probes actually collected — not
+   the full truth, which the proxy never sees);
+2. build profiles from the predictions, run the monitor, score against
+   that epoch's real events;
+3. fold the newly observed events into the history and repeat.
+
+A proxy whose probes miss events also learns less for the next epoch —
+the feedback loop the one-shot experiments cannot express.  With a
+reasonable model and workload, completeness typically *improves* over
+the first few epochs as the observation history accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.coverage import event_coverage, observed_events
+from repro.core.errors import ExperimentError
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.models.base import UpdateModel, pair_predictions
+from repro.sim.engine import simulate
+from repro.traces.events import TraceBundle
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import LengthRule
+
+#: Produces the real events of epoch ``index`` (a fresh draw per epoch).
+EpochTraceFactory = Callable[[int, np.random.Generator], TraceBundle]
+
+
+@dataclass(frozen=True, slots=True)
+class EpochOutcome:
+    """What one operated epoch achieved."""
+
+    epoch_index: int
+    completeness: float
+    coverage: float
+    observed_events: int
+    predicted_events: int
+
+
+@dataclass(frozen=True, slots=True)
+class OperationResult:
+    """The full multi-epoch history."""
+
+    outcomes: tuple[EpochOutcome, ...]
+
+    @property
+    def completeness_series(self) -> list[float]:
+        return [o.completeness for o in self.outcomes]
+
+    @property
+    def coverage_series(self) -> list[float]:
+        return [o.coverage for o in self.outcomes]
+
+
+class ContinuousOperation:
+    """Run the predict → monitor → observe → refit loop over many epochs."""
+
+    def __init__(
+        self,
+        epoch: Epoch,
+        model: UpdateModel,
+        spec: GeneratorSpec,
+        rule: LengthRule,
+        budget: BudgetVector | float = 1.0,
+        policy: str = "MRSF",
+        bootstrap_history: TraceBundle | None = None,
+        history_limit: int = 0,
+    ) -> None:
+        """``history_limit`` bounds the per-resource observation memory.
+
+        0 keeps everything; a positive value keeps only the most recent
+        observations per resource — the sliding window a long-lived proxy
+        needs both for memory and for tracking drifting sources.
+        """
+        if history_limit < 0:
+            raise ExperimentError(
+                f"history limit must be >= 0, got {history_limit}"
+            )
+        self.epoch = epoch
+        self.model = model
+        self.spec = spec
+        self.rule = rule
+        if isinstance(budget, (int, float)):
+            budget = BudgetVector.constant(float(budget), len(epoch))
+        self.budget = budget
+        self.policy = policy
+        self.history_limit = history_limit
+        # The proxy's accumulated observations, folded epoch over epoch.
+        self._history: dict[int, list[int]] = {}
+        if bootstrap_history is not None:
+            for rid in bootstrap_history.resources:
+                self._history[rid] = list(bootstrap_history.stream(rid).chronons)
+            self._trim_history()
+
+    def _trim_history(self) -> None:
+        if self.history_limit <= 0:
+            return
+        for rid, observations in self._history.items():
+            if len(observations) > self.history_limit:
+                self._history[rid] = observations[-self.history_limit :]
+
+    def _history_bundle(self) -> TraceBundle:
+        return TraceBundle.from_mapping(self._history)
+
+    def _predict(
+        self, truth: TraceBundle, rng: np.random.Generator
+    ) -> tuple[dict[int, list], int]:
+        """Per-resource predictions paired against this epoch's truth."""
+        predictions: dict[int, list] = {}
+        predicted_total = 0
+        for rid in truth.resources:
+            per_resource = type(self.model)(**self.model.params())
+            predicted = per_resource.fit_predict(
+                tuple(sorted(self._history.get(rid, ()))), self.epoch, rng
+            )
+            if not predicted:
+                # The proxy cannot schedule what it cannot predict; a
+                # resource with no model output is simply not monitored
+                # this epoch (its events stay unobserved).
+                continue
+            predicted_total += len(predicted)
+            predictions[rid] = pair_predictions(
+                truth.stream(rid).chronons, predicted
+            )
+        return predictions, predicted_total
+
+    def run_epoch(
+        self, index: int, truth: TraceBundle, rng: np.random.Generator
+    ) -> EpochOutcome:
+        """Operate one epoch against its real events."""
+        predictions, predicted_total = self._predict(truth, rng)
+        eligible = {rid: events for rid, events in predictions.items() if events}
+        if not eligible:
+            raise ExperimentError(
+                f"epoch {index}: no resource has any predicted event — "
+                "provide a bootstrap history or a denser trace"
+            )
+        profiles = generate_profiles(eligible, self.epoch, self.spec, self.rule, rng)
+        result = simulate(
+            profiles, self.epoch, self.budget, self.policy, preemptive=True
+        )
+        coverage = event_coverage(result.schedule, truth, self.epoch, self.rule)
+        observed = observed_events(result.schedule, truth, self.epoch, self.rule)
+        for rid in observed.resources:
+            self._history.setdefault(rid, []).extend(
+                observed.stream(rid).chronons
+            )
+        self._trim_history()
+        return EpochOutcome(
+            epoch_index=index,
+            completeness=result.completeness,
+            coverage=coverage.coverage,
+            observed_events=observed.total_events,
+            predicted_events=predicted_total,
+        )
+
+    def run(
+        self,
+        num_epochs: int,
+        trace_factory: EpochTraceFactory,
+        seed: int = 0,
+    ) -> OperationResult:
+        """Operate ``num_epochs`` epochs with per-epoch fresh traces."""
+        if num_epochs <= 0:
+            raise ExperimentError(f"need at least one epoch, got {num_epochs}")
+        outcomes: list[EpochOutcome] = []
+        children = np.random.SeedSequence(seed).spawn(num_epochs)
+        for index, child in enumerate(children):
+            rng = np.random.default_rng(child)
+            truth = trace_factory(index, rng)
+            outcomes.append(self.run_epoch(index, truth, rng))
+        return OperationResult(outcomes=tuple(outcomes))

@@ -1,0 +1,106 @@
+"""Delivery accounting: when was each client's need satisfied?
+
+Once a run's schedule exists, every captured CEI has a *delivery
+chronon*: the moment its last required EI was probed — the earliest
+point at which the proxy can notify the client (paper Section II: the
+portal "provides services for continuously refreshing user profiles").
+
+:func:`deliveries_for` reconstructs notifications from a schedule, and
+:class:`ClientReport` aggregates a client's satisfaction and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean
+from typing import Optional, Sequence
+
+from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+from repro.core.profile import Profile
+from repro.core.schedule import Schedule
+from repro.core.timebase import Chronon
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """One satisfied CEI and when it became deliverable."""
+
+    cei: ComplexExecutionInterval
+    delivered_at: Chronon
+
+    @property
+    def latency(self) -> int:
+        """Chronons from the CEI's release to its delivery."""
+        return self.delivered_at - self.cei.release
+
+
+def _first_capture_chronon(
+    ei: ExecutionInterval, schedule: Schedule
+) -> Optional[Chronon]:
+    """The earliest probe chronon that captures ``ei`` (true window)."""
+    assert ei.true_start is not None and ei.true_finish is not None
+    for chronon in range(ei.true_start, ei.true_finish + 1):
+        if ei.resource in schedule.probes.get(chronon, ()):
+            return chronon
+    return None
+
+
+def delivery_for(
+    cei: ComplexExecutionInterval, schedule: Schedule
+) -> Optional[Delivery]:
+    """The delivery of one CEI under a schedule (None if unsatisfied)."""
+    capture_chronons: list[Chronon] = []
+    for ei in cei.eis:
+        chronon = _first_capture_chronon(ei, schedule)
+        if chronon is not None:
+            capture_chronons.append(chronon)
+    if len(capture_chronons) < cei.required:
+        return None
+    # Under k-of-n semantics delivery happens at the k-th capture.
+    capture_chronons.sort()
+    return Delivery(cei=cei, delivered_at=capture_chronons[cei.required - 1])
+
+
+def deliveries_for(
+    ceis: Sequence[ComplexExecutionInterval], schedule: Schedule
+) -> list[Delivery]:
+    """All deliveries among ``ceis``, ordered by delivery chronon."""
+    found = []
+    for cei in ceis:
+        delivery = delivery_for(cei, schedule)
+        if delivery is not None:
+            found.append(delivery)
+    found.sort(key=lambda d: (d.delivered_at, d.cei.cid))
+    return found
+
+
+@dataclass(frozen=True, slots=True)
+class ClientReport:
+    """Satisfaction summary for one client's profile."""
+
+    client: str
+    num_ceis: int
+    deliveries: tuple[Delivery, ...]
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of the client's CEIs satisfied (Eq. 1, per client)."""
+        if self.num_ceis == 0:
+            return 1.0
+        return len(self.deliveries) / self.num_ceis
+
+    @property
+    def mean_latency(self) -> float:
+        """Average release-to-delivery latency (0 if nothing delivered)."""
+        if not self.deliveries:
+            return 0.0
+        return fmean(d.latency for d in self.deliveries)
+
+
+def client_report(name: str, profile: Profile, schedule: Schedule) -> ClientReport:
+    """Build a :class:`ClientReport` for one profile under a schedule."""
+    return ClientReport(
+        client=name,
+        num_ceis=len(profile),
+        deliveries=tuple(deliveries_for(profile.ceis, schedule)),
+    )

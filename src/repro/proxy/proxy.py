@@ -1,0 +1,186 @@
+"""The Web Monitoring 2.0 proxy facade.
+
+The paper's platform vision (Section I): "a personalized proxy based
+platform where users can satisfy their complex information monitoring
+and aggregation/mashup needs by polling multiple information-rich and
+volatile Web 2.0 data sources."
+
+:class:`MonitoringProxy` is that platform's core loop as a library
+object: register named clients, submit their needs (as parsed continuous
+queries, query text, or pre-built CEIs), then run one monitoring epoch
+under a policy and budget.  The result bundles the global completeness,
+per-client reports with delivery latencies, and the raw schedule.
+
+This facade composes the lower layers (compiler → profiles → online
+monitor → metrics/delivery) and is what the examples and downstream
+users are expected to touch first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import ExperimentError
+from repro.core.intervals import ComplexExecutionInterval
+from repro.core.metrics import CompletenessReport, evaluate_schedule
+from repro.core.profile import Profile, ProfileSet
+from repro.core.resource import ResourcePool
+from repro.core.schedule import BudgetVector, Schedule
+from repro.core.timebase import Epoch
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.monitor import OnlineMonitor
+from repro.policies.base import Policy, make_policy
+from repro.proxy.compiler import CompilationContext, compile_queries
+from repro.proxy.delivery import ClientReport, client_report
+from repro.proxy.queries import ContinuousQuery, parse_queries
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyRunResult:
+    """Outcome of one proxy monitoring epoch."""
+
+    schedule: Schedule
+    report: CompletenessReport
+    clients: tuple[ClientReport, ...]
+    probes_used: int
+
+    @property
+    def completeness(self) -> float:
+        """Global gained completeness (Eq. 1) over all clients."""
+        return self.report.completeness
+
+    def client(self, name: str) -> ClientReport:
+        """The report of one client by name."""
+        for report in self.clients:
+            if report.client == name:
+                return report
+        raise ExperimentError(f"unknown client {name!r}")
+
+
+@dataclass(slots=True)
+class _Client:
+    name: str
+    ceis: list[ComplexExecutionInterval] = field(default_factory=list)
+
+
+class MonitoringProxy:
+    """Register clients, compile their needs, run a monitoring epoch."""
+
+    def __init__(
+        self,
+        epoch: Epoch,
+        resources: ResourcePool,
+        budget: BudgetVector | float = 1.0,
+        policy: Policy | str = "MRSF",
+        preemptive: bool = True,
+        chronons_per_minute: float = 1.0,
+    ) -> None:
+        self.epoch = epoch
+        self.resources = resources
+        if isinstance(budget, (int, float)):
+            budget = BudgetVector.constant(float(budget), len(epoch))
+        if len(budget) < len(epoch):
+            raise ExperimentError(
+                f"budget covers {len(budget)} chronons but the epoch has "
+                f"{len(epoch)}"
+            )
+        self.budget = budget
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.policy = policy
+        self.preemptive = preemptive
+        self.chronons_per_minute = chronons_per_minute
+        self._clients: dict[str, _Client] = {}
+        self._resource_ids = {r.name: r.rid for r in resources}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_client(self, name: str) -> str:
+        """Register a client; returns the name for convenience."""
+        if name in self._clients:
+            raise ExperimentError(f"client {name!r} already registered")
+        self._clients[name] = _Client(name=name)
+        return name
+
+    @property
+    def client_names(self) -> list[str]:
+        return sorted(self._clients)
+
+    def _client(self, name: str) -> _Client:
+        try:
+            return self._clients[name]
+        except KeyError:
+            raise ExperimentError(
+                f"client {name!r} is not registered"
+            ) from None
+
+    def submit_ceis(
+        self, client: str, ceis: Sequence[ComplexExecutionInterval]
+    ) -> int:
+        """Attach pre-built CEIs to a client; returns how many."""
+        self._client(client).ceis.extend(ceis)
+        return len(ceis)
+
+    def submit_queries(
+        self,
+        client: str,
+        queries: str | Sequence[ContinuousQuery],
+        predictions=None,
+        keyword_hits=None,
+        weight: float = 1.0,
+    ) -> int:
+        """Compile a continuous-query set for a client (paper Section II).
+
+        ``predictions`` maps resource ids to predicted event streams (for
+        ON PUSH / ON UPDATE triggers); ``keyword_hits`` maps keywords to
+        the trigger chronons where they match.  Returns the number of
+        CEIs generated.
+        """
+        if isinstance(queries, str):
+            queries = parse_queries(queries)
+        context = CompilationContext(
+            epoch=self.epoch,
+            resource_ids=self._resource_ids,
+            chronons_per_minute=self.chronons_per_minute,
+            predictions=predictions or {},
+            keyword_hits=keyword_hits or {},
+            weight=weight,
+        )
+        ceis = compile_queries(queries, context)
+        return self.submit_ceis(client, ceis)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def build_profiles(self) -> ProfileSet:
+        """The current registration state as a profile set (one per client)."""
+        profiles = ProfileSet()
+        for pid, name in enumerate(self.client_names):
+            profiles.add(Profile(pid=pid, ceis=list(self._clients[name].ceis)))
+        return profiles
+
+    def run(self) -> ProxyRunResult:
+        """Run one monitoring epoch over everything submitted so far."""
+        profiles = self.build_profiles()
+        monitor = OnlineMonitor(
+            policy=self.policy,
+            budget=self.budget,
+            preemptive=self.preemptive,
+            resources=self.resources,
+        )
+        schedule = monitor.run(self.epoch, arrivals_from_profiles(profiles))
+        report = evaluate_schedule(profiles, schedule)
+        clients = tuple(
+            client_report(name, profiles[pid], schedule)
+            for pid, name in enumerate(self.client_names)
+        )
+        return ProxyRunResult(
+            schedule=schedule,
+            report=report,
+            clients=clients,
+            probes_used=monitor.probes_used,
+        )

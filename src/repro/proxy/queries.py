@@ -1,0 +1,270 @@
+"""The paper's pseudo-continuous-query language (Section II).
+
+The paper expresses complex monitoring needs as small continuous
+queries::
+
+    q1: SELECT item AS F1
+        FROM feed(MishBlog)
+        WHEN EVERY 10 MINUTES AS T1
+        WITHIN T1+2 MINUTES
+
+    q2: SELECT item AS F2
+        FROM feed(CNNBreakingNews)
+        WHEN F1 CONTAINS %oil%
+        WITHIN T1+10 MINUTES
+
+    q3: SELECT item AS F3
+        FROM feed(StockExchange)
+        WHEN ON PUSH AS T1
+
+("We note that we do not attempt to present a language to express
+complex user monitoring needs" — the paper uses this pseudo syntax for
+illustration; we give it a concrete grammar so profiles can be written
+the way the paper writes them.)
+
+Grammar (case-insensitive keywords, one clause per line or ``;``):
+
+    query   := SELECT field AS alias
+               FROM FEED(source)
+               [ WHEN when ]
+               [ WITHIN [label+]amount unit ]
+    when    := EVERY amount unit AS label
+             | ON PUSH AS label
+             | ON UPDATE AS label
+             | alias CONTAINS %keyword%
+    unit    := CHRONON(S) | SECOND(S) | MINUTE(S) | HOUR(S)
+
+A *trigger* query carries an ``EVERY`` / ``ON PUSH`` / ``ON UPDATE``
+clause and names a time label (``T1``); *dependent* queries reference
+that label in their ``WITHIN`` clause and may be conditioned on the
+trigger's content with ``CONTAINS``.  Compilation into CEIs lives in
+:mod:`repro.proxy.compiler`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.errors import ReproError
+
+
+class QueryParseError(ReproError):
+    """The query text does not conform to the grammar."""
+
+
+@dataclass(frozen=True, slots=True)
+class TimeSpan:
+    """An amount of time in a named unit; converted to chronons later."""
+
+    amount: float
+    unit: str  # canonical: "chronon" | "second" | "minute" | "hour"
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise QueryParseError(f"time spans must be >= 0, got {self.amount}")
+        if self.unit not in ("chronon", "second", "minute", "hour"):
+            raise QueryParseError(f"unknown time unit {self.unit!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class WhenEvery:
+    """``WHEN EVERY 10 MINUTES AS T1`` — a temporal trigger."""
+
+    period: TimeSpan
+    label: str
+
+
+@dataclass(frozen=True, slots=True)
+class WhenPush:
+    """``WHEN ON PUSH AS T1`` — the server pushes the trigger event."""
+
+    label: str
+
+
+@dataclass(frozen=True, slots=True)
+class WhenUpdate:
+    """``WHEN ON UPDATE AS T1`` — trigger on (predicted) update events."""
+
+    label: str
+
+
+@dataclass(frozen=True, slots=True)
+class WhenContains:
+    """``WHEN F1 CONTAINS %oil%`` — condition on another query's items."""
+
+    alias: str
+    keyword: str
+
+
+WhenClause = Union[WhenEvery, WhenPush, WhenUpdate, WhenContains]
+
+
+@dataclass(frozen=True, slots=True)
+class WithinClause:
+    """``WITHIN T1+10 MINUTES`` (anchored) or ``WITHIN 5 CHRONONS``."""
+
+    span: TimeSpan
+    anchor: Optional[str] = None  # time label, e.g. "T1"
+
+
+@dataclass(frozen=True, slots=True)
+class ContinuousQuery:
+    """One parsed query of the pseudo language."""
+
+    select_field: str
+    alias: str
+    source: str
+    when: Optional[WhenClause] = None
+    within: Optional[WithinClause] = None
+    raw: str = field(default="", compare=False)
+
+    @property
+    def is_trigger(self) -> bool:
+        """Does this query define a time label others can anchor to?"""
+        return isinstance(self.when, (WhenEvery, WhenPush, WhenUpdate))
+
+    @property
+    def trigger_label(self) -> Optional[str]:
+        if isinstance(self.when, (WhenEvery, WhenPush, WhenUpdate)):
+            return self.when.label
+        return None
+
+
+_UNIT_CANON = {
+    "chronon": "chronon", "chronons": "chronon",
+    "second": "second", "seconds": "second",
+    "minute": "minute", "minutes": "minute",
+    "hour": "hour", "hours": "hour",
+}
+
+_SELECT_RE = re.compile(r"^SELECT\s+(\w+)\s+AS\s+(\w+)$", re.IGNORECASE)
+_FROM_RE = re.compile(r"^FROM\s+FEED\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_EVERY_RE = re.compile(
+    r"^WHEN\s+EVERY\s+(\d+(?:\.\d+)?)\s+(\w+)\s+AS\s+(\w+)$", re.IGNORECASE
+)
+_PUSH_RE = re.compile(r"^WHEN\s+ON\s+PUSH\s+AS\s+(\w+)$", re.IGNORECASE)
+_UPDATE_RE = re.compile(r"^WHEN\s+ON\s+UPDATE\s+AS\s+(\w+)$", re.IGNORECASE)
+_CONTAINS_RE = re.compile(
+    r"^WHEN\s+(\w+)\s+CONTAINS\s+%([^%]+)%$", re.IGNORECASE
+)
+_WITHIN_ANCHORED_RE = re.compile(
+    r"^WITHIN\s+(\w+)\s*\+\s*(\d+(?:\.\d+)?)\s+(\w+)$", re.IGNORECASE
+)
+_WITHIN_PLAIN_RE = re.compile(
+    r"^WITHIN\s+(\d+(?:\.\d+)?)\s+(\w+)$", re.IGNORECASE
+)
+
+
+def _canon_unit(unit: str) -> str:
+    try:
+        return _UNIT_CANON[unit.lower()]
+    except KeyError:
+        raise QueryParseError(f"unknown time unit {unit!r}") from None
+
+
+def _clauses(text: str) -> list[str]:
+    """Split query text into normalized clause strings."""
+    pieces: list[str] = []
+    for chunk in re.split(r"[;\n]", text):
+        clause = " ".join(chunk.split())
+        if clause:
+            pieces.append(clause)
+    return pieces
+
+
+def parse_query(text: str) -> ContinuousQuery:
+    """Parse one query; raises :class:`QueryParseError` on bad input."""
+    clauses = _clauses(text)
+    if not clauses:
+        raise QueryParseError("empty query")
+
+    select_match = _SELECT_RE.match(clauses[0])
+    if not select_match:
+        raise QueryParseError(
+            f"query must start with 'SELECT <field> AS <alias>', got {clauses[0]!r}"
+        )
+    select_field, alias = select_match.group(1), select_match.group(2)
+
+    if len(clauses) < 2:
+        raise QueryParseError("missing FROM clause")
+    from_match = _FROM_RE.match(clauses[1])
+    if not from_match:
+        raise QueryParseError(
+            f"second clause must be 'FROM feed(<source>)', got {clauses[1]!r}"
+        )
+    source = from_match.group(1)
+
+    when: Optional[WhenClause] = None
+    within: Optional[WithinClause] = None
+    for clause in clauses[2:]:
+        upper = clause.upper()
+        if upper.startswith("WHEN"):
+            if when is not None:
+                raise QueryParseError("duplicate WHEN clause")
+            when = _parse_when(clause)
+        elif upper.startswith("WITHIN"):
+            if within is not None:
+                raise QueryParseError("duplicate WITHIN clause")
+            within = _parse_within(clause)
+        else:
+            raise QueryParseError(f"unrecognized clause {clause!r}")
+
+    return ContinuousQuery(
+        select_field=select_field,
+        alias=alias,
+        source=source,
+        when=when,
+        within=within,
+        raw=text.strip(),
+    )
+
+
+def _parse_when(clause: str) -> WhenClause:
+    every = _EVERY_RE.match(clause)
+    if every:
+        span = TimeSpan(float(every.group(1)), _canon_unit(every.group(2)))
+        return WhenEvery(period=span, label=every.group(3))
+    push = _PUSH_RE.match(clause)
+    if push:
+        return WhenPush(label=push.group(1))
+    update = _UPDATE_RE.match(clause)
+    if update:
+        return WhenUpdate(label=update.group(1))
+    contains = _CONTAINS_RE.match(clause)
+    if contains:
+        return WhenContains(alias=contains.group(1), keyword=contains.group(2))
+    raise QueryParseError(f"unrecognized WHEN clause {clause!r}")
+
+
+def _parse_within(clause: str) -> WithinClause:
+    anchored = _WITHIN_ANCHORED_RE.match(clause)
+    if anchored:
+        span = TimeSpan(float(anchored.group(2)), _canon_unit(anchored.group(3)))
+        return WithinClause(span=span, anchor=anchored.group(1))
+    plain = _WITHIN_PLAIN_RE.match(clause)
+    if plain:
+        span = TimeSpan(float(plain.group(1)), _canon_unit(plain.group(2)))
+        return WithinClause(span=span, anchor=None)
+    raise QueryParseError(f"unrecognized WITHIN clause {clause!r}")
+
+
+def parse_queries(text: str) -> list[ContinuousQuery]:
+    """Parse several queries separated by blank lines or ``qN:`` labels.
+
+    Accepts exactly the formatting the paper uses, including the
+    ``q1:``-style prefixes.
+    """
+    stripped_lines = []
+    for line in text.splitlines():
+        line = re.sub(r"^\s*q\d+\s*:\s*", "", line, flags=re.IGNORECASE)
+        stripped_lines.append(line)
+    blocks = re.split(r"\n\s*\n", "\n".join(stripped_lines))
+    queries = [parse_query(block) for block in blocks if block.strip()]
+    if not queries:
+        raise QueryParseError("no queries found")
+    aliases = [query.alias for query in queries]
+    if len(aliases) != len(set(aliases)):
+        raise QueryParseError(f"duplicate query aliases: {aliases}")
+    return queries

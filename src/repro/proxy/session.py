@@ -1,0 +1,188 @@
+"""Interactive monitoring sessions: clients arrive *while* the proxy runs.
+
+"At every chronon T_j, the proxy may receive a set of new CEIs."
+(paper Section IV.)  :class:`MonitoringProxy.run` replays a fixed
+workload; :class:`ProxySession` exposes the true online loop: the caller
+advances the clock chronon by chronon and may submit new client needs at
+any point — a CEI submitted at chronon ``t`` is revealed to the monitor
+at ``max(t, release)``, never earlier, exactly like a request arriving
+over the wire.
+
+Typical use::
+
+    session = ProxySession(epoch, pool, budget=1.0, policy="MRSF")
+    session.register_client("ana")
+    session.submit_ceis("ana", morning_ceis)
+    session.advance(300)                      # run the morning
+    session.submit_ceis("ana", breaking_news) # needs arriving mid-run
+    session.run_to_end()
+    result = session.finish()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ExperimentError
+from repro.core.intervals import ComplexExecutionInterval
+from repro.core.metrics import evaluate_schedule
+from repro.core.profile import Profile, ProfileSet
+from repro.core.resource import ResourcePool
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Chronon, Epoch
+from repro.online.monitor import OnlineMonitor
+from repro.policies.base import Policy, make_policy
+from repro.proxy.delivery import client_report
+from repro.proxy.proxy import ProxyRunResult
+
+
+class ProxySession:
+    """A steppable proxy run with mid-flight submissions."""
+
+    def __init__(
+        self,
+        epoch: Epoch,
+        resources: ResourcePool,
+        budget: BudgetVector | float = 1.0,
+        policy: Policy | str = "MRSF",
+        preemptive: bool = True,
+    ) -> None:
+        self.epoch = epoch
+        self.resources = resources
+        if isinstance(budget, (int, float)):
+            budget = BudgetVector.constant(float(budget), len(epoch))
+        self.budget = budget
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self._monitor = OnlineMonitor(
+            policy=policy,
+            budget=budget,
+            preemptive=preemptive,
+            resources=resources,
+        )
+        self._next_chronon: Chronon = 0
+        self._pending: dict[Chronon, list[ComplexExecutionInterval]] = {}
+        self._clients: dict[str, list[ComplexExecutionInterval]] = {}
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Chronon:
+        """The next chronon to be executed (0 before the first advance)."""
+        return self._next_chronon
+
+    @property
+    def finished(self) -> bool:
+        """Has the whole epoch been executed?"""
+        return self._next_chronon >= len(self.epoch)
+
+    @property
+    def remaining(self) -> int:
+        """Chronons left to execute."""
+        return len(self.epoch) - self._next_chronon
+
+    # ------------------------------------------------------------------
+    # Clients and submissions
+    # ------------------------------------------------------------------
+
+    def register_client(self, name: str) -> str:
+        if name in self._clients:
+            raise ExperimentError(f"client {name!r} already registered")
+        self._clients[name] = []
+        return name
+
+    @property
+    def client_names(self) -> list[str]:
+        return sorted(self._clients)
+
+    def submit_ceis(
+        self, client: str, ceis: Sequence[ComplexExecutionInterval]
+    ) -> int:
+        """Submit CEIs now; they reveal at max(now, their release).
+
+        CEIs whose windows already fully passed still count against the
+        client's completeness (they can never be captured) — submitting
+        stale needs is the client's loss, exactly as in a live proxy.
+        """
+        if client not in self._clients:
+            raise ExperimentError(f"client {client!r} is not registered")
+        for cei in ceis:
+            self._clients[client].append(cei)
+            reveal_at = max(self._next_chronon, cei.release)
+            if reveal_at < len(self.epoch):
+                self._pending.setdefault(reveal_at, []).append(cei)
+            # A CEI releasing past the epoch is never revealed; it simply
+            # stays unsatisfied in the final scoring.
+        return len(ceis)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def advance(self, chronons: int = 1) -> Chronon:
+        """Execute the next ``chronons`` chronons; returns the new now."""
+        if chronons < 0:
+            raise ExperimentError(f"cannot advance by {chronons}")
+        target = min(len(self.epoch), self._next_chronon + chronons)
+        while self._next_chronon < target:
+            t = self._next_chronon
+            self._monitor.step(t, self._pending.pop(t, ()))
+            self._next_chronon += 1
+        return self._next_chronon
+
+    def run_to_end(self) -> Chronon:
+        """Execute every remaining chronon."""
+        return self.advance(self.remaining)
+
+    # ------------------------------------------------------------------
+    # Live observation
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float | int]:
+        """Interim run statistics without disturbing the session.
+
+        Useful for dashboards polling a live session: how many CEIs have
+        been revealed, satisfied, failed, how many probes are spent, and
+        the proxy's believed completeness so far.
+        """
+        pool = self._monitor.pool
+        return {
+            "now": self._next_chronon,
+            "remaining": self.remaining,
+            "registered_ceis": pool.num_registered,
+            "satisfied_ceis": pool.num_satisfied,
+            "failed_ceis": pool.num_failed,
+            "open_ceis": pool.num_open,
+            "probes_used": self._monitor.probes_used,
+            "believed_completeness": self._monitor.believed_completeness,
+        }
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def build_profiles(self) -> ProfileSet:
+        """Everything submitted so far, one profile per client."""
+        profiles = ProfileSet()
+        for pid, name in enumerate(self.client_names):
+            profiles.add(Profile(pid=pid, ceis=list(self._clients[name])))
+        return profiles
+
+    def finish(self) -> ProxyRunResult:
+        """Run to the end (if needed) and score the session."""
+        self.run_to_end()
+        profiles = self.build_profiles()
+        schedule = self._monitor.schedule
+        report = evaluate_schedule(profiles, schedule)
+        clients = tuple(
+            client_report(name, profiles[pid], schedule)
+            for pid, name in enumerate(self.client_names)
+        )
+        return ProxyRunResult(
+            schedule=schedule,
+            report=report,
+            clients=clients,
+            probes_used=self._monitor.probes_used,
+        )

@@ -1,0 +1,41 @@
+"""Simulation environment: configuration, engine, runner, reporting."""
+
+from repro.sim.charts import bar_chart, chart_experiment, heatmap, line_chart, sparkline
+from repro.sim.config import PAPER_POLICIES, TABLE_I, ExperimentConfig
+from repro.sim.engine import (
+    SimulationResult,
+    policy_label,
+    simulate,
+    simulate_offline,
+)
+from repro.sim.grid import GridRunner, grid_to_csv, pivot
+from repro.sim.planning import budget_response_curve, minimum_budget_for
+from repro.sim.reporting import ascii_table, series_table, to_csv
+from repro.sim.runner import AggregateResult, child_rngs, run_suite, sweep
+
+__all__ = [
+    "AggregateResult",
+    "ExperimentConfig",
+    "GridRunner",
+    "PAPER_POLICIES",
+    "SimulationResult",
+    "TABLE_I",
+    "ascii_table",
+    "bar_chart",
+    "budget_response_curve",
+    "chart_experiment",
+    "grid_to_csv",
+    "heatmap",
+    "child_rngs",
+    "line_chart",
+    "minimum_budget_for",
+    "pivot",
+    "policy_label",
+    "run_suite",
+    "series_table",
+    "simulate",
+    "simulate_offline",
+    "sparkline",
+    "sweep",
+    "to_csv",
+]

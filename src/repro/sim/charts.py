@@ -1,0 +1,159 @@
+"""Dependency-free ASCII charts for experiment series.
+
+The benchmark harness emits tables; sometimes a curve's *shape* is the
+point (Figures 10-15 are all line plots).  These renderers draw small
+terminal charts so shapes can be eyeballed without a plotting stack:
+
+* :func:`line_chart` — multi-series line plot over a shared x axis;
+* :func:`bar_chart` — horizontal bars for categorical comparisons
+  (Figure 9's preemption bars, the policy panorama);
+* :func:`sparkline` — a one-line unicode summary of a series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.errors import ReproError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode rendering of a series."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high - low < 1e-12:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for value in values:
+        level = int((value - low) / (high - low) * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bars, one per label, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ReproError(
+            f"{len(labels)} labels but {len(values)} values for bar chart"
+        )
+    if not labels:
+        return title
+    label_width = max(len(label) for label in labels)
+    peak = max(values) if max(values) > 0 else 1.0
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """A multi-series ASCII line plot (each series gets a marker letter)."""
+    if not series:
+        return title
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ReproError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+    if len(x_values) < 2:
+        raise ReproError("a line chart needs at least two x values")
+
+    all_values = [v for values in series.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    if high - low < 1e-12:
+        high = low + 1.0
+
+    x_low, x_high = min(x_values), max(x_values)
+    x_span = (x_high - x_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(x_values, values):
+            column = int(round((x - x_low) / x_span * (width - 1)))
+            row = int(round((y - low) / (high - low) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines = [title] if title else []
+    lines.append(f"{high:>10.3f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{low:>10.3f} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"x: {x_low:g} .. {x_high:g}    " + "   ".join(legend)
+    )
+    return "\n".join(lines)
+
+
+_HEAT_LEVELS = " .:-=+*#%@"
+
+
+def heatmap(
+    rows: Sequence[object],
+    columns: Sequence[object],
+    matrix: Sequence[Sequence[float | None]],
+    title: str = "",
+    cell_width: int = 6,
+) -> str:
+    """Render a pivoted matrix as a shaded ASCII heatmap.
+
+    Designed to consume :func:`repro.sim.grid.pivot` output directly.
+    Each cell shows its value plus a density glyph; None cells are blank.
+    """
+    values = [v for row in matrix for v in row if v is not None]
+    low = min(values) if values else 0.0
+    high = max(values) if values else 1.0
+    span = (high - low) or 1.0
+
+    def shade(value: float) -> str:
+        level = int((value - low) / span * (len(_HEAT_LEVELS) - 1))
+        return _HEAT_LEVELS[level]
+
+    label_width = max((len(str(r)) for r in rows), default=1)
+    lines = [title] if title else []
+    header = " " * (label_width + 1) + "".join(
+        str(c).rjust(cell_width) for c in columns
+    )
+    lines.append(header)
+    for row_label, row in zip(rows, matrix):
+        cells = []
+        for value in row:
+            if value is None:
+                cells.append(" " * cell_width)
+            else:
+                cells.append(f"{shade(value)}{value:.2f}".rjust(cell_width))
+        lines.append(str(row_label).rjust(label_width) + " " + "".join(cells))
+    lines.append(f"scale: {low:.2f} '{_HEAT_LEVELS[0]}' .. {high:.2f} '{_HEAT_LEVELS[-1]}'")
+    return "\n".join(lines)
+
+
+def chart_experiment(result, x_column: str, y_columns: Sequence[str]) -> str:
+    """Line-chart selected columns of an ExperimentResult."""
+    x_values = [float(v) for v in result.series(x_column)]
+    series = {
+        column: [float(v) for v in result.series(column)] for column in y_columns
+    }
+    return line_chart(x_values, series, title=result.experiment)

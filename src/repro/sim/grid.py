@@ -1,0 +1,158 @@
+"""Factorial parameter grids over the Table I space.
+
+Section V-E: "We can adjust two parameter settings, namely the average
+updates intensity per resource (given by λ), and the number of profiles
+(m), to adjust the workload."  The paper sweeps one axis at a time;
+:class:`GridRunner` runs full factorial grids over any named parameters
+and collects long-format records (one dict per cell × policy), ready for
+pivoting into heatmaps or CSV export.
+
+Usage::
+
+    grid = GridRunner(
+        build=lambda params, rng: make_profiles(params["lam"], params["m"], rng),
+        epoch_for=lambda params: Epoch(500),
+        budget_for=lambda params: BudgetVector.constant(1, 500),
+        policies=[("MRSF", True), ("S-EDF", False)],
+    )
+    records = grid.run({"lam": [10, 20, 40], "m": [50, 100]}, repetitions=3)
+    table = pivot(records, row="lam", column="m", value="completeness",
+                  where={"policy": "MRSF(P)"})
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import ExperimentError
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.sim.engine import policy_label, simulate
+from repro.sim.runner import child_rngs
+
+#: One grid cell's parameters, by axis name.
+Params = dict[str, object]
+
+Builder = Callable[[Params, np.random.Generator], ProfileSet]
+
+
+class GridRunner:
+    """Run a policy lineup over every cell of a parameter grid."""
+
+    def __init__(
+        self,
+        build: Builder,
+        epoch_for: Callable[[Params], Epoch],
+        budget_for: Callable[[Params], BudgetVector],
+        policies: Sequence[tuple[str, bool]],
+    ) -> None:
+        if not policies:
+            raise ExperimentError("grid needs at least one policy")
+        self._build = build
+        self._epoch_for = epoch_for
+        self._budget_for = budget_for
+        self._policies = list(policies)
+
+    def run(
+        self,
+        axes: Mapping[str, Sequence[object]],
+        repetitions: int = 3,
+        seed: int = 0,
+    ) -> list[dict]:
+        """All cells × policies × repetitions, averaged per cell.
+
+        Returns long-format records with one dict per (cell, policy):
+        the axis values, ``policy``, mean ``completeness``, mean
+        ``msec_per_ei`` and the CEI count of the last repetition.
+        """
+        if not axes:
+            raise ExperimentError("grid needs at least one axis")
+        if repetitions <= 0:
+            raise ExperimentError(f"repetitions must be positive, got {repetitions}")
+        names = list(axes)
+        records: list[dict] = []
+        for offset, values in enumerate(itertools.product(*axes.values())):
+            params: Params = dict(zip(names, values))
+            epoch = self._epoch_for(params)
+            budget = self._budget_for(params)
+            sums = {label: [0.0, 0.0] for label in self._labels()}
+            num_ceis = 0
+            for rng in child_rngs(seed + offset, repetitions):
+                profiles = self._build(params, rng)
+                num_ceis = profiles.num_ceis
+                for name, preemptive in self._policies:
+                    result = simulate(
+                        profiles, epoch, budget, name, preemptive=preemptive
+                    )
+                    bucket = sums[result.label]
+                    bucket[0] += result.completeness
+                    bucket[1] += result.runtime.msec_per_ei
+            for label, (completeness_sum, msec_sum) in sums.items():
+                records.append(
+                    {
+                        **params,
+                        "policy": label,
+                        "completeness": completeness_sum / repetitions,
+                        "msec_per_ei": msec_sum / repetitions,
+                        "num_ceis": num_ceis,
+                    }
+                )
+        return records
+
+    def _labels(self) -> list[str]:
+        return [policy_label(name, preemptive) for name, preemptive in self._policies]
+
+
+def pivot(
+    records: Sequence[Mapping],
+    row: str,
+    column: str,
+    value: str,
+    where: Optional[Mapping[str, object]] = None,
+) -> tuple[list[object], list[object], list[list[Optional[float]]]]:
+    """Pivot long-format records into a (rows, columns, matrix) triple.
+
+    ``where`` filters records by exact field match first.  Cells with no
+    record are ``None``; duplicate cells raise (ambiguous pivot).
+    """
+    filtered = [
+        record
+        for record in records
+        if not where or all(record.get(k) == v for k, v in where.items())
+    ]
+
+    def axis_sorted(values: set) -> list:
+        # Numeric axes sort numerically; anything else falls back to str.
+        try:
+            return sorted(values)
+        except TypeError:
+            return sorted(values, key=str)
+
+    rows = axis_sorted({record[row] for record in filtered})
+    columns = axis_sorted({record[column] for record in filtered})
+    index = {(r, c): None for r in rows for c in columns}
+    for record in filtered:
+        key = (record[row], record[column])
+        if index[key] is not None:
+            raise ExperimentError(
+                f"ambiguous pivot: multiple records for {row}={key[0]}, "
+                f"{column}={key[1]} — add a 'where' filter"
+            )
+        index[key] = float(record[value])
+    matrix = [[index[(r, c)] for c in columns] for r in rows]
+    return rows, columns, matrix
+
+
+def grid_to_csv(records: Sequence[Mapping]) -> str:
+    """Long-format records as CSV text (column order from first record)."""
+    if not records:
+        return ""
+    headers = list(records[0].keys())
+    lines = [",".join(headers)]
+    for record in records:
+        lines.append(",".join(str(record.get(h, "")) for h in headers))
+    return "\n".join(lines) + "\n"

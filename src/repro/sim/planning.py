@@ -1,0 +1,102 @@
+"""Capacity planning: how much budget does a target completeness need?
+
+Figure 13 shows completeness rising steeply with the probing budget; the
+operational question is its inverse — "what is the smallest ``C`` that
+satisfies X% of my clients?".  :func:`minimum_budget_for` answers it by
+bisection over integer budgets, and :func:`budget_response_curve`
+tabulates the whole completeness-vs-budget curve for a workload factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.errors import ExperimentError
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.sim.engine import simulate
+from repro.sim.runner import child_rngs
+
+InstanceFactory = Callable[[np.random.Generator], ProfileSet]
+
+
+def _mean_completeness(
+    make_instance: InstanceFactory,
+    epoch: Epoch,
+    c: int,
+    policy: str,
+    repetitions: int,
+    seed: int,
+) -> float:
+    budget = BudgetVector.constant(float(c), len(epoch))
+    total = 0.0
+    for rng in child_rngs(seed, repetitions):
+        profiles = make_instance(rng)
+        total += simulate(profiles, epoch, budget, policy).completeness
+    return total / repetitions
+
+
+def minimum_budget_for(
+    make_instance: InstanceFactory,
+    epoch: Epoch,
+    target: float,
+    policy: str = "MRSF",
+    max_budget: int = 64,
+    repetitions: int = 3,
+    seed: int = 0,
+) -> tuple[int, float]:
+    """Smallest integer ``C`` with mean completeness >= ``target``.
+
+    Returns ``(budget, achieved_completeness)``.  Raises if even
+    ``max_budget`` cannot reach the target (the workload is then
+    fundamentally under-provisioned — e.g. noisy predictions put a
+    ceiling on completeness no budget can lift).
+    """
+    if not 0.0 < target <= 1.0:
+        raise ExperimentError(f"target must be in (0, 1], got {target}")
+    if max_budget < 1:
+        raise ExperimentError(f"max budget must be >= 1, got {max_budget}")
+
+    achieved_at_max = _mean_completeness(
+        make_instance, epoch, max_budget, policy, repetitions, seed
+    )
+    if achieved_at_max < target:
+        raise ExperimentError(
+            f"target {target:.0%} unreachable: C={max_budget} achieves only "
+            f"{achieved_at_max:.0%} (check prediction noise and deadlines)"
+        )
+
+    low, high = 1, max_budget
+    best = (max_budget, achieved_at_max)
+    while low <= high:
+        mid = (low + high) // 2
+        achieved = _mean_completeness(
+            make_instance, epoch, mid, policy, repetitions, seed
+        )
+        if achieved >= target:
+            best = (mid, achieved)
+            high = mid - 1
+        else:
+            low = mid + 1
+    return best
+
+
+def budget_response_curve(
+    make_instance: InstanceFactory,
+    epoch: Epoch,
+    budgets: Sequence[int],
+    policy: str = "MRSF",
+    repetitions: int = 3,
+    seed: int = 0,
+) -> list[tuple[int, float]]:
+    """Mean completeness at each budget — the Figure 13 curve on demand."""
+    return [
+        (
+            int(c),
+            _mean_completeness(make_instance, epoch, int(c), policy, repetitions, seed),
+        )
+        for c in budgets
+    ]

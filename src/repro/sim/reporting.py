@@ -1,0 +1,81 @@
+"""Plain-text reporting: ASCII tables and CSV series.
+
+The benchmark harness regenerates every paper table/figure as rows of
+text — the same series the paper plots — so results can be eyeballed and
+diffed without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats rounded, everything else via str()."""
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table with optional title."""
+    rendered = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(separator + "\n")
+    out.write(render_row(list(headers)) + "\n")
+    out.write(separator + "\n")
+    for row in rendered:
+        out.write(render_row(row) + "\n")
+    out.write(separator)
+    return out.getvalue()
+
+
+def series_table(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render one row per x value with one column per series.
+
+    This is the shape of every figure in the paper: an x-axis sweep with
+    one curve per policy.
+    """
+    headers = [x_name, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return ascii_table(headers, rows, title=title, precision=precision)
+
+
+def to_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], precision: int = 6
+) -> str:
+    """Render rows as CSV text (for piping results into other tools)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(format_value(cell, precision) for cell in row))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,123 @@
+"""Repeated-run orchestration: seeds, repetitions and aggregation.
+
+"We repeated each execution (offline/online) 10 times and recorded the
+average performances."  (paper Section V-A.3)
+
+Each repetition regenerates the problem instance from a child seed, then
+runs *every* policy on that same instance — exactly the paper's
+methodology of executing online and offline solutions on identical
+problem instances — and aggregates means and standard deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean, pstdev
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.sim.engine import SimulationResult, policy_label, simulate, simulate_offline
+
+#: A problem-instance factory: child RNG -> profile set.
+InstanceFactory = Callable[[np.random.Generator], ProfileSet]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateResult:
+    """Mean/stdev statistics of one policy over the repetitions."""
+
+    label: str
+    completeness_mean: float
+    completeness_std: float
+    msec_per_ei_mean: float
+    probes_mean: float
+    repetitions: int
+
+    @classmethod
+    def from_runs(cls, label: str, runs: Sequence[SimulationResult]) -> "AggregateResult":
+        completenesses = [run.completeness for run in runs]
+        return cls(
+            label=label,
+            completeness_mean=fmean(completenesses),
+            completeness_std=pstdev(completenesses) if len(runs) > 1 else 0.0,
+            msec_per_ei_mean=fmean(run.runtime.msec_per_ei for run in runs),
+            probes_mean=fmean(run.probes_used for run in runs),
+            repetitions=len(runs),
+        )
+
+
+def child_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """``count`` independent generators derived from one master seed."""
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def run_suite(
+    make_instance: InstanceFactory,
+    epoch: Epoch,
+    budget: BudgetVector,
+    policies: Sequence[tuple[str, bool]],
+    repetitions: int = 10,
+    seed: int = 0,
+    include_offline: bool = False,
+    offline_max_combinations: int = 100_000,
+) -> dict[str, AggregateResult]:
+    """Run each policy ``repetitions`` times on shared problem instances.
+
+    ``policies`` is a sequence of ``(registry_name, preemptive)`` pairs.
+    With ``include_offline`` the local-ratio baseline joins the lineup
+    under the label ``"OFFLINE-LR"``.
+    """
+    runs: dict[str, list[SimulationResult]] = {
+        policy_label(name, preemptive): [] for name, preemptive in policies
+    }
+    if include_offline:
+        runs["OFFLINE-LR"] = []
+
+    for rng in child_rngs(seed, repetitions):
+        profiles = make_instance(rng)
+        for name, preemptive in policies:
+            label = policy_label(name, preemptive)
+            runs[label].append(
+                simulate(profiles, epoch, budget, name, preemptive=preemptive)
+            )
+        if include_offline:
+            runs["OFFLINE-LR"].append(
+                simulate_offline(
+                    profiles, epoch, budget, max_combinations=offline_max_combinations
+                )
+            )
+
+    return {
+        label: AggregateResult.from_runs(label, results)
+        for label, results in runs.items()
+    }
+
+
+def sweep(
+    values: Sequence,
+    make_instance_for: Callable[[object], InstanceFactory],
+    epoch_for: Callable[[object], Epoch],
+    budget_for: Callable[[object], BudgetVector],
+    policies: Sequence[tuple[str, bool]],
+    repetitions: int = 10,
+    seed: int = 0,
+    include_offline: bool = False,
+) -> dict[object, dict[str, AggregateResult]]:
+    """Run a suite at every point of a one-dimensional parameter sweep."""
+    results: dict[object, dict[str, AggregateResult]] = {}
+    for offset, value in enumerate(values):
+        results[value] = run_suite(
+            make_instance=make_instance_for(value),
+            epoch=epoch_for(value),
+            budget=budget_for(value),
+            policies=policies,
+            repetitions=repetitions,
+            seed=seed + offset,
+            include_offline=include_offline,
+        )
+    return results

@@ -1,0 +1,54 @@
+"""Update-event traces: synthetic Poisson, simulated auctions/news, noise."""
+
+from repro.traces.auctions import (
+    PAPER_NUM_AUCTIONS,
+    PAPER_TOTAL_BIDS,
+    AuctionInfo,
+    AuctionTrace,
+    simulate_auction_trace,
+)
+from repro.traces.events import EventStream, TraceBundle
+from repro.traces.news import (
+    PAPER_DIURNAL_PERIODS,
+    PAPER_FEED_SKEW,
+    PAPER_NUM_FEEDS,
+    PAPER_TOTAL_EVENTS,
+    NewsTrace,
+    simulate_news_trace,
+)
+from repro.traces.noise import FPNModel, PredictedEvent, perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.traces.stats import (
+    StreamStats,
+    TraceStats,
+    dominant_period,
+    intensity_profile,
+    stream_stats,
+    trace_stats,
+)
+
+__all__ = [
+    "PAPER_DIURNAL_PERIODS",
+    "PAPER_FEED_SKEW",
+    "PAPER_NUM_AUCTIONS",
+    "PAPER_NUM_FEEDS",
+    "PAPER_TOTAL_BIDS",
+    "PAPER_TOTAL_EVENTS",
+    "AuctionInfo",
+    "AuctionTrace",
+    "EventStream",
+    "FPNModel",
+    "NewsTrace",
+    "PredictedEvent",
+    "StreamStats",
+    "TraceBundle",
+    "TraceStats",
+    "dominant_period",
+    "intensity_profile",
+    "perfect_predictions",
+    "poisson_trace",
+    "stream_stats",
+    "simulate_auction_trace",
+    "simulate_news_trace",
+    "trace_stats",
+]

@@ -1,0 +1,157 @@
+"""Simulated eBay auction trace.
+
+The paper's first real-world trace: "732 eBay 3-day auctions with a total
+of 11150 bids for Intel, IBM, and Dell laptop computers, obtained from an
+RSS feed for a search query on eBay" (Section V-A.1).  That feed is long
+gone; we substitute a seeded generator that reproduces the trace's
+aggregate statistics, which are what the scheduling problem actually
+consumes:
+
+* **732 auctions** (one resource each), **~11,150 bids** in total;
+* every auction lives **3 days** inside the collection window — we map
+  the window onto the epoch so each auction occupies a contiguous
+  ``lifetime_fraction`` of the chronons, with staggered start times;
+* bid arrivals are **bursty toward the deadline** (auction sniping): a
+  fraction of each auction's bids lands in the final stretch of its
+  lifetime, producing the deadline-clustered contention that makes the
+  monitoring problem hard;
+* per-auction popularity is **heterogeneous** (lognormal multipliers), so
+  some auctions get dozens of bids and others only a couple.
+
+Each generated auction is guaranteed at least one bid (an auction with no
+bids would generate no CEIs and merely dilute statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import TraceError
+from repro.core.timebase import Epoch
+from repro.traces.events import TraceBundle
+
+#: Aggregates of the original trace, used as generator defaults.
+PAPER_NUM_AUCTIONS = 732
+PAPER_TOTAL_BIDS = 11_150
+
+
+@dataclass(frozen=True, slots=True)
+class AuctionInfo:
+    """Lifetime metadata of one simulated auction."""
+
+    resource: int
+    open_chronon: int
+    close_chronon: int
+
+    @property
+    def lifetime(self) -> int:
+        return self.close_chronon - self.open_chronon + 1
+
+
+@dataclass(slots=True)
+class AuctionTrace:
+    """A simulated auction trace: bid events plus auction lifetimes."""
+
+    bundle: TraceBundle
+    auctions: list[AuctionInfo]
+
+    @property
+    def num_auctions(self) -> int:
+        return len(self.auctions)
+
+    @property
+    def total_bids(self) -> int:
+        return self.bundle.total_events
+
+
+def simulate_auction_trace(
+    epoch: Epoch,
+    rng: np.random.Generator,
+    num_auctions: int = PAPER_NUM_AUCTIONS,
+    total_bids: int = PAPER_TOTAL_BIDS,
+    lifetime_fraction: float = 0.35,
+    sniping_fraction: float = 0.4,
+    sniping_window: float = 0.1,
+    popularity_sigma: float = 0.7,
+) -> AuctionTrace:
+    """Generate a synthetic stand-in for the paper's eBay trace.
+
+    Parameters
+    ----------
+    epoch:
+        The monitoring epoch the collection window is mapped onto.
+    rng:
+        Seeded generator.
+    num_auctions, total_bids:
+        Aggregate targets; defaults match the paper's trace.
+    lifetime_fraction:
+        Fraction of the epoch each 3-day auction spans.
+    sniping_fraction:
+        Fraction of each auction's bids concentrated near its close.
+    sniping_window:
+        Fraction of the lifetime (at the end) that receives the sniped bids.
+    popularity_sigma:
+        Lognormal sigma of per-auction popularity multipliers.
+    """
+    if num_auctions <= 0:
+        raise TraceError(f"need at least one auction, got {num_auctions}")
+    if total_bids < num_auctions:
+        raise TraceError(
+            f"total bids ({total_bids}) must cover one bid per auction "
+            f"({num_auctions})"
+        )
+    if not 0.0 < lifetime_fraction <= 1.0:
+        raise TraceError(f"lifetime fraction must be in (0, 1], got {lifetime_fraction}")
+    if not 0.0 <= sniping_fraction <= 1.0:
+        raise TraceError(f"sniping fraction must be in [0, 1], got {sniping_fraction}")
+    if not 0.0 < sniping_window <= 1.0:
+        raise TraceError(f"sniping window must be in (0, 1], got {sniping_window}")
+
+    k = len(epoch)
+    lifetime = max(2, int(round(k * lifetime_fraction)))
+    lifetime = min(lifetime, k)
+
+    # Heterogeneous popularity, normalized to hit the total bid budget.
+    popularity = rng.lognormal(mean=0.0, sigma=popularity_sigma, size=num_auctions)
+    popularity = popularity / popularity.sum()
+    extra_bids = total_bids - num_auctions  # one guaranteed bid per auction
+    extra_counts = rng.multinomial(extra_bids, popularity)
+
+    events: dict[int, list[int]] = {}
+    auctions: list[AuctionInfo] = []
+    for rid in range(num_auctions):
+        open_chronon = int(rng.integers(0, max(1, k - lifetime + 1)))
+        close_chronon = min(k - 1, open_chronon + lifetime - 1)
+        span = close_chronon - open_chronon + 1
+
+        count = 1 + int(extra_counts[rid])
+        snipe_count = int(round(count * sniping_fraction))
+        base_count = count - snipe_count
+
+        snipe_start = close_chronon - max(1, int(round(span * sniping_window))) + 1
+        snipe_start = max(open_chronon, snipe_start)
+
+        offsets: list[int] = []
+        if base_count:
+            offsets.extend(
+                int(c) for c in rng.integers(open_chronon, close_chronon + 1, base_count)
+            )
+        if snipe_count:
+            offsets.extend(
+                int(c) for c in rng.integers(snipe_start, close_chronon + 1, snipe_count)
+            )
+        # Collapse same-chronon bids: a probe retrieves all of a chronon's
+        # bids at once, so duplicate chronons carry no scheduling signal.
+        distinct = sorted(set(offsets))
+        if not distinct:
+            distinct = [close_chronon]
+        events[rid] = distinct
+        auctions.append(
+            AuctionInfo(
+                resource=rid, open_chronon=open_chronon, close_chronon=close_chronon
+            )
+        )
+
+    return AuctionTrace(bundle=TraceBundle.from_mapping(events), auctions=auctions)

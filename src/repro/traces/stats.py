@@ -1,0 +1,158 @@
+"""Trace statistics: the numbers update models and planners feed on.
+
+The paper motivates its setting with feed statistics ("55% of Web feeds
+are updated hourly", Section II).  This module computes the equivalent
+statistics of any trace:
+
+* per-resource and aggregate update rates;
+* inter-arrival summaries (mean/median gap, coefficient of variation —
+  CV > 1 means bursty, CV ≈ 1 Poisson-like, CV < 1 regular);
+* a *burstiness index* (Fano factor of binned counts);
+* the empirical time-of-epoch intensity profile, which exposes diurnal
+  cycles (:func:`intensity_profile`) and the dominant cycle count
+  (:func:`dominant_period`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import TraceError
+from repro.core.timebase import Epoch
+from repro.traces.events import EventStream, TraceBundle
+
+
+@dataclass(frozen=True, slots=True)
+class StreamStats:
+    """Summary statistics of one resource's update stream."""
+
+    num_events: int
+    rate: float  # events per chronon
+    mean_gap: float
+    median_gap: float
+    gap_cv: float  # coefficient of variation of inter-arrival gaps
+
+    @property
+    def is_bursty(self) -> bool:
+        """CV noticeably above 1 signals bursty (clustered) updates."""
+        return self.gap_cv > 1.2
+
+
+def stream_stats(stream: EventStream, epoch: Epoch) -> StreamStats:
+    """Summarize one event stream over an epoch."""
+    chronons = np.asarray(stream.chronons, dtype=float)
+    count = chronons.size
+    rate = count / len(epoch)
+    if count < 2:
+        return StreamStats(
+            num_events=int(count),
+            rate=rate,
+            mean_gap=float(len(epoch)),
+            median_gap=float(len(epoch)),
+            gap_cv=0.0,
+        )
+    gaps = np.diff(chronons)
+    mean_gap = float(gaps.mean())
+    cv = float(gaps.std() / mean_gap) if mean_gap > 0 else 0.0
+    return StreamStats(
+        num_events=int(count),
+        rate=rate,
+        mean_gap=mean_gap,
+        median_gap=float(np.median(gaps)),
+        gap_cv=cv,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStats:
+    """Aggregate statistics of a whole trace bundle."""
+
+    num_resources: int
+    total_events: int
+    mean_rate: float
+    rate_cv: float  # across-resource rate inequality
+    mean_gap_cv: float  # average within-resource burstiness
+    fano_factor: float  # variance/mean of binned aggregate counts
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Do resources differ strongly in activity (rate CV > 0.5)?"""
+        return self.rate_cv > 0.5
+
+
+def trace_stats(bundle: TraceBundle, epoch: Epoch, bins: int = 20) -> TraceStats:
+    """Summarize a trace bundle over an epoch."""
+    if bins <= 0:
+        raise TraceError(f"need at least one bin, got {bins}")
+    if not bundle.streams:
+        return TraceStats(
+            num_resources=0, total_events=0, mean_rate=0.0,
+            rate_cv=0.0, mean_gap_cv=0.0, fano_factor=0.0,
+        )
+    per_stream = [
+        stream_stats(bundle.stream(rid), epoch) for rid in bundle.resources
+    ]
+    rates = np.asarray([s.rate for s in per_stream])
+    gap_cvs = np.asarray([s.gap_cv for s in per_stream if s.num_events >= 2])
+
+    counts = np.zeros(bins)
+    for rid in bundle.resources:
+        for chronon in bundle.stream(rid):
+            index = min(bins - 1, int(chronon * bins / len(epoch)))
+            counts[index] += 1
+    mean_count = counts.mean()
+    fano = float(counts.var() / mean_count) if mean_count > 0 else 0.0
+
+    return TraceStats(
+        num_resources=len(bundle),
+        total_events=bundle.total_events,
+        mean_rate=float(rates.mean()),
+        rate_cv=float(rates.std() / rates.mean()) if rates.mean() > 0 else 0.0,
+        mean_gap_cv=float(gap_cvs.mean()) if gap_cvs.size else 0.0,
+        fano_factor=fano,
+    )
+
+
+def intensity_profile(
+    bundle: TraceBundle, epoch: Epoch, bins: int = 48
+) -> np.ndarray:
+    """Aggregate events per bin, normalized to mean 1 (the demand shape)."""
+    if bins <= 0:
+        raise TraceError(f"need at least one bin, got {bins}")
+    counts = np.zeros(bins)
+    for rid in bundle.resources:
+        for chronon in bundle.stream(rid):
+            index = min(bins - 1, int(chronon * bins / len(epoch)))
+            counts[index] += 1
+    mean = counts.mean()
+    if mean == 0:
+        return counts
+    return counts / mean
+
+
+def dominant_period(
+    bundle: TraceBundle, epoch: Epoch, bins: int = 240
+) -> int:
+    """The dominant cycle count of the aggregate intensity (0 if none).
+
+    Returns how many cycles of the strongest periodic component fit into
+    the epoch, found from the discrete Fourier spectrum of the binned
+    intensity.  A diurnally-modulated two-month trace returns ~60; a
+    homogeneous trace returns 0 (no component clears the noise floor).
+    """
+    profile = intensity_profile(bundle, epoch, bins=bins)
+    if profile.sum() == 0:
+        return 0
+    centered = profile - profile.mean()
+    spectrum = np.abs(np.fft.rfft(centered))
+    if spectrum.size <= 1:
+        return 0
+    spectrum[0] = 0.0
+    peak = int(np.argmax(spectrum))
+    # Significance: the peak must clearly dominate the median component.
+    noise_floor = np.median(spectrum[1:])
+    if noise_floor <= 0 or spectrum[peak] < 6.0 * noise_floor:
+        return 0
+    return peak

@@ -1,0 +1,48 @@
+"""Workload generation: Zipf samplers, profile templates, 2-stage generator."""
+
+from repro.workloads.generator import (
+    GeneratorSpec,
+    assign_random_weights,
+    generate_profiles,
+)
+from repro.workloads.templates import (
+    LengthKind,
+    LengthRule,
+    arbitrage_ceis,
+    build_ei,
+    crossing_ceis,
+    periodic_ceis,
+)
+from repro.workloads.validators import (
+    ValidationReport,
+    Violation,
+    check_distinct_resources_per_cei,
+    check_fixed_rank,
+    check_no_intra_resource_overlap,
+    check_unit_widths,
+    check_within_epoch,
+    validate_instance,
+)
+from repro.workloads.zipfs import ZipfSampler, zipf_probabilities
+
+__all__ = [
+    "GeneratorSpec",
+    "LengthKind",
+    "LengthRule",
+    "ValidationReport",
+    "Violation",
+    "ZipfSampler",
+    "check_distinct_resources_per_cei",
+    "check_fixed_rank",
+    "check_no_intra_resource_overlap",
+    "check_unit_widths",
+    "check_within_epoch",
+    "arbitrage_ceis",
+    "assign_random_weights",
+    "build_ei",
+    "crossing_ceis",
+    "generate_profiles",
+    "periodic_ceis",
+    "validate_instance",
+    "zipf_probabilities",
+]

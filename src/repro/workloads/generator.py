@@ -1,0 +1,169 @@
+"""Two-stage Zipf profile generation (paper Section V-A.2).
+
+"We generated up to m profile instances from a template using a 2-stage
+process and 2 Zipf distributions":
+
+1. the *rank* of each profile instance is drawn from ``Zipf(β, k)`` — β=0
+   is uniform over ``[1, k]``; positive β produces more low-rank profiles
+   (intra-user complexity variance);
+2. given a rank, the profile's resources are drawn from ``Zipf(α, n)`` —
+   α=0 is uniform; positive α skews toward "popular" resources (α ≈ 1.37
+   was estimated for web feeds in [5]), which concentrates EIs on few
+   resources and creates intra-resource overlap across profiles.
+
+Figure 10 additionally requires *fixed*-rank instances ("if rank = 3 then
+all CEIs ... have exactly 3 EIs") and *distinct* resources per CEI (to
+avoid intra-resource overlap); both knobs are exposed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.core.profile import Profile, ProfileSet
+from repro.core.resource import ResourceId
+from repro.core.timebase import Epoch
+from repro.traces.noise import PredictedEvent
+from repro.workloads.templates import LengthRule, crossing_ceis
+from repro.workloads.zipfs import ZipfSampler
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorSpec:
+    """Knobs of the 2-stage generation process (defaults = Table I)."""
+
+    num_profiles: int
+    rank_max: int
+    alpha: float = 0.3  # inter-user resource-popularity skew
+    beta: float = 0.0  # intra-user rank variance
+    fixed_rank: Optional[int] = None  # force every profile to this rank
+    distinct_resources: bool = True  # each CEI's EIs on distinct resources
+    exclusive_resources: bool = False  # no resource shared across profiles
+    max_ceis_per_profile: Optional[int] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_profiles <= 0:
+            raise WorkloadError(
+                f"need at least one profile, got {self.num_profiles}"
+            )
+        if self.rank_max <= 0:
+            raise WorkloadError(f"rank_max must be positive, got {self.rank_max}")
+        if self.fixed_rank is not None and not 1 <= self.fixed_rank <= self.rank_max:
+            raise WorkloadError(
+                f"fixed rank {self.fixed_rank} outside [1, {self.rank_max}]"
+            )
+        if self.alpha < 0 or self.beta < 0:
+            raise WorkloadError("Zipf exponents must be >= 0")
+
+
+def generate_profiles(
+    predictions: dict[ResourceId, list[PredictedEvent]],
+    epoch: Epoch,
+    spec: GeneratorSpec,
+    rule: LengthRule,
+    rng: np.random.Generator,
+) -> ProfileSet:
+    """Instantiate ``spec.num_profiles`` crossing profiles from a trace.
+
+    ``predictions`` maps each resource to its (possibly noisy) predicted
+    event stream — use :func:`repro.traces.noise.perfect_predictions` for
+    a noiseless run.  Resources with no events are never chosen (their
+    crossings could produce zero CEIs).
+    """
+    eligible = sorted(rid for rid, events in predictions.items() if events)
+    if not eligible:
+        raise WorkloadError("no resource has any predicted event")
+
+    rank_cap = min(spec.rank_max, len(eligible)) if spec.distinct_resources else spec.rank_max
+    if rank_cap < 1:
+        raise WorkloadError("not enough eligible resources for any profile")
+    if spec.fixed_rank is not None and spec.fixed_rank > rank_cap:
+        raise WorkloadError(
+            f"fixed rank {spec.fixed_rank} exceeds eligible resources ({rank_cap})"
+        )
+
+    rank_sampler = ZipfSampler(spec.beta, rank_cap, rng)
+    resource_sampler = ZipfSampler(spec.alpha, len(eligible), rng)
+    unclaimed = list(eligible)  # for exclusive (no-overlap) assignment
+
+    profiles = ProfileSet()
+    for pid in range(spec.num_profiles):
+        if spec.fixed_rank is not None:
+            rank = spec.fixed_rank
+        else:
+            rank = rank_sampler.sample()
+        if spec.exclusive_resources:
+            # Globally exclusive assignment removes every intra-resource
+            # overlap across profiles (the Figure 10 requirement).
+            if rank > len(unclaimed):
+                raise WorkloadError(
+                    f"profile {pid} needs {rank} exclusive resources but only "
+                    f"{len(unclaimed)} remain unclaimed"
+                )
+            picks = rng.choice(len(unclaimed), size=rank, replace=False)
+            chosen = [unclaimed[i] for i in sorted(int(p) for p in picks)]
+            claimed = set(chosen)
+            unclaimed = [rid for rid in unclaimed if rid not in claimed]
+        elif spec.distinct_resources:
+            indices = resource_sampler.sample_distinct(rank)
+            chosen = [eligible[i - 1] for i in indices]
+        else:
+            indices = [int(v) for v in resource_sampler.sample_many(rank)]
+            chosen = [eligible[i - 1] for i in indices]
+        ceis = crossing_ceis(
+            chosen=chosen,
+            predictions=predictions,
+            rule=rule,
+            epoch=epoch,
+            max_ceis=spec.max_ceis_per_profile,
+            weight=spec.weight,
+        )
+        profiles.add(Profile(pid=pid, ceis=ceis))
+    return profiles
+
+
+def assign_random_weights(
+    profiles: ProfileSet,
+    rng: np.random.Generator,
+    low: float = 0.5,
+    high: float = 2.0,
+) -> ProfileSet:
+    """Rebuild a profile set with uniform-random CEI utilities.
+
+    Used by the utility-weighted ablation (paper Section VII future
+    work); EIs are copied so the original set is left untouched.
+    """
+    from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+
+    if low <= 0 or high < low:
+        raise WorkloadError(f"need 0 < low <= high, got [{low}, {high}]")
+    rebuilt = ProfileSet()
+    for profile in profiles:
+        ceis = []
+        for cei in profile:
+            weight = float(rng.uniform(low, high))
+            eis = tuple(
+                ExecutionInterval(
+                    resource=ei.resource,
+                    start=ei.start,
+                    finish=ei.finish,
+                    true_start=ei.true_start,
+                    true_finish=ei.true_finish,
+                )
+                for ei in cei.eis
+            )
+            ceis.append(
+                ComplexExecutionInterval(
+                    eis=eis,
+                    semantics=cei.semantics,
+                    required=cei.required,
+                    weight=weight,
+                )
+            )
+        rebuilt.add(Profile(pid=profile.pid, ceis=ceis))
+    return rebuilt

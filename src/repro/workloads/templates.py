@@ -1,0 +1,238 @@
+"""Profile templates: turning event traces into CEIs.
+
+The paper specifies complex user needs through *profile templates*
+(Section V-A.2).  "AuctionWatch(k)" monitors the prices of k auctions and
+notifies the user after a new bid is posted in all k auctions; the length
+of each EI is either **overwrite** (deliver the bid before the next one
+overwrites it) or **window(w)** (deliver within w chronons of posting).
+
+This module provides
+
+* :class:`LengthRule` — the window(w) / overwrite EI-length semantics;
+* :func:`build_ei` — one EI from one (possibly noisy) predicted event;
+* :func:`crossing_ceis` — the generic stream-crossing template: CEI ``j``
+  combines the ``j``-th event of each chosen resource (AuctionWatch and
+  the news mashups are instances of this);
+* :func:`arbitrage_ceis` — the Example 1/3 template: a trigger stream's
+  events open short simultaneous windows on the other streams;
+* :func:`periodic_ceis` — Example 2's q1: a pull every ``period`` chronons
+  with a slack window, optionally expanding (keyword hit) into a
+  conditional mashup over extra resources.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import WorkloadError
+from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+from repro.core.resource import ResourceId
+from repro.core.timebase import Epoch
+from repro.traces.noise import PredictedEvent
+
+
+class LengthKind(enum.Enum):
+    """How the EI window length is determined (paper Section V-A.2)."""
+
+    WINDOW = "window"
+    OVERWRITE = "overwrite"
+
+
+@dataclass(frozen=True, slots=True)
+class LengthRule:
+    """EI length semantics: ``window(w)`` or ``overwrite``."""
+
+    kind: LengthKind
+    w: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is LengthKind.WINDOW and self.w < 0:
+            raise WorkloadError(f"window length must be >= 0, got {self.w}")
+
+    @classmethod
+    def window(cls, w: int) -> "LengthRule":
+        """Deliver within ``w`` chronons of the event (w=0: immediately)."""
+        return cls(kind=LengthKind.WINDOW, w=w)
+
+    @classmethod
+    def overwrite(cls) -> "LengthRule":
+        """Deliver before the next event overwrites the published item."""
+        return cls(kind=LengthKind.OVERWRITE)
+
+
+def build_ei(
+    resource: ResourceId,
+    events: Sequence[PredictedEvent],
+    index: int,
+    rule: LengthRule,
+    epoch: Epoch,
+) -> ExecutionInterval:
+    """Build the EI for the ``index``-th event of ``resource``.
+
+    The *scheduling* window is derived from predicted event chronons and
+    the *true* window from real ones, so a noisy model yields EIs that can
+    miss their events — exactly the Section V-H methodology.
+    """
+    if not 0 <= index < len(events):
+        raise WorkloadError(
+            f"event index {index} out of range for resource {resource} "
+            f"({len(events)} events)"
+        )
+    event = events[index]
+    predicted = epoch.clamp(event.predicted_chronon)
+    true = epoch.clamp(event.true_chronon)
+
+    if rule.kind is LengthKind.WINDOW:
+        finish = epoch.clamp(predicted + rule.w)
+        true_finish = epoch.clamp(true + rule.w)
+    else:
+        if index + 1 < len(events):
+            next_predicted = epoch.clamp(events[index + 1].predicted_chronon)
+            next_true = epoch.clamp(events[index + 1].true_chronon)
+            # Noise can reorder predictions; keep windows non-degenerate.
+            finish = max(predicted, next_predicted - 1)
+            true_finish = max(true, next_true - 1)
+        else:
+            finish = epoch.last
+            true_finish = epoch.last
+    return ExecutionInterval(
+        resource=resource,
+        start=predicted,
+        finish=max(predicted, finish),
+        true_start=true,
+        true_finish=max(true, true_finish),
+    )
+
+
+def crossing_ceis(
+    chosen: Sequence[ResourceId],
+    predictions: dict[ResourceId, list[PredictedEvent]],
+    rule: LengthRule,
+    epoch: Epoch,
+    max_ceis: Optional[int] = None,
+    weight: float = 1.0,
+) -> list[ComplexExecutionInterval]:
+    """The generic stream-crossing template (AuctionWatch(k) and kin).
+
+    CEI ``j`` combines the ``j``-th event of every chosen resource; the
+    number of CEIs is the minimum event count over the chosen resources
+    (a stream with no further events can never complete the crossing).
+    """
+    if not chosen:
+        raise WorkloadError("a crossing profile needs at least one resource")
+    counts = []
+    for rid in chosen:
+        events = predictions.get(rid)
+        if events is None:
+            raise WorkloadError(f"no predictions for resource {rid}")
+        counts.append(len(events))
+    num = min(counts)
+    if max_ceis is not None:
+        num = min(num, max_ceis)
+    ceis: list[ComplexExecutionInterval] = []
+    for j in range(num):
+        eis = tuple(
+            build_ei(rid, predictions[rid], j, rule, epoch) for rid in chosen
+        )
+        ceis.append(ComplexExecutionInterval(eis=eis, weight=weight))
+    return ceis
+
+
+def arbitrage_ceis(
+    trigger: ResourceId,
+    followers: Sequence[ResourceId],
+    predictions: dict[ResourceId, list[PredictedEvent]],
+    epoch: Epoch,
+    trigger_slack: int = 0,
+    follower_slack: int = 1,
+    max_ceis: Optional[int] = None,
+    weight: float = 1.0,
+) -> list[ComplexExecutionInterval]:
+    """The arbitrage template (paper Example 1 / Example 3).
+
+    Every event on the ``trigger`` stream (e.g. a stock-exchange push)
+    opens one CEI: the trigger itself must be crossed within
+    ``trigger_slack`` chronons, and every follower stream (futures,
+    currency...) within ``follower_slack`` chronons of the same moment,
+    so the proxy sees all markets with overlapping time reference.
+    Follower EIs are *temporal* windows — they do not depend on follower
+    events, only on the trigger's timing.
+    """
+    events = predictions.get(trigger)
+    if events is None:
+        raise WorkloadError(f"no predictions for trigger resource {trigger}")
+    ceis: list[ComplexExecutionInterval] = []
+    limit = len(events) if max_ceis is None else min(len(events), max_ceis)
+    for j in range(limit):
+        event = events[j]
+        predicted = epoch.clamp(event.predicted_chronon)
+        true = epoch.clamp(event.true_chronon)
+        eis = [
+            ExecutionInterval(
+                resource=trigger,
+                start=predicted,
+                finish=epoch.clamp(predicted + trigger_slack),
+                true_start=true,
+                true_finish=epoch.clamp(true + trigger_slack),
+            )
+        ]
+        for follower in followers:
+            eis.append(
+                ExecutionInterval(
+                    resource=follower,
+                    start=predicted,
+                    finish=epoch.clamp(predicted + follower_slack),
+                    true_start=true,
+                    true_finish=epoch.clamp(true + follower_slack),
+                )
+            )
+        ceis.append(ComplexExecutionInterval(eis=tuple(eis), weight=weight))
+    return ceis
+
+
+def periodic_ceis(
+    primary: ResourceId,
+    epoch: Epoch,
+    period: int,
+    slack: int,
+    conditional: Sequence[ResourceId] = (),
+    conditional_slack: int = 0,
+    trigger_chronons: Optional[set[int]] = None,
+    weight: float = 1.0,
+) -> list[ComplexExecutionInterval]:
+    """The periodic-pull template (paper Example 2 / Figure 4).
+
+    Probes ``primary`` every ``period`` chronons with ``slack`` chronons
+    of delay tolerance (q1).  When the pull lands on a *trigger* chronon
+    (e.g. the blog post contains "%oil%"), the CEI additionally crosses
+    the ``conditional`` resources within ``conditional_slack`` chronons
+    (q2, q3) — those CEIs have rank ``1 + len(conditional)``; the rest
+    have rank 1, reproducing Figure 4's mixed-rank stream.
+    """
+    if period <= 0:
+        raise WorkloadError(f"period must be positive, got {period}")
+    if slack < 0 or conditional_slack < 0:
+        raise WorkloadError("slack values must be >= 0")
+    triggers = trigger_chronons or set()
+    ceis: list[ComplexExecutionInterval] = []
+    for start in range(0, len(epoch), period):
+        eis = [
+            ExecutionInterval(
+                resource=primary,
+                start=start,
+                finish=epoch.clamp(start + slack),
+            )
+        ]
+        if start in triggers:
+            for rid in conditional:
+                eis.append(
+                    ExecutionInterval(
+                        resource=rid,
+                        start=start,
+                        finish=epoch.clamp(start + conditional_slack),
+                    )
+                )
+        ceis.append(ComplexExecutionInterval(eis=tuple(eis), weight=weight))
+    return ceis

@@ -1,0 +1,160 @@
+"""Workload validators: check instances against structural assumptions.
+
+The paper's theoretical results hold only under structural conditions —
+no intra-resource overlap (Props. 1, 2 and the offline ratio), unit
+widths (Prop. 3), fixed rank (the Figure 10 upper bound).  These
+validators make the conditions explicit and diagnosable: each returns
+the list of violations (empty = valid), and :func:`validate_instance`
+bundles them into a single report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.intervals import ExecutionInterval
+from repro.core.profile import ProfileSet
+from repro.core.timebase import Epoch
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One structural violation, with enough context to locate it."""
+
+    rule: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.rule}] {self.message}"
+
+
+def check_within_epoch(profiles: ProfileSet, epoch: Epoch) -> list[Violation]:
+    """Every EI window (scheduling and true) must fit inside the epoch."""
+    violations = []
+    for cei in profiles.ceis():
+        for ei in cei.eis:
+            assert ei.true_finish is not None
+            if ei.finish not in epoch or ei.true_finish not in epoch:
+                violations.append(
+                    Violation(
+                        rule="within-epoch",
+                        message=f"CEI {cei.cid}: EI on r{ei.resource} ends at "
+                        f"{max(ei.finish, ei.true_finish)} outside epoch of "
+                        f"{len(epoch)}",
+                    )
+                )
+    return violations
+
+
+def check_no_intra_resource_overlap(profiles: ProfileSet) -> list[Violation]:
+    """No two EIs on one resource may share a chronon (Props. 1/2 setting)."""
+    by_resource: dict[int, list[ExecutionInterval]] = {}
+    for ei in profiles.eis():
+        by_resource.setdefault(ei.resource, []).append(ei)
+    violations = []
+    for resource, eis in by_resource.items():
+        eis.sort(key=lambda e: (e.start, e.finish))
+        for left, right in zip(eis, eis[1:]):
+            if left.overlaps(right):
+                violations.append(
+                    Violation(
+                        rule="no-intra-resource-overlap",
+                        message=f"r{resource}: [{left.start},{left.finish}] "
+                        f"overlaps [{right.start},{right.finish}]",
+                    )
+                )
+    return violations
+
+
+def check_unit_widths(profiles: ProfileSet) -> list[Violation]:
+    """Every EI must span exactly one chronon (the P^[1] class)."""
+    violations = []
+    for cei in profiles.ceis():
+        for ei in cei.eis:
+            if not ei.is_unit:
+                violations.append(
+                    Violation(
+                        rule="unit-widths",
+                        message=f"CEI {cei.cid}: EI on r{ei.resource} spans "
+                        f"{ei.length} chronons",
+                    )
+                )
+    return violations
+
+
+def check_fixed_rank(profiles: ProfileSet, rank: int) -> list[Violation]:
+    """Every CEI must have exactly ``rank`` EIs (the Figure 10 family)."""
+    violations = []
+    for cei in profiles.ceis():
+        if cei.rank != rank:
+            violations.append(
+                Violation(
+                    rule="fixed-rank",
+                    message=f"CEI {cei.cid} has rank {cei.rank}, expected {rank}",
+                )
+            )
+    return violations
+
+
+def check_distinct_resources_per_cei(profiles: ProfileSet) -> list[Violation]:
+    """Within a CEI, every EI must name a distinct resource."""
+    violations = []
+    for cei in profiles.ceis():
+        resources = [ei.resource for ei in cei.eis]
+        if len(resources) != len(set(resources)):
+            violations.append(
+                Violation(
+                    rule="distinct-resources",
+                    message=f"CEI {cei.cid} repeats a resource: {resources}",
+                )
+            )
+    return violations
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationReport:
+    """The outcome of validating one instance."""
+
+    violations: tuple[Violation, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    def to_text(self, limit: int = 10) -> str:
+        if self.ok:
+            return "instance valid: no violations"
+        lines = [f"{len(self.violations)} violation(s): {self.by_rule()}"]
+        for violation in self.violations[:limit]:
+            lines.append(f"  {violation.rule}: {violation.message}")
+        if len(self.violations) > limit:
+            lines.append(f"  ... and {len(self.violations) - limit} more")
+        return "\n".join(lines)
+
+
+def validate_instance(
+    profiles: ProfileSet,
+    epoch: Epoch,
+    require_no_overlap: bool = False,
+    require_unit: bool = False,
+    require_rank: int = 0,
+    require_distinct_resources: bool = True,
+) -> ValidationReport:
+    """Run the selected validators and bundle their findings."""
+    violations: list[Violation] = []
+    violations += check_within_epoch(profiles, epoch)
+    if require_distinct_resources:
+        violations += check_distinct_resources_per_cei(profiles)
+    if require_no_overlap:
+        violations += check_no_intra_resource_overlap(profiles)
+    if require_unit:
+        violations += check_unit_widths(profiles)
+    if require_rank > 0:
+        violations += check_fixed_rank(profiles, require_rank)
+    return ValidationReport(violations=tuple(violations))

@@ -1,0 +1,72 @@
+"""Bounded Zipf distributions (paper Section V-A.2).
+
+Profile generation uses two Zipf distributions: ``Zipf(β, k)`` picks each
+profile's rank (complexity) and ``Zipf(α, n)`` picks the resources a
+profile monitors, modelling the skew toward popular web sources (α was
+estimated at 1.37 for web feeds in [5]).  Exponent 0 degenerates to the
+uniform distribution, exactly as the paper specifies.
+
+Values are drawn from ``{1 .. n}`` with ``P(v) ∝ v^-θ``, so small values
+are the popular ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+
+
+def zipf_probabilities(theta: float, n: int) -> np.ndarray:
+    """The probability vector of Zipf(θ, n) over ``{1 .. n}``."""
+    if n <= 0:
+        raise WorkloadError(f"Zipf support size must be positive, got {n}")
+    if theta < 0:
+        raise WorkloadError(f"Zipf exponent must be >= 0, got {theta}")
+    if theta == 0.0:
+        return np.full(n, 1.0 / n)
+    weights = np.arange(1, n + 1, dtype=float) ** (-theta)
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """A seeded sampler over ``{1 .. n}`` with ``P(v) ∝ v^-θ``."""
+
+    def __init__(self, theta: float, n: int, rng: np.random.Generator) -> None:
+        self._n = n
+        self._theta = theta
+        self._probabilities = zipf_probabilities(theta, n)
+        self._rng = rng
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def theta(self) -> float:
+        return self._theta
+
+    def sample(self) -> int:
+        """One draw from ``{1 .. n}``."""
+        return int(self._rng.choice(self._n, p=self._probabilities)) + 1
+
+    def sample_many(self, size: int) -> np.ndarray:
+        """``size`` independent draws from ``{1 .. n}``."""
+        if size < 0:
+            raise WorkloadError(f"sample size must be >= 0, got {size}")
+        draws = self._rng.choice(self._n, size=size, p=self._probabilities)
+        return draws + 1
+
+    def sample_distinct(self, count: int) -> list[int]:
+        """``count`` *distinct* values, Zipf-weighted, from ``{1 .. n}``."""
+        if count > self._n:
+            raise WorkloadError(
+                f"cannot draw {count} distinct values from a support of {self._n}"
+            )
+        if count == self._n:
+            chosen = np.arange(self._n)
+        else:
+            chosen = self._rng.choice(
+                self._n, size=count, replace=False, p=self._probabilities
+            )
+        return [int(v) + 1 for v in chosen]

@@ -1,0 +1,7 @@
+"""Test package for the Web Monitoring 2.0 reproduction.
+
+The package marker matters: modules import shared helpers via
+``from tests.conftest import ...``, which requires the repository root on
+``sys.path`` — pytest arranges that automatically when the test tree is a
+proper package.
+"""

@@ -1,0 +1,127 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+from repro.core.profile import Profile, ProfileSet
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+
+
+@pytest.fixture
+def epoch() -> Epoch:
+    """A small default epoch."""
+    return Epoch(50)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator."""
+    return np.random.default_rng(1234)
+
+
+def make_ei(
+    resource: int,
+    start: int,
+    finish: int,
+    true_start: int | None = None,
+    true_finish: int | None = None,
+) -> ExecutionInterval:
+    """Shorthand EI constructor for tests."""
+    return ExecutionInterval(
+        resource=resource,
+        start=start,
+        finish=finish,
+        true_start=true_start,
+        true_finish=true_finish,
+    )
+
+
+def make_cei(*windows: tuple[int, int, int], weight: float = 1.0) -> ComplexExecutionInterval:
+    """Shorthand CEI constructor: ``make_cei((r, s, f), ...)``."""
+    eis = tuple(make_ei(r, s, f) for r, s, f in windows)
+    return ComplexExecutionInterval(eis=eis, weight=weight)
+
+
+def make_profiles(*ceis: ComplexExecutionInterval) -> ProfileSet:
+    """Wrap CEIs into a single-profile set."""
+    return ProfileSet([Profile(pid=0, ceis=list(ceis))])
+
+
+def unit_budget(epoch: Epoch, c: float = 1.0) -> BudgetVector:
+    """A constant budget over the epoch."""
+    return BudgetVector.constant(c, len(epoch))
+
+
+def random_unit_instance(
+    rng: np.random.Generator,
+    num_resources: int = 6,
+    num_chronons: int = 12,
+    num_ceis: int = 5,
+    max_rank: int = 3,
+    no_overlap: bool = False,
+    fixed_rank: int | None = None,
+    distinct_chronons: bool = False,
+) -> ProfileSet:
+    """A random P^[1] instance for property-based tests.
+
+    With ``no_overlap`` every (resource, chronon) slot is used at most
+    once across the whole instance (no intra-resource overlap).  With
+    ``fixed_rank`` every CEI gets exactly that rank (the Figure 10
+    uniform-rank family).  With ``distinct_chronons`` a CEI never has
+    two EIs at the same chronon, so every CEI is individually feasible
+    at C=1 (the implicit setting of the paper's Proposition 2 — see
+    tests/test_propositions.py for the counterexample without it).
+    """
+    used: set[tuple[int, int]] = set()
+    ceis = []
+    for __ in range(num_ceis):
+        if fixed_rank is not None:
+            rank = fixed_rank
+        else:
+            rank = int(rng.integers(1, max_rank + 1))
+        eis = []
+        chronons_taken: set[int] = set()
+        attempts = 0
+        while len(eis) < rank and attempts < 200:
+            attempts += 1
+            resource = int(rng.integers(0, num_resources))
+            chronon = int(rng.integers(0, num_chronons))
+            if no_overlap and (resource, chronon) in used:
+                continue
+            if distinct_chronons and chronon in chronons_taken:
+                continue
+            if any(e.resource == resource and e.start == chronon for e in eis):
+                continue
+            used.add((resource, chronon))
+            chronons_taken.add(chronon)
+            eis.append(make_ei(resource, chronon, chronon))
+        if eis and len(eis) == rank:
+            ceis.append(ComplexExecutionInterval(eis=tuple(eis)))
+    return ProfileSet.from_ceis(ceis)
+
+
+def random_general_instance(
+    rng: np.random.Generator,
+    num_resources: int = 5,
+    num_chronons: int = 20,
+    num_ceis: int = 6,
+    max_rank: int = 3,
+    max_width: int = 4,
+) -> ProfileSet:
+    """A random instance with EIs of width up to ``max_width``."""
+    ceis = []
+    for __ in range(num_ceis):
+        rank = int(rng.integers(1, max_rank + 1))
+        eis = []
+        for __r in range(rank):
+            resource = int(rng.integers(0, num_resources))
+            start = int(rng.integers(0, num_chronons - 1))
+            width = int(rng.integers(1, max_width + 1))
+            finish = min(num_chronons - 1, start + width - 1)
+            eis.append(make_ei(resource, start, finish))
+        ceis.append(ComplexExecutionInterval(eis=tuple(eis)))
+    return ProfileSet.from_ceis(ceis)

@@ -1,0 +1,138 @@
+"""Tests for the adaptive expected-gain policy."""
+
+import numpy as np
+
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.monitor import OnlineMonitor
+from repro.policies import ExpectedGain, make_policy
+from tests.conftest import make_cei
+
+
+class FakeView:
+    def __init__(self, captured=()):
+        self._captured = set(captured)
+
+    def is_ei_captured(self, ei):
+        return ei.seq in self._captured
+
+    def captured_count(self, cei):
+        return sum(1 for ei in cei.eis if ei.seq in self._captured)
+
+    def active_uncaptured_on(self, resource):
+        return 0
+
+
+class TestServiceRateEstimation:
+    def test_initial_rate(self):
+        assert ExpectedGain(initial_rate=0.4).service_rate == 0.4
+
+    def test_rate_rises_when_all_demand_served(self):
+        policy = ExpectedGain(smoothing=0.5, initial_rate=0.2)
+        ei = make_cei((0, 0, 5)).eis[0]
+        policy.on_chronon_start(0)
+        policy.on_ei_activated(ei, 0)
+        policy.on_probe(0, 0)
+        policy.on_chronon_start(1)  # folds in observed rate 1.0
+        assert policy.service_rate > 0.2
+
+    def test_rate_falls_under_starvation(self):
+        policy = ExpectedGain(smoothing=0.5, initial_rate=0.8)
+        policy.on_chronon_start(0)
+        for start in range(4):
+            ei = make_cei((start, 0, 5)).eis[0]
+            policy.on_ei_activated(ei, 0)
+        policy.on_probe(0, 0)  # 1 of 4 served
+        policy.on_chronon_start(1)
+        assert policy.service_rate < 0.8
+
+    def test_rate_clamped(self):
+        policy = ExpectedGain(smoothing=1.0, initial_rate=0.5)
+        policy.on_chronon_start(0)
+        ei = make_cei((0, 0, 5)).eis[0]
+        policy.on_ei_activated(ei, 0)
+        policy.on_probe(0, 0)
+        policy.on_chronon_start(1)
+        assert policy.service_rate <= 0.99
+
+
+class TestPriorities:
+    def test_near_complete_cei_preferred_under_scarcity(self):
+        policy = ExpectedGain(initial_rate=0.1)
+        pair = make_cei((0, 0, 3), (1, 0, 3))
+        view = FakeView(captured={pair.eis[1].seq})
+        solo_of_three = make_cei((2, 0, 3), (3, 0, 20), (4, 0, 20))
+        # The pair needs only this EI; the rank-3 CEI still needs two more.
+        assert policy.priority(pair.eis[0], 0, view) < policy.priority(
+            solo_of_three.eis[0], 0, view
+        )
+
+    def test_tight_deadline_preferred_all_else_equal(self):
+        policy = ExpectedGain(initial_rate=0.3)
+        urgent = make_cei((0, 0, 1))
+        relaxed = make_cei((1, 0, 30))
+        view = FakeView()
+        # Probing the urgent EI rescues more probability mass: left alone
+        # it would likely die, while the relaxed one has many chances.
+        assert policy.priority(urgent.eis[0], 0, view) < policy.priority(
+            relaxed.eis[0], 0, view
+        )
+
+    def test_gain_is_negative_priority(self):
+        policy = ExpectedGain(initial_rate=0.5)
+        cei = make_cei((0, 0, 5))
+        assert policy.priority(cei.eis[0], 0, FakeView()) <= 0.0
+
+    def test_registered_and_sibling_sensitive(self):
+        policy = make_policy("EXPECTED-GAIN")
+        assert isinstance(policy, ExpectedGain)
+        assert policy.sibling_sensitive()
+
+
+class TestEndToEnd:
+    def build_instance(self, seed=5):
+        from repro.traces.noise import perfect_predictions
+        from repro.traces.poisson import poisson_trace
+        from repro.workloads.generator import GeneratorSpec, generate_profiles
+        from repro.workloads.templates import LengthRule
+
+        epoch = Epoch(300)
+        rng = np.random.default_rng(seed)
+        trace = poisson_trace(100, epoch, 8.0, rng)
+        profiles = generate_profiles(
+            perfect_predictions(trace), epoch,
+            GeneratorSpec(num_profiles=40, rank_max=4),
+            LengthRule.window(8), rng,
+        )
+        return profiles, epoch
+
+    def test_runs_and_respects_budget(self):
+        profiles, epoch = self.build_instance()
+        budget = BudgetVector.constant(1, len(epoch))
+        monitor = OnlineMonitor(ExpectedGain(), budget)
+        monitor.run(epoch, arrivals_from_profiles(profiles))
+        monitor.check_budget_feasible()
+        assert monitor.pool.num_satisfied > 0
+
+    def test_beats_random_baseline(self):
+        profiles, epoch = self.build_instance()
+        budget = BudgetVector.constant(1, len(epoch))
+
+        def completeness(policy_name: str) -> float:
+            monitor = OnlineMonitor(make_policy(policy_name), budget)
+            monitor.run(epoch, arrivals_from_profiles(profiles))
+            return monitor.pool.num_satisfied / profiles.num_ceis
+
+        assert completeness("EXPECTED-GAIN") > completeness("RANDOM")
+
+    def test_competitive_with_mrsf(self):
+        profiles, epoch = self.build_instance(seed=9)
+        budget = BudgetVector.constant(1, len(epoch))
+
+        def completeness(policy_name: str) -> float:
+            monitor = OnlineMonitor(make_policy(policy_name), budget)
+            monitor.run(epoch, arrivals_from_profiles(profiles))
+            return monitor.pool.num_satisfied / profiles.num_ceis
+
+        assert completeness("EXPECTED-GAIN") >= 0.8 * completeness("MRSF")

@@ -1,0 +1,133 @@
+"""Unit tests for the run diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    congestion_timeline,
+    diagnose,
+    gini_coefficient,
+    probe_breakdown,
+    resource_load,
+)
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector, Schedule
+from repro.core.timebase import Epoch
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.monitor import OnlineMonitor
+from repro.policies import make_policy
+from tests.conftest import make_cei
+
+
+class TestProbeBreakdown:
+    def test_productive_probe(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 5))])
+        schedule = Schedule.from_pairs([(0, 2)])
+        breakdown = probe_breakdown(profiles, schedule)
+        assert breakdown.productive == 1
+        assert breakdown.wasted == 0
+
+    def test_wasted_probe(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 5))])
+        schedule = Schedule.from_pairs([(1, 2), (0, 9)])
+        breakdown = probe_breakdown(profiles, schedule)
+        assert breakdown.wasted == 2
+
+    def test_doomed_probe(self):
+        # CEI needs both EIs; only one is probed -> the probe was doomed.
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 5), (1, 0, 5))])
+        schedule = Schedule.from_pairs([(0, 2)])
+        breakdown = probe_breakdown(profiles, schedule)
+        assert breakdown.doomed == 1
+        assert breakdown.productive == 0
+
+    def test_fractions(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 5))])
+        schedule = Schedule.from_pairs([(0, 2), (1, 3)])
+        breakdown = probe_breakdown(profiles, schedule)
+        assert breakdown.productive_fraction == 0.5
+        assert breakdown.wasted_fraction == 0.5
+
+    def test_empty_schedule(self):
+        breakdown = probe_breakdown(ProfileSet(), Schedule())
+        assert breakdown.total == 0
+        assert breakdown.productive_fraction == 1.0
+
+
+class TestCongestionTimeline:
+    def test_counts_active_windows(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 1, 3)), make_cei((1, 2, 5))]
+        )
+        timeline = congestion_timeline(profiles, Epoch(7))
+        assert list(timeline) == [0, 1, 2, 2, 1, 1, 0]
+
+    def test_windows_clipped_to_epoch(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 3, 50))])
+        timeline = congestion_timeline(profiles, Epoch(5))
+        assert list(timeline) == [0, 0, 0, 1, 1]
+
+    def test_empty(self):
+        assert congestion_timeline(ProfileSet(), Epoch(3)).sum() == 0
+
+
+class TestResourceLoad:
+    def test_sorted_by_load(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((1, 0, 1)), make_cei((1, 2, 3)), make_cei((0, 0, 1))]
+        )
+        load = resource_load(profiles)
+        assert list(load.items()) == [(1, 2), (0, 1)]
+
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_gini_concentrated_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) > 0.7
+
+    def test_gini_empty(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_gini_increases_with_alpha(self):
+        from repro.traces.noise import perfect_predictions
+        from repro.traces.poisson import poisson_trace
+        from repro.workloads.generator import GeneratorSpec, generate_profiles
+        from repro.workloads.templates import LengthRule
+
+        epoch = Epoch(300)
+
+        def load_gini(alpha: float) -> float:
+            rng = np.random.default_rng(4)
+            trace = poisson_trace(100, epoch, 8.0, rng)
+            profiles = generate_profiles(
+                perfect_predictions(trace), epoch,
+                GeneratorSpec(num_profiles=40, rank_max=3, alpha=alpha),
+                LengthRule.window(5), rng,
+            )
+            return gini_coefficient(resource_load(profiles).values())
+
+        assert load_gini(1.5) > load_gini(0.0)
+
+
+class TestDiagnose:
+    def test_full_report(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 0, 3)), make_cei((1, 1, 4), (0, 6, 9))]
+        )
+        epoch = Epoch(12)
+        budget = BudgetVector.constant(1, 12)
+        monitor = OnlineMonitor(make_policy("MRSF"), budget)
+        schedule = monitor.run(epoch, arrivals_from_profiles(profiles))
+        report = diagnose(profiles, schedule, epoch, total_budget=budget.total)
+        assert report.probes.total == schedule.num_probes
+        assert report.peak_congestion >= 1
+        assert report.demand_to_budget == pytest.approx(3 / 12)
+        text = report.to_text()
+        assert "probes" in text and "congestion" in text
+
+    def test_busiest_resources_limited(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((r, 0, 1)) for r in range(10)]
+        )
+        report = diagnose(profiles, Schedule(), Epoch(3), total_budget=3, top_resources=4)
+        assert len(report.busiest_resources) == 4

@@ -1,0 +1,192 @@
+"""Unit tests for the candidate pool (cands(η) / cands(I) maintenance)."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.intervals import ComplexExecutionInterval, Semantics
+from repro.online.candidates import CandidatePool
+from tests.conftest import make_cei, make_ei
+
+
+class TestRegistration:
+    def test_register_activates_current_eis(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 5), (1, 3, 8))
+        activated = pool.register(c, 0)
+        assert [ei.resource for ei in activated] == [0]
+        assert pool.num_active() == 1
+
+    def test_future_eis_activate_later(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 5), (1, 3, 8))
+        pool.register(c, 0)
+        opened = pool.open_windows(3)
+        assert [ei.resource for ei in opened] == [1]
+        assert pool.num_active() == 2
+
+    def test_double_registration_rejected(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 5))
+        pool.register(c, 0)
+        with pytest.raises(ModelError):
+            pool.register(c, 1)
+
+    def test_dead_on_arrival(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 2), (1, 5, 8))
+        assert pool.register(c, 4) == []
+        assert pool.num_failed == 1
+        assert pool.num_active() == 0
+
+    def test_late_arrival_with_enough_spares(self):
+        c = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 2), make_ei(1, 5, 8)),
+            semantics=Semantics.ANY,
+        )
+        pool = CandidatePool()
+        activated = pool.register(c, 5)
+        assert [ei.resource for ei in activated] == [1]
+        assert pool.num_failed == 0
+
+
+class TestCapture:
+    def test_capture_resource_takes_all_active_eis(self):
+        pool = CandidatePool()
+        a = make_cei((0, 0, 5))
+        b = make_cei((0, 0, 9), (1, 0, 9))
+        pool.register(a, 0)
+        pool.register(b, 0)
+        captured, touched = pool.capture_resource(0, 2)
+        assert len(captured) == 2
+        assert pool.num_satisfied == 1  # CEI a completed
+        assert pool.captured_count(b) == 1
+
+    def test_capture_unknown_resource_is_noop(self):
+        pool = CandidatePool()
+        assert pool.capture_resource(9, 0) == ([], [])
+
+    def test_satisfied_k_of_n_drops_leftover_eis(self):
+        c = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 9), make_ei(1, 0, 9), make_ei(2, 0, 9)),
+            semantics=Semantics.AT_LEAST,
+            required=1,
+        )
+        pool = CandidatePool()
+        pool.register(c, 0)
+        pool.capture_resource(1, 0)
+        assert pool.num_satisfied == 1
+        assert pool.num_active() == 0
+
+    def test_pending_eis_of_satisfied_cei_never_activate(self):
+        c = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 9), make_ei(1, 5, 9)),
+            semantics=Semantics.ANY,
+        )
+        pool = CandidatePool()
+        pool.register(c, 0)
+        pool.capture_resource(0, 0)
+        assert pool.open_windows(5) == []
+
+    def test_is_ei_captured(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 5), (1, 0, 5))
+        pool.register(c, 0)
+        pool.capture_resource(0, 0)
+        assert pool.is_ei_captured(c.eis[0])
+        assert not pool.is_ei_captured(c.eis[1])
+
+    def test_unregistered_cei_reports_zero_captured(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 5))
+        assert pool.captured_count(c) == 0
+        assert not pool.is_ei_captured(c.eis[0])
+
+
+class TestExpiry:
+    def test_expired_ei_kills_and_cleans_cei(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 2), (1, 0, 9))
+        pool.register(c, 0)
+        expired = pool.close_windows(2)
+        assert [ei.resource for ei in expired] == [0]
+        assert pool.num_failed == 1
+        assert pool.num_active() == 0  # sibling dropped too
+
+    def test_captured_ei_does_not_expire(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 2))
+        pool.register(c, 0)
+        pool.capture_resource(0, 1)
+        assert pool.close_windows(2) == []
+        assert pool.num_failed == 0
+
+    def test_k_of_n_survives_one_expiry(self):
+        c = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 2), make_ei(1, 0, 9), make_ei(2, 0, 9)),
+            semantics=Semantics.AT_LEAST,
+            required=2,
+        )
+        pool = CandidatePool()
+        pool.register(c, 0)
+        pool.close_windows(2)
+        assert pool.num_failed == 0
+        assert pool.num_active() == 2
+
+    def test_k_of_n_fails_when_spares_run_out(self):
+        c = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 2), make_ei(1, 0, 2), make_ei(2, 0, 9)),
+            semantics=Semantics.AT_LEAST,
+            required=2,
+        )
+        pool = CandidatePool()
+        pool.register(c, 0)
+        pool.close_windows(2)  # two EIs expire together; only 1 usable left
+        assert pool.num_failed == 1
+        assert pool.num_active() == 0
+
+    def test_pending_ei_of_failed_cei_never_activates(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 2), (1, 6, 9))
+        pool.register(c, 0)
+        pool.close_windows(2)
+        assert pool.open_windows(6) == []
+
+
+class TestViews:
+    def test_active_uncaptured_on(self):
+        pool = CandidatePool()
+        pool.register(make_cei((0, 0, 5)), 0)
+        pool.register(make_cei((0, 0, 7), (1, 0, 7)), 0)
+        assert pool.active_uncaptured_on(0) == 2
+        assert pool.active_uncaptured_on(1) == 1
+        assert pool.active_uncaptured_on(9) == 0
+
+    def test_split_by_prior_capture(self):
+        pool = CandidatePool()
+        started = make_cei((0, 0, 9), (1, 0, 9))
+        fresh = make_cei((2, 0, 9))
+        pool.register(started, 0)
+        pool.register(fresh, 0)
+        pool.capture_resource(0, 0)
+        plus, minus = pool.split_by_prior_capture(pool.active_eis())
+        assert [ei.resource for ei in plus] == [1]
+        assert [ei.resource for ei in minus] == [2]
+
+    def test_counts(self):
+        pool = CandidatePool()
+        pool.register(make_cei((0, 0, 1)), 0)
+        pool.register(make_cei((1, 0, 1)), 0)
+        pool.capture_resource(0, 0)
+        pool.close_windows(1)
+        assert pool.num_registered == 2
+        assert pool.num_satisfied == 1
+        assert pool.num_failed == 1
+        assert pool.num_open == 0
+
+    def test_state_of(self):
+        pool = CandidatePool()
+        c = make_cei((0, 0, 1))
+        assert pool.state_of(c) is None
+        pool.register(c, 0)
+        state = pool.state_of(c)
+        assert state is not None and state.residual == 1

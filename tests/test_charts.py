@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.experiments.common import ExperimentResult
+from repro.sim.charts import bar_chart, chart_experiment, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_shape(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        chart = bar_chart(["a", "bb"], [1.0, 0.5], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "longer"], [1, 1])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title(self):
+        assert bar_chart(["a"], [1], title="T").splitlines()[0] == "T"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1, 2])
+
+    def test_all_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "#" not in chart
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        chart = line_chart([0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]})
+        assert "a = up" in chart and "b = down" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_extremes_on_borders(self):
+        chart = line_chart([0, 1], {"s": [0.0, 1.0]}, height=5, width=10)
+        lines = chart.splitlines()
+        assert "1.000" in lines[0]
+        assert "0.000" in lines[-2]
+
+    def test_needs_two_points(self):
+        with pytest.raises(ReproError):
+            line_chart([0], {"s": [1.0]})
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart([0, 1], {"s": [1.0]})
+
+    def test_flat_series_ok(self):
+        chart = line_chart([0, 1, 2], {"s": [3.0, 3.0, 3.0]})
+        assert "s" in chart
+
+
+class TestChartExperiment:
+    def test_charts_selected_columns(self):
+        result = ExperimentResult(
+            experiment="demo",
+            headers=["x", "a", "b"],
+            rows=[[1, 0.1, 0.9], [2, 0.2, 0.8], [3, 0.3, 0.7]],
+        )
+        chart = chart_experiment(result, "x", ["a", "b"])
+        assert "demo" in chart
+        assert "a = a" in chart

@@ -1,0 +1,35 @@
+"""Tests for the empirical competitive-ratio experiment."""
+
+from repro.experiments import competitive
+
+
+class TestCompetitive:
+    def test_rank_one_sedf_always_optimal(self):
+        """Proposition 1, population-tested: at rank 1 without overlap,
+        S-EDF matches the exact optimum on every instance."""
+        result = competitive.run(scale=0.5, seed=2, max_rank=1)
+        by_policy = {row[0]: row for row in result.rows}
+        assert by_policy["S-EDF"][3] == 100.0  # optimal %
+        assert by_policy["S-EDF"][2] == 1.0  # worst ratio
+
+    def test_rank_two_orderings(self):
+        result = competitive.run(scale=0.5, seed=3, max_rank=2)
+        by_policy = {row[0]: row for row in result.rows}
+        # Rank-aware policies at least match S-EDF and beat RANDOM on
+        # mean ratio (lower is better).
+        assert by_policy["MRSF"][1] <= by_policy["S-EDF"][1] + 1e-9
+        assert by_policy["MRSF"][1] <= by_policy["RANDOM"][1] + 1e-9
+
+    def test_ratios_at_least_one(self):
+        result = competitive.run(scale=0.3, seed=4, max_rank=2)
+        for row in result.rows:
+            assert row[1] >= 1.0 - 1e-9
+            assert row[2] >= row[1] - 1e-9
+
+    def test_mrsf_within_theoretical_bound(self):
+        """Proposition 2: the observed worst ratio stays within l
+        (= max total chronons; every EI is 1 chronon and rank <= 2,
+        so l <= 2)."""
+        result = competitive.run(scale=0.5, seed=5, max_rank=2)
+        by_policy = {row[0]: row for row in result.rows}
+        assert by_policy["MRSF"][2] <= 2.0 + 1e-9

@@ -1,0 +1,167 @@
+"""Unit tests for query compilation into CEIs."""
+
+import pytest
+
+from repro.core.timebase import Epoch
+from repro.proxy.compiler import (
+    CompilationContext,
+    QueryCompileError,
+    compile_text,
+)
+from repro.proxy.queries import parse_queries
+from repro.traces.noise import PredictedEvent
+
+
+def context(**kwargs) -> CompilationContext:
+    defaults = dict(
+        epoch=Epoch(100),
+        resource_ids={"Blog": 0, "CNN": 1, "Money": 2, "Stock": 3},
+        chronons_per_minute=1.0,
+    )
+    defaults.update(kwargs)
+    return CompilationContext(**defaults)
+
+
+PERIODIC = """
+SELECT item AS F1
+FROM feed(Blog)
+WHEN EVERY 10 MINUTES AS T1
+WITHIN T1+2 MINUTES
+"""
+
+CONDITIONAL = PERIODIC + """
+
+SELECT item AS F2
+FROM feed(CNN)
+WHEN F1 CONTAINS %oil%
+WITHIN T1+10 MINUTES
+
+SELECT item AS F3
+FROM feed(Money)
+WHEN F1 CONTAINS %oil%
+WITHIN T1+10 MINUTES
+"""
+
+PUSHED = """
+SELECT item AS F1
+FROM feed(Stock)
+WHEN ON PUSH AS T1
+
+SELECT item AS F2
+FROM feed(CNN)
+WITHIN T1+1 CHRONONS
+"""
+
+
+class TestPeriodicCompilation:
+    def test_one_cei_per_period(self):
+        ceis = compile_text(PERIODIC, context())
+        assert len(ceis) == 10  # every 10 chronons over 100
+        assert all(cei.rank == 1 for cei in ceis)
+
+    def test_windows_match_within_clause(self):
+        ceis = compile_text(PERIODIC, context())
+        first = ceis[0].eis[0]
+        assert (first.start, first.finish) == (0, 2)
+
+    def test_chronon_granularity_scales_periods(self):
+        ceis = compile_text(PERIODIC, context(chronons_per_minute=2.0))
+        assert len(ceis) == 5  # period = 20 chronons
+        assert ceis[0].eis[0].finish == 4  # slack = 2 min = 4 chronons
+
+    def test_conditional_expansion(self):
+        ceis = compile_text(
+            CONDITIONAL, context(keyword_hits={"oil": {30, 70}})
+        )
+        ranks = [cei.rank for cei in ceis]
+        assert ranks.count(3) == 2
+        assert ranks.count(1) == 8
+        triggered = [cei for cei in ceis if cei.rank == 3]
+        assert {ei.resource for ei in triggered[0].eis} == {0, 1, 2}
+
+    def test_no_hits_means_rank_one_everywhere(self):
+        ceis = compile_text(CONDITIONAL, context())
+        assert all(cei.rank == 1 for cei in ceis)
+
+
+class TestPushCompilation:
+    def test_pushed_trigger_emits_no_trigger_ei(self):
+        events = [PredictedEvent(10, 10), PredictedEvent(50, 50)]
+        ceis = compile_text(PUSHED, context(predictions={3: events}))
+        assert len(ceis) == 2
+        assert all(cei.rank == 1 for cei in ceis)  # only the dependent
+        assert ceis[0].eis[0].resource == 1
+
+    def test_noisy_push_predictions_carry_truth(self):
+        events = [PredictedEvent(true_chronon=10, predicted_chronon=14)]
+        ceis = compile_text(PUSHED, context(predictions={3: events}))
+        ei = ceis[0].eis[0]
+        assert (ei.start, ei.true_start) == (14, 10)
+
+    def test_missing_predictions_rejected(self):
+        with pytest.raises(QueryCompileError, match="event stream"):
+            compile_text(PUSHED, context())
+
+
+class TestCompilationErrors:
+    def test_no_trigger(self):
+        text = "SELECT item AS F1; FROM feed(Blog); WITHIN 3 CHRONONS"
+        with pytest.raises(QueryCompileError, match="exactly one trigger"):
+            compile_text(text, context())
+
+    def test_two_triggers(self):
+        text = (
+            "SELECT a AS F1; FROM feed(Blog); WHEN EVERY 5 CHRONONS AS T1\n\n"
+            "SELECT b AS F2; FROM feed(CNN); WHEN EVERY 5 CHRONONS AS T2"
+        )
+        with pytest.raises(QueryCompileError, match="exactly one trigger"):
+            compile_text(text, context())
+
+    def test_dependent_without_within(self):
+        text = PERIODIC + "\n\nSELECT b AS F2; FROM feed(CNN)"
+        with pytest.raises(QueryCompileError, match="WITHIN"):
+            compile_text(text, context())
+
+    def test_dependent_with_wrong_anchor(self):
+        text = PERIODIC + "\n\nSELECT b AS F2; FROM feed(CNN); WITHIN T9+3 CHRONONS"
+        with pytest.raises(QueryCompileError, match="anchor"):
+            compile_text(text, context())
+
+    def test_contains_on_wrong_alias(self):
+        text = PERIODIC + (
+            "\n\nSELECT b AS F2; FROM feed(CNN); "
+            "WHEN F9 CONTAINS %x%; WITHIN T1+3 CHRONONS"
+        )
+        with pytest.raises(QueryCompileError, match="alias"):
+            compile_text(text, context())
+
+    def test_unknown_feed(self):
+        text = "SELECT a AS F1; FROM feed(Nowhere); WHEN EVERY 5 CHRONONS AS T1; WITHIN T1+1 CHRONONS"
+        with pytest.raises(QueryCompileError, match="unknown feed"):
+            compile_text(text, context())
+
+    def test_empty_query_list(self):
+        from repro.proxy.compiler import compile_queries
+
+        with pytest.raises(QueryCompileError):
+            compile_queries([], context())
+
+
+class TestUnitConversion:
+    def test_seconds_round_up(self):
+        ctx = context(chronons_per_minute=1.0)
+        queries = parse_queries(
+            "SELECT a AS F1; FROM feed(Blog); WHEN EVERY 10 CHRONONS AS T1; "
+            "WITHIN T1+30 SECONDS"
+        )
+        from repro.proxy.compiler import compile_queries
+
+        ceis = compile_queries(queries, ctx)
+        # 30 seconds at 1 chronon/minute = 0.5 chronons -> ceil to 1.
+        assert ceis[0].eis[0].finish - ceis[0].eis[0].start == 1
+
+    def test_hours(self):
+        ctx = context(chronons_per_minute=1.0)
+        assert ctx.to_chronons(parse_queries(
+            "SELECT a AS F1; FROM feed(Blog); WITHIN 2 HOURS"
+        )[0].within.span) == 120

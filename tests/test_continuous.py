@@ -1,0 +1,107 @@
+"""Tests for multi-epoch continuous operation with model refitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.core.timebase import Epoch
+from repro.models import BinnedIntensityModel, HomogeneousPoissonModel
+from repro.proxy import ContinuousOperation
+from repro.traces.events import TraceBundle
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import GeneratorSpec
+from repro.workloads.templates import LengthRule
+
+EPOCH = Epoch(200)
+SPEC = GeneratorSpec(num_profiles=10, rank_max=2, max_ceis_per_profile=4)
+RULE = LengthRule.window(6)
+
+
+def trace_factory(index: int, rng: np.random.Generator) -> TraceBundle:
+    return poisson_trace(20, EPOCH, 6.0, rng)
+
+
+def bootstrap(seed: int = 99) -> TraceBundle:
+    return poisson_trace(20, EPOCH, 6.0, np.random.default_rng(seed))
+
+
+def make_operation(**kwargs) -> ContinuousOperation:
+    defaults = dict(
+        epoch=EPOCH,
+        model=HomogeneousPoissonModel(),
+        spec=SPEC,
+        rule=RULE,
+        budget=2.0,
+        bootstrap_history=bootstrap(),
+    )
+    defaults.update(kwargs)
+    return ContinuousOperation(**defaults)
+
+
+class TestOperation:
+    def test_runs_requested_epochs(self):
+        result = make_operation().run(3, trace_factory, seed=1)
+        assert len(result.outcomes) == 3
+        assert [o.epoch_index for o in result.outcomes] == [0, 1, 2]
+
+    def test_outcome_values_sane(self):
+        result = make_operation().run(2, trace_factory, seed=2)
+        for outcome in result.outcomes:
+            assert 0.0 <= outcome.completeness <= 1.0
+            assert 0.0 <= outcome.coverage <= 1.0
+            assert outcome.predicted_events > 0
+
+    def test_history_accumulates_observations(self):
+        operation = make_operation()
+        before = sum(len(v) for v in operation._history.values())
+        operation.run(2, trace_factory, seed=3)
+        after = sum(len(v) for v in operation._history.values())
+        assert after > before
+
+    def test_series_accessors(self):
+        result = make_operation().run(2, trace_factory, seed=4)
+        assert len(result.completeness_series) == 2
+        assert len(result.coverage_series) == 2
+
+    def test_zero_epochs_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_operation().run(0, trace_factory)
+
+    def test_no_bootstrap_and_blind_model_raises(self):
+        operation = make_operation(bootstrap_history=None)
+        with pytest.raises(ExperimentError, match="no resource"):
+            operation.run(1, trace_factory, seed=5)
+
+    def test_deterministic_given_seed(self):
+        a = make_operation().run(2, trace_factory, seed=6)
+        b = make_operation().run(2, trace_factory, seed=6)
+        assert a.completeness_series == b.completeness_series
+
+    def test_binned_model_works_too(self):
+        operation = make_operation(model=BinnedIntensityModel(num_bins=5))
+        result = operation.run(2, trace_factory, seed=7)
+        assert len(result.outcomes) == 2
+
+    def test_scalar_budget_broadcast(self):
+        operation = make_operation(budget=3.0)
+        assert operation.budget.at(0) == 3.0
+
+
+class TestHistoryLimit:
+    def test_history_is_trimmed(self):
+        operation = make_operation(history_limit=5)
+        operation.run(3, trace_factory, seed=8)
+        assert all(len(v) <= 5 for v in operation._history.values())
+
+    def test_bootstrap_trimmed_too(self):
+        operation = make_operation(history_limit=2)
+        assert all(len(v) <= 2 for v in operation._history.values())
+
+    def test_zero_keeps_everything(self):
+        operation = make_operation(history_limit=0)
+        operation.run(2, trace_factory, seed=9)
+        assert any(len(v) > 5 for v in operation._history.values())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_operation(history_limit=-1)

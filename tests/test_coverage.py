@@ -1,0 +1,92 @@
+"""Tests for event coverage and observed-event reconstruction."""
+
+from repro.core.schedule import Schedule
+from repro.core.timebase import Epoch
+from repro.traces.events import TraceBundle
+from repro.workloads.templates import LengthRule
+from repro.analysis.coverage import event_coverage, observed_events
+
+
+def bundle(**streams) -> TraceBundle:
+    return TraceBundle.from_mapping({int(k[1:]): v for k, v in streams.items()})
+
+
+class TestObservedEvents:
+    def test_probe_collects_past_event_within_window(self):
+        truth = bundle(r0=[5])
+        schedule = Schedule.from_pairs([(0, 8)])
+        observed = observed_events(schedule, truth, Epoch(20), LengthRule.window(5))
+        assert observed.stream(0).chronons == (5,)
+
+    def test_probe_too_late_misses(self):
+        truth = bundle(r0=[5])
+        schedule = Schedule.from_pairs([(0, 11)])
+        observed = observed_events(schedule, truth, Epoch(20), LengthRule.window(5))
+        assert len(observed.stream(0)) == 0
+
+    def test_probe_before_event_misses(self):
+        truth = bundle(r0=[5])
+        schedule = Schedule.from_pairs([(0, 4)])
+        observed = observed_events(schedule, truth, Epoch(20), LengthRule.window(5))
+        assert len(observed.stream(0)) == 0
+
+    def test_overwrite_life_until_next_event(self):
+        truth = bundle(r0=[5, 15])
+        schedule = Schedule.from_pairs([(0, 14), (0, 19)])
+        observed = observed_events(
+            schedule, truth, Epoch(30), LengthRule.overwrite()
+        )
+        # Probe at 14 catches event 5 (alive until 14); probe at 19
+        # catches event 15 (alive to epoch end).
+        assert observed.stream(0).chronons == (5, 15)
+
+    def test_overwritten_event_lost(self):
+        truth = bundle(r0=[5, 10])
+        schedule = Schedule.from_pairs([(0, 12)])
+        observed = observed_events(
+            schedule, truth, Epoch(30), LengthRule.overwrite()
+        )
+        assert observed.stream(0).chronons == (10,)
+
+    def test_one_probe_serves_multiple_window_events(self):
+        truth = bundle(r0=[5, 6, 7])
+        schedule = Schedule.from_pairs([(0, 8)])
+        observed = observed_events(schedule, truth, Epoch(30), LengthRule.window(5))
+        assert observed.stream(0).chronons == (5, 6, 7)
+
+    def test_unprobed_resources_absent(self):
+        truth = bundle(r0=[5], r1=[5])
+        schedule = Schedule.from_pairs([(0, 5)])
+        observed = observed_events(schedule, truth, Epoch(10), LengthRule.window(2))
+        assert 1 not in observed
+
+
+class TestEventCoverage:
+    def test_full_coverage(self):
+        truth = bundle(r0=[2], r1=[4])
+        schedule = Schedule.from_pairs([(0, 2), (1, 4)])
+        report = event_coverage(schedule, truth, Epoch(10), LengthRule.window(0))
+        assert report.coverage == 1.0
+
+    def test_partial_coverage(self):
+        truth = bundle(r0=[2], r1=[4])
+        schedule = Schedule.from_pairs([(0, 2)])
+        report = event_coverage(schedule, truth, Epoch(10), LengthRule.window(0))
+        assert report.coverage == 0.5
+
+    def test_empty_truth(self):
+        report = event_coverage(
+            Schedule(), TraceBundle(), Epoch(10), LengthRule.window(0)
+        )
+        assert report.coverage == 1.0
+
+    def test_coverage_monotone_in_probes(self):
+        truth = bundle(r0=[2, 8], r1=[4])
+        few = Schedule.from_pairs([(0, 2)])
+        more = Schedule.from_pairs([(0, 2), (1, 4), (0, 8)])
+        epoch = Epoch(12)
+        rule = LengthRule.window(1)
+        assert (
+            event_coverage(more, truth, epoch, rule).coverage
+            >= event_coverage(few, truth, epoch, rule).coverage
+        )

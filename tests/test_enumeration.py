@@ -1,0 +1,81 @@
+"""Unit tests for the exact offline enumeration solver."""
+
+import pytest
+
+from repro.core.errors import InstanceTooLargeError
+from repro.core.metrics import gained_completeness
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.offline.enumeration import enumeration_node_estimate, solve_exact
+from tests.conftest import make_cei
+
+
+class TestSolveExact:
+    def test_trivial_instance(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 2))])
+        result = solve_exact(profiles, Epoch(3), BudgetVector.constant(1, 3))
+        assert result.completeness == 1.0
+
+    def test_conflicting_unit_ceis(self):
+        # Two unit CEIs on different resources at the same chronon, C=1:
+        # only one can be captured.
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 1, 1)), make_cei((1, 1, 1))]
+        )
+        result = solve_exact(profiles, Epoch(3), BudgetVector.constant(1, 3))
+        assert result.captured_ceis == 1
+
+    def test_shared_probe_captures_both(self):
+        # Same resource, overlapping windows: one probe can serve both.
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 0, 2)), make_cei((0, 1, 3))]
+        )
+        result = solve_exact(profiles, Epoch(4), BudgetVector.constant(1, 4))
+        assert result.captured_ceis == 2
+
+    def test_rank_two_cei_needs_both_eis(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 0, 0), (1, 0, 0)), make_cei((2, 1, 1))]
+        )
+        # C=1: the rank-2 CEI needs both resources at chronon 0 — impossible.
+        result = solve_exact(profiles, Epoch(2), BudgetVector.constant(1, 2))
+        assert result.captured_ceis == 1
+
+    def test_budget_two_enables_rank_two(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 0), (1, 0, 0))])
+        result = solve_exact(profiles, Epoch(1), BudgetVector.constant(2, 1))
+        assert result.captured_ceis == 1
+
+    def test_schedule_is_feasible_and_scores_as_reported(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 0, 1), (1, 2, 3)), make_cei((1, 0, 1)), make_cei((0, 2, 3))]
+        )
+        budget = BudgetVector.constant(1, 4)
+        result = solve_exact(profiles, Epoch(4), budget)
+        result.schedule.check_feasible(budget)
+        assert gained_completeness(profiles, result.schedule) == result.completeness
+
+    def test_node_guard_raises(self):
+        ceis = [make_cei((r, 0, 9)) for r in range(8)]
+        profiles = ProfileSet.from_ceis(ceis)
+        with pytest.raises(InstanceTooLargeError):
+            solve_exact(profiles, Epoch(10), BudgetVector.constant(2, 10), max_nodes=50)
+
+    def test_empty_instance(self):
+        result = solve_exact(ProfileSet(), Epoch(3), BudgetVector.constant(1, 3))
+        assert result.completeness == 1.0
+        assert result.captured_ceis == 0
+
+
+class TestNodeEstimate:
+    def test_small_estimate(self):
+        # n=3, C=1, K=2 -> (1+3)^2 = 16.
+        assert enumeration_node_estimate(3, BudgetVector.constant(1, 2)) == 16.0
+
+    def test_large_estimate_saturates(self):
+        estimate = enumeration_node_estimate(100, BudgetVector.constant(5, 100))
+        assert estimate == float("inf")
+
+    def test_horizon_argument(self):
+        assert enumeration_node_estimate(3, BudgetVector.constant(1, 10), horizon=2) == 16.0

@@ -1,0 +1,124 @@
+"""Tests for the shared experiment plumbing (repro.experiments.common)."""
+
+import numpy as np
+import pytest
+
+from repro.core.timebase import Epoch
+from repro.experiments.common import (
+    ExperimentResult,
+    auction_instance,
+    constant_budget,
+    news_instance,
+    poisson_instance,
+    repeat_mean,
+    scaled,
+)
+from repro.traces.noise import FPNModel
+from repro.workloads.generator import GeneratorSpec
+from repro.workloads.templates import LengthRule
+
+
+class TestScaled:
+    def test_identity_at_full_scale(self):
+        assert scaled(1000, 1.0, 10) == 1000
+
+    def test_proportional(self):
+        assert scaled(1000, 0.25, 10) == 250
+
+    def test_floor_applies(self):
+        assert scaled(1000, 0.001, 50) == 50
+
+
+class TestRepeatMean:
+    def test_averages_vectors(self):
+        calls = []
+
+        def values(rng: np.random.Generator):
+            calls.append(1)
+            return [1.0, float(len(calls))]
+
+        means = repeat_mean(values, repetitions=4, seed=0)
+        assert means[0] == 1.0
+        assert means[1] == pytest.approx((1 + 2 + 3 + 4) / 4)
+
+    def test_child_rngs_differ_across_repetitions(self):
+        seen = []
+
+        def values(rng: np.random.Generator):
+            seen.append(rng.random())
+            return [0.0]
+
+        repeat_mean(values, repetitions=3, seed=1)
+        assert len(set(seen)) == 3
+
+    def test_same_seed_reproduces(self):
+        def values(rng: np.random.Generator):
+            return [rng.random()]
+
+        a = repeat_mean(values, 3, seed=5)
+        b = repeat_mean(values, 3, seed=5)
+        assert a == b
+
+
+class TestInstanceBuilders:
+    SPEC = GeneratorSpec(num_profiles=5, rank_max=2, max_ceis_per_profile=3)
+    RULE = LengthRule.window(4)
+
+    def test_poisson_instance(self):
+        epoch = Epoch(100)
+        profiles = poisson_instance(
+            np.random.default_rng(1), epoch, 20, 5.0, self.SPEC, self.RULE
+        )
+        assert len(profiles) == 5
+        assert profiles.num_ceis > 0
+
+    def test_poisson_instance_with_noise(self):
+        epoch = Epoch(100)
+        noisy = poisson_instance(
+            np.random.default_rng(2), epoch, 20, 5.0, self.SPEC, self.RULE,
+            noise=FPNModel(z=0.0, max_shift=10),
+        )
+        deviations = [
+            abs(ei.start - ei.true_start) for ei in noisy.eis()
+        ]
+        assert any(d > 0 for d in deviations)
+
+    def test_auction_instance(self):
+        epoch = Epoch(200)
+        profiles = auction_instance(
+            np.random.default_rng(3), epoch, 30, 300, self.SPEC, self.RULE
+        )
+        assert profiles.num_ceis > 0
+
+    def test_news_instance(self):
+        epoch = Epoch(200)
+        profiles = news_instance(
+            np.random.default_rng(4), epoch, 20, 600, self.SPEC, self.RULE
+        )
+        assert profiles.num_ceis > 0
+
+    def test_constant_budget_matches_epoch(self):
+        epoch = Epoch(42)
+        budget = constant_budget(2.0, epoch)
+        assert len(budget) == 42
+        assert budget.at(0) == 2.0
+
+
+class TestExperimentResult:
+    def test_to_text_includes_notes(self):
+        result = ExperimentResult(
+            experiment="demo", headers=["x"], rows=[[1]], notes=["hello"]
+        )
+        text = result.to_text()
+        assert "demo" in text and "note: hello" in text
+
+    def test_series_unknown_column_raises(self):
+        result = ExperimentResult(experiment="demo", headers=["x"], rows=[[1]])
+        with pytest.raises(ValueError):
+            result.series("nope")
+
+    def test_column_by_x(self):
+        result = ExperimentResult(
+            experiment="demo", headers=["x", "y"], rows=[[1, "a"], [2, "b"]]
+        )
+        assert result.column_by_x("x", "y") == {1: "a", 2: "b"}

@@ -1,0 +1,211 @@
+"""Unit and property tests for 2-stage profile generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import WorkloadError
+from repro.core.timebase import Epoch
+from repro.traces.noise import perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import (
+    GeneratorSpec,
+    assign_random_weights,
+    generate_profiles,
+)
+from repro.workloads.templates import LengthRule
+
+
+def make_predictions(rng, num_resources=30, num_chronons=200, lam=8.0):
+    trace = poisson_trace(num_resources, Epoch(num_chronons), lam, rng)
+    return perfect_predictions(trace)
+
+
+class TestSpecValidation:
+    def test_positive_profiles(self):
+        with pytest.raises(WorkloadError):
+            GeneratorSpec(num_profiles=0, rank_max=3)
+
+    def test_positive_rank(self):
+        with pytest.raises(WorkloadError):
+            GeneratorSpec(num_profiles=1, rank_max=0)
+
+    def test_fixed_rank_bounds(self):
+        with pytest.raises(WorkloadError):
+            GeneratorSpec(num_profiles=1, rank_max=3, fixed_rank=4)
+
+    def test_negative_exponents(self):
+        with pytest.raises(WorkloadError):
+            GeneratorSpec(num_profiles=1, rank_max=3, alpha=-0.1)
+
+
+class TestGeneration:
+    def test_profile_count(self, rng):
+        predictions = make_predictions(rng)
+        profiles = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=7, rank_max=3),
+            LengthRule.window(5), rng,
+        )
+        assert len(profiles) == 7
+
+    def test_fixed_rank_applies_to_every_cei(self, rng):
+        predictions = make_predictions(rng)
+        profiles = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=5, rank_max=4, fixed_rank=3),
+            LengthRule.window(5), rng,
+        )
+        assert all(cei.rank == 3 for cei in profiles.ceis())
+
+    def test_rank_bounded_by_rank_max(self, rng):
+        predictions = make_predictions(rng)
+        profiles = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=20, rank_max=4),
+            LengthRule.window(5), rng,
+        )
+        assert 1 <= profiles.rank <= 4
+
+    def test_distinct_resources_within_cei(self, rng):
+        predictions = make_predictions(rng)
+        profiles = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=10, rank_max=4, distinct_resources=True),
+            LengthRule.window(5), rng,
+        )
+        for cei in profiles.ceis():
+            resources = [ei.resource for ei in cei.eis]
+            assert len(resources) == len(set(resources))
+
+    def test_max_ceis_per_profile(self, rng):
+        predictions = make_predictions(rng)
+        profiles = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=5, rank_max=2, max_ceis_per_profile=3),
+            LengthRule.window(5), rng,
+        )
+        assert all(len(p) <= 3 for p in profiles)
+
+    def test_beta_skews_toward_low_ranks(self):
+        rng_a = np.random.default_rng(42)
+        predictions = make_predictions(rng_a, num_resources=50)
+        uniform = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=200, rank_max=5, beta=0.0),
+            LengthRule.window(5), np.random.default_rng(1),
+        )
+        skewed = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=200, rank_max=5, beta=2.0),
+            LengthRule.window(5), np.random.default_rng(1),
+        )
+        mean_rank = lambda ps: np.mean([p.rank for p in ps])  # noqa: E731
+        assert mean_rank(skewed) < mean_rank(uniform)
+
+    def test_no_events_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            generate_profiles(
+                {0: []}, Epoch(10),
+                GeneratorSpec(num_profiles=1, rank_max=1),
+                LengthRule.window(0), rng,
+            )
+
+    def test_resources_without_events_never_chosen(self, rng):
+        predictions = make_predictions(rng, num_resources=5)
+        predictions[99] = []
+        profiles = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=10, rank_max=3),
+            LengthRule.window(5), rng,
+        )
+        assert 99 not in profiles.resources_used
+
+
+class TestExclusiveResources:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_exclusive_assignment_has_no_cross_profile_sharing(self, seed):
+        rng = np.random.default_rng(seed)
+        predictions = make_predictions(rng, num_resources=40)
+        profiles = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(
+                num_profiles=8, rank_max=3, exclusive_resources=True,
+            ),
+            LengthRule.window(0), rng,
+        )
+        seen: set[int] = set()
+        for profile in profiles:
+            mine = set()
+            for cei in profile:
+                mine |= {ei.resource for ei in cei.eis}
+            assert not (mine & seen)
+            seen |= mine
+
+    def test_exclusive_with_unit_windows_has_no_intra_resource_overlap(self):
+        rng = np.random.default_rng(3)
+        predictions = make_predictions(rng, num_resources=40)
+        profiles = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=8, rank_max=3, exclusive_resources=True),
+            LengthRule.window(0), rng,
+        )
+        assert not profiles.has_intra_resource_overlap()
+
+    def test_exhausting_resources_raises(self):
+        rng = np.random.default_rng(4)
+        predictions = make_predictions(rng, num_resources=4)
+        with pytest.raises(WorkloadError):
+            generate_profiles(
+                predictions, Epoch(200),
+                GeneratorSpec(
+                    num_profiles=3, rank_max=2, fixed_rank=2,
+                    exclusive_resources=True,
+                ),
+                LengthRule.window(0), rng,
+            )
+
+
+class TestWeights:
+    def test_assign_random_weights_in_range(self, rng):
+        predictions = make_predictions(rng)
+        base = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=5, rank_max=3),
+            LengthRule.window(5), rng,
+        )
+        weighted = assign_random_weights(base, rng, low=0.5, high=2.0)
+        assert all(0.5 <= cei.weight <= 2.0 for cei in weighted.ceis())
+
+    def test_original_untouched(self, rng):
+        predictions = make_predictions(rng)
+        base = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=3, rank_max=2),
+            LengthRule.window(5), rng,
+        )
+        assign_random_weights(base, rng)
+        assert all(cei.weight == 1.0 for cei in base.ceis())
+
+    def test_structure_preserved(self, rng):
+        predictions = make_predictions(rng)
+        base = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=3, rank_max=2),
+            LengthRule.window(5), rng,
+        )
+        weighted = assign_random_weights(base, rng)
+        assert weighted.num_ceis == base.num_ceis
+        assert weighted.num_eis == base.num_eis
+
+    def test_bad_range_rejected(self, rng):
+        predictions = make_predictions(rng)
+        base = generate_profiles(
+            predictions, Epoch(200),
+            GeneratorSpec(num_profiles=2, rank_max=2),
+            LengthRule.window(5), rng,
+        )
+        with pytest.raises(WorkloadError):
+            assign_random_weights(base, rng, low=2.0, high=1.0)

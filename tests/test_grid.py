@@ -1,0 +1,120 @@
+"""Tests for the factorial grid runner and pivot helpers."""
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.sim.grid import GridRunner, grid_to_csv, pivot
+from repro.traces.noise import perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import LengthRule
+
+EPOCH = Epoch(120)
+
+
+def build(params, rng):
+    trace = poisson_trace(30, EPOCH, float(params["lam"]), rng)
+    return generate_profiles(
+        perfect_predictions(trace), EPOCH,
+        GeneratorSpec(num_profiles=int(params["m"]), rank_max=2),
+        LengthRule.window(4), rng,
+    )
+
+
+def make_grid(policies=(("MRSF", True), ("S-EDF", False))):
+    return GridRunner(
+        build=build,
+        epoch_for=lambda params: EPOCH,
+        budget_for=lambda params: BudgetVector.constant(1, len(EPOCH)),
+        policies=list(policies),
+    )
+
+
+class TestGridRunner:
+    def test_record_count(self):
+        records = make_grid().run({"lam": [4, 8], "m": [5, 10]}, repetitions=2)
+        assert len(records) == 2 * 2 * 2  # cells x policies
+
+    def test_records_carry_axes_and_metrics(self):
+        records = make_grid().run({"lam": [4], "m": [5]}, repetitions=1)
+        record = records[0]
+        assert record["lam"] == 4 and record["m"] == 5
+        assert record["policy"] in {"MRSF(P)", "S-EDF(NP)"}
+        assert 0.0 <= record["completeness"] <= 1.0
+        assert record["num_ceis"] > 0
+
+    def test_deterministic_given_seed(self):
+        def strip_timing(records):
+            return [
+                {k: v for k, v in r.items() if k != "msec_per_ei"}
+                for r in records
+            ]
+
+        a = make_grid().run({"lam": [4], "m": [5]}, repetitions=2, seed=3)
+        b = make_grid().run({"lam": [4], "m": [5]}, repetitions=2, seed=3)
+        assert strip_timing(a) == strip_timing(b)
+
+    def test_higher_lambda_harder(self):
+        records = make_grid((("MRSF", True),)).run(
+            {"lam": [3, 20], "m": [15]}, repetitions=2
+        )
+        by_lam = {r["lam"]: r["completeness"] for r in records}
+        assert by_lam[3] >= by_lam[20]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            make_grid(()).run({"lam": [1]})
+        with pytest.raises(ExperimentError):
+            make_grid().run({})
+        with pytest.raises(ExperimentError):
+            make_grid().run({"lam": [1]}, repetitions=0)
+
+
+class TestPivot:
+    RECORDS = [
+        {"lam": 1, "m": 5, "policy": "A", "completeness": 0.9},
+        {"lam": 1, "m": 10, "policy": "A", "completeness": 0.8},
+        {"lam": 2, "m": 5, "policy": "A", "completeness": 0.7},
+        {"lam": 2, "m": 10, "policy": "A", "completeness": 0.6},
+        {"lam": 1, "m": 5, "policy": "B", "completeness": 0.5},
+    ]
+
+    def test_pivot_matrix(self):
+        rows, columns, matrix = pivot(
+            self.RECORDS, row="lam", column="m", value="completeness",
+            where={"policy": "A"},
+        )
+        assert rows == [1, 2]
+        assert columns == [5, 10]
+        assert matrix == [[0.9, 0.8], [0.7, 0.6]]
+
+    def test_missing_cells_are_none(self):
+        rows, columns, matrix = pivot(
+            self.RECORDS, row="lam", column="m", value="completeness",
+            where={"policy": "B"},
+        )
+        assert matrix == [[0.5]]
+
+    def test_ambiguous_pivot_raises(self):
+        with pytest.raises(ExperimentError, match="ambiguous"):
+            pivot(self.RECORDS, row="lam", column="m", value="completeness")
+
+
+class TestCsv:
+    def test_csv_shape(self):
+        csv = grid_to_csv(self.records())
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("lam,m,policy")
+        assert len(lines) == 3
+
+    def test_empty(self):
+        assert grid_to_csv([]) == ""
+
+    @staticmethod
+    def records():
+        return [
+            {"lam": 1, "m": 5, "policy": "A", "completeness": 0.9},
+            {"lam": 2, "m": 5, "policy": "A", "completeness": 0.7},
+        ]

@@ -1,0 +1,107 @@
+"""Unit tests for the hybrid and clairvoyant policies."""
+
+import numpy as np
+
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector, Schedule
+from repro.core.timebase import Epoch
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.monitor import OnlineMonitor
+from repro.policies import FollowSchedule, Hybrid, clairvoyant_policy, make_policy
+from tests.conftest import make_cei, random_unit_instance
+
+
+class FakeView:
+    def __init__(self, captured=()):
+        self._captured = set(captured)
+
+    def is_ei_captured(self, ei):
+        return ei.seq in self._captured
+
+    def captured_count(self, cei):
+        return sum(1 for ei in cei.eis if ei.seq in self._captured)
+
+    def active_uncaptured_on(self, resource):
+        return 0
+
+
+class TestHybrid:
+    def test_combines_deadline_and_residual(self):
+        # Same deadline; the CEI with fewer remaining EIs wins.
+        close = make_cei((0, 0, 5))
+        far = make_cei((1, 0, 5), (2, 0, 9))
+        policy = Hybrid()
+        view = FakeView()
+        assert policy.priority(close.eis[0], 0, view) < policy.priority(
+            far.eis[0], 0, view
+        )
+
+    def test_deadline_dominates_for_equal_residuals(self):
+        urgent = make_cei((0, 0, 1))
+        relaxed = make_cei((1, 0, 9))
+        policy = Hybrid()
+        view = FakeView()
+        assert policy.priority(urgent.eis[0], 0, view) < policy.priority(
+            relaxed.eis[0], 0, view
+        )
+
+    def test_registered(self):
+        assert isinstance(make_policy("HYBRID"), Hybrid)
+
+    def test_runs_end_to_end(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 0, 3)), make_cei((1, 1, 4), (2, 5, 8))]
+        )
+        monitor = OnlineMonitor(Hybrid(), BudgetVector.constant(1, 10))
+        monitor.run(Epoch(10), arrivals_from_profiles(profiles))
+        monitor.check_budget_feasible()
+        assert monitor.pool.num_satisfied >= 1
+
+
+class TestFollowSchedule:
+    def test_replays_plan_exactly(self):
+        plan = Schedule.from_pairs([(0, 2), (1, 5)])
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 4)), make_cei((1, 3, 7))])
+        monitor = OnlineMonitor(
+            FollowSchedule(plan), BudgetVector.constant(1, 10)
+        )
+        schedule = monitor.run(Epoch(10), arrivals_from_profiles(profiles))
+        assert schedule.is_probed(0, 2)
+        assert schedule.is_probed(1, 5)
+        assert schedule.num_probes == 2
+
+    def test_plan_respects_budget_limit(self):
+        plan = Schedule.from_pairs([(0, 2), (1, 2), (2, 2)])
+        profiles = ProfileSet.from_ceis([make_cei((r, 0, 4)) for r in range(3)])
+        monitor = OnlineMonitor(
+            FollowSchedule(plan), BudgetVector.constant(2, 10)
+        )
+        monitor.run(Epoch(10), arrivals_from_profiles(profiles))
+        assert len(monitor.schedule.probes_at(2)) == 2  # clipped to C
+
+    def test_empty_plan_probes_nothing(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 4))])
+        monitor = OnlineMonitor(FollowSchedule(), BudgetVector.constant(1, 5))
+        monitor.run(Epoch(5), arrivals_from_profiles(profiles))
+        assert monitor.probes_used == 0
+
+
+class TestClairvoyant:
+    def test_matches_offline_plan_completeness(self):
+        rng = np.random.default_rng(13)
+        profiles = random_unit_instance(
+            rng, num_resources=5, num_chronons=12, num_ceis=8, max_rank=2,
+            no_overlap=True,
+        )
+        epoch = Epoch(14)
+        budget = BudgetVector.constant(1, 14)
+        policy = clairvoyant_policy(profiles, epoch, budget)
+        monitor = OnlineMonitor(policy, budget)
+        monitor.run(epoch, arrivals_from_profiles(profiles))
+        from repro.core.metrics import gained_completeness
+        from repro.offline.local_ratio import LocalRatioScheduler
+
+        plan = LocalRatioScheduler(mode="tight").solve(profiles, epoch, budget)
+        executed = gained_completeness(profiles, monitor.schedule)
+        planned = gained_completeness(profiles, plan.schedule)
+        assert executed >= planned - 1e-9

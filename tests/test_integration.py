@@ -1,0 +1,218 @@
+"""Integration and property tests across the whole pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import evaluate_schedule, gained_completeness
+from repro.core.profile import ProfileSet
+from repro.core.resource import Resource, ResourcePool
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.monitor import OnlineMonitor
+from repro.policies import available_policies, make_policy
+from repro.sim.engine import simulate
+from repro.traces.noise import FPNModel, perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import (
+    LengthRule,
+    arbitrage_ceis,
+    periodic_ceis,
+)
+from tests.conftest import random_general_instance
+
+
+def build_workload(seed: int, **spec_kwargs) -> tuple[ProfileSet, Epoch]:
+    epoch = Epoch(150)
+    rng = np.random.default_rng(seed)
+    trace = poisson_trace(30, epoch, 8.0, rng)
+    defaults = dict(num_profiles=10, rank_max=3)
+    defaults.update(spec_kwargs)
+    profiles = generate_profiles(
+        perfect_predictions(trace), epoch, GeneratorSpec(**defaults),
+        LengthRule.window(5), rng,
+    )
+    return profiles, epoch
+
+
+class TestEveryPolicyEndToEnd:
+    @pytest.mark.parametrize("name", sorted(available_policies()))
+    def test_policy_runs_and_respects_budget(self, name):
+        profiles, epoch = build_workload(11)
+        budget = BudgetVector.constant(1, len(epoch))
+        monitor = OnlineMonitor(make_policy(name), budget)
+        schedule = monitor.run(epoch, arrivals_from_profiles(profiles))
+        monitor.check_budget_feasible()
+        schedule.check_feasible(budget, epoch=epoch)
+        report = evaluate_schedule(profiles, schedule)
+        assert 0.0 <= report.completeness <= 1.0
+
+    @pytest.mark.parametrize("name", ["S-EDF", "MRSF", "M-EDF"])
+    def test_believed_matches_truth_without_noise(self, name):
+        profiles, epoch = build_workload(12)
+        result = simulate(
+            profiles, epoch, BudgetVector.constant(1, len(epoch)), name
+        )
+        assert result.believed_completeness == pytest.approx(result.completeness)
+
+
+class TestBudgetInvariant:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000), c=st.integers(1, 3))
+    def test_no_schedule_ever_violates_budget(self, seed, c):
+        rng = np.random.default_rng(seed)
+        profiles = random_general_instance(rng, num_ceis=10)
+        epoch = Epoch(25)
+        budget = BudgetVector.constant(c, 25)
+        for name in ("S-EDF", "MRSF", "M-EDF", "WIC"):
+            monitor = OnlineMonitor(make_policy(name), budget)
+            monitor.run(epoch, arrivals_from_profiles(profiles))
+            monitor.check_budget_feasible()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_monitor_bookkeeping_matches_schedule_scoring(self, seed):
+        """The pool's satisfied count must equal the schedule's score."""
+        rng = np.random.default_rng(seed)
+        profiles = random_general_instance(rng, num_ceis=8)
+        epoch = Epoch(25)
+        monitor = OnlineMonitor(make_policy("MRSF"), BudgetVector.constant(1, 25))
+        schedule = monitor.run(epoch, arrivals_from_profiles(profiles))
+        scored = gained_completeness(profiles, schedule)
+        believed = monitor.believed_completeness
+        # Without noise the proxy's belief is ground truth... except that
+        # probes can capture EIs of *already-failed* CEIs (belief drops
+        # them, scoring counts all probes) — belief is a lower bound.
+        assert believed <= scored + 1e-9
+
+
+class TestBudgetMonotonicity:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_more_budget_never_hurts_much(self, seed):
+        """Raising C should not decrease completeness beyond noise.
+
+        (Online policies are not formally monotone, but a collapse would
+        indicate an engine bug; we allow small non-monotonicity.)"""
+        rng = np.random.default_rng(seed)
+        profiles = random_general_instance(rng, num_ceis=12)
+        epoch = Epoch(25)
+        completenesses = []
+        for c in (1, 2, 4):
+            result = simulate(
+                profiles, epoch, BudgetVector.constant(c, 25), "MRSF"
+            )
+            completenesses.append(result.completeness)
+        assert completenesses[-1] >= completenesses[0] - 0.10
+
+
+class TestNoisePipeline:
+    def test_noise_reduces_completeness(self):
+        epoch = Epoch(300)
+        master = np.random.default_rng(5)
+        trace = poisson_trace(40, epoch, 10.0, master)
+        spec = GeneratorSpec(num_profiles=15, rank_max=3)
+        budget = BudgetVector.constant(1, len(epoch))
+
+        def completeness_for(z: float) -> float:
+            rng = np.random.default_rng(99)
+            noise = FPNModel(z=z, max_shift=20)
+            predictions = (
+                perfect_predictions(trace)
+                if z >= 1.0
+                else noise.predict_bundle(trace, epoch, rng)
+            )
+            profiles = generate_profiles(
+                predictions, epoch, spec, LengthRule.window(3),
+                np.random.default_rng(7),
+            )
+            return simulate(profiles, epoch, budget, "M-EDF").completeness
+
+        clean = completeness_for(1.0)
+        noisy = completeness_for(0.2)
+        assert noisy < clean
+
+    def test_believed_exceeds_truth_under_noise(self):
+        epoch = Epoch(200)
+        rng = np.random.default_rng(8)
+        trace = poisson_trace(30, epoch, 8.0, rng)
+        noise = FPNModel(z=0.0, max_shift=25)
+        predictions = noise.predict_bundle(trace, epoch, rng)
+        profiles = generate_profiles(
+            predictions, epoch,
+            GeneratorSpec(num_profiles=10, rank_max=2),
+            LengthRule.window(2), rng,
+        )
+        result = simulate(profiles, epoch, BudgetVector.constant(2, 200), "S-EDF")
+        # The proxy believes its probes worked; truth says otherwise.
+        assert result.believed_completeness >= result.completeness
+
+
+class TestPaperScenarios:
+    def test_example_two_news_mashup(self):
+        """Paper Example 2 / Figure 4: periodic blog pulls; 'oil' posts
+        trigger crossing CNN Breaking News and CNN Money."""
+        epoch = Epoch(120)
+        pool = ResourcePool.from_names(
+            ["MishBlog", "CNNBreakingNews", "CNNMoney"]
+        )
+        blog = pool.by_name("MishBlog").rid
+        cnn = pool.by_name("CNNBreakingNews").rid
+        money = pool.by_name("CNNMoney").rid
+        ceis = periodic_ceis(
+            blog, epoch, period=10, slack=2,
+            conditional=[cnn, money], conditional_slack=10,
+            trigger_chronons={30, 70},
+        )
+        profiles = ProfileSet.from_ceis(ceis)
+        assert profiles.rank == 3
+        result = simulate(profiles, epoch, BudgetVector.constant(1, 120), "MRSF")
+        # Plenty of budget relative to demand: everything is satisfied.
+        assert result.completeness == 1.0
+
+    def test_example_three_arbitrage_with_push(self):
+        """Paper Example 3: the stock exchange pushes; futures and
+        currency exchanges must be crossed within one chronon."""
+        epoch = Epoch(60)
+        pool = ResourcePool(
+            [
+                Resource(rid=0, name="StockExchange", push_enabled=True),
+                Resource(rid=1, name="FuturesExchange"),
+                Resource(rid=2, name="CurrencyExchange"),
+            ]
+        )
+        from repro.traces.noise import PredictedEvent
+
+        predictions = {
+            0: [PredictedEvent(t, t) for t in (10, 30, 50)],
+        }
+        ceis = arbitrage_ceis(
+            0, [1, 2], predictions, epoch, trigger_slack=0, follower_slack=1
+        )
+        profiles = ProfileSet.from_ceis(ceis)
+        budget = BudgetVector.constant(2, 60)
+        monitor = OnlineMonitor(make_policy("MRSF"), budget, resources=pool)
+        schedule = monitor.run(epoch, arrivals_from_profiles(profiles))
+        monitor.check_budget_feasible()
+        # Pushes cover the trigger; the two pulls fit in C=2 over 2 chronons.
+        assert gained_completeness(profiles, schedule) == 1.0
+
+    def test_full_paper_baseline_configuration_runs(self):
+        """Table I baseline at reduced K: the full pipeline end to end."""
+        epoch = Epoch(200)
+        rng = np.random.default_rng(0)
+        trace = poisson_trace(200, epoch, 4.0, rng)
+        profiles = generate_profiles(
+            perfect_predictions(trace), epoch,
+            GeneratorSpec(num_profiles=20, rank_max=5, alpha=0.3),
+            LengthRule.window(10), rng,
+        )
+        budget = BudgetVector.constant(1, len(epoch))
+        ranking = {}
+        for name, preemptive in (("S-EDF", False), ("MRSF", True), ("M-EDF", True)):
+            result = simulate(profiles, epoch, budget, name, preemptive=preemptive)
+            ranking[result.label] = result.completeness
+        assert ranking["MRSF(P)"] >= ranking["S-EDF(NP)"] - 0.05

@@ -1,0 +1,174 @@
+"""Unit tests for execution intervals and complex execution intervals."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.intervals import (
+    ComplexExecutionInterval,
+    ExecutionInterval,
+    Semantics,
+    cei,
+    intra_resource_overlap,
+)
+from tests.conftest import make_cei, make_ei
+
+
+class TestExecutionInterval:
+    def test_length_counts_chronons(self):
+        assert make_ei(0, 3, 7).length == 5
+
+    def test_unit_detection(self):
+        assert make_ei(0, 4, 4).is_unit
+        assert not make_ei(0, 4, 5).is_unit
+
+    def test_true_window_defaults_to_scheduling_window(self):
+        ei = make_ei(0, 3, 7)
+        assert (ei.true_start, ei.true_finish) == (3, 7)
+
+    def test_true_window_can_differ(self):
+        ei = make_ei(0, 3, 7, true_start=5, true_finish=9)
+        assert ei.truly_active_at(9)
+        assert not ei.active_at(9)
+
+    def test_active_at_boundaries(self):
+        ei = make_ei(0, 3, 7)
+        assert ei.active_at(3)
+        assert ei.active_at(7)
+        assert not ei.active_at(2)
+        assert not ei.active_at(8)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ModelError):
+            make_ei(0, 7, 3)
+
+    def test_negative_resource_rejected(self):
+        with pytest.raises(ModelError):
+            make_ei(-1, 0, 1)
+
+    def test_overlaps_shared_chronon(self):
+        assert make_ei(0, 3, 7).overlaps(make_ei(0, 7, 9))
+
+    def test_overlaps_disjoint(self):
+        assert not make_ei(0, 3, 6).overlaps(make_ei(0, 7, 9))
+
+    def test_chronons_range(self):
+        assert list(make_ei(0, 3, 5).chronons()) == [3, 4, 5]
+
+    def test_shifted_moves_scheduling_window_only(self):
+        ei = make_ei(0, 5, 8)
+        shifted = ei.shifted(3)
+        assert (shifted.start, shifted.finish) == (8, 11)
+        assert (shifted.true_start, shifted.true_finish) == (5, 8)
+
+    def test_shifted_clamps_at_zero_preserving_length(self):
+        shifted = make_ei(0, 2, 4).shifted(-5)
+        assert (shifted.start, shifted.finish) == (0, 2)
+        assert shifted.length == 3
+
+    def test_seq_is_unique(self):
+        assert make_ei(0, 0, 0).seq != make_ei(0, 0, 0).seq
+
+    def test_hash_by_seq(self):
+        ei = make_ei(0, 0, 0)
+        assert hash(ei) == ei.seq
+
+
+class TestComplexExecutionInterval:
+    def test_rank_is_ei_count(self):
+        assert make_cei((0, 1, 2), (1, 3, 4), (2, 5, 6)).rank == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            ComplexExecutionInterval(eis=())
+
+    def test_release_is_earliest_start(self):
+        assert make_cei((0, 5, 9), (1, 2, 4)).release == 2
+
+    def test_deadline_is_latest_finish(self):
+        assert make_cei((0, 5, 9), (1, 2, 4)).deadline == 9
+
+    def test_total_chronons_sums_lengths(self):
+        assert make_cei((0, 0, 4), (1, 2, 3)).total_chronons == 7
+
+    def test_is_unit(self):
+        assert make_cei((0, 2, 2), (1, 3, 3)).is_unit
+        assert not make_cei((0, 2, 3), (1, 3, 3)).is_unit
+
+    def test_resources(self):
+        assert make_cei((0, 0, 1), (2, 2, 3), (0, 5, 6)).resources == {0, 2}
+
+    def test_and_semantics_requires_all(self):
+        c = make_cei((0, 0, 1), (1, 0, 1))
+        assert c.required == 2
+        assert not c.satisfied_by_count(1)
+        assert c.satisfied_by_count(2)
+
+    def test_any_semantics_requires_one(self):
+        c = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 1), make_ei(1, 0, 1)), semantics=Semantics.ANY
+        )
+        assert c.required == 1
+        assert c.satisfied_by_count(1)
+
+    def test_k_of_n_semantics(self):
+        c = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 1), make_ei(1, 0, 1), make_ei(2, 0, 1)),
+            semantics=Semantics.AT_LEAST,
+            required=2,
+        )
+        assert not c.satisfied_by_count(1)
+        assert c.satisfied_by_count(2)
+
+    def test_k_of_n_bounds_validated(self):
+        with pytest.raises(ModelError):
+            ComplexExecutionInterval(
+                eis=(make_ei(0, 0, 1),), semantics=Semantics.AT_LEAST, required=2
+            )
+        with pytest.raises(ModelError):
+            ComplexExecutionInterval(
+                eis=(make_ei(0, 0, 1),), semantics=Semantics.AT_LEAST, required=0
+            )
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ModelError):
+            make_cei((0, 0, 1), weight=0.0)
+
+    def test_parent_backreference_set(self):
+        c = make_cei((0, 0, 1), (1, 0, 1))
+        assert all(ei.parent is c for ei in c.eis)
+
+    def test_ei_cannot_be_shared_across_ceis(self):
+        ei = make_ei(0, 0, 1)
+        ComplexExecutionInterval(eis=(ei,))
+        with pytest.raises(ModelError):
+            ComplexExecutionInterval(eis=(ei,))
+
+    def test_intra_resource_overlap_within_cei(self):
+        overlapping = make_cei((0, 0, 5), (0, 3, 8))
+        disjoint = make_cei((0, 0, 2), (0, 3, 8))
+        assert overlapping.has_intra_resource_overlap()
+        assert not disjoint.has_intra_resource_overlap()
+
+    def test_iteration_and_len(self):
+        c = make_cei((0, 0, 1), (1, 0, 1))
+        assert len(c) == 2
+        assert [ei.resource for ei in c] == [0, 1]
+
+
+class TestHelpers:
+    def test_cei_builder(self):
+        c = cei((0, 1, 2), (3, 4, 5))
+        assert c.rank == 2
+        assert c.eis[1].resource == 3
+
+    def test_intra_resource_overlap_across_groups(self):
+        a = make_ei(0, 0, 4)
+        b = make_ei(0, 4, 8)
+        c = make_ei(1, 0, 8)
+        assert intra_resource_overlap([a, b, c])
+
+    def test_no_overlap_different_resources(self):
+        assert not intra_resource_overlap([make_ei(0, 0, 9), make_ei(1, 0, 9)])
+
+    def test_no_overlap_disjoint_same_resource(self):
+        assert not intra_resource_overlap([make_ei(0, 0, 3), make_ei(0, 4, 9)])

@@ -1,0 +1,157 @@
+"""Unit and property tests for the local-ratio offline approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import gained_completeness
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.offline.enumeration import solve_exact
+from repro.offline.local_ratio import (
+    LocalRatioScheduler,
+    approximation_ratio_bound,
+)
+from tests.conftest import make_cei, random_unit_instance
+
+
+def solve(profiles, num_chronons, c=1.0, mode="tight"):
+    scheduler = LocalRatioScheduler(mode=mode)
+    return scheduler.solve(
+        profiles, Epoch(num_chronons), BudgetVector.constant(c, num_chronons)
+    )
+
+
+class TestBasics:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            LocalRatioScheduler(mode="bogus")
+
+    def test_empty_instance(self):
+        result = solve(ProfileSet(), 5)
+        assert result.completeness == 1.0
+        assert result.schedule.num_probes == 0
+
+    def test_single_unit_cei(self):
+        result = solve(ProfileSet.from_ceis([make_cei((0, 2, 2))]), 5)
+        assert result.captured_origins == 1
+        assert result.schedule.is_probed(0, 2)
+
+    def test_conflicting_ceis_picks_one(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 1, 1)), make_cei((1, 1, 1))]
+        )
+        result = solve(profiles, 5)
+        assert result.captured_origins == 1
+
+    def test_same_slot_is_shared_not_conflicting(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 1, 1)), make_cei((0, 1, 1))]
+        )
+        result = solve(profiles, 5)
+        assert result.captured_origins == 2
+        assert result.schedule.num_probes == 1
+
+    def test_budget_two_allows_two_resources_per_chronon(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 1, 1)), make_cei((1, 1, 1)), make_cei((2, 1, 1))]
+        )
+        result = solve(profiles, 5, c=2.0)
+        assert result.captured_origins == 2
+
+    def test_schedule_feasible(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((r % 3, t, t)) for r, t in [(0, 0), (1, 0), (2, 1), (3, 2)]]
+        )
+        budget = BudgetVector.constant(1, 5)
+        result = LocalRatioScheduler(mode="tight").solve(profiles, Epoch(5), budget)
+        result.schedule.check_feasible(budget)
+
+    def test_general_instance_goes_through_transform(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 3))])
+        result = solve(profiles, 5)
+        assert result.captured_origins == 1
+
+    def test_completeness_matches_reported_captures(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 0, 0), (1, 2, 2)), make_cei((1, 0, 0)), make_cei((0, 2, 2))]
+        )
+        result = solve(profiles, 4)
+        assert gained_completeness(profiles, result.schedule) >= result.completeness
+
+
+class TestPaperMode:
+    def test_linking_probes_stripped_from_schedule(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 2, 2))])
+        result = solve(profiles, 5, mode="paper")
+        for resource, __ in result.schedule.pairs():
+            assert resource >= 0
+
+    def test_paper_mode_never_beats_tight_mode(self):
+        rng = np.random.default_rng(99)
+        for seed in range(5):
+            profiles = random_unit_instance(
+                np.random.default_rng(seed), num_resources=5, num_chronons=10,
+                num_ceis=8, max_rank=3,
+            )
+            tight = solve(profiles, 12, mode="tight").captured_origins
+            paper = solve(profiles, 12, mode="paper").captured_origins
+            assert paper <= tight
+
+    def test_linking_occupies_capacity(self):
+        # Two rank-1 CEIs at chronons 2 and 3: with linking slots, CEI at
+        # chronon 2 links into chronon 3 (virtual resource), and C=1 means
+        # chronon 3 cannot also host the second CEI's real probe.
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 2, 2)), make_cei((1, 3, 3))]
+        )
+        paper = solve(profiles, 6, mode="paper")
+        tight = solve(profiles, 6, mode="tight")
+        assert tight.captured_origins == 2
+        assert paper.captured_origins == 1
+
+
+class TestApproximationGuarantee:
+    def test_ratio_bound_values(self):
+        assert approximation_ratio_bound(2, 1.0, unit=True) == 4
+        assert approximation_ratio_bound(2, 2.0, unit=True) == 5
+        assert approximation_ratio_bound(2, 1.0, unit=False) == 6
+        assert approximation_ratio_bound(2, 2.0, unit=False) == 7
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_tight_mode_within_guarantee_of_optimal(self, seed):
+        """Property: LR (tight) achieves >= optimal / 2k on P^[1] without
+        intra-resource overlap (the setting of the paper's guarantee)."""
+        rng = np.random.default_rng(seed)
+        profiles = random_unit_instance(
+            rng, num_resources=4, num_chronons=8, num_ceis=5, max_rank=2,
+            no_overlap=True,
+        )
+        if profiles.num_ceis == 0:
+            return
+        epoch = Epoch(10)
+        budget = BudgetVector.constant(1, 10)
+        exact = solve_exact(profiles, epoch, budget, max_nodes=500_000)
+        approx = LocalRatioScheduler(mode="tight").solve(profiles, epoch, budget)
+        k = max(1, profiles.rank)
+        bound = approximation_ratio_bound(k, 1.0, unit=True)
+        assert approx.captured_origins * bound >= exact.captured_ceis
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_schedules_always_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        profiles = random_unit_instance(
+            rng, num_resources=5, num_chronons=10, num_ceis=8, max_rank=3
+        )
+        budget = BudgetVector.constant(1, 12)
+        for mode in ("tight", "paper"):
+            result = LocalRatioScheduler(mode=mode).solve(profiles, Epoch(12), budget)
+            result.schedule.check_feasible(budget)
+            # Selected combinations really are captured by the schedule.
+            for unit in result.selected:
+                for chronon, resource in unit.real_slots():
+                    assert result.schedule.is_probed(resource, chronon)

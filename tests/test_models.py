@@ -1,0 +1,189 @@
+"""Unit tests for the update-model substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.timebase import Epoch
+from repro.models import (
+    BinnedIntensityModel,
+    EmpiricalIntervalModel,
+    HomogeneousPoissonModel,
+    evaluate_model,
+    evaluate_predictions,
+    make_model,
+    pair_predictions,
+    predictions_from_model,
+)
+from repro.traces.events import EventStream, TraceBundle
+from repro.traces.poisson import poisson_trace
+
+
+def stream(*chronons):
+    return EventStream(resource=0, chronons=tuple(chronons))
+
+
+class TestPairPredictions:
+    def test_exact_match(self):
+        paired = pair_predictions([1, 5, 9], [1, 5, 9])
+        assert all(p.deviation == 0 for p in paired)
+
+    def test_nearest_assignment(self):
+        paired = pair_predictions([10], [2, 9, 30])
+        assert paired[0].predicted_chronon == 9
+
+    def test_monotone_walk(self):
+        paired = pair_predictions([5, 20], [6, 19])
+        assert [p.predicted_chronon for p in paired] == [6, 19]
+
+    def test_no_true_events(self):
+        assert pair_predictions([], [3, 4]) == []
+
+    def test_blind_model_gets_stale_guess(self):
+        paired = pair_predictions([3, 8], [])
+        assert all(p.predicted_chronon == 8 for p in paired)
+
+    def test_fewer_predictions_than_events(self):
+        paired = pair_predictions([1, 2, 3, 50], [2])
+        assert all(p.predicted_chronon == 2 for p in paired)
+
+
+class TestQualityMetrics:
+    def test_perfect_predictions(self):
+        paired = pair_predictions([1, 5], [1, 5])
+        quality = evaluate_predictions(paired, tolerance=0)
+        assert quality.hit_rate == 1.0
+        assert quality.mean_absolute_deviation == 0.0
+
+    def test_partial_hits(self):
+        paired = pair_predictions([0, 100], [0, 90])
+        quality = evaluate_predictions(paired, tolerance=5)
+        assert quality.hit_rate == 0.5
+        assert quality.mean_absolute_deviation == 5.0
+
+    def test_empty(self):
+        quality = evaluate_predictions([], tolerance=3)
+        assert quality.hit_rate == 1.0
+        assert quality.num_events == 0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ModelError):
+            evaluate_predictions([], tolerance=-1)
+
+
+class TestHomogeneousPoissonModel:
+    def test_deterministic_spacing(self):
+        model = HomogeneousPoissonModel().fit([10, 20, 30, 40], horizon=100)
+        predicted = model.predict(Epoch(100), np.random.default_rng(0))
+        assert predicted == [12, 37, 62, 87]
+
+    def test_empty_history_predicts_nothing(self):
+        model = HomogeneousPoissonModel().fit([], horizon=100)
+        assert model.predict(Epoch(100), np.random.default_rng(0)) == []
+
+    def test_sampled_variant_reasonable_count(self):
+        model = HomogeneousPoissonModel(deterministic=False)
+        model.fit(list(range(0, 100, 2)), horizon=100)  # 50 events
+        predicted = model.predict(Epoch(100), np.random.default_rng(1))
+        assert 25 <= len(predicted) <= 75
+
+    def test_bad_horizon(self):
+        with pytest.raises(ModelError):
+            HomogeneousPoissonModel().fit([1], horizon=0)
+
+    def test_params_roundtrip(self):
+        model = HomogeneousPoissonModel(deterministic=False)
+        clone = HomogeneousPoissonModel(**model.params())
+        assert clone.params() == model.params()
+
+
+class TestBinnedIntensityModel:
+    def test_concentrates_in_busy_bins(self):
+        history = list(range(0, 50))  # everything in the first half
+        model = BinnedIntensityModel(num_bins=2).fit(history, horizon=100)
+        predicted = model.predict(Epoch(100), np.random.default_rng(0))
+        assert predicted
+        assert all(c < 50 for c in predicted)
+
+    def test_total_preserved_roughly(self):
+        history = [5, 15, 25, 35, 45, 55, 65, 75, 85, 95]
+        model = BinnedIntensityModel(num_bins=10).fit(history, horizon=100)
+        predicted = model.predict(Epoch(100), np.random.default_rng(0))
+        assert len(predicted) == 10
+
+    def test_empty_history(self):
+        model = BinnedIntensityModel().fit([], horizon=100)
+        assert model.predict(Epoch(100), np.random.default_rng(0)) == []
+
+    def test_bins_validated(self):
+        with pytest.raises(ModelError):
+            BinnedIntensityModel(num_bins=0)
+
+    def test_better_than_homogeneous_on_bursty_data(self):
+        epoch = Epoch(200)
+        rng = np.random.default_rng(5)
+        burst = sorted(int(c) for c in rng.integers(0, 40, size=30))
+        history = stream(*burst)
+        future = stream(*sorted(int(c) for c in rng.integers(0, 40, size=30)))
+        homogeneous = evaluate_model(
+            HomogeneousPoissonModel(), history, future, epoch,
+            np.random.default_rng(0), tolerance=10,
+        )
+        binned = evaluate_model(
+            BinnedIntensityModel(num_bins=10), history, future, epoch,
+            np.random.default_rng(0), tolerance=10,
+        )
+        assert binned.hit_rate >= homogeneous.hit_rate
+
+
+class TestEmpiricalIntervalModel:
+    def test_reproduces_regular_cadence(self):
+        history = list(range(0, 100, 10))
+        model = EmpiricalIntervalModel().fit(history, horizon=100)
+        predicted = model.predict(Epoch(100), np.random.default_rng(0))
+        assert predicted[0] == 0
+        gaps = np.diff(predicted)
+        assert all(g == 10 for g in gaps)
+
+    def test_single_event_history_predicts_nothing(self):
+        model = EmpiricalIntervalModel().fit([42], horizon=100)
+        assert model.predict(Epoch(100), np.random.default_rng(0)) == []
+
+    def test_min_gap_validated(self):
+        with pytest.raises(ModelError):
+            EmpiricalIntervalModel(min_gap=0)
+
+
+class TestRegistryAndBundles:
+    def test_make_model(self):
+        assert isinstance(make_model("homogeneous-poisson"), HomogeneousPoissonModel)
+        assert isinstance(make_model("binned-intensity", num_bins=4), BinnedIntensityModel)
+
+    def test_make_model_unknown(self):
+        with pytest.raises(ModelError):
+            make_model("nope")
+
+    def test_predictions_from_model_covers_future_resources(self):
+        epoch = Epoch(100)
+        history = poisson_trace(5, epoch, 10.0, np.random.default_rng(1))
+        future = poisson_trace(5, epoch, 10.0, np.random.default_rng(2))
+        predictions = predictions_from_model(
+            HomogeneousPoissonModel(), history, future, epoch,
+            np.random.default_rng(3),
+        )
+        assert set(predictions) == set(future.resources)
+        for rid, paired in predictions.items():
+            assert [p.true_chronon for p in paired] == list(
+                future.stream(rid).chronons
+            )
+
+    def test_predictions_from_model_resource_isolation(self):
+        # Different per-resource histories must give different predictions.
+        epoch = Epoch(100)
+        history = TraceBundle.from_mapping({0: [1, 2, 3], 1: list(range(0, 100, 5))})
+        future = TraceBundle.from_mapping({0: [50], 1: [50]})
+        predictions = predictions_from_model(
+            HomogeneousPoissonModel(), history, future, epoch,
+            np.random.default_rng(0),
+        )
+        assert predictions[0] != predictions[1]

@@ -1,0 +1,115 @@
+"""Unit tests for the FPN(Z) noise model and Poisson-model predictions."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core.timebase import Epoch
+from repro.traces.events import EventStream, TraceBundle
+from repro.traces.noise import (
+    FPNModel,
+    PredictedEvent,
+    perfect_predictions,
+    poisson_model_predictions,
+)
+
+
+def stream(*chronons: int) -> EventStream:
+    return EventStream(resource=0, chronons=tuple(chronons))
+
+
+class TestFPNModel:
+    def test_z_validated(self):
+        with pytest.raises(TraceError):
+            FPNModel(z=1.5)
+        with pytest.raises(TraceError):
+            FPNModel(z=-0.1)
+
+    def test_max_shift_validated(self):
+        with pytest.raises(TraceError):
+            FPNModel(z=0.5, max_shift=0)
+
+    def test_noise_level(self):
+        assert FPNModel(z=0.7).noise_level == pytest.approx(0.3)
+
+    def test_perfect_model_never_deviates(self):
+        model = FPNModel(z=1.0)
+        predictions = model.predict_stream(
+            stream(1, 5, 9), Epoch(20), np.random.default_rng(0)
+        )
+        assert all(p.deviation == 0 for p in predictions)
+
+    def test_fully_noisy_model_always_deviates(self):
+        model = FPNModel(z=0.0, max_shift=3)
+        predictions = model.predict_stream(
+            stream(5, 10, 15), Epoch(30), np.random.default_rng(1)
+        )
+        assert all(p.deviation != 0 for p in predictions)
+
+    def test_deviation_bounded_by_max_shift(self):
+        model = FPNModel(z=0.0, max_shift=4)
+        predictions = model.predict_stream(
+            stream(*range(5, 50, 3)), Epoch(60), np.random.default_rng(2)
+        )
+        assert all(1 <= abs(p.deviation) <= 4 for p in predictions)
+
+    def test_predictions_clamped_to_epoch(self):
+        model = FPNModel(z=0.0, max_shift=10)
+        predictions = model.predict_stream(
+            stream(0, 19), Epoch(20), np.random.default_rng(3)
+        )
+        for p in predictions:
+            assert 0 <= p.predicted_chronon <= 19
+
+    def test_pairing_preserves_truth(self):
+        model = FPNModel(z=0.5, max_shift=5)
+        truth = (2, 8, 14)
+        predictions = model.predict_stream(
+            stream(*truth), Epoch(30), np.random.default_rng(4)
+        )
+        assert tuple(p.true_chronon for p in predictions) == truth
+
+    def test_predict_bundle_covers_all_resources(self):
+        bundle = TraceBundle.from_mapping({0: [1, 2], 3: [5]})
+        model = FPNModel(z=0.5)
+        predictions = model.predict_bundle(bundle, Epoch(10), np.random.default_rng(5))
+        assert set(predictions) == {0, 3}
+
+    def test_noise_rate_matches_z(self):
+        model = FPNModel(z=0.75, max_shift=3)
+        truth = tuple(range(10, 2000, 2))
+        predictions = model.predict_stream(
+            stream(*truth), Epoch(3000), np.random.default_rng(6)
+        )
+        deviated = sum(1 for p in predictions if p.deviation != 0)
+        rate = deviated / len(predictions)
+        assert 0.18 < rate < 0.33  # expected 0.25
+
+
+class TestPerfectPredictions:
+    def test_identity(self):
+        bundle = TraceBundle.from_mapping({0: [1, 4], 1: [2]})
+        predictions = perfect_predictions(bundle)
+        assert predictions[0] == [
+            PredictedEvent(1, 1),
+            PredictedEvent(4, 4),
+        ]
+
+
+class TestPoissonModelPredictions:
+    def test_pairs_every_event(self):
+        bundle = TraceBundle.from_mapping({0: [1, 2, 3, 900]})
+        predictions = poisson_model_predictions(bundle, Epoch(1000))
+        assert [p.true_chronon for p in predictions[0]] == [1, 2, 3, 900]
+
+    def test_model_spreads_events_evenly(self):
+        bundle = TraceBundle.from_mapping({0: [0, 1, 2, 3]})
+        predictions = poisson_model_predictions(bundle, Epoch(100))
+        model_times = [p.predicted_chronon for p in predictions[0]]
+        assert model_times == [12, 37, 62, 87]
+
+    def test_bursty_stream_gets_large_deviations(self):
+        # All real events in a burst at the start; the model spreads them.
+        bundle = TraceBundle.from_mapping({0: list(range(10))})
+        predictions = poisson_model_predictions(bundle, Epoch(1000))
+        assert max(abs(p.deviation) for p in predictions[0]) > 500

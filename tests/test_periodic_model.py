@@ -1,0 +1,99 @@
+"""Tests for the cycle-aware periodic update model."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.timebase import Epoch
+from repro.models import (
+    HomogeneousPoissonModel,
+    PeriodicIntensityModel,
+    evaluate_model,
+    make_model,
+)
+from repro.traces.events import EventStream
+
+
+def periodic_stream(
+    epoch_length: int, cycles: int, duty: float, rng: np.random.Generator,
+    rate: float = 0.5,
+) -> EventStream:
+    """Events only in the first ``duty`` fraction of every cycle."""
+    period = epoch_length / cycles
+    events = []
+    for chronon in range(epoch_length):
+        phase = (chronon % period) / period
+        if phase < duty and rng.random() < rate:
+            events.append(chronon)
+    return EventStream(resource=0, chronons=tuple(events))
+
+
+class TestFitting:
+    def test_detects_cycle_count(self):
+        rng = np.random.default_rng(1)
+        history = periodic_stream(600, 12, 0.3, rng)
+        model = PeriodicIntensityModel().fit(history.chronons, 600)
+        assert model.detected_cycles == 12
+
+    def test_no_cycle_on_uniform_history(self):
+        rng = np.random.default_rng(2)
+        events = sorted(int(c) for c in rng.choice(600, size=120, replace=False))
+        model = PeriodicIntensityModel().fit(events, 600)
+        assert model.detected_cycles == 0
+
+    def test_empty_history(self):
+        model = PeriodicIntensityModel().fit([], 600)
+        assert model.predict(Epoch(600), np.random.default_rng(0)) == []
+
+    def test_params_roundtrip(self):
+        model = PeriodicIntensityModel(phase_bins=8, detection_bins=100)
+        clone = PeriodicIntensityModel(**model.params())
+        assert clone.params() == model.params()
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PeriodicIntensityModel(phase_bins=0)
+        with pytest.raises(ModelError):
+            PeriodicIntensityModel().fit([1], 0)
+
+    def test_registered(self):
+        assert isinstance(
+            make_model("periodic-intensity"), PeriodicIntensityModel
+        )
+
+
+class TestPrediction:
+    def test_predictions_concentrate_in_busy_phase(self):
+        rng = np.random.default_rng(3)
+        history = periodic_stream(600, 12, 0.3, rng)
+        model = PeriodicIntensityModel().fit(history.chronons, 600)
+        predicted = model.predict(Epoch(600), np.random.default_rng(0))
+        assert predicted
+        period = 600 / 12
+        in_busy_phase = sum(1 for c in predicted if (c % period) / period < 0.35)
+        assert in_busy_phase / len(predicted) > 0.8
+
+    def test_beats_homogeneous_on_periodic_stream(self):
+        rng = np.random.default_rng(4)
+        history = periodic_stream(600, 12, 0.25, rng)
+        future = periodic_stream(600, 12, 0.25, np.random.default_rng(5))
+        epoch = Epoch(600)
+        periodic_quality = evaluate_model(
+            PeriodicIntensityModel(), history, future, epoch,
+            np.random.default_rng(0), tolerance=3,
+        )
+        homogeneous_quality = evaluate_model(
+            HomogeneousPoissonModel(), history, future, epoch,
+            np.random.default_rng(0), tolerance=3,
+        )
+        assert periodic_quality.hit_rate > homogeneous_quality.hit_rate
+
+    def test_degrades_to_homogeneous_without_cycle(self):
+        rng = np.random.default_rng(6)
+        events = sorted(int(c) for c in rng.choice(600, size=60, replace=False))
+        epoch = Epoch(600)
+        periodic = PeriodicIntensityModel().fit(events, 600)
+        homogeneous = HomogeneousPoissonModel().fit(events, 600)
+        assert periodic.predict(epoch, np.random.default_rng(0)) == (
+            homogeneous.predict(epoch, np.random.default_rng(0))
+        )

@@ -1,0 +1,86 @@
+"""Tests for budget planning utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.core.timebase import Epoch
+from repro.sim.planning import budget_response_curve, minimum_budget_for
+from repro.traces.noise import perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import LengthRule
+
+EPOCH = Epoch(200)
+
+
+def make_instance(rng: np.random.Generator):
+    trace = poisson_trace(60, EPOCH, 6.0, rng)
+    return generate_profiles(
+        perfect_predictions(trace), EPOCH,
+        GeneratorSpec(num_profiles=30, rank_max=3),
+        LengthRule.window(6), rng,
+    )
+
+
+class TestMinimumBudget:
+    def test_finds_small_budget_for_easy_target(self):
+        budget, achieved = minimum_budget_for(
+            make_instance, EPOCH, target=0.3, max_budget=8, repetitions=2
+        )
+        assert 1 <= budget <= 8
+        assert achieved >= 0.3
+
+    def test_minimality(self):
+        budget, __ = minimum_budget_for(
+            make_instance, EPOCH, target=0.8, max_budget=8, repetitions=2, seed=1
+        )
+        if budget > 1:
+            curve = dict(
+                budget_response_curve(
+                    make_instance, EPOCH, [budget - 1], repetitions=2, seed=1
+                )
+            )
+            assert curve[budget - 1] < 0.8
+
+    def test_unreachable_target_raises(self):
+        def impossible(rng):
+            from repro.core.profile import ProfileSet
+            from tests.conftest import make_ei
+            from repro.core.intervals import ComplexExecutionInterval
+
+            # True windows never overlap the scheduling windows: nothing
+            # can ever be captured, at any budget.
+            ceis = [
+                ComplexExecutionInterval(
+                    eis=(make_ei(0, 0, 1, true_start=100, true_finish=101),)
+                )
+            ]
+            return ProfileSet.from_ceis(ceis)
+
+        with pytest.raises(ExperimentError, match="unreachable"):
+            minimum_budget_for(
+                impossible, EPOCH, target=0.9, max_budget=4, repetitions=1
+            )
+
+    def test_target_validated(self):
+        with pytest.raises(ExperimentError):
+            minimum_budget_for(make_instance, EPOCH, target=0.0)
+        with pytest.raises(ExperimentError):
+            minimum_budget_for(make_instance, EPOCH, target=1.5)
+        with pytest.raises(ExperimentError):
+            minimum_budget_for(make_instance, EPOCH, target=0.5, max_budget=0)
+
+
+class TestResponseCurve:
+    def test_monotone_in_budget(self):
+        curve = budget_response_curve(
+            make_instance, EPOCH, [1, 2, 4], repetitions=2
+        )
+        values = [completeness for __, completeness in curve]
+        assert values[0] <= values[-1] + 0.05
+
+    def test_shape_of_output(self):
+        curve = budget_response_curve(make_instance, EPOCH, [1, 3], repetitions=1)
+        assert [c for c, __ in curve] == [1, 3]
+        assert all(0.0 <= v <= 1.0 for __, v in curve)

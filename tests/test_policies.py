@@ -1,0 +1,213 @@
+"""Unit tests for the probing policies.
+
+Includes the paper's two worked examples (Section IV-A, Figures 6 and 7)
+as concrete regression tests of the policy value functions.
+"""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.intervals import ComplexExecutionInterval
+from repro.policies import (
+    MEDF,
+    MRSF,
+    SEDF,
+    FIFO,
+    RandomPolicy,
+    RoundRobin,
+    WeightedMEDF,
+    WeightedMRSF,
+    WeightedSEDF,
+    available_policies,
+    m_edf_value,
+    make_policy,
+    s_edf_value,
+)
+from tests.conftest import make_cei, make_ei
+
+
+class FakeView:
+    """Minimal MonitorView: capture state by EI seq."""
+
+    def __init__(self, captured=()):
+        self._captured = set(captured)
+        self.active_counts = {}
+
+    def is_ei_captured(self, ei):
+        return ei.seq in self._captured
+
+    def captured_count(self, cei):
+        return sum(1 for ei in cei.eis if ei.seq in self._captured)
+
+    def active_uncaptured_on(self, resource):
+        return self.active_counts.get(resource, 0)
+
+
+class TestSEDF:
+    def test_value_counts_remaining_chronons(self):
+        # Paper Example 1 / Figure 6: S-EDF = 5 at chronon T.
+        ei = make_ei(0, 0, 14)
+        assert s_edf_value(ei, 10) == 5
+
+    def test_value_at_deadline_is_one(self):
+        assert s_edf_value(make_ei(0, 0, 7), 7) == 1
+
+    def test_policy_prefers_earliest_deadline(self):
+        view = FakeView()
+        early = make_cei((0, 0, 3)).eis[0]
+        late = make_cei((1, 0, 9)).eis[0]
+        policy = SEDF()
+        assert policy.priority(early, 2, view) < policy.priority(late, 2, view)
+
+    def test_not_sibling_sensitive(self):
+        assert not SEDF().sibling_sensitive()
+
+
+class TestMRSF:
+    def test_counts_remaining_eis(self):
+        # Paper Example 1 / Figure 6: MRSF = 4 with nothing captured.
+        c = make_cei((0, 0, 5), (1, 8, 10), (2, 12, 15), (3, 18, 22))
+        assert MRSF().priority(c.eis[0], 3, FakeView()) == 4.0
+
+    def test_decreases_with_captures(self):
+        c = make_cei((0, 0, 5), (1, 8, 10), (2, 12, 15))
+        view = FakeView(captured={c.eis[0].seq})
+        assert MRSF().priority(c.eis[1], 9, view) == 2.0
+
+    def test_sibling_sensitive(self):
+        assert MRSF().sibling_sensitive()
+
+    def test_profile_rank_variant(self):
+        c = make_cei((0, 0, 5), (1, 8, 10))
+        policy = MRSF(use_profile_rank=True)
+        policy.set_profile_ranks({c.cid: 5})
+        assert policy.priority(c.eis[0], 0, FakeView()) == 5.0
+
+
+class TestMEDF:
+    def test_example_one_figure_six(self):
+        # A CEI with 4 EIs; at chronon T the current EI has 5 chronons
+        # left and M-EDF accumulates 22 chronons over all remaining EIs.
+        current = make_ei(0, 6, 14)  # S-EDF at T=10: 5
+        future_a = make_ei(1, 16, 23)  # width 8
+        future_b = make_ei(2, 25, 29)  # width 5
+        future_c = make_ei(3, 31, 34)  # width 4
+        cei = ComplexExecutionInterval(eis=(current, future_a, future_b, future_c))
+        assert s_edf_value(current, 10) == 5
+        assert m_edf_value(current, 10, FakeView()) == 5 + 8 + 5 + 4  # 22
+
+    def test_example_two_figure_seven(self):
+        # CEI_1: 4 EIs, first two captured; current EI has 5 chronons
+        # left and a future sibling completes 19 remaining chronons.
+        c1_done_a = make_ei(0, 0, 2)
+        c1_done_b = make_ei(1, 3, 5)
+        c1_current = make_ei(2, 8, 14)  # S-EDF at T=10: 5
+        c1_future = make_ei(3, 16, 29)  # width 14 -> total 19
+        cei1 = ComplexExecutionInterval(
+            eis=(c1_done_a, c1_done_b, c1_current, c1_future)
+        )
+        # CEI_2: 3 EIs, none captured; current EI has 6 chronons left,
+        # futures add 10 -> total 16.
+        c2_current = make_ei(4, 9, 15)  # S-EDF at T=10: 6
+        c2_future_a = make_ei(5, 17, 22)  # width 6
+        c2_future_b = make_ei(6, 24, 27)  # width 4
+        cei2 = ComplexExecutionInterval(eis=(c2_current, c2_future_a, c2_future_b))
+
+        view = FakeView(captured={c1_done_a.seq, c1_done_b.seq})
+        t = 10
+        # S-EDF sticks with CEI_1 (5 < 6).
+        assert s_edf_value(c1_current, t) < s_edf_value(c2_current, t)
+        # MRSF sticks with CEI_1 (2 remaining < 3 remaining).
+        mrsf = MRSF()
+        assert mrsf.priority(c1_current, t, view) < mrsf.priority(c2_current, t, view)
+        # M-EDF preempts CEI_1 in favour of CEI_2 (19 > 16).
+        assert m_edf_value(c1_current, t, view) == 19
+        assert m_edf_value(c2_current, t, view) == 16
+
+    def test_captured_siblings_excluded(self):
+        c = make_cei((0, 0, 4), (1, 0, 4))
+        view = FakeView(captured={c.eis[1].seq})
+        assert m_edf_value(c.eis[0], 0, view) == 5
+
+    def test_sibling_sensitive(self):
+        assert MEDF().sibling_sensitive()
+
+
+class TestWeightedPolicies:
+    def test_weighted_sedf_prefers_heavy(self):
+        light = make_cei((0, 0, 9), weight=1.0)
+        heavy = make_cei((1, 0, 9), weight=4.0)
+        policy = WeightedSEDF()
+        view = FakeView()
+        assert policy.priority(heavy.eis[0], 0, view) < policy.priority(
+            light.eis[0], 0, view
+        )
+
+    def test_weighted_mrsf_reduces_to_mrsf_with_unit_weights(self):
+        c = make_cei((0, 0, 4), (1, 0, 4))
+        view = FakeView()
+        assert WeightedMRSF().priority(c.eis[0], 0, view) == MRSF().priority(
+            c.eis[0], 0, view
+        )
+
+    def test_weighted_medf_scales_by_weight(self):
+        c = make_cei((0, 0, 4), (1, 0, 4), weight=2.0)
+        view = FakeView()
+        assert WeightedMEDF().priority(c.eis[0], 0, view) == pytest.approx(
+            m_edf_value(c.eis[0], 0, view) / 2.0
+        )
+
+    def test_weighted_variants_sibling_sensitive(self):
+        assert WeightedMRSF().sibling_sensitive()
+        assert WeightedMEDF().sibling_sensitive()
+
+
+class TestNaivePolicies:
+    def test_random_is_seeded_and_reproducible(self):
+        c = make_cei((0, 0, 4))
+        a = RandomPolicy(seed=7).priority(c.eis[0], 0, FakeView())
+        b = RandomPolicy(seed=7).priority(c.eis[0], 0, FakeView())
+        assert a == b
+
+    def test_round_robin_prefers_stale_resources(self):
+        policy = RoundRobin()
+        policy.on_run_start(2)
+        policy.on_probe(0, 5)
+        a = make_cei((0, 0, 9)).eis[0]
+        b = make_cei((1, 0, 9)).eis[0]
+        view = FakeView()
+        assert policy.priority(b, 6, view) < policy.priority(a, 6, view)
+
+    def test_fifo_prefers_earliest_start(self):
+        old = make_cei((0, 0, 9)).eis[0]
+        new = make_cei((1, 5, 9)).eis[0]
+        policy = FIFO()
+        view = FakeView()
+        assert policy.priority(old, 6, view) < policy.priority(new, 6, view)
+
+
+class TestRegistry:
+    def test_all_expected_policies_registered(self):
+        names = available_policies()
+        for expected in ["S-EDF", "MRSF", "M-EDF", "WIC", "RANDOM", "ROUND-ROBIN",
+                         "FIFO", "W-S-EDF", "W-MRSF", "W-M-EDF"]:
+            assert expected in names
+
+    def test_make_policy_case_insensitive(self):
+        assert isinstance(make_policy("mrsf"), MRSF)
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(ModelError, match="unknown policy"):
+            make_policy("NOPE")
+
+    def test_make_policy_kwargs(self):
+        policy = make_policy("RANDOM", seed=3)
+        assert isinstance(policy, RandomPolicy)
+
+    def test_sort_key_is_deterministic_tiebreak(self):
+        a = make_cei((0, 0, 5)).eis[0]
+        b = make_cei((1, 0, 5)).eis[0]
+        policy = SEDF()
+        view = FakeView()
+        keys = sorted([policy.sort_key(b, 0, view), policy.sort_key(a, 0, view)])
+        assert keys[0][2] == min(a.seq, b.seq)

@@ -1,0 +1,92 @@
+"""Unit tests for profiles and profile sets."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.profile import Profile, ProfileSet
+from tests.conftest import make_cei
+
+
+def two_profile_set() -> ProfileSet:
+    p0 = Profile(pid=0, ceis=[make_cei((0, 0, 1)), make_cei((1, 2, 3), (2, 4, 5))])
+    p1 = Profile(pid=1, ceis=[make_cei((0, 6, 7), (1, 8, 9), (2, 10, 11))])
+    return ProfileSet([p0, p1])
+
+
+class TestProfile:
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ModelError):
+            Profile(pid=-1)
+
+    def test_len_counts_ceis(self):
+        assert len(two_profile_set()[0]) == 2
+
+    def test_rank_is_max_cei_rank(self):
+        assert two_profile_set()[0].rank == 2
+        assert two_profile_set()[1].rank == 3
+
+    def test_empty_profile_rank_zero(self):
+        assert Profile(pid=0).rank == 0
+
+    def test_num_eis(self):
+        assert two_profile_set()[0].num_eis == 3
+
+    def test_add(self):
+        p = Profile(pid=0)
+        p.add(make_cei((0, 0, 1)))
+        assert len(p) == 1
+
+    def test_eis_iterates_bag(self):
+        assert len(list(two_profile_set()[0].eis())) == 3
+
+
+class TestProfileSet:
+    def test_rank_over_profiles(self):
+        assert two_profile_set().rank == 3
+
+    def test_empty_set_rank_zero(self):
+        assert ProfileSet().rank == 0
+
+    def test_num_ceis(self):
+        assert two_profile_set().num_ceis == 3
+
+    def test_num_eis(self):
+        assert two_profile_set().num_eis == 6
+
+    def test_from_ceis_single_profile(self):
+        ps = ProfileSet.from_ceis([make_cei((0, 0, 1)), make_cei((1, 0, 1))])
+        assert len(ps) == 1
+        assert ps.num_ceis == 2
+
+    def test_from_ceis_chunked(self):
+        ceis = [make_cei((0, i, i)) for i in range(5)]
+        ps = ProfileSet.from_ceis(ceis, per_profile=2)
+        assert [len(p) for p in ps] == [2, 2, 1]
+
+    def test_is_unit_true(self):
+        ps = ProfileSet.from_ceis([make_cei((0, 1, 1), (1, 2, 2))])
+        assert ps.is_unit
+
+    def test_is_unit_false(self):
+        ps = ProfileSet.from_ceis([make_cei((0, 1, 2))])
+        assert not ps.is_unit
+
+    def test_intra_resource_overlap_detection(self):
+        with_overlap = ProfileSet.from_ceis(
+            [make_cei((0, 0, 5)), make_cei((0, 3, 8))]
+        )
+        without = ProfileSet.from_ceis([make_cei((0, 0, 2)), make_cei((1, 3, 8))])
+        assert with_overlap.has_intra_resource_overlap()
+        assert not without.has_intra_resource_overlap()
+
+    def test_resources_used(self):
+        assert two_profile_set().resources_used == {0, 1, 2}
+
+    def test_horizon(self):
+        assert two_profile_set().horizon == 12
+
+    def test_horizon_empty(self):
+        assert ProfileSet().horizon == 0
+
+    def test_rank_histogram(self):
+        assert two_profile_set().rank_histogram() == {1: 1, 2: 1, 3: 1}

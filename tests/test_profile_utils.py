@@ -1,0 +1,90 @@
+"""Tests for profile-set utilities and the diurnal budget helper."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.profile import Profile, ProfileSet
+from repro.core.schedule import BudgetVector
+from tests.conftest import make_cei
+
+
+def mixed_set() -> ProfileSet:
+    p0 = Profile(pid=0, ceis=[make_cei((0, 0, 1)), make_cei((1, 2, 3), (2, 4, 5))])
+    p1 = Profile(pid=1, ceis=[make_cei((0, 6, 7), (1, 8, 9), (2, 10, 11))])
+    return ProfileSet([p0, p1])
+
+
+class TestFiltering:
+    def test_filter_by_predicate(self):
+        filtered = mixed_set().filter_ceis(lambda cei: cei.rank >= 2)
+        assert filtered.num_ceis == 2
+        assert len(filtered) == 2  # profiles preserved, one now has 1 CEI
+
+    def test_restricted_to_rank(self):
+        only_rank_one = mixed_set().restricted_to_rank(1)
+        assert only_rank_one.num_ceis == 1
+        assert only_rank_one.rank == 1
+
+    def test_empty_filter(self):
+        filtered = mixed_set().filter_ceis(lambda cei: False)
+        assert filtered.num_ceis == 0
+        assert len(filtered) == 2  # empty profiles remain
+
+    def test_pids_preserved(self):
+        filtered = mixed_set().filter_ceis(lambda cei: True)
+        assert [p.pid for p in filtered] == [0, 1]
+
+
+class TestMerging:
+    def test_merged_counts(self):
+        a = mixed_set()
+        b = ProfileSet([Profile(pid=0, ceis=[make_cei((3, 0, 1))])])
+        merged = a.merged_with(b)
+        assert len(merged) == 3
+        assert merged.num_ceis == a.num_ceis + b.num_ceis
+
+    def test_merged_pids_renumbered(self):
+        a = mixed_set()
+        b = mixed_set()
+        merged = a.merged_with(b)
+        assert [p.pid for p in merged] == [0, 1, 2, 3]
+
+
+class TestDiurnalBudget:
+    def test_mean_near_base(self):
+        budget = BudgetVector.diurnal(2.0, 0.5, periods=4, num_chronons=400)
+        assert 1.8 <= budget.total / 400 <= 2.2
+
+    def test_oscillates(self):
+        budget = BudgetVector.diurnal(2.0, 1.0, periods=1, num_chronons=100)
+        assert budget.maximum >= 3.0
+        assert min(budget.values) <= 1.0
+
+    def test_zero_amplitude_is_constant(self):
+        budget = BudgetVector.diurnal(3.0, 0.0, periods=5, num_chronons=50)
+        assert set(budget.values) == {3.0}
+
+    def test_integer_values(self):
+        budget = BudgetVector.diurnal(2.5, 0.7, periods=3, num_chronons=60)
+        assert all(v == int(v) for v in budget.values)
+        assert all(v >= 0 for v in budget.values)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BudgetVector.diurnal(1.0, 1.5, periods=1, num_chronons=10)
+        with pytest.raises(ModelError):
+            BudgetVector.diurnal(1.0, 0.5, periods=-1, num_chronons=10)
+        with pytest.raises(ModelError):
+            BudgetVector.diurnal(1.0, 0.5, periods=1, num_chronons=0)
+
+    def test_usable_by_monitor(self):
+        from repro.core.timebase import Epoch
+        from repro.online.arrivals import arrivals_from_profiles
+        from repro.online.monitor import OnlineMonitor
+        from repro.policies import make_policy
+
+        profiles = ProfileSet.from_ceis([make_cei((0, 10, 20)), make_cei((1, 30, 40))])
+        budget = BudgetVector.diurnal(1.0, 1.0, periods=2, num_chronons=50)
+        monitor = OnlineMonitor(make_policy("MRSF"), budget)
+        monitor.run(Epoch(50), arrivals_from_profiles(profiles))
+        monitor.check_budget_feasible()

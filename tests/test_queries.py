@@ -1,0 +1,166 @@
+"""Unit tests for the pseudo-continuous-query language."""
+
+import pytest
+
+from repro.proxy.queries import (
+    ContinuousQuery,
+    QueryParseError,
+    TimeSpan,
+    WhenContains,
+    WhenEvery,
+    WhenPush,
+    WhenUpdate,
+    parse_queries,
+    parse_query,
+)
+
+EXAMPLE_2 = """
+q1: SELECT item AS F1
+FROM feed(MishBlog)
+WHEN EVERY 10 MINUTES AS T1
+WITHIN T1+2 MINUTES
+
+q2: SELECT item AS F2
+FROM feed(CNNBreakingNews)
+WHEN F1 CONTAINS %oil%
+WITHIN T1+10 MINUTES
+
+q3: SELECT item AS F3
+FROM feed(CNNMoney.com)
+WHEN F1 CONTAINS %oil%
+WITHIN T1+10 MINUTES
+"""
+
+EXAMPLE_3 = """
+q1: SELECT item AS F1
+FROM feed(StockExchange)
+WHEN ON PUSH AS T1
+
+q2: SELECT item AS F2
+FROM feed(FuturesExchange)
+WITHIN T1+1 SECONDS
+
+q3: SELECT item AS F3
+FROM feed(CurrencyExchange)
+WITHIN T1+1 SECONDS
+"""
+
+
+class TestParseQuery:
+    def test_minimal_query(self):
+        query = parse_query("SELECT item AS F1\nFROM feed(Blog)")
+        assert query.select_field == "item"
+        assert query.alias == "F1"
+        assert query.source == "Blog"
+        assert query.when is None and query.within is None
+
+    def test_every_clause(self):
+        query = parse_query(
+            "SELECT item AS F1; FROM feed(B); WHEN EVERY 10 MINUTES AS T1"
+        )
+        assert query.when == WhenEvery(TimeSpan(10.0, "minute"), "T1")
+        assert query.is_trigger
+        assert query.trigger_label == "T1"
+
+    def test_push_clause(self):
+        query = parse_query("SELECT item AS F1; FROM feed(B); WHEN ON PUSH AS T9")
+        assert query.when == WhenPush("T9")
+
+    def test_update_clause(self):
+        query = parse_query("SELECT item AS F1; FROM feed(B); WHEN ON UPDATE AS T2")
+        assert query.when == WhenUpdate("T2")
+
+    def test_contains_clause(self):
+        query = parse_query(
+            "SELECT item AS F2; FROM feed(B); WHEN F1 CONTAINS %oil%"
+        )
+        assert query.when == WhenContains("F1", "oil")
+        assert not query.is_trigger
+
+    def test_within_anchored(self):
+        query = parse_query(
+            "SELECT item AS F2; FROM feed(B); WITHIN T1+10 MINUTES"
+        )
+        assert query.within is not None
+        assert query.within.anchor == "T1"
+        assert query.within.span == TimeSpan(10.0, "minute")
+
+    def test_within_plain(self):
+        query = parse_query("SELECT item AS F1; FROM feed(B); WITHIN 5 CHRONONS")
+        assert query.within is not None and query.within.anchor is None
+
+    def test_case_insensitive(self):
+        query = parse_query(
+            "select item as f1; from FEED(B); when every 2 hours as t1"
+        )
+        assert isinstance(query.when, WhenEvery)
+        assert query.when.period.unit == "hour"
+
+    def test_error_on_empty(self):
+        with pytest.raises(QueryParseError):
+            parse_query("   ")
+
+    def test_error_on_missing_from(self):
+        with pytest.raises(QueryParseError, match="FROM"):
+            parse_query("SELECT item AS F1")
+
+    def test_error_on_bad_select(self):
+        with pytest.raises(QueryParseError, match="SELECT"):
+            parse_query("GRAB item AS F1; FROM feed(B)")
+
+    def test_error_on_duplicate_when(self):
+        with pytest.raises(QueryParseError, match="duplicate WHEN"):
+            parse_query(
+                "SELECT item AS F1; FROM feed(B); "
+                "WHEN ON PUSH AS T1; WHEN ON PUSH AS T2"
+            )
+
+    def test_error_on_unknown_clause(self):
+        with pytest.raises(QueryParseError, match="unrecognized clause"):
+            parse_query("SELECT item AS F1; FROM feed(B); ORDER BY time")
+
+    def test_error_on_bad_unit(self):
+        with pytest.raises(QueryParseError, match="unit"):
+            parse_query("SELECT item AS F1; FROM feed(B); WITHIN 3 FORTNIGHTS")
+
+    def test_negative_span_rejected_by_grammar(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT i AS F1; FROM feed(B); WITHIN -3 MINUTES")
+
+
+class TestParseQueries:
+    def test_example_two_verbatim(self):
+        queries = parse_queries(EXAMPLE_2)
+        assert [q.alias for q in queries] == ["F1", "F2", "F3"]
+        assert queries[0].is_trigger
+        assert isinstance(queries[1].when, WhenContains)
+        assert queries[2].source == "CNNMoney.com"
+
+    def test_example_three_verbatim(self):
+        queries = parse_queries(EXAMPLE_3)
+        assert isinstance(queries[0].when, WhenPush)
+        assert queries[1].within is not None
+        assert queries[1].within.span.unit == "second"
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(QueryParseError, match="duplicate"):
+            parse_queries(
+                "SELECT a AS F1; FROM feed(X)\n\nSELECT b AS F1; FROM feed(Y)"
+            )
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_queries("\n\n")
+
+
+class TestDataclasses:
+    def test_timespan_validation(self):
+        with pytest.raises(QueryParseError):
+            TimeSpan(-1.0, "minute")
+        with pytest.raises(QueryParseError):
+            TimeSpan(1.0, "parsec")
+
+    def test_query_is_frozen(self):
+        query = ContinuousQuery(select_field="i", alias="F1", source="B")
+        with pytest.raises(AttributeError):
+            query.alias = "F2"  # type: ignore[misc]

@@ -1,0 +1,76 @@
+"""Unit tests for resources and resource pools."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.resource import Resource, ResourcePool
+
+
+class TestResource:
+    def test_default_name(self):
+        assert Resource(rid=3).name == "r3"
+
+    def test_explicit_name_kept(self):
+        assert Resource(rid=3, name="cnn").name == "cnn"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ModelError):
+            Resource(rid=-1)
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(ModelError):
+            Resource(rid=0, probe_cost=0.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ModelError):
+            Resource(rid=0, probe_cost=-2.0)
+
+    def test_push_flag_defaults_off(self):
+        assert not Resource(rid=0).push_enabled
+
+
+class TestResourcePool:
+    def test_uniform_creates_dense_ids(self):
+        pool = ResourcePool.uniform(4)
+        assert [r.rid for r in pool] == [0, 1, 2, 3]
+
+    def test_uniform_rejects_zero(self):
+        with pytest.raises(ModelError):
+            ResourcePool.uniform(0)
+
+    def test_from_names(self):
+        pool = ResourcePool.from_names(["a", "b"])
+        assert pool.by_name("b").rid == 1
+
+    def test_from_names_rejects_empty(self):
+        with pytest.raises(ModelError):
+            ResourcePool.from_names([])
+
+    def test_non_dense_ids_rejected(self):
+        with pytest.raises(ModelError):
+            ResourcePool([Resource(rid=1)])
+
+    def test_getitem(self):
+        pool = ResourcePool.uniform(3)
+        assert pool[2].rid == 2
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(ModelError):
+            ResourcePool.uniform(3)[3]
+
+    def test_contains(self):
+        pool = ResourcePool.uniform(3)
+        assert 2 in pool
+        assert 3 not in pool
+        assert "x" not in pool
+
+    def test_probe_cost_lookup(self):
+        pool = ResourcePool.uniform(2, probe_cost=2.5)
+        assert pool.probe_cost(1) == 2.5
+
+    def test_by_name_missing(self):
+        with pytest.raises(ModelError):
+            ResourcePool.uniform(2).by_name("nope")
+
+    def test_ids_range(self):
+        assert list(ResourcePool.uniform(3).ids) == [0, 1, 2]

@@ -1,0 +1,189 @@
+"""Unit tests for schedules, budget vectors and capture indicators."""
+
+import pytest
+
+from repro.core.errors import BudgetError, ModelError, ScheduleError
+from repro.core.intervals import ComplexExecutionInterval, Semantics
+from repro.core.resource import Resource, ResourcePool
+from repro.core.schedule import (
+    BudgetVector,
+    Schedule,
+    count_feasible_schedules,
+    probes_remaining,
+    schedule_from_matrix,
+)
+from repro.core.timebase import Epoch
+from tests.conftest import make_cei, make_ei
+
+
+class TestBudgetVector:
+    def test_constant_broadcast(self):
+        budget = BudgetVector.constant(2, 5)
+        assert len(budget) == 5
+        assert all(budget.at(j) == 2 for j in range(5))
+
+    def test_from_sequence(self):
+        budget = BudgetVector.from_sequence([1, 2, 3])
+        assert budget.at(1) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            BudgetVector.from_sequence([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            BudgetVector.from_sequence([1, -1])
+
+    def test_zero_length_constant_rejected(self):
+        with pytest.raises(ModelError):
+            BudgetVector.constant(1, 0)
+
+    def test_at_out_of_range(self):
+        with pytest.raises(ModelError):
+            BudgetVector.constant(1, 3).at(3)
+
+    def test_maximum(self):
+        assert BudgetVector.from_sequence([1, 5, 2]).maximum == 5
+
+    def test_total(self):
+        assert BudgetVector.from_sequence([1, 5, 2]).total == 8
+
+
+class TestSchedule:
+    def test_add_probe_and_query(self):
+        s = Schedule()
+        assert s.add_probe(3, 7)
+        assert s.is_probed(3, 7)
+        assert not s.is_probed(3, 8)
+
+    def test_duplicate_probe_reports_false(self):
+        s = Schedule()
+        s.add_probe(3, 7)
+        assert not s.add_probe(3, 7)
+        assert s.num_probes == 1
+
+    def test_negative_values_rejected(self):
+        s = Schedule()
+        with pytest.raises(ScheduleError):
+            s.add_probe(-1, 0)
+        with pytest.raises(ScheduleError):
+            s.add_probe(0, -1)
+
+    def test_probes_at_empty(self):
+        assert Schedule().probes_at(3) == frozenset()
+
+    def test_from_pairs_and_pairs_roundtrip(self):
+        pairs = [(1, 0), (0, 2), (2, 2)]
+        s = Schedule.from_pairs(pairs)
+        assert list(s.pairs()) == [(1, 0), (0, 2), (2, 2)]
+
+    def test_chronons_sorted(self):
+        s = Schedule.from_pairs([(0, 5), (0, 1), (0, 3)])
+        assert list(s.chronons()) == [1, 3, 5]
+
+    def test_feasible_within_budget(self):
+        s = Schedule.from_pairs([(0, 0), (1, 0), (2, 1)])
+        s.check_feasible(BudgetVector.constant(2, 3))
+
+    def test_budget_violation_raises(self):
+        s = Schedule.from_pairs([(0, 0), (1, 0), (2, 0)])
+        with pytest.raises(BudgetError):
+            s.check_feasible(BudgetVector.constant(2, 3))
+
+    def test_probe_beyond_budget_horizon(self):
+        s = Schedule.from_pairs([(0, 5)])
+        with pytest.raises(BudgetError):
+            s.check_feasible(BudgetVector.constant(1, 3))
+
+    def test_probe_outside_epoch(self):
+        s = Schedule.from_pairs([(0, 5)])
+        with pytest.raises(ScheduleError):
+            s.check_feasible(BudgetVector.constant(1, 10), epoch=Epoch(4))
+
+    def test_heterogeneous_costs(self):
+        pool = ResourcePool([Resource(rid=0, probe_cost=3.0), Resource(rid=1)])
+        s = Schedule.from_pairs([(0, 0), (1, 0)])
+        with pytest.raises(BudgetError):
+            s.check_feasible(BudgetVector.constant(3, 1), pool=pool)
+        s.check_feasible(BudgetVector.constant(4, 1), pool=pool)
+
+    def test_is_feasible_boolean(self):
+        s = Schedule.from_pairs([(0, 0), (1, 0)])
+        assert s.is_feasible(BudgetVector.constant(2, 1))
+        assert not s.is_feasible(BudgetVector.constant(1, 1))
+
+
+class TestCaptureIndicators:
+    def test_captures_ei_inside_window(self):
+        s = Schedule.from_pairs([(0, 5)])
+        assert s.captures_ei(make_ei(0, 3, 7))
+
+    def test_misses_other_resource(self):
+        s = Schedule.from_pairs([(1, 5)])
+        assert not s.captures_ei(make_ei(0, 3, 7))
+
+    def test_misses_outside_window(self):
+        s = Schedule.from_pairs([(0, 8)])
+        assert not s.captures_ei(make_ei(0, 3, 7))
+
+    def test_true_window_scoring(self):
+        # Probe lands in the scheduling window but the true event moved.
+        ei = make_ei(0, 3, 7, true_start=10, true_finish=12)
+        s = Schedule.from_pairs([(0, 5)])
+        assert not s.captures_ei(ei, use_true_window=True)
+        assert s.captures_ei(ei, use_true_window=False)
+
+    def test_captures_cei_and_semantics(self):
+        c = make_cei((0, 0, 2), (1, 4, 6))
+        assert Schedule.from_pairs([(0, 1), (1, 5)]).captures_cei(c)
+        assert not Schedule.from_pairs([(0, 1)]).captures_cei(c)
+
+    def test_captures_cei_any_semantics(self):
+        c = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 2), make_ei(1, 4, 6)), semantics=Semantics.ANY
+        )
+        assert Schedule.from_pairs([(1, 5)]).captures_cei(c)
+
+    def test_large_schedule_small_window_path(self):
+        # Exercise the branch iterating window chronons.
+        s = Schedule.from_pairs([(0, j) for j in range(0, 100, 2)])
+        assert s.captures_ei(make_ei(0, 49, 50))
+        assert not s.captures_ei(make_ei(1, 49, 50))
+
+
+class TestDenseConversions:
+    def test_to_dense_roundtrip(self):
+        s = Schedule.from_pairs([(0, 1), (2, 3)])
+        dense = s.to_dense(3, 4)
+        assert dense[0][1] == 1
+        assert dense[2][3] == 1
+        assert sum(sum(row) for row in dense) == 2
+        assert schedule_from_matrix(dense).num_probes == 2
+
+    def test_to_dense_bounds_checked(self):
+        s = Schedule.from_pairs([(5, 1)])
+        with pytest.raises(ScheduleError):
+            s.to_dense(3, 4)
+        s2 = Schedule.from_pairs([(0, 9)])
+        with pytest.raises(ScheduleError):
+            s2.to_dense(3, 4)
+
+    def test_schedule_from_mapping(self):
+        s = schedule_from_matrix({1: [0, 1, 0], 0: [1, 0, 0]})
+        assert s.is_probed(1, 1)
+        assert s.is_probed(0, 0)
+
+
+class TestCounting:
+    def test_probes_remaining(self):
+        s = Schedule.from_pairs([(0, 0)])
+        assert probes_remaining(BudgetVector.constant(3, 2), s, 0) == 2
+        assert probes_remaining(BudgetVector.constant(3, 2), s, 1) == 3
+
+    def test_count_feasible_schedules_matches_formula(self):
+        # n=3, K=2, C=1: per chronon 1 + C(3,1) = 4 choices -> 16 total.
+        assert count_feasible_schedules(3, BudgetVector.constant(1, 2)) == 16
+
+    def test_count_feasible_schedules_budget_two(self):
+        # n=3, C=2: 1 + 3 + 3 = 7 per chronon.
+        assert count_feasible_schedules(3, BudgetVector.constant(2, 1)) == 7

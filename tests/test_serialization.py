@@ -1,0 +1,167 @@
+"""Round-trip tests for JSON serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import ComplexExecutionInterval, Semantics
+from repro.core.schedule import Schedule
+from repro.core.timebase import Epoch
+from repro.experiments.common import ExperimentResult
+from repro.io import (
+    SerializationError,
+    load_json,
+    profiles_from_dict,
+    profiles_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.traces.poisson import poisson_trace
+from tests.conftest import make_cei, make_ei, random_general_instance
+
+
+class TestTraceRoundTrip:
+    def test_roundtrip(self):
+        trace = poisson_trace(10, Epoch(100), 5.0, np.random.default_rng(1))
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.resources == trace.resources
+        for rid in trace.resources:
+            assert rebuilt.stream(rid).chronons == trace.stream(rid).chronons
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SerializationError, match="format"):
+            trace_from_dict({"format": "other", "streams": {}})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            trace_from_dict({"format": "repro/trace-bundle@1", "streams": {"x": "y"}})
+
+
+class TestProfileRoundTrip:
+    def test_simple_roundtrip(self):
+        from repro.core.profile import ProfileSet
+
+        original = ProfileSet.from_ceis(
+            [make_cei((0, 0, 5), (1, 2, 8)), make_cei((2, 3, 3))]
+        )
+        rebuilt = profiles_from_dict(profiles_to_dict(original))
+        assert rebuilt.num_ceis == original.num_ceis
+        assert rebuilt.num_eis == original.num_eis
+        assert rebuilt.rank == original.rank
+
+    def test_true_windows_preserved(self):
+        from repro.core.profile import ProfileSet
+
+        ei = make_ei(0, 0, 4, true_start=7, true_finish=11)
+        original = ProfileSet.from_ceis([ComplexExecutionInterval(eis=(ei,))])
+        rebuilt = profiles_from_dict(profiles_to_dict(original))
+        copy = next(rebuilt.eis())
+        assert (copy.true_start, copy.true_finish) == (7, 11)
+
+    def test_semantics_and_weights_preserved(self):
+        from repro.core.profile import ProfileSet
+
+        cei = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 1), make_ei(1, 0, 1), make_ei(2, 0, 1)),
+            semantics=Semantics.AT_LEAST,
+            required=2,
+            weight=2.5,
+        )
+        rebuilt = profiles_from_dict(profiles_to_dict(ProfileSet.from_ceis([cei])))
+        copy = next(rebuilt.ceis())
+        assert copy.semantics is Semantics.AT_LEAST
+        assert copy.required == 2
+        assert copy.weight == 2.5
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_random_instances_roundtrip(self, seed):
+        profiles = random_general_instance(np.random.default_rng(seed))
+        rebuilt = profiles_from_dict(profiles_to_dict(profiles))
+        original_shape = sorted(
+            (ei.resource, ei.start, ei.finish) for ei in profiles.eis()
+        )
+        rebuilt_shape = sorted(
+            (ei.resource, ei.start, ei.finish) for ei in rebuilt.eis()
+        )
+        assert rebuilt_shape == original_shape
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            profiles_from_dict({"format": "repro/profile-set@1", "profiles": [{}]})
+
+
+class TestScheduleRoundTrip:
+    def test_roundtrip(self):
+        schedule = Schedule.from_pairs([(0, 1), (3, 7), (2, 7)])
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt.probes == schedule.probes
+
+    def test_empty_schedule(self):
+        rebuilt = schedule_from_dict(schedule_to_dict(Schedule()))
+        assert rebuilt.num_probes == 0
+
+
+class TestResultRoundTrip:
+    def test_roundtrip(self):
+        result = ExperimentResult(
+            experiment="demo",
+            headers=["x", "y"],
+            rows=[[1, 0.5], [2, 0.7]],
+            notes=["note"],
+        )
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.experiment == "demo"
+        assert rebuilt.series("y") == [0.5, 0.7]
+        assert rebuilt.notes == ["note"]
+
+
+class TestFileIO:
+    def test_save_and_load(self, tmp_path):
+        trace = poisson_trace(3, Epoch(50), 4.0, np.random.default_rng(2))
+        path = save_json(trace_to_dict(trace), tmp_path / "trace.json")
+        rebuilt = trace_from_dict(load_json(path))
+        assert rebuilt.total_events == trace.total_events
+
+    def test_load_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_json(bad)
+
+    def test_load_non_object(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(SerializationError):
+            load_json(bad)
+
+    def test_end_to_end_schedule_replay(self, tmp_path):
+        """Save a run's schedule, reload it, and replay it faithfully."""
+        from repro.core.metrics import gained_completeness
+        from repro.core.profile import ProfileSet
+        from repro.core.schedule import BudgetVector
+        from repro.online.arrivals import arrivals_from_profiles
+        from repro.online.monitor import OnlineMonitor
+        from repro.policies import FollowSchedule, make_policy
+
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 4)), make_cei((1, 2, 6))])
+        epoch = Epoch(8)
+        budget = BudgetVector.constant(1, 8)
+        monitor = OnlineMonitor(make_policy("MRSF"), budget)
+        schedule = monitor.run(epoch, arrivals_from_profiles(profiles))
+
+        path = save_json(schedule_to_dict(schedule), tmp_path / "plan.json")
+        replayed_plan = schedule_from_dict(load_json(path))
+        replayer = OnlineMonitor(FollowSchedule(replayed_plan), budget)
+        replayed = replayer.run(epoch, arrivals_from_profiles(
+            profiles_from_dict(profiles_to_dict(profiles))
+        ))
+        assert gained_completeness(profiles, replayed) == gained_completeness(
+            profiles, schedule
+        )

@@ -1,0 +1,208 @@
+"""Unit tests for the simulation layer: config, engine, runner, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.sim.config import PAPER_POLICIES, TABLE_I, ExperimentConfig
+from repro.sim.engine import policy_label, simulate, simulate_offline
+from repro.sim.reporting import ascii_table, format_value, series_table, to_csv
+from repro.sim.runner import AggregateResult, child_rngs, run_suite, sweep
+from tests.conftest import make_cei
+
+
+def tiny_profiles() -> ProfileSet:
+    return ProfileSet.from_ceis(
+        [make_cei((0, 0, 2)), make_cei((1, 1, 3)), make_cei((0, 4, 6), (1, 5, 8))]
+    )
+
+
+class TestConfig:
+    def test_defaults_match_table_one(self):
+        config = ExperimentConfig()
+        assert config.max_ei_length == 10
+        assert config.num_resources == 1000
+        assert config.num_profiles == 100
+        assert config.num_chronons == 1000
+        assert config.budget == 1.0
+        assert config.update_intensity == 20.0
+        assert config.alpha == 0.3
+        assert config.beta == 0.0
+
+    def test_table_one_has_ten_rows(self):
+        assert len(TABLE_I) == 10
+
+    def test_paper_policy_lineup(self):
+        assert ("MRSF", True) in PAPER_POLICIES
+        assert ("S-EDF", False) in PAPER_POLICIES
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(budget=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(num_chronons=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(max_ei_length=-1)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(repetitions=0)
+
+    def test_scaled_shrinks_size_parameters(self):
+        config = ExperimentConfig().scaled(0.5)
+        assert config.num_resources == 500
+        assert config.num_profiles == 50
+        assert config.num_chronons == 500
+        assert config.budget == 1.0  # shape parameter unchanged
+
+    def test_scaled_has_floors(self):
+        config = ExperimentConfig().scaled(0.001)
+        assert config.num_resources >= 10
+        assert config.num_chronons >= 50
+
+    def test_scaled_validates_factor(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig().scaled(0.0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig().scaled(1.5)
+
+
+class TestEngine:
+    def test_policy_label(self):
+        assert policy_label("MRSF", True) == "MRSF(P)"
+        assert policy_label("S-EDF", False) == "S-EDF(NP)"
+
+    def test_simulate_by_name(self):
+        result = simulate(
+            tiny_profiles(), Epoch(10), BudgetVector.constant(1, 10), "MRSF"
+        )
+        assert result.label == "MRSF(P)"
+        assert 0.0 <= result.completeness <= 1.0
+
+    def test_simulate_is_deterministic(self):
+        def run_once():
+            return simulate(
+                tiny_profiles(), Epoch(10), BudgetVector.constant(1, 10), "S-EDF"
+            )
+
+        assert run_once().schedule.probes == run_once().schedule.probes
+
+    def test_simulate_reports_runtime(self):
+        result = simulate(
+            tiny_profiles(), Epoch(10), BudgetVector.constant(1, 10), "M-EDF"
+        )
+        assert result.runtime.num_eis == 4
+        assert result.runtime.total_seconds >= 0
+
+    def test_simulate_offline_label_and_score(self):
+        result = simulate_offline(
+            tiny_profiles(), Epoch(10), BudgetVector.constant(1, 10)
+        )
+        assert result.label == "OFFLINE-LR"
+        assert 0.0 <= result.completeness <= 1.0
+
+
+class TestRunner:
+    def test_child_rngs_independent_and_reproducible(self):
+        a = child_rngs(7, 3)
+        b = child_rngs(7, 3)
+        assert len(a) == 3
+        for gen_a, gen_b in zip(a, b):
+            assert gen_a.random() == gen_b.random()
+
+    def test_run_suite_aggregates_all_policies(self):
+        def make_instance(rng: np.random.Generator) -> ProfileSet:
+            return tiny_profiles()
+
+        results = run_suite(
+            make_instance,
+            Epoch(10),
+            BudgetVector.constant(1, 10),
+            policies=[("S-EDF", True), ("MRSF", True)],
+            repetitions=3,
+            seed=0,
+        )
+        assert set(results) == {"S-EDF(P)", "MRSF(P)"}
+        assert all(r.repetitions == 3 for r in results.values())
+
+    def test_run_suite_with_offline(self):
+        results = run_suite(
+            lambda rng: tiny_profiles(),
+            Epoch(10),
+            BudgetVector.constant(1, 10),
+            policies=[("S-EDF", True)],
+            repetitions=2,
+            include_offline=True,
+        )
+        assert "OFFLINE-LR" in results
+
+    def test_aggregate_statistics(self):
+        from repro.core.metrics import RuntimeStats
+        from repro.sim.engine import SimulationResult
+        from repro.core.schedule import Schedule
+        from repro.core.metrics import evaluate_schedule
+
+        def fake(completeness_targets):
+            runs = []
+            for value in completeness_targets:
+                ceis = [make_cei((0, 0, 0))]
+                profiles = ProfileSet.from_ceis(ceis)
+                schedule = Schedule.from_pairs([(0, 0)] if value else [])
+                runs.append(
+                    SimulationResult(
+                        label="X",
+                        schedule=schedule,
+                        report=evaluate_schedule(profiles, schedule),
+                        runtime=RuntimeStats(0.001, 1),
+                        probes_used=1,
+                        believed_completeness=1.0,
+                    )
+                )
+            return runs
+
+        aggregate = AggregateResult.from_runs("X", fake([1, 1, 0]))
+        assert aggregate.completeness_mean == pytest.approx(2 / 3)
+        assert aggregate.completeness_std > 0
+
+    def test_sweep_runs_every_point(self):
+        results = sweep(
+            values=[1.0, 2.0],
+            make_instance_for=lambda value: (lambda rng: tiny_profiles()),
+            epoch_for=lambda value: Epoch(10),
+            budget_for=lambda value: BudgetVector.constant(value, 10),
+            policies=[("S-EDF", True)],
+            repetitions=2,
+        )
+        assert set(results) == {1.0, 2.0}
+
+
+class TestReporting:
+    def test_format_value_floats_rounded(self):
+        assert format_value(0.123456, precision=3) == "0.123"
+
+    def test_format_value_non_float(self):
+        assert format_value(7) == "7"
+        assert format_value("x") == "x"
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["a", "long_header"], [[1, 2.5], [333, 4]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_ascii_table_title(self):
+        table = ascii_table(["a"], [[1]], title="My Table")
+        assert table.startswith("My Table\n")
+
+    def test_series_table(self):
+        text = series_table("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in text and "s2" in text
+        assert "0.400" in text
+
+    def test_series_table_handles_short_series(self):
+        text = series_table("x", [1, 2], {"s1": [0.1]})
+        assert "0.100" in text
+
+    def test_to_csv(self):
+        csv = to_csv(["a", "b"], [[1, 2.0], [3, 4.5]], precision=1)
+        assert csv == "a,b\n1,2.0\n3,4.5\n"

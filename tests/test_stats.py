@@ -1,0 +1,115 @@
+"""Tests for trace statistics and cycle detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core.timebase import Epoch
+from repro.traces.events import EventStream, TraceBundle
+from repro.traces.news import simulate_news_trace
+from repro.traces.poisson import poisson_trace
+from repro.traces.stats import (
+    dominant_period,
+    intensity_profile,
+    stream_stats,
+    trace_stats,
+)
+
+
+def stream(*chronons):
+    return EventStream(resource=0, chronons=tuple(chronons))
+
+
+class TestStreamStats:
+    def test_regular_cadence(self):
+        stats = stream_stats(stream(*range(0, 100, 10)), Epoch(100))
+        assert stats.num_events == 10
+        assert stats.rate == pytest.approx(0.1)
+        assert stats.mean_gap == 10.0
+        assert stats.gap_cv == 0.0
+        assert not stats.is_bursty
+
+    def test_bursty_stream(self):
+        # Tight burst then a long silence: CV well above 1.
+        stats = stream_stats(stream(0, 1, 2, 3, 99), Epoch(100))
+        assert stats.gap_cv > 1.2
+        assert stats.is_bursty
+
+    def test_degenerate_streams(self):
+        empty = stream_stats(stream(), Epoch(100))
+        assert empty.num_events == 0
+        single = stream_stats(stream(5), Epoch(100))
+        assert single.gap_cv == 0.0
+
+
+class TestTraceStats:
+    def test_poisson_trace_characteristics(self):
+        epoch = Epoch(1000)
+        trace = poisson_trace(200, epoch, 20.0, np.random.default_rng(1))
+        stats = trace_stats(trace, epoch)
+        assert stats.num_resources == 200
+        assert 0.015 < stats.mean_rate < 0.025
+        # Homogeneous rates: low across-resource inequality.
+        assert stats.rate_cv < 0.5
+        assert not stats.is_heterogeneous
+
+    def test_news_trace_is_heterogeneous(self):
+        epoch = Epoch(1000)
+        trace = simulate_news_trace(
+            epoch, np.random.default_rng(2), total_events=20_000
+        )
+        stats = trace_stats(trace.bundle, epoch)
+        assert stats.is_heterogeneous  # Zipf-skewed feed volumes
+
+    def test_empty_bundle(self):
+        stats = trace_stats(TraceBundle(), Epoch(10))
+        assert stats.total_events == 0
+
+    def test_bins_validated(self):
+        with pytest.raises(TraceError):
+            trace_stats(TraceBundle(), Epoch(10), bins=0)
+
+
+class TestIntensityProfile:
+    def test_normalized_to_mean_one(self):
+        bundle = TraceBundle.from_mapping({0: list(range(0, 100, 2))})
+        profile = intensity_profile(bundle, Epoch(100), bins=10)
+        assert profile.mean() == pytest.approx(1.0)
+
+    def test_concentration_visible(self):
+        bundle = TraceBundle.from_mapping({0: list(range(0, 10))})
+        profile = intensity_profile(bundle, Epoch(100), bins=10)
+        assert profile[0] > profile[5]
+
+    def test_empty(self):
+        profile = intensity_profile(TraceBundle(), Epoch(100), bins=10)
+        assert profile.sum() == 0
+
+
+class TestDominantPeriod:
+    def test_detects_news_diurnal_cycles(self):
+        epoch = Epoch(1000)
+        trace = simulate_news_trace(
+            epoch, np.random.default_rng(3), total_events=20_000
+        )
+        cycles = dominant_period(trace.bundle, epoch)
+        assert 55 <= cycles <= 65  # generator uses 60
+
+    def test_no_cycle_in_homogeneous_trace(self):
+        epoch = Epoch(1000)
+        trace = poisson_trace(100, epoch, 20.0, np.random.default_rng(4))
+        assert dominant_period(trace, epoch) == 0
+
+    def test_synthetic_sine(self):
+        epoch = Epoch(600)
+        rng = np.random.default_rng(5)
+        events = []
+        for chronon in range(600):
+            intensity = 1.0 + 0.9 * np.sin(2 * np.pi * 12 * chronon / 600)
+            if rng.random() < intensity * 0.4:
+                events.append(chronon)
+        bundle = TraceBundle.from_mapping({0: events})
+        assert dominant_period(bundle, epoch) == 12
+
+    def test_empty(self):
+        assert dominant_period(TraceBundle(), Epoch(100)) == 0

@@ -1,0 +1,176 @@
+"""Unit tests for profile templates (EI builders, crossings, arbitrage)."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.core.timebase import Epoch
+from repro.traces.noise import PredictedEvent
+from repro.workloads.templates import (
+    LengthKind,
+    LengthRule,
+    arbitrage_ceis,
+    build_ei,
+    crossing_ceis,
+    periodic_ceis,
+)
+
+
+def events(*pairs) -> list[PredictedEvent]:
+    """Build predicted events from (true, predicted) pairs or ints."""
+    out = []
+    for pair in pairs:
+        if isinstance(pair, tuple):
+            out.append(PredictedEvent(true_chronon=pair[0], predicted_chronon=pair[1]))
+        else:
+            out.append(PredictedEvent(true_chronon=pair, predicted_chronon=pair))
+    return out
+
+
+class TestLengthRule:
+    def test_window_factory(self):
+        rule = LengthRule.window(5)
+        assert rule.kind is LengthKind.WINDOW and rule.w == 5
+
+    def test_overwrite_factory(self):
+        assert LengthRule.overwrite().kind is LengthKind.OVERWRITE
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(WorkloadError):
+            LengthRule.window(-1)
+
+
+class TestBuildEI:
+    def test_window_rule(self):
+        ei = build_ei(0, events(10), 0, LengthRule.window(5), Epoch(100))
+        assert (ei.start, ei.finish) == (10, 15)
+        assert (ei.true_start, ei.true_finish) == (10, 15)
+
+    def test_window_zero_is_unit(self):
+        ei = build_ei(0, events(10), 0, LengthRule.window(0), Epoch(100))
+        assert ei.is_unit
+
+    def test_window_clamped_to_epoch(self):
+        ei = build_ei(0, events(98), 0, LengthRule.window(5), Epoch(100))
+        assert ei.finish == 99
+
+    def test_overwrite_rule_until_next_event(self):
+        ei = build_ei(0, events(10, 25), 0, LengthRule.overwrite(), Epoch(100))
+        assert (ei.start, ei.finish) == (10, 24)
+
+    def test_overwrite_last_event_until_epoch_end(self):
+        ei = build_ei(0, events(10), 0, LengthRule.overwrite(), Epoch(100))
+        assert ei.finish == 99
+
+    def test_noisy_prediction_separates_windows(self):
+        ei = build_ei(0, events((10, 14)), 0, LengthRule.window(3), Epoch(100))
+        assert (ei.start, ei.finish) == (14, 17)
+        assert (ei.true_start, ei.true_finish) == (10, 13)
+
+    def test_overwrite_with_reordered_predictions_stays_valid(self):
+        # Noise put the second prediction before the first.
+        ei = build_ei(
+            0, events((10, 20), (15, 12)), 0, LengthRule.overwrite(), Epoch(100)
+        )
+        assert ei.start <= ei.finish
+        assert ei.true_start <= ei.true_finish
+
+    def test_index_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            build_ei(0, events(10), 1, LengthRule.window(0), Epoch(100))
+
+
+class TestCrossing:
+    def test_cei_count_is_min_event_count(self):
+        predictions = {0: events(1, 5, 9), 1: events(2, 6)}
+        ceis = crossing_ceis([0, 1], predictions, LengthRule.window(0), Epoch(20))
+        assert len(ceis) == 2
+
+    def test_jth_cei_crosses_jth_events(self):
+        predictions = {0: events(1, 5), 1: events(2, 6)}
+        ceis = crossing_ceis([0, 1], predictions, LengthRule.window(0), Epoch(20))
+        assert [(ei.resource, ei.start) for ei in ceis[1].eis] == [(0, 5), (1, 6)]
+
+    def test_max_ceis_cap(self):
+        predictions = {0: events(*range(10))}
+        ceis = crossing_ceis([0], predictions, LengthRule.window(0), Epoch(20), max_ceis=3)
+        assert len(ceis) == 3
+
+    def test_weight_propagates(self):
+        predictions = {0: events(1)}
+        ceis = crossing_ceis(
+            [0], predictions, LengthRule.window(0), Epoch(20), weight=2.0
+        )
+        assert ceis[0].weight == 2.0
+
+    def test_empty_resources_rejected(self):
+        with pytest.raises(WorkloadError):
+            crossing_ceis([], {}, LengthRule.window(0), Epoch(20))
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(WorkloadError):
+            crossing_ceis([9], {0: events(1)}, LengthRule.window(0), Epoch(20))
+
+
+class TestArbitrage:
+    def test_one_cei_per_trigger_event(self):
+        predictions = {0: events(5, 50), 1: events(), 2: events()}
+        ceis = arbitrage_ceis(0, [1, 2], predictions, Epoch(100), follower_slack=2)
+        assert len(ceis) == 2
+        assert all(c.rank == 3 for c in ceis)
+
+    def test_followers_open_at_trigger_time(self):
+        predictions = {0: events(5), 1: events()}
+        (cei,) = arbitrage_ceis(0, [1], predictions, Epoch(100), follower_slack=2)
+        follower = cei.eis[1]
+        assert (follower.resource, follower.start, follower.finish) == (1, 5, 7)
+
+    def test_trigger_slack(self):
+        predictions = {0: events(5)}
+        (cei,) = arbitrage_ceis(0, [], predictions, Epoch(100), trigger_slack=3)
+        assert (cei.eis[0].start, cei.eis[0].finish) == (5, 8)
+
+    def test_max_ceis_cap(self):
+        predictions = {0: events(*range(0, 50, 5))}
+        ceis = arbitrage_ceis(0, [], predictions, Epoch(100), max_ceis=4)
+        assert len(ceis) == 4
+
+    def test_unknown_trigger_rejected(self):
+        with pytest.raises(WorkloadError):
+            arbitrage_ceis(0, [], {}, Epoch(100))
+
+    def test_noisy_trigger_separates_windows(self):
+        predictions = {0: [PredictedEvent(true_chronon=5, predicted_chronon=9)]}
+        (cei,) = arbitrage_ceis(0, [], predictions, Epoch(100), trigger_slack=1)
+        assert (cei.eis[0].start, cei.eis[0].finish) == (9, 10)
+        assert (cei.eis[0].true_start, cei.eis[0].true_finish) == (5, 6)
+
+
+class TestPeriodic:
+    def test_one_cei_per_period(self):
+        ceis = periodic_ceis(0, Epoch(30), period=10, slack=2)
+        assert len(ceis) == 3
+        assert [c.eis[0].start for c in ceis] == [0, 10, 20]
+
+    def test_slack_window(self):
+        ceis = periodic_ceis(0, Epoch(30), period=10, slack=2)
+        assert (ceis[0].eis[0].start, ceis[0].eis[0].finish) == (0, 2)
+
+    def test_conditional_expansion_on_triggers(self):
+        ceis = periodic_ceis(
+            0,
+            Epoch(30),
+            period=10,
+            slack=2,
+            conditional=[1, 2],
+            conditional_slack=5,
+            trigger_chronons={10},
+        )
+        assert [c.rank for c in ceis] == [1, 3, 1]
+        triggered = ceis[1]
+        assert {ei.resource for ei in triggered.eis} == {0, 1, 2}
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            periodic_ceis(0, Epoch(30), period=0, slack=2)
+        with pytest.raises(WorkloadError):
+            periodic_ceis(0, Epoch(30), period=5, slack=-1)

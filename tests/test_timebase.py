@@ -1,0 +1,84 @@
+"""Unit tests for the discrete time model."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.timebase import Epoch, validate_window, window_length
+
+
+class TestEpoch:
+    def test_length(self):
+        assert len(Epoch(10)) == 10
+
+    def test_iteration_covers_all_chronons(self):
+        assert list(Epoch(4)) == [0, 1, 2, 3]
+
+    def test_first_and_last(self):
+        epoch = Epoch(7)
+        assert epoch.first == 0
+        assert epoch.last == 6
+
+    def test_contains_interior(self):
+        assert 3 in Epoch(5)
+
+    def test_contains_boundaries(self):
+        epoch = Epoch(5)
+        assert 0 in epoch
+        assert 4 in epoch
+
+    def test_excludes_outside(self):
+        epoch = Epoch(5)
+        assert 5 not in epoch
+        assert -1 not in epoch
+
+    def test_excludes_non_integers(self):
+        epoch = Epoch(5)
+        assert 2.5 not in epoch
+        assert "2" not in epoch
+
+    def test_excludes_bool(self):
+        # True == 1 numerically but is not a chronon.
+        assert True not in Epoch(5)
+
+    def test_zero_chronons_rejected(self):
+        with pytest.raises(ModelError):
+            Epoch(0)
+
+    def test_negative_chronons_rejected(self):
+        with pytest.raises(ModelError):
+            Epoch(-3)
+
+    def test_clamp_below(self):
+        assert Epoch(10).clamp(-5) == 0
+
+    def test_clamp_above(self):
+        assert Epoch(10).clamp(99) == 9
+
+    def test_clamp_inside_is_identity(self):
+        assert Epoch(10).clamp(4) == 4
+
+    def test_require_valid(self):
+        assert Epoch(10).require(3) == 3
+
+    def test_require_invalid_raises_with_context(self):
+        with pytest.raises(ModelError, match="deadline"):
+            Epoch(10).require(10, what="deadline")
+
+
+class TestWindows:
+    def test_validate_accepts_point_window(self):
+        validate_window(3, 3)
+
+    def test_validate_rejects_inverted(self):
+        with pytest.raises(ModelError):
+            validate_window(5, 4)
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ModelError):
+            validate_window(-1, 4)
+
+    def test_window_length_point(self):
+        assert window_length(4, 4) == 1
+
+    def test_window_length_span(self):
+        assert window_length(2, 9) == 8

@@ -1,0 +1,225 @@
+"""Unit tests for event traces: streams, Poisson, auctions, news."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core.timebase import Epoch
+from repro.traces.auctions import simulate_auction_trace
+from repro.traces.events import EventStream, TraceBundle
+from repro.traces.news import simulate_news_trace
+from repro.traces.poisson import poisson_trace
+
+
+class TestEventStream:
+    def test_sorted_required(self):
+        with pytest.raises(TraceError):
+            EventStream(resource=0, chronons=(3, 1))
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceError):
+            EventStream(resource=0, chronons=(-1, 2))
+
+    def test_distinct_collapses_duplicates(self):
+        stream = EventStream(resource=0, chronons=(1, 1, 2, 5, 5, 5))
+        assert stream.distinct() == (1, 2, 5)
+
+    def test_next_at_or_after(self):
+        stream = EventStream(resource=0, chronons=(2, 5, 9))
+        assert stream.next_at_or_after(0) == 2
+        assert stream.next_at_or_after(5) == 5
+        assert stream.next_at_or_after(6) == 9
+        assert stream.next_at_or_after(10) is None
+
+    def test_count_between(self):
+        stream = EventStream(resource=0, chronons=(2, 5, 9))
+        assert stream.count_between(2, 9) == 3
+        assert stream.count_between(3, 8) == 1
+        assert stream.count_between(10, 20) == 0
+
+
+class TestTraceBundle:
+    def test_from_mapping_sorts(self):
+        bundle = TraceBundle.from_mapping({0: [5, 1, 3]})
+        assert bundle.stream(0).chronons == (1, 3, 5)
+
+    def test_missing_stream_is_empty(self):
+        bundle = TraceBundle.from_mapping({0: [1]})
+        assert len(bundle.stream(7)) == 0
+
+    def test_totals_and_intensity(self):
+        bundle = TraceBundle.from_mapping({0: [1, 2], 1: [3, 4, 5, 6]})
+        assert bundle.total_events == 6
+        assert bundle.mean_intensity() == 3.0
+
+    def test_empty_intensity(self):
+        assert TraceBundle().mean_intensity() == 0.0
+
+    def test_validate_against_epoch(self):
+        bundle = TraceBundle.from_mapping({0: [1, 99]})
+        with pytest.raises(TraceError):
+            bundle.validate(Epoch(50))
+        bundle.validate(Epoch(100))
+
+    def test_restricted_to(self):
+        bundle = TraceBundle.from_mapping({0: [1], 1: [2], 2: [3]})
+        sub = bundle.restricted_to([0, 2])
+        assert sub.resources == [0, 2]
+
+
+class TestPoissonTrace:
+    def test_mean_intensity_near_lambda(self):
+        epoch = Epoch(1000)
+        trace = poisson_trace(500, epoch, 20.0, np.random.default_rng(1))
+        assert 18.0 < trace.mean_intensity() < 22.0
+
+    def test_events_inside_epoch(self):
+        epoch = Epoch(100)
+        trace = poisson_trace(50, epoch, 10.0, np.random.default_rng(2))
+        trace.validate(epoch)
+
+    def test_at_most_one_event_per_chronon_per_resource(self):
+        epoch = Epoch(20)
+        trace = poisson_trace(10, epoch, 30.0, np.random.default_rng(3))
+        for rid in trace.resources:
+            chronons = trace.stream(rid).chronons
+            assert len(chronons) == len(set(chronons))
+
+    def test_deterministic_with_seed(self):
+        epoch = Epoch(100)
+        a = poisson_trace(10, epoch, 5.0, np.random.default_rng(7))
+        b = poisson_trace(10, epoch, 5.0, np.random.default_rng(7))
+        assert all(a.stream(r).chronons == b.stream(r).chronons for r in range(10))
+
+    def test_heterogeneity_spreads_rates(self):
+        epoch = Epoch(1000)
+        uniform = poisson_trace(200, epoch, 20.0, np.random.default_rng(4))
+        spread = poisson_trace(
+            200, epoch, 20.0, np.random.default_rng(4), heterogeneity=1.0
+        )
+        var_uniform = np.var([len(uniform.stream(r)) for r in range(200)])
+        var_spread = np.var([len(spread.stream(r)) for r in range(200)])
+        assert var_spread > var_uniform
+
+    def test_parameter_validation(self):
+        epoch = Epoch(10)
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceError):
+            poisson_trace(0, epoch, 5.0, rng)
+        with pytest.raises(TraceError):
+            poisson_trace(5, epoch, -1.0, rng)
+        with pytest.raises(TraceError):
+            poisson_trace(5, epoch, 5.0, rng, heterogeneity=-0.5)
+
+
+class TestAuctionTrace:
+    def test_paper_aggregates(self):
+        epoch = Epoch(1000)
+        trace = simulate_auction_trace(epoch, np.random.default_rng(11))
+        assert trace.num_auctions == 732
+        # Same-chronon bids collapse, so the total is near-but-below 11150.
+        assert 9000 <= trace.total_bids <= 11150
+
+    def test_every_auction_has_a_bid(self):
+        epoch = Epoch(500)
+        trace = simulate_auction_trace(
+            epoch, np.random.default_rng(12), num_auctions=50, total_bids=300
+        )
+        assert all(len(trace.bundle.stream(r)) >= 1 for r in range(50))
+
+    def test_bids_within_lifetimes(self):
+        epoch = Epoch(500)
+        trace = simulate_auction_trace(
+            epoch, np.random.default_rng(13), num_auctions=40, total_bids=400
+        )
+        for info in trace.auctions:
+            stream = trace.bundle.stream(info.resource)
+            assert stream.chronons[0] >= info.open_chronon
+            assert stream.chronons[-1] <= info.close_chronon
+
+    def test_lifetime_fraction_respected(self):
+        epoch = Epoch(1000)
+        trace = simulate_auction_trace(
+            epoch,
+            np.random.default_rng(14),
+            num_auctions=30,
+            total_bids=300,
+            lifetime_fraction=0.1,
+        )
+        for info in trace.auctions:
+            assert info.lifetime <= 110
+
+    def test_sniping_concentrates_bids_late(self):
+        epoch = Epoch(1000)
+        sniped = simulate_auction_trace(
+            epoch, np.random.default_rng(15), num_auctions=100, total_bids=3000,
+            sniping_fraction=0.9, sniping_window=0.1,
+        )
+        late = 0
+        total = 0
+        for info in sniped.auctions:
+            stream = sniped.bundle.stream(info.resource)
+            threshold = info.close_chronon - info.lifetime * 0.2
+            late += sum(1 for c in stream if c >= threshold)
+            total += len(stream)
+        assert late / total > 0.5
+
+    def test_parameter_validation(self):
+        epoch = Epoch(100)
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceError):
+            simulate_auction_trace(epoch, rng, num_auctions=0)
+        with pytest.raises(TraceError):
+            simulate_auction_trace(epoch, rng, num_auctions=10, total_bids=5)
+        with pytest.raises(TraceError):
+            simulate_auction_trace(epoch, rng, lifetime_fraction=0.0)
+        with pytest.raises(TraceError):
+            simulate_auction_trace(epoch, rng, sniping_fraction=1.5)
+
+
+class TestNewsTrace:
+    def test_paper_aggregates(self):
+        epoch = Epoch(1000)
+        trace = simulate_news_trace(epoch, np.random.default_rng(21))
+        assert trace.num_feeds == 130
+        assert trace.raw_event_count == 68_000
+
+    def test_distinct_chronons_after_collapse(self):
+        epoch = Epoch(200)
+        trace = simulate_news_trace(
+            epoch, np.random.default_rng(22), num_feeds=10, total_events=5000
+        )
+        for rid in trace.bundle.resources:
+            chronons = trace.bundle.stream(rid).chronons
+            assert len(chronons) == len(set(chronons))
+
+    def test_skew_concentrates_volume(self):
+        epoch = Epoch(1000)
+        skewed = simulate_news_trace(
+            epoch, np.random.default_rng(23), num_feeds=50, total_events=20_000,
+            skew=1.5,
+        )
+        counts = sorted(
+            (len(skewed.bundle.stream(r)) for r in range(50)), reverse=True
+        )
+        # The top feed (collapsed) should far outnumber the bottom one.
+        assert counts[0] > 5 * counts[-1]
+
+    def test_every_feed_has_events(self):
+        epoch = Epoch(300)
+        trace = simulate_news_trace(
+            epoch, np.random.default_rng(24), num_feeds=20, total_events=500
+        )
+        assert all(len(trace.bundle.stream(r)) >= 1 for r in range(20))
+
+    def test_parameter_validation(self):
+        epoch = Epoch(100)
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceError):
+            simulate_news_trace(epoch, rng, num_feeds=0)
+        with pytest.raises(TraceError):
+            simulate_news_trace(epoch, rng, num_feeds=10, total_events=5)
+        with pytest.raises(TraceError):
+            simulate_news_trace(epoch, rng, skew=-1.0)
+        with pytest.raises(TraceError):
+            simulate_news_trace(epoch, rng, diurnal_amplitude=1.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the Proposition 5 transformation."""
+
+import pytest
+
+from repro.core.errors import InstanceTooLargeError
+from repro.core.profile import ProfileSet
+from repro.offline.transform import (
+    cei_to_combinations,
+    linking_resource,
+    rebuild_unit_profiles,
+    to_unit_instance,
+    unit_instance_from_ceis,
+)
+from tests.conftest import make_cei
+
+
+class TestCombinations:
+    def test_count_is_product_of_widths(self):
+        c = make_cei((0, 0, 2), (1, 5, 6))  # widths 3 and 2
+        combos = cei_to_combinations(c, origin=0, max_combinations=100)
+        assert len(combos) == 6
+
+    def test_unit_cei_yields_single_combination(self):
+        c = make_cei((0, 3, 3), (1, 7, 7))
+        combos = cei_to_combinations(c, origin=0, max_combinations=100)
+        assert len(combos) == 1
+        assert combos[0].slots == ((3, 0), (7, 1))
+
+    def test_every_combination_picks_one_chronon_per_ei(self):
+        c = make_cei((0, 0, 1), (1, 4, 5))
+        combos = cei_to_combinations(c, origin=3, max_combinations=100)
+        slot_sets = {combo.slots for combo in combos}
+        assert slot_sets == {
+            ((0, 0), (4, 1)),
+            ((0, 0), (5, 1)),
+            ((1, 0), (4, 1)),
+            ((1, 0), (5, 1)),
+        }
+        assert all(combo.origin == 3 for combo in combos)
+
+    def test_guard_raises(self):
+        c = make_cei((0, 0, 9), (1, 0, 9))  # 100 combos
+        with pytest.raises(InstanceTooLargeError):
+            cei_to_combinations(c, origin=0, max_combinations=50)
+
+    def test_linking_slot_appended(self):
+        c = make_cei((0, 2, 3),)
+        combos = cei_to_combinations(c, origin=1, max_combinations=10, linking_horizon=10)
+        for combo in combos:
+            assert combo.rank == 2
+            link = combo.slots[-1]
+            assert link[1] == linking_resource(1)
+            assert link[0] == combo.slots[0][0] + 1
+
+    def test_linking_clamped_to_horizon(self):
+        c = make_cei((0, 9, 9),)
+        combos = cei_to_combinations(c, origin=0, max_combinations=10, linking_horizon=10)
+        assert combos[0].slots[-1][0] == 9
+
+    def test_real_slots_excludes_linking(self):
+        c = make_cei((0, 2, 2),)
+        combo = cei_to_combinations(c, 0, 10, linking_horizon=10)[0]
+        assert list(combo.real_slots()) == [(2, 0)]
+
+
+class TestInstances:
+    def test_to_unit_instance_counts_origins(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 1)), make_cei((1, 2, 2))])
+        instance = to_unit_instance(profiles)
+        assert instance.num_origins == 2
+        assert len(instance) == 3  # 2 combos + 1 combo
+
+    def test_to_unit_instance_total_guard(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 0, 9)), make_cei((1, 0, 9))]
+        )
+        with pytest.raises(InstanceTooLargeError):
+            to_unit_instance(profiles, max_combinations=15)
+
+    def test_unit_fast_path_requires_unit(self):
+        with pytest.raises(InstanceTooLargeError):
+            unit_instance_from_ceis([make_cei((0, 0, 3))])
+
+    def test_unit_fast_path(self):
+        instance = unit_instance_from_ceis([make_cei((0, 3, 3), (1, 5, 5))])
+        assert len(instance) == 1
+        assert instance.unit_ceis[0].earliest == 3
+        assert instance.unit_ceis[0].latest == 5
+
+    def test_rebuild_unit_profiles(self):
+        instance = unit_instance_from_ceis(
+            [make_cei((0, 3, 3), (1, 5, 5))], linking_horizon=10
+        )
+        rebuilt = rebuild_unit_profiles(instance)
+        assert rebuilt.num_ceis == 1
+        # Linking slots must not materialize as real EIs.
+        assert rebuilt.num_eis == 2
+        assert all(ei.resource >= 0 for ei in rebuilt.eis())
+
+    def test_weights_preserved(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 1), weight=2.5)])
+        instance = to_unit_instance(profiles)
+        assert all(u.weight == 2.5 for u in instance.unit_ceis)

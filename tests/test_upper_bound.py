@@ -1,0 +1,69 @@
+"""Tests for the Figure 10 single-EI upper bound."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.offline.upper_bound import relax_to_rank_one, single_ei_upper_bound
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.monitor import OnlineMonitor
+from repro.policies import make_policy
+from tests.conftest import make_cei, make_profiles, random_unit_instance
+
+
+class TestRelaxation:
+    def test_every_ei_becomes_rank_one_cei(self):
+        profiles = make_profiles(make_cei((0, 0, 1), (1, 2, 3)), make_cei((2, 4, 5)))
+        relaxed = relax_to_rank_one(profiles)
+        assert relaxed.num_ceis == 3
+        assert relaxed.rank == 1
+
+    def test_relaxation_copies_true_windows(self):
+        from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+
+        ei = ExecutionInterval(resource=0, start=0, finish=2, true_start=5, true_finish=7)
+        profiles = make_profiles(ComplexExecutionInterval(eis=(ei,)))
+        relaxed = relax_to_rank_one(profiles)
+        copy = next(relaxed.eis())
+        assert (copy.true_start, copy.true_finish) == (5, 7)
+        assert copy is not ei
+
+    def test_original_parents_untouched(self):
+        c = make_cei((0, 0, 1), (1, 2, 3))
+        profiles = make_profiles(c)
+        relax_to_rank_one(profiles)
+        assert all(ei.parent is c for ei in c.eis)
+
+
+class TestBound:
+    def test_trivial_instance_bound_is_one(self):
+        profiles = make_profiles(make_cei((0, 0, 5)))
+        result = single_ei_upper_bound(profiles, Epoch(6), BudgetVector.constant(1, 6))
+        assert result.completeness_bound == 1.0
+        assert result.num_eis == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000), rank=st.integers(1, 3))
+    def test_bound_dominates_policies_on_no_overlap_unit_instances(self, seed, rank):
+        """On uniform-rank P^[1] no-overlap instances (the Figure 10
+        family) the relaxed S-EDF run is optimal for the relaxation, and
+        CEI-fraction <= EI-fraction, so no policy may exceed the bound.
+        (With *mixed* ranks the bound does not apply: capturing the cheap
+        rank-1 CEIs can push the CEI fraction above the EI fraction.)"""
+        rng = np.random.default_rng(seed)
+        profiles = random_unit_instance(
+            rng, num_resources=5, num_chronons=10, num_ceis=6,
+            max_rank=rank, no_overlap=True, fixed_rank=rank,
+        )
+        if profiles.num_ceis == 0:
+            return
+        epoch = Epoch(12)
+        budget = BudgetVector.constant(1, 12)
+        bound = single_ei_upper_bound(profiles, epoch, budget).completeness_bound
+        for name in ("S-EDF", "MRSF", "M-EDF", "FIFO"):
+            monitor = OnlineMonitor(make_policy(name), budget)
+            monitor.run(epoch, arrivals_from_profiles(profiles))
+            completeness = monitor.pool.num_satisfied / profiles.num_ceis
+            assert completeness <= bound + 1e-9

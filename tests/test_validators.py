@@ -1,0 +1,99 @@
+"""Tests for the workload validators."""
+
+import numpy as np
+
+from repro.core.profile import ProfileSet
+from repro.core.timebase import Epoch
+from repro.traces.noise import perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import LengthRule
+from repro.workloads.validators import (
+    check_distinct_resources_per_cei,
+    check_fixed_rank,
+    check_no_intra_resource_overlap,
+    check_unit_widths,
+    check_within_epoch,
+    validate_instance,
+)
+from tests.conftest import make_cei
+
+
+class TestIndividualChecks:
+    def test_within_epoch_pass(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 9))])
+        assert check_within_epoch(profiles, Epoch(10)) == []
+
+    def test_within_epoch_fail(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 20))])
+        violations = check_within_epoch(profiles, Epoch(10))
+        assert len(violations) == 1
+        assert violations[0].rule == "within-epoch"
+
+    def test_overlap_detection(self):
+        overlapping = ProfileSet.from_ceis(
+            [make_cei((0, 0, 5)), make_cei((0, 4, 9))]
+        )
+        clean = ProfileSet.from_ceis([make_cei((0, 0, 3)), make_cei((0, 4, 9))])
+        assert check_no_intra_resource_overlap(overlapping)
+        assert check_no_intra_resource_overlap(clean) == []
+
+    def test_unit_widths(self):
+        unit = ProfileSet.from_ceis([make_cei((0, 3, 3))])
+        wide = ProfileSet.from_ceis([make_cei((0, 3, 5))])
+        assert check_unit_widths(unit) == []
+        assert check_unit_widths(wide)[0].rule == "unit-widths"
+
+    def test_fixed_rank(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 0, 1), (1, 2, 3)), make_cei((2, 4, 5))]
+        )
+        assert check_fixed_rank(profiles, 2)
+        assert check_fixed_rank(profiles, 1)
+
+    def test_distinct_resources(self):
+        repeated = ProfileSet.from_ceis([make_cei((0, 0, 1), (0, 3, 4))])
+        violations = check_distinct_resources_per_cei(repeated)
+        assert violations[0].rule == "distinct-resources"
+
+
+class TestValidateInstance:
+    def test_figure10_instances_pass_their_contract(self):
+        epoch = Epoch(300)
+        rng = np.random.default_rng(7)
+        trace = poisson_trace(60, epoch, 8.0, rng)
+        profiles = generate_profiles(
+            perfect_predictions(trace), epoch,
+            GeneratorSpec(
+                num_profiles=10, rank_max=3, fixed_rank=2,
+                exclusive_resources=True,
+            ),
+            LengthRule.window(0), rng,
+        )
+        report = validate_instance(
+            profiles, epoch,
+            require_no_overlap=True, require_unit=True, require_rank=2,
+        )
+        assert report.ok
+        assert "valid" in report.to_text()
+
+    def test_report_aggregates_by_rule(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, 0, 5)), make_cei((0, 4, 9)), make_cei((1, 0, 50))]
+        )
+        report = validate_instance(
+            profiles, Epoch(10), require_no_overlap=True, require_unit=True
+        )
+        assert not report.ok
+        counts = report.by_rule()
+        assert counts["within-epoch"] == 1
+        assert counts["no-intra-resource-overlap"] == 1
+        assert counts["unit-widths"] == 3
+
+    def test_to_text_truncates(self):
+        profiles = ProfileSet.from_ceis(
+            [make_cei((0, i, i + 2)) for i in range(0, 40, 1)]
+        )
+        report = validate_instance(profiles, Epoch(50), require_unit=True)
+        text = report.to_text(limit=3)
+        assert "... and" in text

@@ -1,0 +1,115 @@
+"""Unit tests for the WIC baseline policy."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.policies.wic import WIC, Life
+from tests.conftest import make_cei
+
+
+class FakeView:
+    def is_ei_captured(self, ei):
+        return False
+
+    def captured_count(self, cei):
+        return 0
+
+    def active_uncaptured_on(self, resource):
+        return 0
+
+
+def activate(policy: WIC, resource: int, chronon: int) -> None:
+    """Signal one update to WIC via an EI opening at its start chronon."""
+    ei = make_cei((resource, chronon, chronon + 3)).eis[0]
+    policy.on_ei_activated(ei, chronon)
+
+
+class TestLifeSemantics:
+    def test_overwrite_keeps_one_alive_item(self):
+        policy = WIC(life=Life.OVERWRITE)
+        policy.on_run_start(4)
+        activate(policy, 0, 1)
+        activate(policy, 0, 5)
+        assert policy.utility(0, 5) == 1
+
+    def test_time_window_accumulates(self):
+        policy = WIC(life=Life.TIME_WINDOW, window=10)
+        policy.on_run_start(4)
+        activate(policy, 0, 1)
+        activate(policy, 0, 5)
+        assert policy.utility(0, 5) == 2
+
+    def test_time_window_expires_old_updates(self):
+        policy = WIC(life=Life.TIME_WINDOW, window=3)
+        policy.on_run_start(4)
+        activate(policy, 0, 1)
+        policy.on_chronon_start(10)
+        assert policy.utility(0, 10) == 0
+
+    def test_life_accepts_string(self):
+        assert WIC(life="time-window", window=5)._life is Life.TIME_WINDOW
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ModelError):
+            WIC(life=Life.TIME_WINDOW, window=-1)
+
+
+class TestUtilityAndSelection:
+    def test_probe_resets_utility(self):
+        policy = WIC()
+        policy.on_run_start(4)
+        activate(policy, 0, 1)
+        policy.on_probe(0, 2)
+        assert policy.utility(0, 2) == 0
+
+    def test_mid_window_activation_is_not_an_update(self):
+        policy = WIC()
+        policy.on_run_start(4)
+        ei = make_cei((0, 1, 8)).eis[0]
+        policy.on_ei_activated(ei, 4)  # revealed late, not at its start
+        assert policy.utility(0, 4) == 0
+
+    def test_select_resources_orders_by_utility(self):
+        policy = WIC(life=Life.TIME_WINDOW, window=50)
+        policy.on_run_start(4)
+        activate(policy, 0, 1)
+        activate(policy, 1, 1)
+        activate(policy, 1, 3)
+        assert policy.select_resources(3, 1, FakeView()) == [1]
+
+    def test_select_resources_prefers_fresh_on_ties(self):
+        policy = WIC()
+        policy.on_run_start(4)
+        activate(policy, 0, 1)
+        activate(policy, 1, 4)
+        assert policy.select_resources(4, 1, FakeView()) == [1]
+
+    def test_select_resources_respects_limit(self):
+        policy = WIC()
+        policy.on_run_start(4)
+        for rid in range(4):
+            activate(policy, rid, 1)
+        assert len(policy.select_resources(1, 2, FakeView())) == 2
+
+    def test_select_resources_empty_when_nothing_alive(self):
+        policy = WIC()
+        policy.on_run_start(4)
+        assert policy.select_resources(0, 3, FakeView()) == []
+
+    def test_freshness_of_unknown_resource(self):
+        policy = WIC()
+        policy.on_run_start(4)
+        assert policy.freshness(0, 9) == 10
+
+    def test_run_start_clears_state(self):
+        policy = WIC()
+        activate(policy, 0, 1)
+        policy.on_run_start(4)
+        assert policy.utility(0, 2) == 0
+
+    def test_sort_key_uses_resource_id_not_deadline(self):
+        policy = WIC()
+        policy.on_run_start(4)
+        ei = make_cei((2, 0, 9)).eis[0]
+        key = policy.sort_key(ei, 0, FakeView())
+        assert key[1] == 2  # resource id, not finish chronon

@@ -1,0 +1,88 @@
+"""Tests for the λ × m workload-surface experiment and the heatmap."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.experiments import workload_grid
+from repro.sim.charts import heatmap
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    return workload_grid.run(scale=SCALE, seed=1, repetitions=2)
+
+
+class TestWorkloadGrid:
+    def test_covers_all_cells_and_policies(self, grid_result):
+        cells = {(row[0], row[1], row[2]) for row in grid_result.rows}
+        assert len(cells) == 3 * 3 * 2  # lambdas x profile counts x policies
+
+    def test_completeness_falls_along_both_axes(self, grid_result):
+        by_cell = {
+            (row[0], row[1]): row[3]
+            for row in grid_result.rows
+            if row[2] == "MRSF(P)"
+        }
+        lams = sorted({k[0] for k in by_cell})
+        ms = sorted({k[1] for k in by_cell})
+        # Corner comparison: easiest cell clearly beats hardest cell.
+        assert by_cell[(lams[0], ms[0])] > by_cell[(lams[-1], ms[-1])]
+
+    def test_mrsf_dominates_sedf_everywhere(self, grid_result):
+        mrsf = {
+            (row[0], row[1]): row[3]
+            for row in grid_result.rows
+            if row[2] == "MRSF(P)"
+        }
+        sedf = {
+            (row[0], row[1]): row[3]
+            for row in grid_result.rows
+            if row[2] == "S-EDF(NP)"
+        }
+        assert all(mrsf[cell] >= sedf[cell] - 0.03 for cell in mrsf)
+
+    def test_heatmaps_render(self, grid_result):
+        text = workload_grid.heatmaps(grid_result)
+        assert "MRSF(P) completeness" in text
+        assert "advantage" in text
+        assert "scale:" in text
+
+
+class TestHeatmap:
+    def test_basic_render(self):
+        text = heatmap([1, 2], ["a", "b"], [[0.0, 0.5], [0.5, 1.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "1.00" in text and "0.00" in text
+
+    def test_none_cells_blank(self):
+        text = heatmap([1], ["a", "b"], [[0.4, None]])
+        assert "0.40" in text
+
+    def test_flat_matrix(self):
+        text = heatmap([1, 2], ["a"], [[0.5], [0.5]])
+        assert "0.50" in text
+
+    def test_empty_matrix(self):
+        text = heatmap([], [], [])
+        assert "scale:" in text
+
+
+class TestProxyDemo:
+    def test_main_runs(self, capsys):
+        from repro.proxy.__main__ import main
+
+        assert main(["--chronons", "150", "--clients", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "analyst" in out and "run diagnostics" in out
+
+    def test_policy_option(self, capsys):
+        from repro.proxy.__main__ import main
+
+        assert main(
+            ["--chronons", "120", "--clients", "4", "--policy", "S-EDF"]
+        ) == 0
+        assert "S-EDF" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Unit tests for the bounded Zipf samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.workloads.zipfs import ZipfSampler, zipf_probabilities
+
+
+class TestProbabilities:
+    def test_sum_to_one(self):
+        assert zipf_probabilities(1.37, 100).sum() == pytest.approx(1.0)
+
+    def test_zero_exponent_is_uniform(self):
+        probabilities = zipf_probabilities(0.0, 4)
+        assert np.allclose(probabilities, 0.25)
+
+    def test_monotone_decreasing(self):
+        probabilities = zipf_probabilities(1.0, 10)
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_higher_theta_more_skew(self):
+        mild = zipf_probabilities(0.5, 10)
+        strong = zipf_probabilities(2.0, 10)
+        assert strong[0] > mild[0]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(1.0, 0)
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(-1.0, 5)
+
+
+class TestSampler:
+    def test_values_in_support(self):
+        sampler = ZipfSampler(1.0, 7, np.random.default_rng(0))
+        draws = sampler.sample_many(500)
+        assert draws.min() >= 1
+        assert draws.max() <= 7
+
+    def test_single_sample(self):
+        sampler = ZipfSampler(0.0, 5, np.random.default_rng(1))
+        assert 1 <= sampler.sample() <= 5
+
+    def test_skew_prefers_small_values(self):
+        sampler = ZipfSampler(1.5, 50, np.random.default_rng(2))
+        draws = sampler.sample_many(2000)
+        assert (draws <= 5).mean() > 0.4
+
+    def test_uniform_mean_centered(self):
+        sampler = ZipfSampler(0.0, 9, np.random.default_rng(3))
+        draws = sampler.sample_many(5000)
+        assert 4.5 < draws.mean() < 5.5
+
+    def test_sample_distinct_unique(self):
+        sampler = ZipfSampler(1.0, 10, np.random.default_rng(4))
+        values = sampler.sample_distinct(10)
+        assert sorted(values) == list(range(1, 11))
+
+    def test_sample_distinct_partial(self):
+        sampler = ZipfSampler(1.0, 10, np.random.default_rng(5))
+        values = sampler.sample_distinct(4)
+        assert len(values) == len(set(values)) == 4
+
+    def test_sample_distinct_too_many(self):
+        sampler = ZipfSampler(1.0, 3, np.random.default_rng(6))
+        with pytest.raises(WorkloadError):
+            sampler.sample_distinct(4)
+
+    def test_negative_size_rejected(self):
+        sampler = ZipfSampler(1.0, 3, np.random.default_rng(7))
+        with pytest.raises(WorkloadError):
+            sampler.sample_many(-1)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(1.0, 20, np.random.default_rng(8)).sample_many(50)
+        b = ZipfSampler(1.0, 20, np.random.default_rng(8)).sample_many(50)
+        assert (a == b).all()
