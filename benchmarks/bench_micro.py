@@ -2,8 +2,16 @@
 
 These time the primitives the complexity analysis of Appendix B speaks
 about: policy value evaluation (Θ(1) for S-EDF/MRSF, O(rank) for M-EDF)
-and one full monitor chronon over a loaded candidate pool.
+and one full monitor chronon over a loaded candidate pool — the latter
+on both engines and at two candidate densities.  The ``sparse`` workload
+is the historical seed configuration (mean bag around 7 EIs, far below
+the vectorization break-even); ``dense`` keeps the same 100 profiles and
+400 chronons but widens windows and event rates until the bag averages
+about a thousand EIs, which is where the batched kernels shine (the
+paper's scalability axis, Figure 11).
 """
+
+import pytest
 
 import numpy as np
 
@@ -11,21 +19,28 @@ from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrivals_from_profiles
 from repro.online.monitor import OnlineMonitor
-from repro.policies import MEDF, MRSF, SEDF, m_edf_value, s_edf_value
+from repro.policies import MEDF, MRSF, SEDF, m_edf_value, make_policy, s_edf_value
 from repro.traces.noise import perfect_predictions
 from repro.traces.poisson import poisson_trace
 from repro.workloads.generator import GeneratorSpec, generate_profiles
 from repro.workloads.templates import LengthRule
 
+#: (window, events/resource, rank_max, budget) per density; both keep the
+#: seed workload's 100 profiles x 400 chronons x 200 resources.
+DENSITIES = {
+    "sparse": (10, 8.0, 5, 2),
+    "dense": (100, 40.0, 12, 1),
+}
 
-def _workload(seed=3, num_profiles=100, rank_max=5):
+
+def _workload(seed=3, num_profiles=100, rank_max=5, window=10, rate=8.0):
     epoch = Epoch(400)
     rng = np.random.default_rng(seed)
-    trace = poisson_trace(200, epoch, 8.0, rng)
+    trace = poisson_trace(200, epoch, rate, rng)
     profiles = generate_profiles(
         perfect_predictions(trace), epoch,
         GeneratorSpec(num_profiles=num_profiles, rank_max=rank_max),
-        LengthRule.window(10), rng,
+        LengthRule.window(window), rng,
     )
     return epoch, profiles
 
@@ -56,23 +71,94 @@ def test_medf_value_evaluation(benchmark):
     assert result > 0
 
 
-def _run_full_monitor(policy_factory):
-    epoch, profiles = _workload()
-    monitor = OnlineMonitor(policy_factory(), BudgetVector.constant(2, len(epoch)))
-    monitor.run(epoch, arrivals_from_profiles(profiles))
+_INSTANCE_CACHE = {}
+
+
+def _instance(density):
+    """Problem instance per density, built once so only the run is timed."""
+    if density not in _INSTANCE_CACHE:
+        window, rate, rank_max, budget = DENSITIES[density]
+        epoch, profiles = _workload(rank_max=rank_max, window=window, rate=rate)
+        _INSTANCE_CACHE[density] = (epoch, arrivals_from_profiles(profiles), budget)
+    return _INSTANCE_CACHE[density]
+
+
+def _run_full_monitor(policy_factory, engine="reference", density="sparse"):
+    epoch, arrivals, budget = _instance(density)
+    monitor = OnlineMonitor(
+        policy_factory(), BudgetVector.constant(budget, len(epoch)), engine=engine
+    )
+    monitor.run(epoch, arrivals)
     return monitor.probes_used
 
 
-def test_monitor_full_run_sedf(benchmark):
-    probes = benchmark(_run_full_monitor, SEDF)
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_monitor_full_run_sedf(benchmark, engine):
+    probes = benchmark(_run_full_monitor, SEDF, engine)
     assert probes > 0
 
 
-def test_monitor_full_run_mrsf(benchmark):
-    probes = benchmark(_run_full_monitor, MRSF)
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_monitor_full_run_mrsf(benchmark, engine):
+    probes = benchmark(_run_full_monitor, MRSF, engine)
     assert probes > 0
 
 
-def test_monitor_full_run_medf(benchmark):
-    probes = benchmark(_run_full_monitor, MEDF)
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_monitor_full_run_medf(benchmark, engine):
+    probes = benchmark(_run_full_monitor, MEDF, engine)
     assert probes > 0
+
+
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.parametrize("policy_name", ["S-EDF", "MRSF", "M-EDF"])
+def test_monitor_full_run_dense(benchmark, policy_name, engine):
+    """The vectorization target: ~1000-EI bags, where kernels dominate."""
+    probes = benchmark.pedantic(
+        _run_full_monitor,
+        args=(lambda: make_policy(policy_name), engine, "dense"),
+        rounds=3,
+        iterations=1,
+    )
+    assert probes > 0
+
+
+@pytest.mark.parametrize("bag_size", [100, 1000, 4000])
+def test_kernel_batch_scoring_vs_python_loop(benchmark, bag_size):
+    """One phase's worth of scoring: batched kernel vs per-EI sort_key.
+
+    Reports the kernel time; the equivalent Python loop time is attached
+    as ``extra_info`` so the JSON export carries the ratio.
+    """
+    import time
+
+    from repro.online.fastpath import FastCandidatePool
+
+    epoch, profiles = _workload(window=80, rate=32.0, rank_max=8)
+    policy = make_policy("M-EDF")
+    kernel = policy.make_kernel()
+    pool = FastCandidatePool()
+    for cei in (c for p in profiles for c in p.ceis):
+        pool.register(cei, 0)
+        if len(pool.row_seq) >= bag_size:
+            break
+    pool.sync_mirrors()
+    # Scoring doesn't require window-open rows; any registered row works.
+    rows = np.arange(min(bag_size, len(pool.row_seq)))
+    eis = [pool._row_ei[row] for row in rows.tolist()]
+    chronon = 0
+
+    started = time.perf_counter()
+    loop_scores = [policy.sort_key(ei, chronon, pool) for ei in eis]
+    loop_seconds = time.perf_counter() - started
+
+    def batch():
+        cidx = pool.npr_cidx[rows]
+        return kernel.score_rows(pool, rows, cidx, chronon)
+
+    scores = benchmark(batch)
+    assert [float(s) for s in scores[: len(eis)]] == [
+        float(key[0]) for key in loop_scores
+    ]
+    benchmark.extra_info["python_loop_seconds"] = loop_seconds
+    benchmark.extra_info["bag_size"] = int(rows.size)

@@ -1,6 +1,14 @@
 """Online monitoring: Algorithm 1 and its candidate-pool data structures."""
 
 from repro.online.candidates import CandidatePool, CEIState
-from repro.online.monitor import OnlineMonitor
+from repro.online.fastpath import FastCandidatePool, FastCEIView
+from repro.online.monitor import ENGINES, OnlineMonitor
 
-__all__ = ["CandidatePool", "CEIState", "OnlineMonitor"]
+__all__ = [
+    "ENGINES",
+    "CandidatePool",
+    "CEIState",
+    "FastCandidatePool",
+    "FastCEIView",
+    "OnlineMonitor",
+]

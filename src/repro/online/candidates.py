@@ -25,7 +25,7 @@ from typing import Iterable, Iterator, Optional
 
 from repro.core.errors import ModelError
 from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
-from repro.core.resource import ResourceId
+from repro.core.resource import ResourceId, ResourcePool
 from repro.core.timebase import Chronon
 
 
@@ -182,6 +182,33 @@ class CandidatePool:
                 self._drop_remaining_eis(state)
         return captured, touched
 
+    def capture_single(
+        self, ei: ExecutionInterval
+    ) -> tuple[list[ExecutionInterval], list[ComplexExecutionInterval]]:
+        """Capture exactly one EI (the overlap-exploitation ablation).
+
+        The probe still happens at the resource level, but only the
+        selected EI's update is kept — sibling EIs on the same resource
+        stay active.  Returns ``(captured_eis, touched_ceis)`` like
+        :meth:`capture_resource`; both are empty when ``ei`` is not
+        currently active.
+        """
+        if ei.seq not in self._active:
+            return [], []
+        self._active.pop(ei.seq, None)
+        group = self._by_resource.get(ei.resource)
+        if group is not None:
+            group.discard(ei)
+        cei = ei.parent
+        assert cei is not None
+        state = self._states[cei.cid]
+        state.captured.add(ei.seq)
+        if not state.satisfied and state.residual == 0:
+            state.satisfied = True
+            self._num_satisfied += 1
+            self._drop_remaining_eis(state)
+        return [ei], [cei]
+
     def _drop_remaining_eis(self, state: CEIState) -> None:
         """Remove every still-pending EI of a closed CEI from the indexes."""
         for ei in state.cei.eis:
@@ -233,6 +260,18 @@ class CandidatePool:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+
+    def pushable_resources(self, resources: ResourcePool) -> list[ResourceId]:
+        """Push-enabled resources currently holding active candidate EIs.
+
+        These deliver their updates without a pull probe (Example 3 of the
+        paper); the monitor auto-captures them at window opening.
+        """
+        return [
+            rid
+            for rid, group in self._by_resource.items()
+            if group and rid in resources and resources[rid].push_enabled
+        ]
 
     def active_eis(self) -> Iterator[ExecutionInterval]:
         """All currently active, uncaptured candidate EIs (the probe pool)."""

@@ -1,0 +1,784 @@
+"""Vectorized fast path for the online monitor.
+
+The reference engine (:class:`repro.online.candidates.CandidatePool` plus
+the heap in ``OnlineMonitor._probe_phase``) pays the paper's ``O(A log A)``
+chronon bound in pure-Python ``sort_key`` calls.  This module provides the
+``engine="vectorized"`` alternative:
+
+* :class:`FastCandidatePool` — a structure-of-arrays mirror of the
+  candidate state.  Every execution interval of every registered CEI
+  occupies one row (rows of one CEI are contiguous), and per-CEI state
+  (rank, captured count, the M-EDF aggregates) lives in parallel CEI-level
+  columns.  Each column exists twice: a plain-Python list that absorbs the
+  per-event bookkeeping (registration, window events, captures — all O(1)
+  scalar updates, where NumPy element access would cost more than the
+  work), and a NumPy mirror (``npr_*`` row columns, ``npc_*`` CEI columns)
+  that the scoring kernels and the ``lexsort`` consume.  Mirrors are
+  synchronized lazily at phase start: appended rows/CEIs by bulk slice
+  assignment, mutated CEIs from a dirty set.
+* :func:`run_fast_phases` — the vectorized ``probeEIs`` loop.  Each phase
+  batch-scores the whole candidate bag with one
+  :class:`repro.policies.kernels.ScoreKernel` call and orders it with a
+  single ``np.lexsort`` over ``(priority, finish, seq)``; the probe walk
+  then consumes the sorted stream, re-ranking siblings of captured EIs
+  through an overlay heap with stale-entry invalidation — the same
+  invariant the reference heap maintains.
+
+The two engines are interchangeable: for any deterministic policy they
+produce bit-for-bit identical schedules, probe counts and completeness
+(``tests/test_fastpath_equivalence.py`` enforces this across policies,
+execution modes, cost models, push resources and capture semantics).  The
+only exception is RANDOM, whose priority draws depend on candidate
+iteration order; it stays seeded-reproducible per engine but the two
+engines consume the RNG in different orders.  Policies without a batched
+kernel run unchanged against this pool through the reference probe loop
+(it only uses the public ``CandidatePool`` surface, which this class
+implements in full).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
+from repro.core.resource import ResourceId, ResourcePool
+from repro.core.timebase import Chronon
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.online.monitor import OnlineMonitor
+
+_EPS = 1e-9
+
+
+class FastCEIView:
+    """Read-only capture state of one CEI (``state_of`` compatibility)."""
+
+    __slots__ = ("cei", "captured_count", "satisfied", "failed")
+
+    def __init__(
+        self,
+        cei: ComplexExecutionInterval,
+        captured_count: int,
+        satisfied: bool,
+        failed: bool,
+    ) -> None:
+        self.cei = cei
+        self.captured_count = captured_count
+        self.satisfied = satisfied
+        self.failed = failed
+
+    @property
+    def residual(self) -> int:
+        return max(0, self.cei.required - self.captured_count)
+
+    @property
+    def closed(self) -> bool:
+        return self.failed or self.satisfied
+
+
+class FastCandidatePool:
+    """Structure-of-arrays implementation of the candidate pool.
+
+    Implements the same public surface as
+    :class:`repro.online.candidates.CandidatePool` (including the
+    :class:`repro.policies.base.MonitorView` protocol), so reference-path
+    policies and the monitor's fallback ranking loop run against it
+    unchanged, while the vectorized probe loop reads the columns directly.
+    """
+
+    def __init__(self) -> None:
+        # Row-level columns (one row per usable EI; Python side).
+        self.row_seq: list[int] = []
+        self.row_finish: list[int] = []
+        self.row_resource: list[int] = []
+        self.row_cidx: list[int] = []
+        self.row_captured: list[bool] = []
+        self._row_ei: list[ExecutionInterval] = []
+        self.active_set: set[int] = set()
+        # Authoritative bag mask, updated per activation/deactivation —
+        # one np.flatnonzero extracts the whole bag per phase.
+        self.np_active = np.zeros(256, bool)
+
+        # CEI-level columns (Python side).
+        self.cei_rank: list[int] = []
+        self.cei_required: list[int] = []
+        self.cei_captured: list[int] = []
+        self.cei_weight: list[float] = []
+        self.cei_satisfied: list[bool] = []
+        self.cei_failed: list[bool] = []
+        self.cei_medf_s: list[int] = []
+        self.cei_medf_open: list[int] = []
+        self.cei_row_begin: list[int] = []
+        self.cei_row_end: list[int] = []
+        self._cei_obj: list[ComplexExecutionInterval] = []
+
+        # NumPy mirrors consumed by the kernels and the lexsort.  Appended
+        # entries sync in bulk; mutated CEIs sync from the dirty set.
+        cap = 256
+        self._row_cap = cap
+        self.npr_seq = np.zeros(cap, np.int64)
+        self.npr_finish = np.zeros(cap, np.int64)
+        self.npr_finish_f = np.zeros(cap, np.float64)
+        self.npr_resource = np.zeros(cap, np.int64)
+        self.npr_cidx = np.zeros(cap, np.int64)
+        # Static per-row tie-break key: finish * 2^21 + seq orders rows
+        # exactly like the lexicographic (finish, seq) pair as long as both
+        # components stay below 2^21 (_packable tracks this); one int64
+        # column then replaces two lexsort key levels per phase.
+        self.npr_static = np.zeros(cap, np.int64)
+        self._synced_rows = 0
+        self._max_seq = 0
+        self._max_finish = 0
+        self._packable = True
+        ccap = 64
+        self._cei_cap = ccap
+        self.npc_rank_f = np.zeros(ccap, np.float64)
+        self.npc_captured_f = np.zeros(ccap, np.float64)
+        self.npc_weight = np.ones(ccap, np.float64)
+        self.npc_medf_s_f = np.zeros(ccap, np.float64)
+        self.npc_medf_open_f = np.zeros(ccap, np.float64)
+        self._synced_ceis = 0
+        self._dirty_ceis: set[int] = set()
+
+        self._row_of_seq: dict[int, int] = {}
+        self._cidx_of_cid: dict[int, int] = {}
+        self._by_resource: dict[ResourceId, set[int]] = {}
+        self._to_activate: dict[Chronon, list[int]] = {}
+        self._to_expire: dict[Chronon, list[int]] = {}
+        self._num_registered = 0
+        self._num_satisfied = 0
+        self._num_failed = 0
+
+    # ------------------------------------------------------------------
+    # Mirror synchronization
+    # ------------------------------------------------------------------
+
+    def _grow_rows(self, needed: int) -> None:
+        cap = self._row_cap
+        while cap < needed:
+            cap *= 2
+        for name in (
+            "npr_seq",
+            "npr_finish",
+            "npr_finish_f",
+            "npr_resource",
+            "npr_cidx",
+            "npr_static",
+        ):
+            old = getattr(self, name)
+            new = np.zeros(cap, old.dtype)
+            new[: self._synced_rows] = old[: self._synced_rows]
+            setattr(self, name, new)
+        # np_active is written at event time, not sync time: copy it whole.
+        new_active = np.zeros(cap, bool)
+        new_active[: len(self.np_active)] = self.np_active
+        self.np_active = new_active
+        self._row_cap = cap
+
+    def _grow_ceis(self, needed: int) -> None:
+        cap = self._cei_cap
+        while cap < needed:
+            cap *= 2
+        for name in (
+            "npc_rank_f",
+            "npc_captured_f",
+            "npc_weight",
+            "npc_medf_s_f",
+            "npc_medf_open_f",
+        ):
+            old = getattr(self, name)
+            new = np.zeros(cap, old.dtype)
+            new[: self._synced_ceis] = old[: self._synced_ceis]
+            setattr(self, name, new)
+        self._cei_cap = cap
+
+    def sync_mirrors(self) -> None:
+        """Bring the NumPy mirrors up to date with the Python columns.
+
+        Called by the probe loop before each batch score.  Cost is
+        amortized O(1) per row/CEI plus O(1) per CEI mutated since the
+        last sync.
+        """
+        n = len(self.row_seq)
+        if self._synced_rows < n:
+            if n > self._row_cap:
+                self._grow_rows(n)
+            a = self._synced_rows
+            self.npr_seq[a:n] = self.row_seq[a:n]
+            self.npr_finish[a:n] = self.row_finish[a:n]
+            self.npr_finish_f[a:n] = self.npr_finish[a:n]
+            self.npr_resource[a:n] = self.row_resource[a:n]
+            self.npr_cidx[a:n] = self.row_cidx[a:n]
+            self.npr_static[a:n] = self.npr_finish[a:n] * (1 << 21) + self.npr_seq[a:n]
+            self._max_seq = max(self._max_seq, int(self.npr_seq[a:n].max()))
+            self._max_finish = max(self._max_finish, int(self.npr_finish[a:n].max()))
+            self._packable = self._max_seq < (1 << 21) and self._max_finish < (1 << 21)
+            self._synced_rows = n
+        m = len(self.cei_rank)
+        if self._synced_ceis < m:
+            if m > self._cei_cap:
+                self._grow_ceis(m)
+            a = self._synced_ceis
+            self.npc_rank_f[a:m] = self.cei_rank[a:m]
+            self.npc_captured_f[a:m] = self.cei_captured[a:m]
+            self.npc_weight[a:m] = self.cei_weight[a:m]
+            self.npc_medf_s_f[a:m] = self.cei_medf_s[a:m]
+            self.npc_medf_open_f[a:m] = self.cei_medf_open[a:m]
+            self._synced_ceis = m
+        if self._dirty_ceis:
+            for c in self._dirty_ceis:
+                self.npc_captured_f[c] = self.cei_captured[c]
+                self.npc_medf_s_f[c] = self.cei_medf_s[c]
+                self.npc_medf_open_f[c] = self.cei_medf_open[c]
+            self._dirty_ceis.clear()
+
+    # ------------------------------------------------------------------
+    # MonitorView protocol
+    # ------------------------------------------------------------------
+
+    def is_ei_captured(self, ei: ExecutionInterval) -> bool:
+        """Has this EI been captured (proxy belief)?"""
+        row = self._row_of_seq.get(ei.seq)
+        return row is not None and self.row_captured[row]
+
+    def captured_count(self, cei: ComplexExecutionInterval) -> int:
+        """Captured-EI count of a candidate CEI (0 if unknown)."""
+        cidx = self._cidx_of_cid.get(cei.cid)
+        return self.cei_captured[cidx] if cidx is not None else 0
+
+    def active_uncaptured_on(self, resource: ResourceId) -> int:
+        """Number of active uncaptured candidate EIs on ``resource``."""
+        return len(self._by_resource.get(resource, ()))
+
+    # ------------------------------------------------------------------
+    # Registration and activation
+    # ------------------------------------------------------------------
+
+    def register(
+        self, cei: ComplexExecutionInterval, now: Chronon, collect: bool = True
+    ) -> list[ExecutionInterval]:
+        """Add a newly-revealed CEI; returns the EIs active immediately.
+
+        With ``collect=False`` the returned list is always empty (the
+        vectorized engine skips building it when no activation hook needs
+        the objects).  Semantics otherwise match
+        :meth:`repro.online.candidates.CandidatePool.register` exactly,
+        including the dead-on-arrival rule for late submissions.
+        """
+        if cei.cid in self._cidx_of_cid:
+            raise ModelError(f"CEI {cei.cid} registered twice")
+        if len(self.row_seq) + len(cei.eis) > self._row_cap:
+            self._grow_rows(len(self.row_seq) + len(cei.eis))
+        cidx = len(self.cei_rank)
+        self._cidx_of_cid[cei.cid] = cidx
+        self._cei_obj.append(cei)
+        self._num_registered += 1
+
+        eis = cei.eis
+        expired_on_arrival = sum(1 for ei in eis if ei.finish < now)
+        alive = len(eis) - expired_on_arrival
+        failed = alive < cei.required
+        n_rows = len(self.row_seq)
+        self.cei_rank.append(len(eis))
+        self.cei_required.append(cei.required)
+        self.cei_captured.append(0)
+        self.cei_weight.append(cei.weight)
+        self.cei_satisfied.append(False)
+        self.cei_failed.append(failed)
+        self.cei_row_begin.append(n_rows)
+        if failed:
+            # Dead on arrival (late submission): no rows materialize.
+            self.cei_row_end.append(n_rows)
+            self.cei_medf_s.append(0)
+            self.cei_medf_open.append(0)
+            self._num_failed += 1
+            return []
+
+        activated: list[ExecutionInterval] = []
+        medf_s = 0
+        medf_open = 0
+        row_seq = self.row_seq
+        seq_append = row_seq.append
+        finish_append = self.row_finish.append
+        resource_append = self.row_resource.append
+        cidx_append = self.row_cidx.append
+        captured_append = self.row_captured.append
+        ei_append = self._row_ei.append
+        row_of_seq = self._row_of_seq
+        to_activate = self._to_activate
+        to_expire = self._to_expire
+        for ei in eis:
+            finish = ei.finish
+            if finish < now:
+                # Unusable, but an uncaptured sibling for M-EDF purposes:
+                # contributes finish - T + 1 like any open-window sibling.
+                medf_s += finish + 1
+                medf_open += 1
+                continue
+            row = len(row_seq)
+            seq_append(ei.seq)
+            finish_append(finish)
+            resource_append(ei.resource)
+            cidx_append(cidx)
+            captured_append(False)
+            ei_append(ei)
+            row_of_seq[ei.seq] = row
+            if ei.start <= now:
+                self._activate_row(row, ei.resource)
+                medf_s += finish + 1
+                medf_open += 1
+                if collect:
+                    activated.append(ei)
+            else:
+                medf_s += finish - ei.start + 1
+                to_activate.setdefault(ei.start, []).append(row)
+            to_expire.setdefault(finish, []).append(row)
+        self.cei_row_end.append(len(row_seq))
+        self.cei_medf_s.append(medf_s)
+        self.cei_medf_open.append(medf_open)
+        return activated
+
+    def _activate_row(self, row: int, resource: ResourceId) -> None:
+        self.active_set.add(row)
+        self.np_active[row] = True
+        group = self._by_resource.get(resource)
+        if group is None:
+            group = set()
+            self._by_resource[resource] = group
+        group.add(row)
+
+    def _deactivate_row(self, row: int, resource: ResourceId) -> None:
+        self.active_set.discard(row)
+        self.np_active[row] = False
+        group = self._by_resource.get(resource)
+        if group is not None:
+            group.discard(row)
+
+    def open_windows(self, now: Chronon, collect: bool = True) -> list[ExecutionInterval]:
+        """Activate every EI whose window opens at ``now``; returns them."""
+        rows = self._to_activate.pop(now, None)
+        opened: list[ExecutionInterval] = []
+        if rows is None:
+            return opened
+        for row in rows:
+            cidx = self.row_cidx[row]
+            if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
+                continue  # parent died or was satisfied while pending
+            if self.row_captured[row]:
+                continue
+            ei = self._row_ei[row]
+            self._activate_row(row, ei.resource)
+            # M-EDF bucket move, future -> open: the sibling's width
+            # |I| becomes finish + 1 (the -T term arrives via n_open).
+            self.cei_medf_s[cidx] += ei.start
+            self.cei_medf_open[cidx] += 1
+            self._dirty_ceis.add(cidx)
+            if collect:
+                opened.append(ei)
+        return opened
+
+    # ------------------------------------------------------------------
+    # Capture and expiry
+    # ------------------------------------------------------------------
+
+    def _capture_row(self, row: int, cidx: int, ei: ExecutionInterval) -> None:
+        """Mark one active row captured and update the CEI aggregates."""
+        self._deactivate_row(row, ei.resource)
+        self.row_captured[row] = True
+        self.cei_captured[cidx] += 1
+        self.cei_medf_s[cidx] -= ei.finish + 1
+        self.cei_medf_open[cidx] -= 1
+        self._dirty_ceis.add(cidx)
+        if not self.cei_satisfied[cidx] and (
+            self.cei_captured[cidx] >= self.cei_required[cidx]
+        ):
+            self.cei_satisfied[cidx] = True
+            self._num_satisfied += 1
+
+    def capture_resource_rows(self, resource: ResourceId) -> list[int]:
+        """Vectorized-engine capture: probe ``resource``, return touched CEIs.
+
+        The return value lists the CEI *index* of every captured row (with
+        repeats, matching the reference's touched list) so the probe loop
+        can re-rank siblings without materializing objects.
+        """
+        group = self._by_resource.get(resource)
+        if not group:
+            return []
+        touched: list[int] = []
+        for row in list(group):
+            cidx = self.row_cidx[row]
+            self._capture_row(row, cidx, self._row_ei[row])
+            touched.append(cidx)
+        for cidx in touched:
+            if self.cei_satisfied[cidx]:
+                self._drop_remaining_rows(cidx)
+        return touched
+
+    def capture_single_row(self, row: int) -> list[int]:
+        """Overlap-ablation capture of exactly one row; returns touched CEIs."""
+        if row not in self.active_set:
+            return []
+        cidx = self.row_cidx[row]
+        self._capture_row(row, cidx, self._row_ei[row])
+        if self.cei_satisfied[cidx]:
+            self._drop_remaining_rows(cidx)
+        return [cidx]
+
+    def capture_resource(
+        self, resource: ResourceId, now: Chronon
+    ) -> tuple[list[ExecutionInterval], list[ComplexExecutionInterval]]:
+        """Object-level capture API (reference-path compatibility)."""
+        group = self._by_resource.get(resource)
+        if not group:
+            return [], []
+        captured = [self._row_ei[row] for row in group]
+        touched = [self._cei_obj[cidx] for cidx in self.capture_resource_rows(resource)]
+        return captured, touched
+
+    def capture_single(
+        self, ei: ExecutionInterval
+    ) -> tuple[list[ExecutionInterval], list[ComplexExecutionInterval]]:
+        """Capture exactly one EI (the overlap-exploitation ablation)."""
+        row = self._row_of_seq.get(ei.seq)
+        if row is None or row not in self.active_set:
+            return [], []
+        touched = [self._cei_obj[cidx] for cidx in self.capture_single_row(row)]
+        return [ei], touched
+
+    def _drop_remaining_rows(self, cidx: int) -> None:
+        """Deactivate every still-active row of a closed CEI."""
+        for row in range(self.cei_row_begin[cidx], self.cei_row_end[cidx]):
+            if row in self.active_set:
+                self._deactivate_row(row, self.row_resource[row])
+
+    def close_windows(self, now: Chronon, collect: bool = True) -> list[ExecutionInterval]:
+        """End-of-chronon expiry (Algorithm 1, lines 20-27)."""
+        rows = self._to_expire.pop(now, None)
+        expired: list[ExecutionInterval] = []
+        if rows is None:
+            return expired
+        for row in rows:
+            cidx = self.row_cidx[row]
+            if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
+                continue
+            if self.row_captured[row]:
+                continue
+            if row in self.active_set:
+                self._deactivate_row(row, self.row_resource[row])
+            if collect:
+                expired.append(self._row_ei[row])
+            if self._cannot_satisfy(cidx, now):
+                self.cei_failed[cidx] = True
+                self._num_failed += 1
+                self._drop_remaining_rows(cidx)
+        return expired
+
+    def _cannot_satisfy(self, cidx: int, now: Chronon) -> bool:
+        """Can the CEI still reach its required capture count after ``now``?
+
+        Counts captures plus uncaptured siblings whose window is still open
+        past ``now`` — siblings expiring *this* chronon are already
+        unusable, exactly like the reference pool's scan.
+        """
+        usable = self.cei_captured[cidx]
+        row_captured = self.row_captured
+        row_finish = self.row_finish
+        for row in range(self.cei_row_begin[cidx], self.cei_row_end[cidx]):
+            if not row_captured[row] and row_finish[row] > now:
+                usable += 1
+        return usable < self.cei_required[cidx]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def pushable_resources(self, resources: ResourcePool) -> list[ResourceId]:
+        """Push-enabled resources currently holding active candidate EIs."""
+        return [
+            rid
+            for rid, group in self._by_resource.items()
+            if group and rid in resources and resources[rid].push_enabled
+        ]
+
+    def active_eis(self) -> Iterator[ExecutionInterval]:
+        """All currently active, uncaptured candidate EIs (the probe pool)."""
+        row_ei = self._row_ei
+        for row in self.active_set:
+            yield row_ei[row]
+
+    def num_active(self) -> int:
+        """Size of the active candidate EI bag."""
+        return len(self.active_set)
+
+    def is_active(self, ei: ExecutionInterval) -> bool:
+        """Is this exact EI currently probe-able?"""
+        row = self._row_of_seq.get(ei.seq)
+        return row is not None and row in self.active_set
+
+    def state_of(self, cei: ComplexExecutionInterval) -> Optional[FastCEIView]:
+        """Capture state of a registered CEI (None if never registered)."""
+        cidx = self._cidx_of_cid.get(cei.cid)
+        if cidx is None:
+            return None
+        return FastCEIView(
+            cei=cei,
+            captured_count=self.cei_captured[cidx],
+            satisfied=self.cei_satisfied[cidx],
+            failed=self.cei_failed[cidx],
+        )
+
+    def split_by_prior_capture(
+        self, eis: Iterable[ExecutionInterval]
+    ) -> tuple[list[ExecutionInterval], list[ExecutionInterval]]:
+        """Partition candidates into ``cands+`` / ``cands-`` (Algorithm 1)."""
+        plus: list[ExecutionInterval] = []
+        minus: list[ExecutionInterval] = []
+        for ei in eis:
+            cei = ei.parent
+            assert cei is not None
+            if self.cei_captured[self._cidx_of_cid[cei.cid]] > 0:
+                plus.append(ei)
+            else:
+                minus.append(ei)
+        return plus, minus
+
+    @property
+    def num_registered(self) -> int:
+        """CEIs ever revealed to the monitor."""
+        return self._num_registered
+
+    @property
+    def num_satisfied(self) -> int:
+        """CEIs the proxy believes it fully captured."""
+        return self._num_satisfied
+
+    @property
+    def num_failed(self) -> int:
+        """CEIs that expired before satisfaction."""
+        return self._num_failed
+
+    @property
+    def num_open(self) -> int:
+        """CEIs still in play (registered, neither satisfied nor failed)."""
+        return self._num_registered - self._num_satisfied - self._num_failed
+
+
+# ----------------------------------------------------------------------
+# The vectorized probeEIs loop
+# ----------------------------------------------------------------------
+
+
+def run_fast_phases(
+    monitor: "OnlineMonitor",
+    chronon: Chronon,
+    budget_left: float,
+    probed: set[ResourceId],
+) -> float:
+    """Spend one chronon's budget on the candidate bag, vectorized.
+
+    Handles both execution modes: preemptive ranks the whole bag at once;
+    non-preemptive splits it into ``cands+`` / ``cands-`` by prior capture
+    and spends leftover budget on the minus partition, exactly like the
+    reference path.
+    """
+    pool: FastCandidatePool = monitor.pool
+    if not pool.active_set:
+        return budget_left
+    pool.sync_mirrors()
+    rows = np.flatnonzero(pool.np_active[: len(pool.row_seq)])
+    if monitor.preemptive:
+        # One phase over the whole bag: sibling refreshes never need a
+        # phase-membership check (any active sibling is in the phase).
+        return _fast_phase(monitor, rows, chronon, budget_left, probed, whole_bag=True)
+    in_plus = pool.npc_captured_f[pool.npr_cidx[rows]] > 0
+    plus = rows[in_plus]
+    if plus.size:
+        budget_left = _fast_phase(monitor, plus, chronon, budget_left, probed)
+    if budget_left > _EPS:
+        minus = rows[~in_plus]
+        # Plus-phase overlap captures may have consumed minus rows.
+        minus = minus[pool.np_active[minus]]
+        if minus.size:
+            budget_left = _fast_phase(monitor, minus, chronon, budget_left, probed)
+    return budget_left
+
+
+def _fast_phase(
+    monitor: "OnlineMonitor",
+    rows: np.ndarray,
+    chronon: Chronon,
+    budget_left: float,
+    probed: set[ResourceId],
+    whole_bag: bool = False,
+) -> float:
+    """One candidate partition: batch-score, lexsort, walk, refresh.
+
+    The sorted stream plays the role of the reference heap's initial
+    contents; sibling refreshes push fresh keys onto a small overlay heap
+    and invalidate the row's stream entry (the ``dirty`` set), so at every
+    pick the chosen EI minimizes the *current* ``(priority, finish, seq)``
+    key over eligible candidates — the same invariant the reference heap
+    maintains with stale-entry skipping.
+    """
+    if rows.size == 0:
+        return budget_left
+    pool: FastCandidatePool = monitor.pool
+    policy = monitor.policy
+    kernel = monitor._kernel
+    resources = monitor.resources
+    schedule = monitor.schedule
+    assert kernel is not None
+
+    pool.sync_mirrors()
+    cidx = pool.npr_cidx[rows]
+    prio = kernel.score_rows(pool, rows, cidx, chronon)
+    if pool._packable:
+        static = pool.npr_static[rows]
+        if kernel.integer_valued and float(np.abs(prio).max()) < float(1 << 20):
+            # Integer priorities small enough to share an int64 with the
+            # static key: one unique-key argsort orders the whole phase.
+            order = np.argsort(prio.astype(np.int64) * (1 << 42) + static)
+        else:
+            order = np.lexsort((static, prio))
+    else:
+        order = np.lexsort((pool.npr_seq[rows], pool.npr_finish[rows], prio))
+    # Python-side sorted stream; finish/seq/resource are looked up from the
+    # Python columns only for the handful of entries the walk actually
+    # touches.
+    sp = prio[order].tolist()
+    sr = rows[order].tolist()
+
+    active = pool.active_set
+    row_finish = pool.row_finish
+    row_seq = pool.row_seq
+    row_resource = pool.row_resource
+    uniform = resources is None
+    sensitive = monitor._sibling_sensitive
+    probe_hook = monitor._wants_probe_hook
+    exploit_overlap = monitor.exploit_overlap
+    length = len(sp)
+    si = 0
+    overlay: list[tuple] = []  # (priority, finish, seq, row, resource)
+    cur: dict[int, tuple] = {}  # row -> freshest key among refreshed rows
+    dirty: set[int] = set()  # rows whose stream entry was superseded
+    in_phase: Optional[set[int]] = None
+
+    while budget_left > _EPS:
+        # Advance past permanently-invalid stream entries (captured or
+        # expired rows, resources already probed, refreshed rows whose
+        # fresh key lives in the overlay).
+        row = -1
+        rid = -1
+        while si < length:
+            row = sr[si]
+            if row in dirty or row not in active:
+                si += 1
+                continue
+            rid = row_resource[row]
+            if rid in probed:
+                si += 1
+                continue
+            break
+        # Drop stale / ineligible overlay entries.
+        while overlay:
+            entry = overlay[0]
+            orow = entry[3]
+            if (
+                cur.get(orow) != (entry[0], entry[1], entry[2])
+                or orow not in active
+                or entry[4] in probed
+            ):
+                heapq.heappop(overlay)
+                continue
+            break
+        if si < length and (
+            not overlay
+            or (sp[si], row_finish[row], row_seq[row]) <= overlay[0][:3]
+        ):
+            from_stream = True
+        elif overlay:
+            row, rid = overlay[0][3], overlay[0][4]
+            from_stream = False
+        else:
+            break  # phase exhausted
+
+        cost = 1.0 if uniform else resources.probe_cost(rid)
+        if cost > budget_left + _EPS:
+            if uniform:
+                # Unit costs: the budget is spent for this phase.
+                break
+            # Heterogeneous costs: cheaper candidates may still fit; this
+            # entry can never fit later (budget only shrinks), drop it.
+            if from_stream:
+                si += 1
+            else:
+                heapq.heappop(overlay)
+            continue
+
+        if from_stream:
+            si += 1
+        else:
+            heapq.heappop(overlay)
+        budget_left -= cost
+        monitor._probes_used += 1
+        schedule.add_probe(rid, chronon)
+        monitor._charge(rid, chronon, cost)
+        probed.add(rid)
+        if probe_hook:
+            policy.on_probe(rid, chronon)
+        if exploit_overlap:
+            touched = pool.capture_resource_rows(rid)
+        else:
+            touched = pool.capture_single_row(row)
+        if sensitive and touched:
+            if in_phase is None and not whole_bag:
+                in_phase = set(sr)
+            _refresh_siblings_fast(
+                pool, kernel, touched, chronon, in_phase, probed, overlay, cur, dirty
+            )
+    return budget_left
+
+
+def _refresh_siblings_fast(
+    pool: FastCandidatePool,
+    kernel,
+    touched: list[int],
+    chronon: Chronon,
+    in_phase: Optional[set[int]],
+    probed: set[ResourceId],
+    overlay: list[tuple],
+    cur: dict[int, tuple],
+    dirty: set[int],
+) -> None:
+    """Re-rank still-active siblings of CEIs whose state just changed.
+
+    ``in_phase`` is None when the phase spans the whole bag (preemptive
+    mode): there, membership needs no check because active implies
+    in-phase.
+    """
+    active = pool.active_set
+    row_finish = pool.row_finish
+    row_seq = pool.row_seq
+    row_resource = pool.row_resource
+    for cidx in touched:
+        if pool.cei_satisfied[cidx] or pool.cei_failed[cidx]:
+            continue  # closed CEIs left the candidate bag entirely
+        fresh = kernel.score_cei(pool, cidx, chronon)
+        for row in range(pool.cei_row_begin[cidx], pool.cei_row_end[cidx]):
+            if row not in active:
+                continue
+            if in_phase is not None and row not in in_phase:
+                continue
+            rid = row_resource[row]
+            if rid in probed:
+                continue
+            key = (fresh, row_finish[row], row_seq[row])
+            if cur.get(row) != key:
+                cur[row] = key
+                dirty.add(row)
+                heapq.heappush(overlay, key + (row, rid))

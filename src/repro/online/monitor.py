@@ -18,12 +18,23 @@ can change the MRSF/M-EDF priority of sibling EIs within the same chronon,
 exactly as the paper's ``probeEIs`` procedure re-invokes Φ per pick.  The
 implementation uses a heap with stale-entry invalidation so one chronon
 costs ``O(A log A)`` for ``A`` active candidates (Appendix B).
+
+Two interchangeable engines implement that loop:
+
+* ``engine="reference"`` (default) — the direct Algorithm 1 transcription
+  above, one ``Policy.sort_key`` call per candidate EI;
+* ``engine="vectorized"`` — the structure-of-arrays fast path of
+  :mod:`repro.online.fastpath`, which batch-scores whole candidate bags
+  with :mod:`repro.policies.kernels` and produces bit-identical schedules
+  for every deterministic policy.  Policies without a batched kernel
+  (or with per-call randomness) transparently fall back to the reference
+  probe loop running over the fast pool.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from repro.core.errors import ModelError
 from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
@@ -31,9 +42,13 @@ from repro.core.resource import ResourceId, ResourcePool
 from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Chronon, Epoch
 from repro.online.candidates import CandidatePool
+from repro.online.fastpath import FastCandidatePool, run_fast_phases
 from repro.policies.base import Policy
+from repro.policies.kernels import resolve_kernel
 
 _EPS = 1e-9
+
+ENGINES = ("reference", "vectorized")
 
 
 class OnlineMonitor:
@@ -55,6 +70,10 @@ class OnlineMonitor:
         When True (default, the paper's behaviour) a probe captures every
         active EI on the probed resource; when False it captures only the
         EI the policy selected.  Disabling this is the A1 ablation.
+    engine:
+        ``"reference"`` (default) for the per-EI Algorithm 1 loop,
+        ``"vectorized"`` for the NumPy structure-of-arrays fast path.
+        Both produce identical schedules for deterministic policies.
     """
 
     def __init__(
@@ -64,17 +83,35 @@ class OnlineMonitor:
         preemptive: bool = True,
         resources: Optional[ResourcePool] = None,
         exploit_overlap: bool = True,
+        engine: str = "reference",
     ) -> None:
+        if engine not in ENGINES:
+            raise ModelError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.policy = policy
         self.budget = budget
         self.preemptive = preemptive
         self.resources = resources
         self.exploit_overlap = exploit_overlap
-        self.pool = CandidatePool()
+        self.engine = engine
+        self.pool: Union[CandidatePool, FastCandidatePool]
+        if engine == "vectorized":
+            self.pool = FastCandidatePool()
+            self._kernel = resolve_kernel(policy)
+        else:
+            self.pool = CandidatePool()
+            self._kernel = None
         self.schedule = Schedule()
         self._push_probes: set[tuple[ResourceId, Chronon]] = set()
+        self._consumed: dict[Chronon, float] = {}
         self._clock: Chronon = -1
         self._probes_used = 0
+        # Hook-override flags let the fast path skip building object lists
+        # (and calling no-op hooks) when the policy never looks at them.
+        cls = type(policy)
+        self._wants_activation_hook = cls.on_ei_activated is not Policy.on_ei_activated
+        self._wants_expiry_hook = cls.on_ei_expired is not Policy.on_ei_expired
+        self._wants_probe_hook = cls.on_probe is not Policy.on_probe
+        self._sibling_sensitive = policy.sibling_sensitive()
         num_resources = len(resources) if resources is not None else 0
         policy.on_run_start(num_resources)
 
@@ -97,11 +134,21 @@ class OnlineMonitor:
             )
         self._clock = chronon
         self.policy.on_chronon_start(chronon)
+        fast = self._kernel is not None
 
-        opened: list[ExecutionInterval] = []
-        for cei in new_ceis:
-            opened.extend(self.pool.register(cei, chronon))
-        opened.extend(self.pool.open_windows(chronon))
+        if self.engine == "vectorized":
+            # The fast pool can skip materializing EI object lists when no
+            # activation hook will consume them.
+            collect = self._wants_activation_hook
+            opened: list[ExecutionInterval] = []
+            for cei in new_ceis:
+                opened.extend(self.pool.register(cei, chronon, collect))
+            opened.extend(self.pool.open_windows(chronon, collect))
+        else:
+            opened = []
+            for cei in new_ceis:
+                opened.extend(self.pool.register(cei, chronon))
+            opened.extend(self.pool.open_windows(chronon))
         for ei in opened:
             self.policy.on_ei_activated(ei, chronon)
 
@@ -118,7 +165,9 @@ class OnlineMonitor:
                 # opportunistically capturing whatever EIs sit there.
                 self._probe_resources(selected, chronon, remaining, probed)
             elif self.pool.num_active() > 0:
-                if self.preemptive:
+                if fast:
+                    run_fast_phases(self, chronon, remaining, probed)
+                elif self.preemptive:
                     self._probe_phase(
                         self.pool.active_eis(), chronon, remaining, probed
                     )
@@ -130,7 +179,11 @@ class OnlineMonitor:
                     if remaining > _EPS:
                         self._probe_phase(minus, chronon, remaining, probed)
 
-        for ei in self.pool.close_windows(chronon):
+        if self.engine == "vectorized":
+            expired = self.pool.close_windows(chronon, self._wants_expiry_hook)
+        else:
+            expired = self.pool.close_windows(chronon)
+        for ei in expired:
             self.policy.on_ei_expired(ei, chronon)
         return frozenset(probed)
 
@@ -167,6 +220,7 @@ class OnlineMonitor:
             budget_left -= cost
             self._probes_used += 1
             self.schedule.add_probe(resource, chronon)
+            self._charge(resource, chronon, cost)
             probed.add(resource)
             self.policy.on_probe(resource, chronon)
             self.pool.capture_resource(resource, chronon)
@@ -211,6 +265,7 @@ class OnlineMonitor:
             budget_left -= cost
             self._probes_used += 1
             self.schedule.add_probe(ei.resource, chronon)
+            self._charge(ei.resource, chronon, cost)
             probed.add(ei.resource)
             policy.on_probe(ei.resource, chronon)
             captured, touched = self._capture(ei, chronon)
@@ -224,30 +279,8 @@ class OnlineMonitor:
         """Apply a probe's captures, honouring the overlap ablation flag."""
         if self.exploit_overlap:
             return self.pool.capture_resource(chosen.resource, chronon)
-        # Ablation: the probe yields only the selected EI.  We simulate by
-        # capturing the full resource set, then re-registering nothing —
-        # instead we capture selectively via a narrow helper.
-        return self._capture_single(chosen)
-
-    def _capture_single(
-        self, chosen: ExecutionInterval
-    ) -> tuple[list[ExecutionInterval], list[ComplexExecutionInterval]]:
-        pool = self.pool
-        if not pool.is_active(chosen):
-            return [], []
-        pool._active.pop(chosen.seq, None)
-        group = pool._by_resource.get(chosen.resource)
-        if group is not None:
-            group.discard(chosen)
-        cei = chosen.parent
-        assert cei is not None
-        state = pool._states[cei.cid]
-        state.captured.add(chosen.seq)
-        if not state.satisfied and state.residual == 0:
-            state.satisfied = True
-            pool._num_satisfied += 1
-            pool._drop_remaining_eis(state)
-        return [chosen], [cei]
+        # Ablation: the probe yields only the selected EI.
+        return self.pool.capture_single(chosen)
 
     def _refresh_siblings(
         self,
@@ -286,14 +319,7 @@ class OnlineMonitor:
         """
         if self.resources is None:
             return
-        pushable = [
-            rid
-            for rid in self.pool._by_resource
-            if self.pool.active_uncaptured_on(rid) > 0
-            and rid in self.resources
-            and self.resources[rid].push_enabled
-        ]
-        for rid in pushable:
+        for rid in self.pool.pushable_resources(self.resources):
             self.schedule.add_probe(rid, chronon)
             self._push_probes.add((rid, chronon))
             self.pool.capture_resource(rid, chronon)
@@ -303,19 +329,28 @@ class OnlineMonitor:
             return 1.0
         return self.resources.probe_cost(resource)
 
+    def _charge(self, resource: ResourceId, chronon: Chronon, cost: float) -> None:
+        """Account one pull probe against the chronon's consumed budget.
+
+        A probe of a resource that already pushed this chronon still
+        spends the caller's budget, but — like the push itself — charges
+        nothing here, matching the schedule-derived accounting.
+        """
+        if (resource, chronon) in self._push_probes:
+            return
+        self._consumed[chronon] = self._consumed.get(chronon, 0.0) + cost
+
     def budget_consumed_at(self, chronon: Chronon) -> float:
         """Budget units actually charged at ``chronon`` (excludes pushes)."""
-        total = 0.0
-        for rid in self.schedule.probes_at(chronon):
-            if (rid, chronon) in self._push_probes:
-                continue
-            total += self._probe_cost(rid)
-        return total
+        return self._consumed.get(chronon, 0.0)
 
     def check_budget_feasible(self) -> None:
-        """Assert the run never exceeded its budget (pushes are free)."""
-        for chronon in self.schedule.probes.keys():
-            consumed = self.budget_consumed_at(chronon)
+        """Assert the run never exceeded its budget (pushes are free).
+
+        O(chronons-with-probes): consumption is accumulated during the
+        run, not recomputed by rescanning the schedule.
+        """
+        for chronon, consumed in self._consumed.items():
             if consumed > self.budget.at(chronon) + _EPS:
                 raise ModelError(
                     f"budget violated at chronon {chronon}: "

@@ -14,6 +14,13 @@ from repro.policies.base import (
     register_policy,
 )
 from repro.policies.hybrid import FollowSchedule, Hybrid, clairvoyant_policy
+from repro.policies.kernels import (
+    MEDFKernel,
+    MRSFKernel,
+    ScoreKernel,
+    SEDFKernel,
+    resolve_kernel,
+)
 from repro.policies.medf import MEDF, m_edf_value
 from repro.policies.mrsf import MRSF, residual_count
 from repro.policies.naive import FIFO, RandomPolicy, RoundRobin
@@ -27,13 +34,17 @@ __all__ = [
     "FollowSchedule",
     "Hybrid",
     "MEDF",
+    "MEDFKernel",
     "MRSF",
+    "MRSFKernel",
     "MonitorView",
     "Policy",
     "Priority",
     "RandomPolicy",
     "RoundRobin",
     "SEDF",
+    "SEDFKernel",
+    "ScoreKernel",
     "WIC",
     "WeightedMEDF",
     "WeightedMRSF",
@@ -43,6 +54,7 @@ __all__ = [
     "m_edf_value",
     "make_policy",
     "register_policy",
+    "resolve_kernel",
     "residual_count",
     "s_edf_value",
 ]

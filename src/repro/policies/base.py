@@ -21,7 +21,7 @@ runs are exactly reproducible.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from repro.core.errors import ModelError
 from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
@@ -29,7 +29,7 @@ from repro.core.resource import ResourceId
 from repro.core.timebase import Chronon
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from repro.policies.kernels import ScoreKernel
 
 
 class MonitorView(Protocol):
@@ -105,6 +105,18 @@ class Policy(abc.ABC):
     ) -> tuple[Priority, Chronon, int]:
         """Full deterministic ordering key for a candidate EI."""
         return (self.priority(ei, chronon, view), ei.finish, ei.seq)
+
+    def make_kernel(self) -> "Optional[ScoreKernel]":
+        """Batched scoring kernel for the vectorized engine, if any.
+
+        Return a :class:`repro.policies.kernels.ScoreKernel` whose scores
+        are bit-identical to :meth:`priority`, or None (the default) to
+        run the vectorized engine through the generic per-EI ranking
+        loop.  Policies whose priority depends on per-call state the
+        kernel cannot see (randomness, configuration overriding the
+        columns) must return None.
+        """
+        return None
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

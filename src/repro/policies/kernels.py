@@ -1,0 +1,182 @@
+"""Batched scoring kernels for the vectorized monitor engine.
+
+The reference monitor ranks candidates by calling ``Policy.sort_key`` once
+per execution interval per chronon — a pure-Python loop that dominates the
+``O(A log A)`` chronon bound of Appendix B.  The kernels in this module
+score an *entire candidate bag* with a handful of NumPy operations against
+the structure-of-arrays candidate table kept by
+:class:`repro.online.fastpath.FastCandidatePool`.
+
+A kernel has two duties:
+
+* :meth:`ScoreKernel.score_rows` — batch-score every candidate row of one
+  probe phase (the vectorized replacement for the per-EI ``sort_key``
+  heap build);
+* :meth:`ScoreKernel.score_cei` — O(1) scalar re-score of one CEI after a
+  capture lands (the vectorized replacement for the sibling-refresh loop;
+  only consulted when the policy is sibling-sensitive).
+
+Both must produce *bit-identical* values to the policy's ``priority``
+method: the engine-equivalence guarantee (same schedules from both
+engines) rests on the scores, the ``(priority, finish, seq)`` tie-break
+and the probe loop all agreeing exactly.  The three paper policies have
+integer-valued priorities, so exactness only needs the int64→float64
+conversion to be lossless (values stay far below 2**53); the weighted
+variants divide the same integers by the CEI weight, which IEEE-754
+evaluates identically in Python and NumPy.
+
+The M-EDF kernel is the interesting one.  The paper's value
+
+    M-EDF(I, T) = sum over uncaptured siblings I' of S-EDF(I', max(T, I'.start))
+
+is a *per-CEI* quantity.  Splitting the sum into open siblings (window
+start <= T, each contributing ``finish - T + 1``) and future siblings
+(each contributing its full width) gives
+
+    M-EDF(η, T) = S(η) - n_open(η) * T
+
+where ``S = sum_open (finish + 1) + sum_future |I'|`` and ``n_open``
+counts the open, uncaptured siblings.  Both aggregates change only on
+capture and window-opening events, so the pool maintains them
+incrementally and the kernel evaluates the whole bag with two gathers and
+one fused multiply-subtract.  MRSF's residual is likewise per-CEI
+(``rank - captured``), and S-EDF is a single subtraction over the finish
+column.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.online.fastpath import FastCandidatePool
+    from repro.policies.base import Policy
+
+
+class ScoreKernel:
+    """Batched priority evaluation against a :class:`FastCandidatePool`."""
+
+    #: True when every priority this kernel produces is an exact integer
+    #: (stored in float64).  The probe loop then packs priority, finish and
+    #: seq into one int64 sort key and orders a phase with a single
+    #: ``argsort`` instead of a three-key ``lexsort``.
+    integer_valued = False
+
+    def score_rows(
+        self,
+        pool: "FastCandidatePool",
+        rows: np.ndarray,
+        cidx: np.ndarray,
+        chronon: int,
+    ) -> np.ndarray:
+        """Float64 priorities for candidate ``rows`` (lower probes first).
+
+        ``cidx`` is the pre-gathered ``pool.row_cidx[rows]`` — phases need
+        it anyway, so the engine computes it once and shares it.
+        """
+        raise NotImplementedError
+
+    def score_cei(self, pool: "FastCandidatePool", cidx: int, chronon: int) -> float:
+        """Scalar priority of any candidate EI of one CEI.
+
+        Only meaningful for policies whose priority is a function of the
+        parent CEI (MRSF, M-EDF and their weighted variants); used by the
+        sibling-refresh step of the vectorized probe loop.
+        """
+        raise NotImplementedError
+
+
+class SEDFKernel(ScoreKernel):
+    """S-EDF(I, T) = finish - T + 1 over the finish column."""
+
+    integer_valued = True
+
+    def score_rows(
+        self,
+        pool: "FastCandidatePool",
+        rows: np.ndarray,
+        cidx: np.ndarray,
+        chronon: int,
+    ) -> np.ndarray:
+        return pool.npr_finish_f[rows] - (chronon - 1)
+
+
+class MRSFKernel(ScoreKernel):
+    """MRSF(I) = rank - captured of the parent CEI (the residual)."""
+
+    integer_valued = True
+
+    def score_rows(
+        self,
+        pool: "FastCandidatePool",
+        rows: np.ndarray,
+        cidx: np.ndarray,
+        chronon: int,
+    ) -> np.ndarray:
+        return pool.npc_rank_f[cidx] - pool.npc_captured_f[cidx]
+
+    def score_cei(self, pool: "FastCandidatePool", cidx: int, chronon: int) -> float:
+        return float(pool.cei_rank[cidx] - pool.cei_captured[cidx])
+
+
+class MEDFKernel(ScoreKernel):
+    """M-EDF(η, T) = S(η) - n_open(η) * T from the incremental aggregates."""
+
+    integer_valued = True
+
+    def score_rows(
+        self,
+        pool: "FastCandidatePool",
+        rows: np.ndarray,
+        cidx: np.ndarray,
+        chronon: int,
+    ) -> np.ndarray:
+        return pool.npc_medf_s_f[cidx] - pool.npc_medf_open_f[cidx] * chronon
+
+    def score_cei(self, pool: "FastCandidatePool", cidx: int, chronon: int) -> float:
+        return float(pool.cei_medf_s[cidx] - pool.cei_medf_open[cidx] * chronon)
+
+
+class WeightedSEDFKernel(SEDFKernel):
+    """S-EDF divided by the parent CEI's client utility."""
+
+    integer_valued = False
+
+    def score_rows(self, pool, rows, cidx, chronon):
+        return super().score_rows(pool, rows, cidx, chronon) / pool.npc_weight[cidx]
+
+
+class WeightedMRSFKernel(MRSFKernel):
+    """MRSF residual divided by the parent CEI's client utility."""
+
+    integer_valued = False
+
+    def score_rows(self, pool, rows, cidx, chronon):
+        return super().score_rows(pool, rows, cidx, chronon) / pool.npc_weight[cidx]
+
+    def score_cei(self, pool, cidx, chronon):
+        return super().score_cei(pool, cidx, chronon) / pool.cei_weight[cidx]
+
+
+class WeightedMEDFKernel(MEDFKernel):
+    """M-EDF remaining-chronon mass divided by the CEI's client utility."""
+
+    integer_valued = False
+
+    def score_rows(self, pool, rows, cidx, chronon):
+        return super().score_rows(pool, rows, cidx, chronon) / pool.npc_weight[cidx]
+
+    def score_cei(self, pool, cidx, chronon):
+        return super().score_cei(pool, cidx, chronon) / pool.cei_weight[cidx]
+
+
+def resolve_kernel(policy: "Policy") -> Optional[ScoreKernel]:
+    """The batched kernel for ``policy``, or None to use the generic path.
+
+    Policies opt in by overriding :meth:`repro.policies.base.Policy.make_kernel`;
+    a None return (the default) makes the vectorized engine fall back to
+    the reference per-EI ranking loop, which works for every policy.
+    """
+    return policy.make_kernel()

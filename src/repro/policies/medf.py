@@ -53,3 +53,8 @@ class MEDF(Policy):
 
     def sibling_sensitive(self) -> bool:
         return True
+
+    def make_kernel(self):
+        from repro.policies.kernels import MEDFKernel
+
+        return MEDFKernel()

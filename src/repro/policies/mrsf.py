@@ -62,3 +62,11 @@ class MRSF(Policy):
 
     def sibling_sensitive(self) -> bool:
         return True
+
+    def make_kernel(self):
+        if self._use_profile_rank:
+            # Profile-rank constants live outside the candidate table.
+            return None
+        from repro.policies.kernels import MRSFKernel
+
+        return MRSFKernel()

@@ -31,3 +31,8 @@ class SEDF(Policy):
         self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
     ) -> Priority:
         return float(s_edf_value(ei, chronon))
+
+    def make_kernel(self):
+        from repro.policies.kernels import SEDFKernel
+
+        return SEDFKernel()

@@ -32,6 +32,11 @@ class WeightedSEDF(Policy):
     ) -> Priority:
         return s_edf_value(ei, chronon) / _weight(ei)
 
+    def make_kernel(self):
+        from repro.policies.kernels import WeightedSEDFKernel
+
+        return WeightedSEDFKernel()
+
 
 @register_policy("W-MRSF")
 class WeightedMRSF(Policy):
@@ -48,6 +53,11 @@ class WeightedMRSF(Policy):
     def sibling_sensitive(self) -> bool:
         return True
 
+    def make_kernel(self):
+        from repro.policies.kernels import WeightedMRSFKernel
+
+        return WeightedMRSFKernel()
+
 
 @register_policy("W-M-EDF")
 class WeightedMEDF(Policy):
@@ -60,3 +70,8 @@ class WeightedMEDF(Policy):
 
     def sibling_sensitive(self) -> bool:
         return True
+
+    def make_kernel(self):
+        from repro.policies.kernels import WeightedMEDFKernel
+
+        return WeightedMEDFKernel()

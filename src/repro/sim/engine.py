@@ -60,8 +60,14 @@ def simulate(
     preemptive: bool = True,
     resources: Optional[ResourcePool] = None,
     exploit_overlap: bool = True,
+    engine: str = "reference",
 ) -> SimulationResult:
-    """Run one online policy over a full epoch and score the schedule."""
+    """Run one online policy over a full epoch and score the schedule.
+
+    ``engine`` selects the monitor implementation (``"reference"`` or
+    ``"vectorized"``); deterministic policies produce identical schedules
+    on either, so the flag only changes the runtime statistics.
+    """
     if isinstance(policy, str):
         policy = make_policy(policy)
     monitor = OnlineMonitor(
@@ -70,6 +76,7 @@ def simulate(
         preemptive=preemptive,
         resources=resources,
         exploit_overlap=exploit_overlap,
+        engine=engine,
     )
     arrivals = arrivals_from_profiles(profiles)
     started = time.perf_counter()

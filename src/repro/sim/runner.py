@@ -7,13 +7,23 @@ Each repetition regenerates the problem instance from a child seed, then
 runs *every* policy on that same instance — exactly the paper's
 methodology of executing online and offline solutions on identical
 problem instances — and aggregates means and standard deviations.
+
+With ``workers > 1`` the suite fans the ``(repetition, policy)`` cells
+out over a process pool.  Every cell regenerates its repetition's
+instance from the same ``SeedSequence`` child seed the serial path uses,
+and results are re-assembled in repetition order before aggregation, so
+the parallel suite is seed-for-seed identical to the serial one
+(completeness, probe counts and their means — wall-clock runtime
+statistics naturally differ).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from statistics import fmean, pstdev
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -56,6 +66,41 @@ def child_rngs(seed: int, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
 
 
+# The instance factory is usually a closure, which cannot cross a pickle
+# boundary; worker processes instead inherit it through fork, stashed here
+# by run_suite just before the pool starts.
+_WORKER_FACTORY: Optional[InstanceFactory] = None
+
+
+def _run_cell(
+    rep: int,
+    child: np.random.SeedSequence,
+    epoch: Epoch,
+    budget: BudgetVector,
+    cell: Optional[tuple[str, bool]],
+    engine: str,
+    offline_max_combinations: int,
+) -> tuple[int, str, SimulationResult]:
+    """One (repetition, policy) grid cell; ``cell=None`` is the offline run.
+
+    Regenerates the repetition's instance from its SeedSequence child, so
+    every cell of one repetition sees the identical problem instance the
+    serial loop would build.
+    """
+    assert _WORKER_FACTORY is not None
+    profiles = _WORKER_FACTORY(np.random.default_rng(child))
+    if cell is None:
+        result = simulate_offline(
+            profiles, epoch, budget, max_combinations=offline_max_combinations
+        )
+        return rep, "OFFLINE-LR", result
+    name, preemptive = cell
+    result = simulate(
+        profiles, epoch, budget, name, preemptive=preemptive, engine=engine
+    )
+    return rep, policy_label(name, preemptive), result
+
+
 def run_suite(
     make_instance: InstanceFactory,
     epoch: Epoch,
@@ -65,12 +110,18 @@ def run_suite(
     seed: int = 0,
     include_offline: bool = False,
     offline_max_combinations: int = 100_000,
+    engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> dict[str, AggregateResult]:
     """Run each policy ``repetitions`` times on shared problem instances.
 
     ``policies`` is a sequence of ``(registry_name, preemptive)`` pairs.
     With ``include_offline`` the local-ratio baseline joins the lineup
-    under the label ``"OFFLINE-LR"``.
+    under the label ``"OFFLINE-LR"``.  ``engine`` is forwarded to every
+    online run.  ``workers`` > 1 distributes the ``(repetition, policy)``
+    cells over that many forked worker processes (requires the ``fork``
+    start method, i.e. POSIX; falls back to the serial loop elsewhere)
+    with results identical to the serial loop, seed for seed.
     """
     runs: dict[str, list[SimulationResult]] = {
         policy_label(name, preemptive): [] for name, preemptive in policies
@@ -78,19 +129,64 @@ def run_suite(
     if include_offline:
         runs["OFFLINE-LR"] = []
 
-    for rng in child_rngs(seed, repetitions):
-        profiles = make_instance(rng)
-        for name, preemptive in policies:
-            label = policy_label(name, preemptive)
-            runs[label].append(
-                simulate(profiles, epoch, budget, name, preemptive=preemptive)
-            )
+    parallel = workers is not None and workers > 1
+    if parallel:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            parallel = False
+
+    if parallel:
+        children = np.random.SeedSequence(seed).spawn(repetitions)
+        cells: list[Optional[tuple[str, bool]]] = list(policies)
         if include_offline:
-            runs["OFFLINE-LR"].append(
-                simulate_offline(
-                    profiles, epoch, budget, max_combinations=offline_max_combinations
+            cells.append(None)
+        global _WORKER_FACTORY
+        _WORKER_FACTORY = make_instance
+        try:
+            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                futures = [
+                    pool.submit(
+                        _run_cell,
+                        rep,
+                        child,
+                        epoch,
+                        budget,
+                        cell,
+                        engine,
+                        offline_max_combinations,
+                    )
+                    for rep, child in enumerate(children)
+                    for cell in cells
+                ]
+                by_label: dict[str, dict[int, SimulationResult]] = {
+                    label: {} for label in runs
+                }
+                for future in futures:
+                    rep, label, result = future.result()
+                    by_label[label][rep] = result
+        finally:
+            _WORKER_FACTORY = None
+        for label, per_rep in by_label.items():
+            runs[label] = [per_rep[rep] for rep in range(repetitions)]
+    else:
+        for rng in child_rngs(seed, repetitions):
+            profiles = make_instance(rng)
+            for name, preemptive in policies:
+                label = policy_label(name, preemptive)
+                runs[label].append(
+                    simulate(
+                        profiles, epoch, budget, name,
+                        preemptive=preemptive, engine=engine,
+                    )
                 )
-            )
+            if include_offline:
+                runs["OFFLINE-LR"].append(
+                    simulate_offline(
+                        profiles, epoch, budget,
+                        max_combinations=offline_max_combinations,
+                    )
+                )
 
     return {
         label: AggregateResult.from_runs(label, results)
@@ -107,6 +203,8 @@ def sweep(
     repetitions: int = 10,
     seed: int = 0,
     include_offline: bool = False,
+    engine: str = "reference",
+    workers: Optional[int] = None,
 ) -> dict[object, dict[str, AggregateResult]]:
     """Run a suite at every point of a one-dimensional parameter sweep."""
     results: dict[object, dict[str, AggregateResult]] = {}
@@ -119,5 +217,7 @@ def sweep(
             repetitions=repetitions,
             seed=seed + offset,
             include_offline=include_offline,
+            engine=engine,
+            workers=workers,
         )
     return results

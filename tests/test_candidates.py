@@ -4,7 +4,9 @@ import pytest
 
 from repro.core.errors import ModelError
 from repro.core.intervals import ComplexExecutionInterval, Semantics
+from repro.core.resource import Resource, ResourcePool
 from repro.online.candidates import CandidatePool
+from repro.online.fastpath import FastCandidatePool
 from tests.conftest import make_cei, make_ei
 
 
@@ -190,3 +192,56 @@ class TestViews:
         pool.register(c, 0)
         state = pool.state_of(c)
         assert state is not None and state.residual == 1
+
+
+class TestPublicCaptureAPIs:
+    """capture_single / pushable_resources — shared by both engines."""
+
+    @pytest.fixture(params=[CandidatePool, FastCandidatePool])
+    def pool(self, request):
+        return request.param()
+
+    def test_capture_single_takes_exactly_one_ei(self, pool):
+        first = make_cei((0, 0, 9))
+        second = make_cei((0, 0, 9))
+        pool.register(first, 0)
+        pool.register(second, 0)
+        captured, touched = pool.capture_single(first.eis[0])
+        assert [ei.seq for ei in captured] == [first.eis[0].seq]
+        assert [cei.cid for cei in touched] == [first.cid]
+        # The overlapping EI on the same resource stays probe-able.
+        assert pool.is_active(second.eis[0])
+        assert pool.num_satisfied == 1
+
+    def test_capture_single_inactive_is_noop(self, pool):
+        cei = make_cei((0, 5, 9))
+        pool.register(cei, 0)  # window not yet open
+        assert pool.capture_single(cei.eis[0]) == ([], [])
+        assert pool.num_satisfied == 0
+
+    def test_capture_single_satisfied_cei_drops_spares(self, pool):
+        cei = ComplexExecutionInterval(
+            eis=(make_ei(0, 0, 9), make_ei(1, 0, 9)),
+            semantics=Semantics.AT_LEAST,
+            required=1,
+        )
+        pool.register(cei, 0)
+        pool.capture_single(cei.eis[0])
+        assert pool.num_satisfied == 1
+        assert not pool.is_active(cei.eis[1])
+
+    def test_pushable_resources(self, pool):
+        resources = ResourcePool(
+            [
+                Resource(rid=0, name="a", push_enabled=True),
+                Resource(rid=1, name="b", push_enabled=False),
+                Resource(rid=2, name="c", push_enabled=True),
+            ]
+        )
+        pool.register(make_cei((0, 0, 9), (1, 0, 9)), 0)
+        pool.register(make_cei((2, 5, 9)), 0)  # not yet active
+        assert sorted(pool.pushable_resources(resources)) == [0]
+        pool.open_windows(5)
+        assert sorted(pool.pushable_resources(resources)) == [0, 2]
+        pool.capture_resource(0, 6)
+        assert sorted(pool.pushable_resources(resources)) == [2]

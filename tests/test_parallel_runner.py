@@ -1,0 +1,108 @@
+"""The process-parallel simulation suite must equal the serial one.
+
+``run_suite(workers=N)`` fans (repetition, policy) cells over a process
+pool but derives every repetition's instance from the same SeedSequence
+child the serial loop uses, so all statistics that depend only on the
+schedules — completeness, probe counts, their means and deviations —
+must come out identical, seed for seed and engine for engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.sim.runner import run_suite, sweep
+from repro.traces.noise import perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import LengthRule
+
+EPOCH = Epoch(60)
+POLICIES = [("S-EDF", True), ("MRSF", True), ("M-EDF", False)]
+
+
+def make_instance(rng: np.random.Generator):
+    trace = poisson_trace(25, EPOCH, 5.0, rng)
+    return generate_profiles(
+        perfect_predictions(trace),
+        EPOCH,
+        GeneratorSpec(num_profiles=30, rank_max=4),
+        LengthRule.window(6),
+        rng,
+    )
+
+
+def _suite(repetitions: int = 4, **kwargs):
+    return run_suite(
+        make_instance,
+        EPOCH,
+        BudgetVector.constant(1, len(EPOCH)),
+        POLICIES,
+        repetitions=repetitions,
+        seed=17,
+        **kwargs,
+    )
+
+
+def assert_same_statistics(left, right):
+    assert left.keys() == right.keys()
+    for label in left:
+        assert left[label].completeness_mean == right[label].completeness_mean
+        assert left[label].completeness_std == right[label].completeness_std
+        assert left[label].probes_mean == right[label].probes_mean
+        assert left[label].repetitions == right[label].repetitions
+
+
+class TestParallelSuite:
+    def test_workers_match_serial(self):
+        serial = _suite()
+        parallel = _suite(workers=2)
+        # The workload must be contended enough to discriminate policies,
+        # otherwise equality is vacuous.
+        assert any(agg.completeness_mean < 1.0 for agg in serial.values())
+        assert_same_statistics(serial, parallel)
+
+    def test_vectorized_engine_matches_serial_reference(self):
+        serial = _suite()
+        parallel_vec = _suite(workers=3, engine="vectorized")
+        assert_same_statistics(serial, parallel_vec)
+
+    def test_offline_cell_supported(self):
+        serial = _suite(include_offline=True, repetitions=2)
+        parallel = _suite(include_offline=True, repetitions=2, workers=2)
+        assert "OFFLINE-LR" in parallel
+        assert_same_statistics(serial, parallel)
+
+    def test_workers_one_is_serial(self):
+        assert_same_statistics(_suite(), _suite(workers=1))
+
+
+def test_sweep_forwards_workers():
+    def factory_for(value):
+        return make_instance
+
+    serial = sweep(
+        [1, 2],
+        factory_for,
+        lambda value: EPOCH,
+        lambda value: BudgetVector.constant(value, len(EPOCH)),
+        POLICIES,
+        repetitions=2,
+        seed=5,
+    )
+    parallel = sweep(
+        [1, 2],
+        factory_for,
+        lambda value: EPOCH,
+        lambda value: BudgetVector.constant(value, len(EPOCH)),
+        POLICIES,
+        repetitions=2,
+        seed=5,
+        workers=2,
+        engine="vectorized",
+    )
+    for value in (1, 2):
+        assert_same_statistics(serial[value], parallel[value])
