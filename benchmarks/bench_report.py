@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrivals_from_profiles
+from repro.online.faults import FailureModel, RetryPolicy
 from repro.online.monitor import OnlineMonitor
 from repro.policies import make_policy
 from repro.sim.runner import run_suite
@@ -168,6 +169,61 @@ def kernel_scoring_cells(reps: int) -> list[dict]:
     return cells
 
 
+#: Rates for the failure-sweep runtime section; 0.0 measures the pure
+#: overhead of threading a (trivial) fault model through the hot loop.
+FAILURE_RATES = (0.0, 0.25, 0.5)
+
+
+def failure_sweep_cells(reps: int) -> list[dict]:
+    params = DENSITIES["sparse"]
+    epoch, arrivals = build_instance(
+        params["window"], params["rate"], params["rank_max"]
+    )
+    cells = []
+    for rate in FAILURE_RATES:
+        row = {"policy": "MRSF", "rate": rate, "max_retries": 1}
+        for engine in ("reference", "vectorized"):
+            best = float("inf")
+            probes = failed = None
+            for _ in range(reps):
+                monitor = OnlineMonitor(
+                    make_policy("MRSF"),
+                    BudgetVector.constant(params["budget"], len(epoch)),
+                    engine=engine,
+                    faults=FailureModel(rate=rate, seed=11),
+                    retry=RetryPolicy(max_retries=1),
+                )
+                started = time.perf_counter()
+                for chronon in epoch:
+                    monitor.step(chronon, arrivals.get(chronon, ()))
+                best = min(best, time.perf_counter() - started)
+                probes = monitor.probes_used
+                failed = monitor.probes_failed
+            row[f"{engine}_seconds"] = round(best, 6)
+            row[f"{engine}_probes"] = probes
+            row[f"{engine}_failed"] = failed
+        if (row["reference_probes"], row["reference_failed"]) != (
+            row["vectorized_probes"], row["vectorized_failed"]
+        ):
+            raise SystemExit(
+                f"engine divergence under faults at rate {rate}: "
+                f"ref {row['reference_probes']}/{row['reference_failed']} vs "
+                f"vec {row['vectorized_probes']}/{row['vectorized_failed']} "
+                "(probes/failed)"
+            )
+        row["speedup"] = round(
+            row["reference_seconds"] / row["vectorized_seconds"], 2
+        )
+        cells.append(row)
+        print(
+            f"faults  rate={rate:4.2f} failed={row['reference_failed']:5d} "
+            f"ref={row['reference_seconds'] * 1e3:8.2f}ms "
+            f"vec={row['vectorized_seconds'] * 1e3:8.2f}ms "
+            f"speedup={row['speedup']:5.2f}x"
+        )
+    return cells
+
+
 def parallel_suite_cell() -> dict:
     # Simulation-heavy cells (wide windows, M-EDF in the lineup) so the
     # measurement reflects scheduling work, not the per-cell instance
@@ -221,10 +277,24 @@ def main(argv=None) -> Path:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reps", type=int, default=3, help="min-of-N repetitions")
     parser.add_argument("--out", type=Path, default=None, help="output JSON path")
+    parser.add_argument(
+        "--only",
+        choices=["full_monitor", "kernel_scoring", "parallel_suite", "failure_sweep"],
+        default=None,
+        help="run a single section (the JSON then contains just that section)",
+    )
     args = parser.parse_args(argv)
 
     date = datetime.date.today().isoformat()
     out = args.out or Path(__file__).parent / f"BENCH_{date}.json"
+    sections = {
+        "full_monitor": lambda: full_monitor_cells(args.reps),
+        "kernel_scoring": lambda: kernel_scoring_cells(args.reps),
+        "parallel_suite": parallel_suite_cell,
+        "failure_sweep": lambda: failure_sweep_cells(args.reps),
+    }
+    if args.only:
+        sections = {args.only: sections[args.only]}
     report = {
         "date": date,
         "python": platform.python_version(),
@@ -233,9 +303,7 @@ def main(argv=None) -> Path:
         "cpu_count": os.cpu_count(),
         "reps": args.reps,
         "workload": "100 profiles x 400 chronons x 200 resources (seed 3)",
-        "full_monitor": full_monitor_cells(args.reps),
-        "kernel_scoring": kernel_scoring_cells(args.reps),
-        "parallel_suite": parallel_suite_cell(),
+        **{name: build() for name, build in sections.items()},
     }
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")

@@ -38,12 +38,19 @@ class Resource:
     push_enabled:
         If True, update events on this resource are pushed to the proxy
         and the corresponding execution intervals are captured for free.
+    reliability:
+        Probability in ``[0, 1]`` that one probe of this resource
+        succeeds.  1.0 (the default) reproduces the paper's assumption
+        that probes never fail; anything lower feeds
+        :meth:`repro.online.faults.FailureModel.from_pool` as a
+        per-resource failure probability of ``1 - reliability``.
     """
 
     rid: ResourceId
     name: str = ""
     probe_cost: float = 1.0
     push_enabled: bool = False
+    reliability: float = 1.0
 
     def __post_init__(self) -> None:
         if self.rid < 0:
@@ -51,6 +58,11 @@ class Resource:
         if self.probe_cost <= 0:
             raise ModelError(
                 f"probe cost must be positive, got {self.probe_cost} for resource {self.rid}"
+            )
+        if not 0.0 <= self.reliability <= 1.0:
+            raise ModelError(
+                f"reliability must be in [0, 1], got {self.reliability} "
+                f"for resource {self.rid}"
             )
         if not self.name:
             object.__setattr__(self, "name", f"r{self.rid}")

@@ -16,7 +16,7 @@ exactly to Problem 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Collection, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.core.errors import BudgetError, ModelError, ScheduleError
 from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
@@ -161,12 +161,19 @@ class Schedule:
         budget: BudgetVector,
         pool: Optional[ResourcePool] = None,
         epoch: Optional[Epoch] = None,
+        push_probes: Collection[tuple[ResourceId, Chronon]] = (),
     ) -> None:
         """Raise :class:`BudgetError` if any chronon exceeds its budget.
 
         With ``pool`` given, each probe charges the resource's
         ``probe_cost``; otherwise each probe costs one unit (Problem 1).
         With ``epoch`` given, probes outside the epoch are rejected.
+        ``push_probes`` marks ``(resource, chronon)`` pairs recorded in
+        the schedule as *free* push captures (Example 3 of the paper) —
+        pass :attr:`OnlineMonitor.push_probes` so a schedule produced by
+        a run with push-enabled resources reconciles with the monitor's
+        own :meth:`~repro.online.monitor.OnlineMonitor.check_budget_feasible`
+        accounting, which never charged them.
         """
         for chronon, resources in self.probes.items():
             if epoch is not None and chronon not in epoch:
@@ -175,10 +182,11 @@ class Schedule:
                 raise BudgetError(
                     f"probe at chronon {chronon} beyond budget horizon {len(budget)}"
                 )
-            if pool is None:
-                cost = float(len(resources))
-            else:
-                cost = sum(pool.probe_cost(resource) for resource in resources)
+            cost = 0.0
+            for resource in resources:
+                if (resource, chronon) in push_probes:
+                    continue
+                cost += 1.0 if pool is None else pool.probe_cost(resource)
             allowed = budget.at(chronon)
             if cost > allowed + 1e-9:
                 raise BudgetError(
@@ -191,10 +199,11 @@ class Schedule:
         budget: BudgetVector,
         pool: Optional[ResourcePool] = None,
         epoch: Optional[Epoch] = None,
+        push_probes: Collection[tuple[ResourceId, Chronon]] = (),
     ) -> bool:
         """Boolean form of :meth:`check_feasible`."""
         try:
-            self.check_feasible(budget, pool, epoch)
+            self.check_feasible(budget, pool, epoch, push_probes)
         except (BudgetError, ScheduleError):
             return False
         return True
@@ -212,7 +221,14 @@ class Schedule:
         (what the proxy believes during the run).
         """
         if use_true_window:
-            assert ei.true_start is not None and ei.true_finish is not None
+            # Not an assert: under ``python -O`` an assert vanishes and the
+            # range() below would raise a bare TypeError on None bounds.
+            if ei.true_start is None or ei.true_finish is None:
+                raise ModelError(
+                    f"EI {ei.seq} on resource {ei.resource} has no ground-truth "
+                    "window; attach true_start/true_finish or score with "
+                    "use_true_window=False"
+                )
             start, finish = ei.true_start, ei.true_finish
         else:
             start, finish = ei.start, ei.finish
@@ -257,10 +273,28 @@ class Schedule:
 
 
 def probes_remaining(
-    budget: BudgetVector, schedule: Schedule, chronon: Chronon
+    budget: BudgetVector,
+    schedule: Schedule,
+    chronon: Chronon,
+    pool: Optional[ResourcePool] = None,
+    push_probes: Collection[tuple[ResourceId, Chronon]] = (),
 ) -> float:
-    """Budget still unused at ``chronon`` given the probes already placed."""
-    return budget.at(chronon) - len(schedule.probes_at(chronon))
+    """Budget still unused at ``chronon`` given the probes already placed.
+
+    With ``pool`` given each probe charges its resource's ``probe_cost``
+    (otherwise one unit, Problem 1), and ``push_probes`` marks free push
+    captures to exclude — so the result agrees with
+    ``budget.at(chronon) - monitor.budget_consumed_at(chronon)`` for a
+    schedule the online monitor produced.  The earlier behaviour of
+    counting raw probe entries both ignored heterogeneous costs and
+    billed free push captures as consumed budget.
+    """
+    consumed = 0.0
+    for resource in schedule.probes_at(chronon):
+        if (resource, chronon) in push_probes:
+            continue
+        consumed += 1.0 if pool is None else pool.probe_cost(resource)
+    return budget.at(chronon) - consumed
 
 
 def count_feasible_schedules(

@@ -3,6 +3,7 @@
 from repro.experiments import (  # noqa: F401 (re-exported for the CLI)
     ablations,
     competitive,
+    failure_sweep,
     fig09_preemption,
     fig10_vs_offline,
     fig11_scalability,
@@ -23,6 +24,7 @@ __all__ = [
     "ExperimentResult",
     "ablations",
     "competitive",
+    "failure_sweep",
     "fig09_preemption",
     "fig10_vs_offline",
     "fig11_scalability",

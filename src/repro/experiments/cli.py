@@ -19,6 +19,7 @@ from typing import Callable
 from repro.experiments import (
     ablations,
     competitive,
+    failure_sweep,
     fig09_preemption,
     fig10_vs_offline,
     fig11_scalability,
@@ -50,6 +51,7 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
     "fig15": ("Figure 15 — update-model noise", fig15_noise.run),
     "fig15news": ("Figure 15 (news part) — Poisson model", fig15_noise.run_news),
     "ablations": ("Ablations A1-A4", ablations.run),
+    "faults": ("Extension — probe failure-rate sweep", failure_sweep.run),
     "models": ("Extension — update-model quality vs completeness", model_quality.run),
     "competitive": ("Extension — empirical competitive ratios", competitive.run),
     "grid": ("Extension — λ × m workload surface", workload_grid.run),

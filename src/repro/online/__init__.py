@@ -2,13 +2,25 @@
 
 from repro.online.candidates import CandidatePool, CEIState
 from repro.online.fastpath import FastCandidatePool, FastCEIView
+from repro.online.faults import (
+    FailureModel,
+    FaultInjector,
+    FaultStats,
+    Outage,
+    RetryPolicy,
+)
 from repro.online.monitor import ENGINES, OnlineMonitor
 
 __all__ = [
     "ENGINES",
     "CandidatePool",
     "CEIState",
+    "FailureModel",
     "FastCandidatePool",
     "FastCEIView",
+    "FaultInjector",
+    "FaultStats",
     "OnlineMonitor",
+    "Outage",
+    "RetryPolicy",
 ]

@@ -634,6 +634,7 @@ def _fast_phase(
     schedule = monitor.schedule
     assert kernel is not None
 
+    faults = monitor._faults
     pool.sync_mirrors()
     cidx = pool.npr_cidx[rows]
     prio = kernel.score_rows(pool, rows, cidx, chronon)
@@ -670,8 +671,8 @@ def _fast_phase(
 
     while budget_left > _EPS:
         # Advance past permanently-invalid stream entries (captured or
-        # expired rows, resources already probed, refreshed rows whose
-        # fresh key lives in the overlay).
+        # expired rows, resources already probed or fault-ineligible,
+        # refreshed rows whose fresh key lives in the overlay).
         row = -1
         rid = -1
         while si < length:
@@ -683,6 +684,9 @@ def _fast_phase(
             if rid in probed:
                 si += 1
                 continue
+            if faults is not None and not faults.available(rid, chronon):
+                si += 1
+                continue
             break
         # Drop stale / ineligible overlay entries.
         while overlay:
@@ -692,17 +696,23 @@ def _fast_phase(
                 cur.get(orow) != (entry[0], entry[1], entry[2])
                 or orow not in active
                 or entry[4] in probed
+                or (faults is not None and not faults.available(entry[4], chronon))
             ):
                 heapq.heappop(overlay)
                 continue
             break
+        key = None
         if si < length and (
             not overlay
             or (sp[si], row_finish[row], row_seq[row]) <= overlay[0][:3]
         ):
             from_stream = True
+            if faults is not None:
+                key = (sp[si], row_finish[row], row_seq[row])
         elif overlay:
-            row, rid = overlay[0][3], overlay[0][4]
+            entry = overlay[0]
+            row, rid = entry[3], entry[4]
+            key = entry[:3]
             from_stream = False
         else:
             break  # phase exhausted
@@ -726,8 +736,18 @@ def _fast_phase(
             heapq.heappop(overlay)
         budget_left -= cost
         monitor._probes_used += 1
-        schedule.add_probe(rid, chronon)
         monitor._charge(rid, chronon, cost)
+        if faults is not None and not faults.attempt(rid, chronon):
+            # Failed probe: budget spent, nothing captured, no schedule
+            # entry.  A permitted retry re-enters via the overlay with its
+            # unchanged key — the same re-ranked-retry the reference heap
+            # performs.
+            if faults.can_retry(rid):
+                cur[row] = key
+                dirty.add(row)
+                heapq.heappush(overlay, key + (row, rid))
+            continue
+        schedule.add_probe(rid, chronon)
         probed.add(rid)
         if probe_hook:
             policy.on_probe(rid, chronon)

@@ -1,0 +1,308 @@
+"""Probe-failure injection and retry control for the online monitor.
+
+The paper assumes every probe of a pull-only resource succeeds.  A
+production proxy cannot: sources time out, rate-limit, or go down for
+whole outage windows.  This module supplies the pieces the monitor needs
+to keep maximizing gained completeness (Eq. 1) when probes can fail:
+
+* :class:`FailureModel` — *when* probes fail.  A seeded base failure
+  rate, per-resource overrides (driven by ``Resource.reliability``),
+  burst :class:`Outage` windows, and deterministic fault scripts.  Every
+  verdict is a pure function of ``(resource, chronon, attempt)`` — never
+  of call order — so the reference and vectorized engines, which may
+  evaluate candidates in different orders internally, see the *same*
+  fault universe and stay bit-identical.
+* :class:`RetryPolicy` — *what the monitor does* about a failure: capped
+  immediate retries within the chronon (the failed candidate is re-ranked
+  against the rest of the bag and, being unchanged, retried right away if
+  it is still the best use of budget) and exponential backoff across
+  chronons for persistently failing resources.
+* :class:`FaultInjector` — the per-run mutable state machine the monitor
+  drives: per-chronon attempt counts, consecutive-failure streaks,
+  backoff windows and the :class:`FaultStats` counters surfaced on
+  :class:`~repro.online.monitor.OnlineMonitor`.
+
+Failure semantics (see DESIGN.md "Failure semantics"): a failed probe
+**consumes its full probe cost but captures nothing** and is *not*
+recorded in the schedule — the schedule stays the record of data actually
+retrieved, which is what Eq. 1 scores.  Pushed updates are
+server-initiated and never fail here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.resource import ResourceId, ResourcePool
+from repro.core.timebase import Chronon
+
+#: A fault script: ``(resource, chronon) -> number of leading attempts that
+#: fail there`` (``math.inf`` = every attempt fails).  A bare collection of
+#: ``(resource, chronon)`` pairs is shorthand for "all attempts fail".
+FaultScript = Union[
+    Mapping[tuple[ResourceId, Chronon], float],
+    Iterable[tuple[ResourceId, Chronon]],
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Outage:
+    """A burst outage: every probe of ``resource`` in ``[start, finish]`` fails."""
+
+    resource: ResourceId
+    start: Chronon
+    finish: Chronon
+
+    def __post_init__(self) -> None:
+        if self.resource < 0:
+            raise ModelError(f"outage resource must be non-negative, got {self.resource}")
+        if self.finish < self.start:
+            raise ModelError(
+                f"outage window must satisfy start <= finish, got [{self.start}, {self.finish}]"
+            )
+
+    def covers(self, resource: ResourceId, chronon: Chronon) -> bool:
+        return resource == self.resource and self.start <= chronon <= self.finish
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How the monitor reacts to a failed probe.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts allowed per ``(resource, chronon)`` after the first
+        failure — each retry consumes the probe cost again.  0 (default)
+        means one attempt only.  Within a chronon a failed candidate is
+        re-ranked, not blindly retried: its key is unchanged, so it is
+        retried immediately exactly when it is still the top candidate.
+    backoff_base:
+        Exponential backoff across chronons.  After the ``k``-th
+        *consecutive* chronon in which a resource's attempts all failed,
+        the resource is skipped for ``min(backoff_cap,
+        ceil(backoff_base * 2**(k-1)))`` chronons.  0 (default) disables
+        backoff.  A later successful probe resets the streak.
+    backoff_cap:
+        Upper bound, in chronons, on one backoff window.
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 0.0
+    backoff_cap: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ModelError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ModelError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_cap < 1:
+            raise ModelError(f"backoff_cap must be >= 1, got {self.backoff_cap}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Attempts allowed per (resource, chronon), initial try included."""
+        return 1 + self.max_retries
+
+    def backoff_span(self, streak: int) -> int:
+        """Chronons to skip after the ``streak``-th consecutive failed chronon."""
+        if self.backoff_base <= 0 or streak <= 0:
+            return 0
+        return min(self.backoff_cap, math.ceil(self.backoff_base * 2 ** (streak - 1)))
+
+
+class FailureModel:
+    """Seeded, order-independent probe-failure oracle.
+
+    Verdict precedence for one attempt: an :class:`Outage` covering the
+    chronon fails it; otherwise a script entry for ``(resource, chronon)``
+    decides (attempt index below the scripted count fails, at or above it
+    succeeds); otherwise the attempt fails with the resource's failure
+    probability — ``per_resource`` override first, then the base ``rate``.
+
+    Random verdicts are drawn by seeding a fresh generator from
+    ``(seed, resource, chronon, attempt)``, making :meth:`fails` a pure
+    function of its arguments.  Two monitors sharing a model therefore
+    experience identical fault universes regardless of engine or probe
+    order — the property the fast-path equivalence tests rely on.  The
+    draws are also *coupled across rates*: the same attempt's uniform
+    draw is compared against each rate, so raising the rate only ever
+    adds failures (monotone degradation in failure-rate sweeps).
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        per_resource: Optional[Mapping[ResourceId, float]] = None,
+        outages: Iterable[Outage] = (),
+        script: Optional[FaultScript] = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ModelError(f"failure rate must be in [0, 1], got {rate}")
+        if seed < 0:
+            raise ModelError(f"failure seed must be >= 0, got {seed}")
+        self.rate = float(rate)
+        self.per_resource: dict[ResourceId, float] = dict(per_resource or {})
+        for rid, p in self.per_resource.items():
+            if not 0.0 <= p <= 1.0:
+                raise ModelError(
+                    f"per-resource failure rate must be in [0, 1], got {p} for resource {rid}"
+                )
+        self.outages = tuple(outages)
+        if script is None:
+            self.script: dict[tuple[ResourceId, Chronon], float] = {}
+        elif isinstance(script, Mapping):
+            self.script = {key: float(count) for key, count in script.items()}
+        else:
+            self.script = {pair: math.inf for pair in script}
+        for (rid, chronon), count in self.script.items():
+            if count < 0:
+                raise ModelError(
+                    f"scripted failure count must be >= 0, got {count} at ({rid}, {chronon})"
+                )
+        self.seed = seed
+
+    @classmethod
+    def from_pool(
+        cls,
+        pool: ResourcePool,
+        rate: float = 0.0,
+        outages: Iterable[Outage] = (),
+        script: Optional[FaultScript] = None,
+        seed: int = 0,
+    ) -> "FailureModel":
+        """Derive per-resource failure rates from ``Resource.reliability``."""
+        per_resource = {
+            resource.rid: 1.0 - resource.reliability
+            for resource in pool
+            if resource.reliability < 1.0
+        }
+        return cls(
+            rate=rate, per_resource=per_resource, outages=outages, script=script, seed=seed
+        )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no probe can ever fail under this model."""
+        return (
+            self.rate == 0.0
+            and not self.outages
+            and not self.script
+            and all(p == 0.0 for p in self.per_resource.values())
+        )
+
+    def failure_rate(self, resource: ResourceId) -> float:
+        """The random failure probability applying to ``resource``."""
+        return self.per_resource.get(resource, self.rate)
+
+    def _draw(self, resource: ResourceId, chronon: Chronon, attempt: int) -> float:
+        entropy = (self.seed, resource, chronon, attempt)
+        return float(np.random.default_rng(np.random.SeedSequence(entropy)).random())
+
+    def fails(self, resource: ResourceId, chronon: Chronon, attempt: int) -> bool:
+        """Does attempt number ``attempt`` (0-based) at ``chronon`` fail?"""
+        for outage in self.outages:
+            if outage.covers(resource, chronon):
+                return True
+        scripted = self.script.get((resource, chronon))
+        if scripted is not None:
+            return attempt < scripted
+        p = self.failure_rate(resource)
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self._draw(resource, chronon, attempt) < p
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """Counters for one monitoring run (attempts = successes + failures)."""
+
+    attempts: int = 0
+    failures: int = 0
+    retries: int = 0
+    backoffs: int = 0
+
+    @property
+    def successes(self) -> int:
+        return self.attempts - self.failures
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "failures": self.failures,
+            "retries": self.retries,
+            "backoffs": self.backoffs,
+        }
+
+
+class FaultInjector:
+    """Per-run fault/retry state machine, shared by both engines.
+
+    The monitor calls :meth:`begin_chronon` once per chronon,
+    :meth:`available` before spending budget on a resource, and
+    :meth:`attempt` for each budgeted probe attempt.  All state
+    transitions depend only on the sequence of calls — which the two
+    engines make identically for deterministic policies — never on
+    wall-clock or global RNG state.
+    """
+
+    def __init__(self, model: FailureModel, retry: Optional[RetryPolicy] = None) -> None:
+        self.model = model
+        self.retry = retry or RetryPolicy()
+        self.stats = FaultStats()
+        self._chronon: Chronon = -1
+        self._attempts: dict[ResourceId, int] = {}
+        self._streak: dict[ResourceId, int] = {}
+        self._blocked_until: dict[ResourceId, Chronon] = {}
+
+    def begin_chronon(self, chronon: Chronon) -> None:
+        self._chronon = chronon
+        self._attempts.clear()
+
+    def blocked(self, resource: ResourceId, chronon: Chronon) -> bool:
+        """Is ``resource`` inside an exponential-backoff window?"""
+        until = self._blocked_until.get(resource)
+        return until is not None and chronon < until
+
+    def exhausted(self, resource: ResourceId) -> bool:
+        """Has the resource used up its attempts for the current chronon?"""
+        return self._attempts.get(resource, 0) >= self.retry.max_attempts
+
+    def available(self, resource: ResourceId, chronon: Chronon) -> bool:
+        """May the monitor spend budget probing ``resource`` right now?"""
+        return not self.blocked(resource, chronon) and not self.exhausted(resource)
+
+    def can_retry(self, resource: ResourceId) -> bool:
+        """After a failure: are more attempts allowed this chronon?"""
+        return not self.exhausted(resource)
+
+    def attempt(self, resource: ResourceId, chronon: Chronon) -> bool:
+        """Run one budgeted probe attempt; returns True on success."""
+        n = self._attempts.get(resource, 0)
+        self._attempts[resource] = n + 1
+        self.stats.attempts += 1
+        if n > 0:
+            self.stats.retries += 1
+        if not self.model.fails(resource, chronon, n):
+            self._streak.pop(resource, None)
+            self._blocked_until.pop(resource, None)
+            return True
+        self.stats.failures += 1
+        if n + 1 >= self.retry.max_attempts:
+            # Final failure of the chronon: the streak of consecutive
+            # failed chronons grows and may open a backoff window.
+            streak = self._streak.get(resource, 0) + 1
+            self._streak[resource] = streak
+            span = self.retry.backoff_span(streak)
+            if span > 0:
+                self._blocked_until[resource] = chronon + 1 + span
+                self.stats.backoffs += 1
+        return False

@@ -43,6 +43,7 @@ from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Chronon, Epoch
 from repro.online.candidates import CandidatePool
 from repro.online.fastpath import FastCandidatePool, run_fast_phases
+from repro.online.faults import FailureModel, FaultInjector, FaultStats, RetryPolicy
 from repro.policies.base import Policy
 from repro.policies.kernels import resolve_kernel
 
@@ -74,6 +75,17 @@ class OnlineMonitor:
         ``"reference"`` (default) for the per-EI Algorithm 1 loop,
         ``"vectorized"`` for the NumPy structure-of-arrays fast path.
         Both produce identical schedules for deterministic policies.
+    faults:
+        Optional :class:`repro.online.faults.FailureModel`.  With it, a
+        probe attempt may fail: the attempt consumes its full probe cost
+        but captures nothing and leaves no schedule entry.  Verdicts are
+        pure functions of ``(resource, chronon, attempt)``, so both
+        engines stay bit-identical under the same model.
+    retry:
+        Optional :class:`repro.online.faults.RetryPolicy` governing
+        immediate re-ranked retries within the chronon and exponential
+        backoff across chronons.  Only meaningful together with
+        ``faults``.
     """
 
     def __init__(
@@ -84,9 +96,13 @@ class OnlineMonitor:
         resources: Optional[ResourcePool] = None,
         exploit_overlap: bool = True,
         engine: str = "reference",
+        faults: Optional[FailureModel] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ModelError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if retry is not None and faults is None:
+            raise ModelError("a retry policy needs a failure model to retry against")
         self.policy = policy
         self.budget = budget
         self.preemptive = preemptive
@@ -101,6 +117,9 @@ class OnlineMonitor:
             self.pool = CandidatePool()
             self._kernel = None
         self.schedule = Schedule()
+        self._faults: Optional[FaultInjector] = (
+            FaultInjector(faults, retry) if faults is not None else None
+        )
         self._push_probes: set[tuple[ResourceId, Chronon]] = set()
         self._consumed: dict[Chronon, float] = {}
         self._clock: Chronon = -1
@@ -134,6 +153,8 @@ class OnlineMonitor:
             )
         self._clock = chronon
         self.policy.on_chronon_start(chronon)
+        if self._faults is not None:
+            self._faults.begin_chronon(chronon)
         fast = self._kernel is not None
 
         if self.engine == "vectorized":
@@ -157,9 +178,11 @@ class OnlineMonitor:
         remaining = self.budget.at(chronon)
         probed: set[ResourceId] = set()
         if remaining > _EPS:
-            selected = self.policy.select_resources(
-                chronon, max(0, int(remaining + _EPS)), self.pool
-            )
+            # The full float budget reaches resource-level policies; a
+            # fractional remainder (1.5 units under heterogeneous costs)
+            # must not be truncated before the policy sees it —
+            # _probe_resources enforces actual per-probe costs.
+            selected = self.policy.select_resources(chronon, remaining, self.pool)
             if selected is not None:
                 # Resource-level policy (WIC): probe its picks verbatim,
                 # opportunistically capturing whatever EIs sit there.
@@ -209,21 +232,29 @@ class OnlineMonitor:
         probed: set[ResourceId],
     ) -> float:
         """Probe explicitly-selected resources (resource-level policies)."""
+        faults = self._faults
         for resource in selected:
             if budget_left <= _EPS:
                 break
             if resource in probed:
                 continue
-            cost = self._probe_cost(resource)
-            if cost > budget_left + _EPS:
+            if faults is not None and not faults.available(resource, chronon):
                 continue
-            budget_left -= cost
-            self._probes_used += 1
-            self.schedule.add_probe(resource, chronon)
-            self._charge(resource, chronon, cost)
-            probed.add(resource)
-            self.policy.on_probe(resource, chronon)
-            self.pool.capture_resource(resource, chronon)
+            cost = self._probe_cost(resource)
+            while cost <= budget_left + _EPS:
+                budget_left -= cost
+                self._probes_used += 1
+                self._charge(resource, chronon, cost)
+                if faults is None or faults.attempt(resource, chronon):
+                    self.schedule.add_probe(resource, chronon)
+                    probed.add(resource)
+                    self.policy.on_probe(resource, chronon)
+                    self.pool.capture_resource(resource, chronon)
+                    break
+                # Failed probe: budget spent, nothing captured.  The pick
+                # was explicit, so a permitted retry re-attempts in place.
+                if not faults.can_retry(resource):
+                    break
         return budget_left
 
     def _probe_phase(
@@ -247,6 +278,7 @@ class OnlineMonitor:
         heapq.heapify(heap)
 
         sibling_sensitive = policy.sibling_sensitive()
+        faults = self._faults
         while heap and budget_left > _EPS:
             priority, tiebreak, seq, ei = heapq.heappop(heap)
             if not self.pool.is_active(ei):
@@ -255,6 +287,8 @@ class OnlineMonitor:
                 continue  # stale entry; a fresher one is in the heap
             if ei.resource in probed:
                 continue  # already captured by this chronon's probe of r
+            if faults is not None and not faults.available(ei.resource, chronon):
+                continue  # backed off, or attempts exhausted this chronon
             cost = self._probe_cost(ei.resource)
             if cost > budget_left + _EPS:
                 # With uniform unit costs this means the budget is spent;
@@ -264,8 +298,16 @@ class OnlineMonitor:
                 continue
             budget_left -= cost
             self._probes_used += 1
-            self.schedule.add_probe(ei.resource, chronon)
             self._charge(ei.resource, chronon, cost)
+            if faults is not None and not faults.attempt(ei.resource, chronon):
+                # Failed probe: budget spent, nothing captured, no schedule
+                # entry.  A permitted retry re-enters the ranking with its
+                # unchanged key, so it is re-attempted immediately exactly
+                # when it is still the best use of the remaining budget.
+                if faults.can_retry(ei.resource):
+                    heapq.heappush(heap, (priority, tiebreak, seq, ei))
+                continue
+            self.schedule.add_probe(ei.resource, chronon)
             probed.add(ei.resource)
             policy.on_probe(ei.resource, chronon)
             captured, touched = self._capture(ei, chronon)
@@ -363,8 +405,39 @@ class OnlineMonitor:
 
     @property
     def probes_used(self) -> int:
-        """Number of budgeted probes issued so far."""
+        """Budgeted probe attempts issued so far (failed attempts included)."""
         return self._probes_used
+
+    @property
+    def probes_failed(self) -> int:
+        """Probe attempts that failed (always 0 without a failure model)."""
+        return self._faults.stats.failures if self._faults is not None else 0
+
+    @property
+    def probes_succeeded(self) -> int:
+        """Probe attempts that retrieved data."""
+        return self._probes_used - self.probes_failed
+
+    @property
+    def retries_used(self) -> int:
+        """Attempts beyond the first per (resource, chronon)."""
+        return self._faults.stats.retries if self._faults is not None else 0
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Attempt/failure/retry/backoff counters for this run."""
+        return self._faults.stats if self._faults is not None else FaultStats()
+
+    @property
+    def push_probes(self) -> frozenset[tuple[ResourceId, Chronon]]:
+        """The free push captures recorded in the schedule.
+
+        Useful to reconcile the schedule against budget accounting:
+        ``Schedule.check_feasible(..., push_probes=monitor.push_probes)``
+        excludes exactly the probes :meth:`budget_consumed_at` never
+        charged.
+        """
+        return frozenset(self._push_probes)
 
     @property
     def believed_completeness(self) -> float:

@@ -21,6 +21,7 @@ runs are exactly reproducible.
 from __future__ import annotations
 
 import abc
+import math
 from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from repro.core.errors import ModelError
@@ -47,6 +48,19 @@ class MonitorView(Protocol):
 
 #: A priority is any totally-ordered value; lower means "probe first".
 Priority = float
+
+
+def probe_allowance(limit: float) -> int:
+    """Largest probe count a (possibly fractional) budget hint can fund.
+
+    Resource-level policies receive the chronon's *remaining budget* as a
+    float (the monitor no longer truncates 1.5 units down to 1 before the
+    policy sees them).  Policies that need a whole pick count round *up*:
+    with heterogeneous probe costs a fractional remainder may still fund a
+    cheap probe, and the monitor's cost accounting — not the hint —
+    enforces what actually fits.
+    """
+    return max(0, math.ceil(float(limit) - 1e-9))
 
 
 class Policy(abc.ABC):
@@ -88,15 +102,19 @@ class Policy(abc.ABC):
         return False
 
     def select_resources(
-        self, chronon: Chronon, limit: int, view: MonitorView
+        self, chronon: Chronon, limit: float, view: MonitorView
     ) -> list[ResourceId] | None:
         """Resource-level selection hook (None = use EI-level ranking).
 
         A *resource-level* policy (WIC) allocates probes over resources by
         its own utility, without consulting the candidate EIs; the monitor
         then opportunistically captures whatever active EIs sit on the
-        probed resources.  Return at most ``limit`` resource ids, or None
-        to use the default EI-priority machinery.
+        probed resources.  ``limit`` is the chronon's remaining budget in
+        cost units — a float, possibly fractional under heterogeneous
+        probe costs; use :func:`probe_allowance` to turn it into a whole
+        pick count.  Return the picked resource ids (the monitor enforces
+        actual probe costs against the budget), or None to use the default
+        EI-priority machinery.
         """
         return None
 

@@ -17,7 +17,13 @@ from repro.core.profile import ProfileSet
 from repro.core.resource import ResourceId
 from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Chronon, Epoch
-from repro.policies.base import MonitorView, Policy, Priority, register_policy
+from repro.policies.base import (
+    MonitorView,
+    Policy,
+    Priority,
+    probe_allowance,
+    register_policy,
+)
 from repro.policies.sedf import s_edf_value
 
 
@@ -49,10 +55,10 @@ class FollowSchedule(Policy):
         return self._schedule
 
     def select_resources(
-        self, chronon: Chronon, limit: int, view: MonitorView
+        self, chronon: Chronon, limit: float, view: MonitorView
     ) -> list[ResourceId]:
         planned = sorted(self._schedule.probes_at(chronon))
-        return planned[:limit]
+        return planned[: probe_allowance(limit)]
 
     def priority(
         self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView

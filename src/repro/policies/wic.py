@@ -41,7 +41,13 @@ from repro.core.errors import ModelError
 from repro.core.intervals import ExecutionInterval
 from repro.core.resource import ResourceId
 from repro.core.timebase import Chronon
-from repro.policies.base import MonitorView, Policy, Priority, register_policy
+from repro.policies.base import (
+    MonitorView,
+    Policy,
+    Priority,
+    probe_allowance,
+    register_policy,
+)
 
 
 class Life(enum.Enum):
@@ -115,10 +121,10 @@ class WIC(Policy):
         return chronon - updates[-1]
 
     def select_resources(
-        self, chronon: Chronon, limit: int, view: MonitorView
+        self, chronon: Chronon, limit: float, view: MonitorView
     ) -> list[ResourceId]:
-        """Probe the ``limit`` resources with maximal accumulated utility,
-        freshest first among ties (the timeliness term)."""
+        """Probe the resources with maximal accumulated utility the budget
+        hint can fund, freshest first among ties (the timeliness term)."""
         scored = (
             (
                 -self.utility(resource, chronon),
@@ -127,7 +133,7 @@ class WIC(Policy):
             )
             for resource in self._alive
         )
-        best = heapq.nsmallest(limit, scored)
+        best = heapq.nsmallest(probe_allowance(limit), scored)
         return [resource for __, __f, resource in best]
 
     def priority(

@@ -19,7 +19,7 @@ users are expected to touch first.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.errors import ExperimentError
 from repro.core.intervals import ComplexExecutionInterval
@@ -29,7 +29,8 @@ from repro.core.resource import ResourcePool
 from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrivals_from_profiles
-from repro.online.monitor import OnlineMonitor
+from repro.online.faults import FailureModel, RetryPolicy
+from repro.online.monitor import ENGINES, OnlineMonitor
 from repro.policies.base import Policy, make_policy
 from repro.proxy.compiler import CompilationContext, compile_queries
 from repro.proxy.delivery import ClientReport, client_report
@@ -44,6 +45,7 @@ class ProxyRunResult:
     report: CompletenessReport
     clients: tuple[ClientReport, ...]
     probes_used: int
+    probes_failed: int = 0
 
     @property
     def completeness(self) -> float:
@@ -75,6 +77,9 @@ class MonitoringProxy:
         policy: Policy | str = "MRSF",
         preemptive: bool = True,
         chronons_per_minute: float = 1.0,
+        engine: str = "reference",
+        faults: Optional[FailureModel] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.epoch = epoch
         self.resources = resources
@@ -91,8 +96,19 @@ class MonitoringProxy:
         self.policy = policy
         self.preemptive = preemptive
         self.chronons_per_minute = chronons_per_minute
+        self.engine = self._check_engine(engine)
+        self.faults = faults
+        self.retry = retry
         self._clients: dict[str, _Client] = {}
         self._resource_ids = {r.name: r.rid for r in resources}
+
+    @staticmethod
+    def _check_engine(engine: str) -> str:
+        if engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+            )
+        return engine
 
     # ------------------------------------------------------------------
     # Registration
@@ -163,14 +179,23 @@ class MonitoringProxy:
             profiles.add(Profile(pid=pid, ceis=list(self._clients[name].ceis)))
         return profiles
 
-    def run(self) -> ProxyRunResult:
-        """Run one monitoring epoch over everything submitted so far."""
+    def run(self, engine: Optional[str] = None) -> ProxyRunResult:
+        """Run one monitoring epoch over everything submitted so far.
+
+        ``engine`` overrides the proxy's configured monitor engine for
+        this run only.  (The facade previously dropped the engine choice
+        entirely and always ran the reference monitor.)
+        """
+        engine = self.engine if engine is None else self._check_engine(engine)
         profiles = self.build_profiles()
         monitor = OnlineMonitor(
             policy=self.policy,
             budget=self.budget,
             preemptive=self.preemptive,
             resources=self.resources,
+            engine=engine,
+            faults=self.faults,
+            retry=self.retry,
         )
         schedule = monitor.run(self.epoch, arrivals_from_profiles(profiles))
         report = evaluate_schedule(profiles, schedule)
@@ -183,4 +208,5 @@ class MonitoringProxy:
             report=report,
             clients=clients,
             probes_used=monitor.probes_used,
+            probes_failed=monitor.probes_failed,
         )

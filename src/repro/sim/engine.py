@@ -26,6 +26,7 @@ from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Epoch
 from repro.offline.local_ratio import LocalRatioScheduler
 from repro.online.arrivals import arrivals_from_profiles
+from repro.online.faults import FailureModel, RetryPolicy
 from repro.online.monitor import OnlineMonitor
 from repro.policies.base import Policy, make_policy
 
@@ -45,11 +46,18 @@ class SimulationResult:
     runtime: RuntimeStats
     probes_used: int
     believed_completeness: float
+    probes_failed: int = 0
+    retries_used: int = 0
 
     @property
     def completeness(self) -> float:
         """Gained completeness (Eq. 1), validated against ground truth."""
         return self.report.completeness
+
+    @property
+    def probes_succeeded(self) -> int:
+        """Probe attempts that actually retrieved data."""
+        return self.probes_used - self.probes_failed
 
 
 def simulate(
@@ -61,12 +69,17 @@ def simulate(
     resources: Optional[ResourcePool] = None,
     exploit_overlap: bool = True,
     engine: str = "reference",
+    faults: Optional[FailureModel] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> SimulationResult:
     """Run one online policy over a full epoch and score the schedule.
 
     ``engine`` selects the monitor implementation (``"reference"`` or
     ``"vectorized"``); deterministic policies produce identical schedules
-    on either, so the flag only changes the runtime statistics.
+    on either, so the flag only changes the runtime statistics.  That
+    equivalence extends to runs with a ``faults`` model: its verdicts are
+    pure functions of ``(resource, chronon, attempt)``, never of engine
+    internals.
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
@@ -77,6 +90,8 @@ def simulate(
         resources=resources,
         exploit_overlap=exploit_overlap,
         engine=engine,
+        faults=faults,
+        retry=retry,
     )
     arrivals = arrivals_from_profiles(profiles)
     started = time.perf_counter()
@@ -92,6 +107,8 @@ def simulate(
         runtime=RuntimeStats(total_seconds=elapsed, num_eis=profiles.num_eis),
         probes_used=monitor.probes_used,
         believed_completeness=monitor.believed_completeness,
+        probes_failed=monitor.probes_failed,
+        retries_used=monitor.retries_used,
     )
 
 

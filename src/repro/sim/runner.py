@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.profile import ProfileSet
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
+from repro.online.faults import FailureModel, RetryPolicy
 from repro.sim.engine import SimulationResult, policy_label, simulate, simulate_offline
 
 #: A problem-instance factory: child RNG -> profile set.
@@ -46,6 +47,8 @@ class AggregateResult:
     msec_per_ei_mean: float
     probes_mean: float
     repetitions: int
+    probes_failed_mean: float = 0.0
+    retries_mean: float = 0.0
 
     @classmethod
     def from_runs(cls, label: str, runs: Sequence[SimulationResult]) -> "AggregateResult":
@@ -57,6 +60,8 @@ class AggregateResult:
             msec_per_ei_mean=fmean(run.runtime.msec_per_ei for run in runs),
             probes_mean=fmean(run.probes_used for run in runs),
             repetitions=len(runs),
+            probes_failed_mean=fmean(run.probes_failed for run in runs),
+            retries_mean=fmean(run.retries_used for run in runs),
         )
 
 
@@ -80,12 +85,16 @@ def _run_cell(
     cell: Optional[tuple[str, bool]],
     engine: str,
     offline_max_combinations: int,
+    faults: Optional[FailureModel] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> tuple[int, str, SimulationResult]:
     """One (repetition, policy) grid cell; ``cell=None`` is the offline run.
 
     Regenerates the repetition's instance from its SeedSequence child, so
     every cell of one repetition sees the identical problem instance the
-    serial loop would build.
+    serial loop would build.  ``faults`` verdicts are pure functions of
+    the probe coordinates, so worker-order nondeterminism cannot leak
+    into the results.
     """
     assert _WORKER_FACTORY is not None
     profiles = _WORKER_FACTORY(np.random.default_rng(child))
@@ -96,7 +105,8 @@ def _run_cell(
         return rep, "OFFLINE-LR", result
     name, preemptive = cell
     result = simulate(
-        profiles, epoch, budget, name, preemptive=preemptive, engine=engine
+        profiles, epoch, budget, name,
+        preemptive=preemptive, engine=engine, faults=faults, retry=retry,
     )
     return rep, policy_label(name, preemptive), result
 
@@ -112,6 +122,8 @@ def run_suite(
     offline_max_combinations: int = 100_000,
     engine: str = "reference",
     workers: Optional[int] = None,
+    faults: Optional[FailureModel] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> dict[str, AggregateResult]:
     """Run each policy ``repetitions`` times on shared problem instances.
 
@@ -122,6 +134,10 @@ def run_suite(
     cells over that many forked worker processes (requires the ``fork``
     start method, i.e. POSIX; falls back to the serial loop elsewhere)
     with results identical to the serial loop, seed for seed.
+    ``faults``/``retry`` inject probe failures into every online run (the
+    offline baseline plans with perfect knowledge and is left untouched);
+    failure and retry counts surface as ``probes_failed_mean`` /
+    ``retries_mean`` on the aggregates.
     """
     runs: dict[str, list[SimulationResult]] = {
         policy_label(name, preemptive): [] for name, preemptive in policies
@@ -155,6 +171,8 @@ def run_suite(
                         cell,
                         engine,
                         offline_max_combinations,
+                        faults,
+                        retry,
                     )
                     for rep, child in enumerate(children)
                     for cell in cells
@@ -178,6 +196,7 @@ def run_suite(
                     simulate(
                         profiles, epoch, budget, name,
                         preemptive=preemptive, engine=engine,
+                        faults=faults, retry=retry,
                     )
                 )
             if include_offline:
@@ -205,8 +224,15 @@ def sweep(
     include_offline: bool = False,
     engine: str = "reference",
     workers: Optional[int] = None,
+    faults_for: Optional[Callable[[object], Optional[FailureModel]]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> dict[object, dict[str, AggregateResult]]:
-    """Run a suite at every point of a one-dimensional parameter sweep."""
+    """Run a suite at every point of a one-dimensional parameter sweep.
+
+    ``faults_for`` maps each sweep value to the failure model for that
+    point (or ``None`` for a failure-free point) — the hook behind the
+    failure-rate sweep experiment; ``retry`` applies at every point.
+    """
     results: dict[object, dict[str, AggregateResult]] = {}
     for offset, value in enumerate(values):
         results[value] = run_suite(
@@ -219,5 +245,7 @@ def sweep(
             include_offline=include_offline,
             engine=engine,
             workers=workers,
+            faults=None if faults_for is None else faults_for(value),
+            retry=retry,
         )
     return results

@@ -24,6 +24,7 @@ from repro.core.resource import Resource, ResourcePool
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrival_map
+from repro.online.faults import FailureModel, Outage, RetryPolicy
 from repro.online.monitor import OnlineMonitor
 from repro.policies import MRSF, make_policy
 from tests.conftest import random_general_instance
@@ -65,6 +66,8 @@ def assert_engines_agree(policy_name: str, arrivals, budget: float = 2.0, **kwar
     vec = _run("vectorized", make_policy(policy_name), arrivals, budget, **kwargs)
     assert vec.schedule.probes == ref.schedule.probes
     assert vec.probes_used == ref.probes_used
+    assert vec.probes_failed == ref.probes_failed
+    assert vec.retries_used == ref.retries_used
     assert vec.pool.num_satisfied == ref.pool.num_satisfied
     assert vec.pool.num_failed == ref.pool.num_failed
     assert vec.believed_completeness == ref.believed_completeness
@@ -172,6 +175,79 @@ class TestResourceModels:
             assert vec.budget_consumed_at(chronon) == pytest.approx(expected)
 
 
+class TestFaultEquivalence:
+    """Seeded fault scripts must not open daylight between the engines.
+
+    FailureModel verdicts are pure functions of (resource, chronon,
+    attempt), so the engines' different internal probe orders see the
+    same fault universe; these tests pin that contract, retries and
+    backoff included.
+    """
+
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES + FALLBACK_POLICIES)
+    @pytest.mark.parametrize("rate", [0.2, 0.5])
+    def test_random_failures(self, policy_name, rate):
+        ref, vec = assert_engines_agree(
+            policy_name,
+            _instance(11),
+            faults=FailureModel(rate=rate, seed=5),
+        )
+        assert ref.probes_failed > 0  # the fault path actually exercised
+
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+    @pytest.mark.parametrize("max_retries", [1, 3])
+    def test_failures_with_retries(self, policy_name, max_retries):
+        ref, vec = assert_engines_agree(
+            policy_name,
+            _instance(12),
+            faults=FailureModel(rate=0.4, seed=6),
+            retry=RetryPolicy(max_retries=max_retries),
+        )
+        assert ref.retries_used > 0
+
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+    def test_backoff(self, policy_name):
+        assert_engines_agree(
+            policy_name,
+            _instance(13),
+            faults=FailureModel(rate=0.5, seed=7),
+            retry=RetryPolicy(max_retries=1, backoff_base=1.0, backoff_cap=4),
+        )
+
+    def test_scripted_faults_and_outages(self):
+        script = {(r, t): 1 for r in range(8) for t in range(0, NUM_CHRONONS, 3)}
+        faults = FailureModel(
+            script=script,
+            outages=(Outage(resource=2, start=5, finish=15),),
+            seed=8,
+        )
+        ref, vec = assert_engines_agree("MRSF", _instance(14), faults=faults)
+        # Outage chronons never even attempt resource 2.
+        for chronon in range(5, 16):
+            assert not ref.schedule.is_probed(2, chronon)
+
+    def test_faults_with_heterogeneous_costs_and_push(self):
+        pool = ResourcePool(
+            [
+                Resource(
+                    rid=i,
+                    name=f"r{i}",
+                    probe_cost=1.0 + (i % 3),
+                    push_enabled=i % 2 == 0,
+                )
+                for i in range(8)
+            ]
+        )
+        assert_engines_agree(
+            "MRSF",
+            _instance(15),
+            budget=3.0,
+            resources=pool,
+            faults=FailureModel(rate=0.3, seed=9),
+            retry=RetryPolicy(max_retries=2),
+        )
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     seed=st.integers(0, 10_000),
@@ -188,4 +264,21 @@ def test_property_engines_agree(seed, policy_name, preemptive, exploit_overlap, 
         budget=budget,
         preemptive=preemptive,
         exploit_overlap=exploit_overlap,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    policy_name=st.sampled_from(PAPER_POLICIES),
+    rate=st.sampled_from([0.1, 0.3, 0.6]),
+    max_retries=st.integers(0, 2),
+)
+def test_property_engines_agree_under_faults(seed, policy_name, rate, max_retries):
+    """Property form with nonzero failure rates and retry policies."""
+    assert_engines_agree(
+        policy_name,
+        _instance(seed, num_ceis=25),
+        faults=FailureModel(rate=rate, seed=seed + 1),
+        retry=RetryPolicy(max_retries=max_retries) if max_retries else None,
     )

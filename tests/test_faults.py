@@ -1,0 +1,343 @@
+"""The fault-injection subsystem: model, injector, and monitor semantics.
+
+Covers the FailureModel verdict oracle (determinism, precedence,
+coupled draws), the RetryPolicy/FaultInjector state machine (retries,
+exhaustion, exponential backoff), and the monitor-level contract: a
+failed probe consumes its budget but captures nothing, pushes never
+fail, and the failure counters surface through SimulationResult and
+run_suite aggregation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.profile import ProfileSet
+from repro.core.resource import Resource, ResourcePool
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.faults import (
+    FailureModel,
+    FaultInjector,
+    Outage,
+    RetryPolicy,
+)
+from repro.online.monitor import OnlineMonitor
+from repro.policies import SEDF
+from repro.sim.engine import simulate
+from repro.sim.runner import run_suite
+from tests.conftest import make_cei, random_general_instance
+
+
+class TestValidation:
+    def test_rate_out_of_range(self):
+        with pytest.raises(ModelError, match="rate"):
+            FailureModel(rate=1.5)
+        with pytest.raises(ModelError, match="rate"):
+            FailureModel(rate=-0.1)
+
+    def test_negative_seed(self):
+        with pytest.raises(ModelError, match="seed"):
+            FailureModel(seed=-1)
+
+    def test_per_resource_out_of_range(self):
+        with pytest.raises(ModelError, match="per-resource"):
+            FailureModel(per_resource={3: 2.0})
+
+    def test_negative_script_count(self):
+        with pytest.raises(ModelError, match="scripted"):
+            FailureModel(script={(0, 0): -1})
+
+    def test_outage_window_order(self):
+        with pytest.raises(ModelError, match="outage"):
+            Outage(resource=0, start=5, finish=2)
+
+    def test_retry_policy_bounds(self):
+        with pytest.raises(ModelError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ModelError, match="backoff_base"):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ModelError, match="backoff_cap"):
+            RetryPolicy(backoff_cap=0)
+
+    def test_resource_reliability_bounds(self):
+        with pytest.raises(ModelError, match="reliability"):
+            Resource(rid=0, name="r0", reliability=1.5)
+
+    def test_retry_without_faults_rejected(self):
+        with pytest.raises(ModelError, match="retry"):
+            OnlineMonitor(
+                SEDF(), BudgetVector.constant(1, 5), retry=RetryPolicy(max_retries=1)
+            )
+
+
+class TestFailureModel:
+    def test_verdicts_are_pure_functions(self):
+        """Same (seed, resource, chronon, attempt) -> same verdict, always."""
+        a = FailureModel(rate=0.5, seed=11)
+        b = FailureModel(rate=0.5, seed=11)
+        coords = [(r, t, k) for r in range(5) for t in range(10) for k in range(2)]
+        assert [a.fails(*c) for c in coords] == [b.fails(*c) for c in coords]
+
+    def test_different_seeds_differ(self):
+        a = FailureModel(rate=0.5, seed=1)
+        b = FailureModel(rate=0.5, seed=2)
+        coords = [(r, t, 0) for r in range(10) for t in range(20)]
+        assert [a.fails(*c) for c in coords] != [b.fails(*c) for c in coords]
+
+    def test_rate_zero_never_fails_rate_one_always(self):
+        never = FailureModel(rate=0.0, seed=3)
+        always = FailureModel(rate=1.0, seed=3)
+        for r in range(5):
+            for t in range(5):
+                assert not never.fails(r, t, 0)
+                assert always.fails(r, t, 0)
+
+    def test_coupled_draws_are_monotone_in_the_rate(self):
+        """The failing set at a lower rate is a subset of a higher rate's."""
+        low = FailureModel(rate=0.2, seed=7)
+        high = FailureModel(rate=0.6, seed=7)
+        for r in range(8):
+            for t in range(30):
+                if low.fails(r, t, 0):
+                    assert high.fails(r, t, 0)
+
+    def test_per_resource_overrides_base_rate(self):
+        model = FailureModel(rate=0.0, per_resource={2: 1.0}, seed=0)
+        assert model.failure_rate(2) == 1.0
+        assert model.failure_rate(1) == 0.0
+        assert model.fails(2, 0, 0)
+        assert not model.fails(1, 0, 0)
+
+    def test_outage_beats_everything(self):
+        model = FailureModel(
+            rate=0.0, outages=(Outage(resource=1, start=3, finish=5),), seed=0
+        )
+        assert not model.fails(1, 2, 0)
+        assert model.fails(1, 3, 0) and model.fails(1, 5, 99)
+        assert not model.fails(1, 6, 0)
+        assert not model.fails(0, 4, 0)
+
+    def test_script_mapping_fails_first_k_attempts(self):
+        model = FailureModel(script={(0, 4): 2}, seed=0)
+        assert model.fails(0, 4, 0)
+        assert model.fails(0, 4, 1)
+        assert not model.fails(0, 4, 2)
+        assert not model.fails(0, 5, 0)  # unscripted pair, rate 0
+
+    def test_script_pairs_shorthand_fails_all_attempts(self):
+        model = FailureModel(script=[(0, 4), (1, 7)])
+        assert model.script[(0, 4)] == math.inf
+        assert model.fails(0, 4, 1000)
+        assert model.fails(1, 7, 0)
+
+    def test_script_zero_forces_success_despite_rate(self):
+        model = FailureModel(rate=1.0, script={(0, 0): 0}, seed=0)
+        assert not model.fails(0, 0, 0)
+        assert model.fails(0, 1, 0)
+
+    def test_from_pool_reliability(self):
+        pool = ResourcePool(
+            [
+                Resource(rid=0, name="r0", reliability=1.0),
+                Resource(rid=1, name="r1", reliability=0.25),
+            ]
+        )
+        model = FailureModel.from_pool(pool)
+        assert model.per_resource == {1: 0.75}
+        assert model.failure_rate(0) == 0.0
+
+    def test_is_trivial(self):
+        assert FailureModel().is_trivial
+        assert FailureModel(per_resource={0: 0.0}).is_trivial
+        assert not FailureModel(rate=0.1).is_trivial
+        assert not FailureModel(script=[(0, 0)]).is_trivial
+        assert not FailureModel(outages=(Outage(0, 0, 0),)).is_trivial
+
+
+class TestRetryPolicyAndInjector:
+    def test_max_attempts(self):
+        assert RetryPolicy().max_attempts == 1
+        assert RetryPolicy(max_retries=3).max_attempts == 4
+
+    def test_backoff_span_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=5)
+        assert [policy.backoff_span(k) for k in (1, 2, 3, 4)] == [1, 2, 4, 5]
+        assert RetryPolicy().backoff_span(3) == 0  # disabled by default
+
+    def test_attempt_counting_and_exhaustion(self):
+        injector = FaultInjector(FailureModel(rate=1.0), RetryPolicy(max_retries=1))
+        injector.begin_chronon(0)
+        assert injector.available(0, 0)
+        assert not injector.attempt(0, 0)
+        assert injector.can_retry(0)
+        assert not injector.attempt(0, 0)
+        assert injector.exhausted(0) and not injector.available(0, 0)
+        injector.begin_chronon(1)  # fresh attempts next chronon
+        assert injector.available(0, 1)
+        assert injector.stats.attempts == 2
+        assert injector.stats.failures == 2
+        assert injector.stats.retries == 1
+
+    def test_backoff_opens_and_success_resets_streak(self):
+        model = FailureModel(script={(0, 0): math.inf, (0, 3): 0, (0, 4): math.inf})
+        injector = FaultInjector(model, RetryPolicy(backoff_base=1.0))
+        injector.begin_chronon(0)
+        assert not injector.attempt(0, 0)  # streak 1 -> blocked for 1 chronon
+        assert injector.blocked(0, 1)
+        assert not injector.blocked(0, 2)
+        injector.begin_chronon(3)
+        assert injector.attempt(0, 3)  # success resets the streak
+        injector.begin_chronon(4)
+        assert not injector.attempt(0, 4)  # streak back to 1, not 2
+        assert injector.blocked(0, 5) and not injector.blocked(0, 6)
+        assert injector.stats.backoffs == 2
+
+    def test_stats_successes(self):
+        injector = FaultInjector(FailureModel(rate=0.0))
+        injector.begin_chronon(0)
+        injector.attempt(0, 0)
+        injector.attempt(1, 0)
+        assert injector.stats.successes == 2
+        assert injector.stats.as_dict() == {
+            "attempts": 2, "failures": 0, "retries": 0, "backoffs": 0,
+        }
+
+
+def _monitor(ceis, budget=1.0, chronons=10, **kwargs) -> OnlineMonitor:
+    profiles = ProfileSet.from_ceis(ceis)
+    monitor = OnlineMonitor(SEDF(), BudgetVector.constant(budget, chronons), **kwargs)
+    monitor.run(Epoch(chronons), arrivals_from_profiles(profiles))
+    return monitor
+
+
+class TestMonitorSemantics:
+    def test_failed_probe_consumes_budget_but_captures_nothing(self):
+        monitor = _monitor(
+            [make_cei((0, 0, 4))], faults=FailureModel(rate=1.0, seed=0)
+        )
+        assert monitor.probes_used > 0
+        assert monitor.probes_failed == monitor.probes_used
+        assert monitor.probes_succeeded == 0
+        assert monitor.schedule.num_probes == 0  # schedule = data retrieved
+        assert monitor.pool.num_satisfied == 0
+        assert monitor.budget_consumed_at(0) == 1.0
+
+    def test_retry_succeeds_on_second_attempt(self):
+        # First attempt at (0, 0) is scripted to fail; the retry succeeds
+        # and both attempts are charged.
+        monitor = _monitor(
+            [make_cei((0, 0, 0))],
+            budget=2.0,
+            faults=FailureModel(script={(0, 0): 1}),
+            retry=RetryPolicy(max_retries=1),
+        )
+        assert monitor.pool.num_satisfied == 1
+        assert monitor.probes_used == 2
+        assert monitor.probes_failed == 1
+        assert monitor.retries_used == 1
+        assert monitor.budget_consumed_at(0) == 2.0
+
+    def test_no_retry_budget_left_for_other_work(self):
+        # Without retries the failed attempt's leftover budget funds the
+        # other resource in the same chronon.
+        monitor = _monitor(
+            [make_cei((0, 0, 0)), make_cei((1, 0, 0))],
+            budget=2.0,
+            faults=FailureModel(script=[(0, 0)]),
+        )
+        assert monitor.pool.num_satisfied == 1
+        assert monitor.schedule.probes_at(0) == {1}
+
+    def test_backoff_blocks_probing_across_chronons(self):
+        # Resource 0 hard-fails at chronon 0; backoff_base=2 blocks
+        # chronons 1-2, so the next attempt lands at chronon 3.
+        monitor = _monitor(
+            [make_cei((0, 0, 9))],
+            faults=FailureModel(script={(0, 0): math.inf}),
+            retry=RetryPolicy(backoff_base=2.0),
+        )
+        assert monitor.budget_consumed_at(1) == 0.0
+        assert monitor.budget_consumed_at(2) == 0.0
+        assert monitor.schedule.is_probed(0, 3)
+        assert monitor.fault_stats.backoffs == 1
+
+    def test_pushes_never_fail(self):
+        pool = ResourcePool(
+            [Resource(rid=0, name="r0", push_enabled=True)]
+        )
+        monitor = _monitor(
+            [make_cei((0, 0, 4))],
+            resources=pool,
+            faults=FailureModel(rate=1.0, seed=0),
+        )
+        assert monitor.pool.num_satisfied == 1
+        assert monitor.schedule.num_probes > 0
+        # With every pull attempt failing, all schedule entries are pushes.
+        scheduled = {(rid, t) for rid, t in monitor.schedule.pairs()}
+        assert scheduled <= monitor.push_probes
+        assert monitor.probes_succeeded == 0
+
+    def test_fault_stats_zeroed_without_model(self):
+        monitor = _monitor([make_cei((0, 0, 4))])
+        assert monitor.probes_failed == 0
+        assert monitor.retries_used == 0
+        assert monitor.fault_stats.attempts == 0
+
+    def test_trivial_model_changes_nothing(self):
+        ceis = lambda: [make_cei((r, 0, 6)) for r in range(4)]  # noqa: E731
+        plain = _monitor(ceis(), budget=2.0)
+        faulty = _monitor(ceis(), budget=2.0, faults=FailureModel(rate=0.0, seed=5))
+        assert faulty.schedule.probes == plain.schedule.probes
+        assert faulty.probes_failed == 0
+
+
+class TestSimulationPlumbing:
+    @staticmethod
+    def _profiles(seed=0):
+        rng = np.random.default_rng(seed)
+        return random_general_instance(
+            rng, num_resources=6, num_chronons=20, num_ceis=25, max_rank=3, max_width=4
+        )
+
+    def test_simulation_result_counters(self):
+        epoch, budget = Epoch(20), BudgetVector.constant(2.0, 20)
+        result = simulate(
+            self._profiles(), epoch, budget, "MRSF",
+            faults=FailureModel(rate=0.5, seed=1), retry=RetryPolicy(max_retries=1),
+        )
+        assert result.probes_failed > 0
+        assert result.retries_used > 0
+        assert result.probes_succeeded == result.probes_used - result.probes_failed
+
+    def test_run_suite_aggregates_failures(self):
+        epoch, budget = Epoch(20), BudgetVector.constant(2.0, 20)
+        aggregates = run_suite(
+            lambda rng: random_general_instance(
+                rng, num_resources=6, num_chronons=20, num_ceis=25,
+                max_rank=3, max_width=4,
+            ),
+            epoch,
+            budget,
+            [("MRSF", True)],
+            repetitions=3,
+            faults=FailureModel(rate=0.5, seed=1),
+            retry=RetryPolicy(max_retries=1),
+        )
+        cell = aggregates["MRSF(P)"]
+        assert cell.probes_failed_mean > 0
+        assert cell.retries_mean > 0
+
+    def test_completeness_degrades_between_endpoints(self):
+        """rate=0 vs rate=1: the failure model can only hurt completeness."""
+        epoch, budget = Epoch(20), BudgetVector.constant(2.0, 20)
+        profiles = self._profiles(3)
+        clean = simulate(profiles, epoch, budget, "MRSF")
+        dead = simulate(
+            profiles, epoch, budget, "MRSF", faults=FailureModel(rate=1.0)
+        )
+        assert clean.completeness > 0
+        assert dead.completeness == 0.0

@@ -166,3 +166,44 @@ class TestMonitoringProxy:
         proxy.register_client("ana")
         proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
         assert proxy.run().completeness == 1.0
+
+    def test_engine_forwarded_to_monitor(self):
+        # Regression: the facade used to drop engine= entirely and always
+        # run the reference monitor.  Both engines must yield the same
+        # schedule through the facade.
+        results = {}
+        for engine in ("reference", "vectorized"):
+            proxy = self.make_proxy(engine=engine)
+            proxy.register_client("ana")
+            proxy.submit_ceis(
+                "ana", [make_cei((0, 0, 5)), make_cei((1, 3, 9), (2, 3, 9))]
+            )
+            results[engine] = proxy.run()
+        assert (
+            results["reference"].schedule.probes
+            == results["vectorized"].schedule.probes
+        )
+
+    def test_engine_override_per_run(self):
+        proxy = self.make_proxy()
+        assert proxy.engine == "reference"
+        proxy.register_client("ana")
+        proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
+        assert proxy.run(engine="vectorized").completeness == 1.0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ExperimentError, match="engine"):
+            self.make_proxy(engine="quantum")
+        proxy = self.make_proxy()
+        with pytest.raises(ExperimentError, match="engine"):
+            proxy.run(engine="quantum")
+
+    def test_faults_forwarded_to_monitor(self):
+        from repro.online.faults import FailureModel
+
+        proxy = self.make_proxy(faults=FailureModel(rate=1.0))
+        proxy.register_client("ana")
+        proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
+        result = proxy.run()
+        assert result.completeness == 0.0
+        assert result.probes_failed == result.probes_used > 0

@@ -112,6 +112,18 @@ class TestSchedule:
         assert s.is_feasible(BudgetVector.constant(2, 1))
         assert not s.is_feasible(BudgetVector.constant(1, 1))
 
+    def test_push_probes_are_free(self):
+        s = Schedule.from_pairs([(0, 0), (1, 0), (2, 0)])
+        with pytest.raises(BudgetError):
+            s.check_feasible(BudgetVector.constant(2, 1))
+        s.check_feasible(BudgetVector.constant(2, 1), push_probes={(2, 0)})
+        assert s.is_feasible(BudgetVector.constant(2, 1), push_probes={(2, 0)})
+
+    def test_push_probes_free_with_heterogeneous_costs(self):
+        pool = ResourcePool([Resource(rid=0, probe_cost=3.0), Resource(rid=1)])
+        s = Schedule.from_pairs([(0, 0), (1, 0)])
+        s.check_feasible(BudgetVector.constant(1, 1), pool=pool, push_probes={(0, 0)})
+
 
 class TestCaptureIndicators:
     def test_captures_ei_inside_window(self):
@@ -150,6 +162,16 @@ class TestCaptureIndicators:
         assert s.captures_ei(make_ei(0, 49, 50))
         assert not s.captures_ei(make_ei(1, 49, 50))
 
+    def test_missing_true_window_raises_model_error(self):
+        # Regression: this used to be a bare assert, which `python -O`
+        # strips — the None bounds then surfaced as a TypeError in range().
+        ei = make_ei(0, 3, 7)
+        ei.true_start = None
+        s = Schedule.from_pairs([(0, 5)])
+        with pytest.raises(ModelError, match="ground-truth"):
+            s.captures_ei(ei, use_true_window=True)
+        assert s.captures_ei(ei, use_true_window=False)
+
 
 class TestDenseConversions:
     def test_to_dense_roundtrip(self):
@@ -180,6 +202,20 @@ class TestCounting:
         assert probes_remaining(BudgetVector.constant(3, 2), s, 0) == 2
         assert probes_remaining(BudgetVector.constant(3, 2), s, 1) == 3
 
+    def test_probes_remaining_charges_probe_costs(self):
+        # Regression: used to count probes, ignoring per-resource costs.
+        pool = ResourcePool([Resource(rid=0, probe_cost=3.0), Resource(rid=1)])
+        s = Schedule.from_pairs([(0, 0), (1, 0)])
+        assert probes_remaining(BudgetVector.constant(5, 1), s, 0, pool=pool) == 1.0
+
+    def test_probes_remaining_excludes_push_probes(self):
+        # Regression: free push captures used to be billed as consumed.
+        s = Schedule.from_pairs([(0, 0), (1, 0)])
+        assert (
+            probes_remaining(BudgetVector.constant(2, 1), s, 0, push_probes={(1, 0)})
+            == 1.0
+        )
+
     def test_count_feasible_schedules_matches_formula(self):
         # n=3, K=2, C=1: per chronon 1 + C(3,1) = 4 choices -> 16 total.
         assert count_feasible_schedules(3, BudgetVector.constant(1, 2)) == 16
@@ -187,3 +223,36 @@ class TestCounting:
     def test_count_feasible_schedules_budget_two(self):
         # n=3, C=2: 1 + 3 + 3 = 7 per chronon.
         assert count_feasible_schedules(3, BudgetVector.constant(2, 1)) == 7
+
+
+class TestPushFeasibilityReconciliation:
+    """A monitor run with pushes must reconcile with Schedule.check_feasible.
+
+    Regression (satellite of the probe-failure PR): push captures are
+    recorded in the schedule but never charged, so a run that passes the
+    monitor's own check_budget_feasible could still *fail* a naive
+    check_feasible rescan that bills every entry.  check_feasible now
+    takes the push set to exclude.
+    """
+
+    def test_monitor_push_schedule_reconciles(self):
+        from repro.core.profile import ProfileSet
+        from repro.online.arrivals import arrivals_from_profiles
+        from repro.online.monitor import OnlineMonitor
+        from repro.policies import SEDF
+
+        # Resource 0 pushes for free at window opening; resource 1 is
+        # pulled the same chronon.  Budget 1 per chronon: the schedule
+        # holds two entries at chronon 0 but only one was charged.
+        pool = ResourcePool(
+            [Resource(rid=0, name="r0", push_enabled=True), Resource(rid=1, name="r1")]
+        )
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 3)), make_cei((1, 0, 3))])
+        budget = BudgetVector.constant(1, 4)
+        monitor = OnlineMonitor(SEDF(), budget, resources=pool)
+        monitor.run(Epoch(4), arrivals_from_profiles(profiles))
+        monitor.check_budget_feasible()  # the monitor's own accounting is fine
+
+        assert monitor.schedule.probes_at(0) == {0, 1}
+        assert not monitor.schedule.is_feasible(budget, pool)  # naive rescan balks
+        monitor.schedule.check_feasible(budget, pool, push_probes=monitor.push_probes)
