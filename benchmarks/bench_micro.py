@@ -18,6 +18,8 @@ import numpy as np
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrivals_from_profiles
+from repro.online.config import MonitorConfig
+from repro.online.faults import FailureModel, RetryPolicy
 from repro.online.monitor import OnlineMonitor
 from repro.policies import MEDF, MRSF, SEDF, m_edf_value, make_policy, s_edf_value
 from repro.traces.noise import perfect_predictions
@@ -83,10 +85,12 @@ def _instance(density):
     return _INSTANCE_CACHE[density]
 
 
-def _run_full_monitor(policy_factory, engine="reference", density="sparse"):
+def _run_full_monitor(policy_factory, engine="reference", density="sparse", config=None):
     epoch, arrivals, budget = _instance(density)
     monitor = OnlineMonitor(
-        policy_factory(), BudgetVector.constant(budget, len(epoch)), engine=engine
+        policy_factory(),
+        BudgetVector.constant(budget, len(epoch)),
+        config=config or MonitorConfig(engine=engine),
     )
     monitor.run(epoch, arrivals)
     return monitor.probes_used
@@ -120,6 +124,51 @@ def test_monitor_full_run_dense(benchmark, policy_name, engine):
         rounds=3,
         iterations=1,
     )
+    assert probes > 0
+
+
+@pytest.mark.parametrize("scheme", ["batched", "per_attempt"])
+def test_fault_draw_throughput(benchmark, scheme):
+    """The verdict oracle alone, over one failing-heavy run's coordinates.
+
+    ``batched`` serves each chronon's draws from one uniform block keyed
+    by (resource, attempt); ``per_attempt`` is the legacy one-SeedSequence
+    -per-attempt scheme.  A fresh model per round keeps the block cache
+    cold, as at the start of a real run.
+    """
+    coords = [
+        (resource, chronon, attempt)
+        for chronon in range(50)
+        for resource in range(200)
+        for attempt in range(2)
+    ]
+
+    def drain():
+        model = FailureModel(
+            rate=0.5, seed=9, per_attempt_draws=(scheme == "per_attempt")
+        )
+        return sum(model.fails(*coord) for coord in coords)
+
+    failures = benchmark(drain)
+    assert 0 < failures < len(coords)
+
+
+@pytest.mark.parametrize("scheme", ["batched", "per_attempt"])
+def test_monitor_failing_heavy_run(benchmark, scheme):
+    """A full monitor run where half the probes fail and retry.
+
+    The end-to-end cost of the fault path: rate 0.5 with two retries
+    makes draw construction a first-order cost, which is what the
+    batched per-chronon blocks are for.
+    """
+    config = MonitorConfig(
+        engine="reference",
+        faults=FailureModel(
+            rate=0.5, seed=11, per_attempt_draws=(scheme == "per_attempt")
+        ),
+        retry=RetryPolicy(max_retries=2),
+    )
+    probes = benchmark(_run_full_monitor, MRSF, "reference", "sparse", config)
     assert probes > 0
 
 

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrivals_from_profiles
+from repro.online.config import MonitorConfig
 from repro.online.faults import FailureModel, RetryPolicy
 from repro.online.monitor import OnlineMonitor
 from repro.policies import make_policy
@@ -69,7 +70,7 @@ def time_monitor(epoch, arrivals, policy_name, budget, engine, reps):
         monitor = OnlineMonitor(
             make_policy(policy_name),
             BudgetVector.constant(budget, len(epoch)),
-            engine=engine,
+            config=MonitorConfig(engine=engine),
         )
         bag_total = 0
         started = time.perf_counter()
@@ -184,14 +185,19 @@ def failure_sweep_cells(reps: int) -> list[dict]:
         row = {"policy": "MRSF", "rate": rate, "max_retries": 1}
         for engine in ("reference", "vectorized"):
             best = float("inf")
-            probes = failed = None
+            probes = failed = backoffs = None
+            worst_resources = None
             for _ in range(reps):
                 monitor = OnlineMonitor(
                     make_policy("MRSF"),
                     BudgetVector.constant(params["budget"], len(epoch)),
-                    engine=engine,
-                    faults=FailureModel(rate=rate, seed=11),
-                    retry=RetryPolicy(max_retries=1),
+                    config=MonitorConfig(
+                        engine=engine,
+                        faults=FailureModel(rate=rate, seed=11),
+                        retry=RetryPolicy(
+                            max_retries=1, backoff_base=1.0, backoff_cap=4
+                        ),
+                    ),
                 )
                 started = time.perf_counter()
                 for chronon in epoch:
@@ -199,11 +205,27 @@ def failure_sweep_cells(reps: int) -> list[dict]:
                 best = min(best, time.perf_counter() - started)
                 probes = monitor.probes_used
                 failed = monitor.probes_failed
+                stats = monitor.fault_stats
+                backoffs = stats.backoffs
+                worst_resources = sorted(
+                    stats.failures_by_resource.items(),
+                    key=lambda item: (-item[1], item[0]),
+                )[:3]
             row[f"{engine}_seconds"] = round(best, 6)
             row[f"{engine}_probes"] = probes
             row[f"{engine}_failed"] = failed
-        if (row["reference_probes"], row["reference_failed"]) != (
-            row["vectorized_probes"], row["vectorized_failed"]
+            row[f"{engine}_backoffs"] = backoffs
+        row["worst_resources"] = [
+            {"resource": rid, "failures": count} for rid, count in worst_resources
+        ]
+        if (
+            row["reference_probes"],
+            row["reference_failed"],
+            row["reference_backoffs"],
+        ) != (
+            row["vectorized_probes"],
+            row["vectorized_failed"],
+            row["vectorized_backoffs"],
         ):
             raise SystemExit(
                 f"engine divergence under faults at rate {rate}: "
@@ -217,10 +239,62 @@ def failure_sweep_cells(reps: int) -> list[dict]:
         cells.append(row)
         print(
             f"faults  rate={rate:4.2f} failed={row['reference_failed']:5d} "
+            f"backoffs={row['reference_backoffs']:4d} "
             f"ref={row['reference_seconds'] * 1e3:8.2f}ms "
             f"vec={row['vectorized_seconds'] * 1e3:8.2f}ms "
             f"speedup={row['speedup']:5.2f}x"
         )
+    return cells
+
+
+def fault_draw_cells(reps: int) -> list[dict]:
+    """Verdict-oracle throughput: batched per-chronon blocks vs legacy.
+
+    Drains one failing-heavy run's worth of coordinates (50 chronons x
+    200 resources x 2 attempts) through ``FailureModel.fails`` under both
+    draw schemes, with a fresh model per repetition so the block cache
+    starts cold.  The batched scheme must be no slower than the legacy
+    per-attempt SeedSequence construction — that ratio is the number the
+    vectorized fault path is accepted on.
+    """
+    coords = [
+        (resource, chronon, attempt)
+        for chronon in range(50)
+        for resource in range(200)
+        for attempt in range(2)
+    ]
+    cells = []
+    timings = {}
+    for scheme in ("batched", "per_attempt"):
+        best = float("inf")
+        failures = None
+        for _ in range(max(reps, 3)):
+            model = FailureModel(
+                rate=0.5, seed=9, per_attempt_draws=(scheme == "per_attempt")
+            )
+            started = time.perf_counter()
+            failures = sum(model.fails(*coord) for coord in coords)
+            best = min(best, time.perf_counter() - started)
+        timings[scheme] = best
+        cells.append(
+            {
+                "scheme": scheme,
+                "draws": len(coords),
+                "seconds": round(best, 6),
+                "failures": failures,
+            }
+        )
+        print(
+            f"draws   {scheme:12s} {len(coords)} verdicts in "
+            f"{best * 1e3:8.2f}ms"
+        )
+    speedup = round(timings["per_attempt"] / timings["batched"], 2)
+    if speedup < 1.0:
+        raise SystemExit(
+            f"batched fault draws slower than per-attempt ({speedup}x)"
+        )
+    cells.append({"scheme": "speedup", "batched_over_per_attempt": speedup})
+    print(f"draws   batched speedup {speedup:5.2f}x")
     return cells
 
 
@@ -253,7 +327,8 @@ def parallel_suite_cell() -> dict:
     serial_seconds = time.perf_counter() - started
     started = time.perf_counter()
     parallel = run_suite(
-        make_instance, epoch, budget, policies, repetitions=4, seed=7, workers=workers
+        make_instance, epoch, budget, policies, repetitions=4, seed=7,
+        config=MonitorConfig(workers=workers),
     )
     parallel_seconds = time.perf_counter() - started
     for label in serial:
@@ -279,7 +354,13 @@ def main(argv=None) -> Path:
     parser.add_argument("--out", type=Path, default=None, help="output JSON path")
     parser.add_argument(
         "--only",
-        choices=["full_monitor", "kernel_scoring", "parallel_suite", "failure_sweep"],
+        choices=[
+            "full_monitor",
+            "kernel_scoring",
+            "parallel_suite",
+            "failure_sweep",
+            "fault_draw",
+        ],
         default=None,
         help="run a single section (the JSON then contains just that section)",
     )
@@ -292,6 +373,7 @@ def main(argv=None) -> Path:
         "kernel_scoring": lambda: kernel_scoring_cells(args.reps),
         "parallel_suite": parallel_suite_cell,
         "failure_sweep": lambda: failure_sweep_cells(args.reps),
+        "fault_draw": lambda: fault_draw_cells(args.reps),
     }
     if args.only:
         sections = {args.only: sections[args.only]}

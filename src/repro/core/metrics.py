@@ -14,7 +14,7 @@ future-work extension) and runtime-per-EI accounting (Section V-D).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Collection, Optional
 
 from repro.core.errors import ModelError
 from repro.core.profile import ProfileSet
@@ -66,6 +66,7 @@ def evaluate_schedule(
     profiles: ProfileSet,
     schedule: Schedule,
     use_true_window: bool = True,
+    dropped: Collection[tuple[int, int, int]] = (),
 ) -> CompletenessReport:
     """Score a schedule against a profile set.
 
@@ -73,6 +74,11 @@ def evaluate_schedule(
     event windows (the paper's noisy-model methodology, Section V-H); with
     a perfect update model the two windows coincide, so this is also the
     right default for noiseless runs.
+
+    ``dropped`` holds ``(resource, chronon, seq)`` triples from per-EI
+    partial probe failures (``OnlineMonitor.dropped_captures``); the named
+    probes did not retrieve those EIs' data, so they are excluded from the
+    capture indicators.
     """
     num_ceis = 0
     captured_ceis = 0
@@ -90,7 +96,9 @@ def evaluate_schedule(
         captured_here = 0
         for ei in cei.eis:
             num_eis += 1
-            if schedule.captures_ei(ei, use_true_window=use_true_window):
+            if schedule.captures_ei(
+                ei, use_true_window=use_true_window, dropped=dropped
+            ):
                 captured_eis += 1
                 captured_here += 1
         if cei.satisfied_by_count(captured_here):
@@ -110,11 +118,14 @@ def evaluate_schedule(
 
 
 def gained_completeness(
-    profiles: ProfileSet, schedule: Schedule, use_true_window: bool = True
+    profiles: ProfileSet,
+    schedule: Schedule,
+    use_true_window: bool = True,
+    dropped: Collection[tuple[int, int, int]] = (),
 ) -> float:
     """Eq. 1 directly — a shortcut around :func:`evaluate_schedule`."""
     return evaluate_schedule(
-        profiles, schedule, use_true_window=use_true_window
+        profiles, schedule, use_true_window=use_true_window, dropped=dropped
     ).completeness
 
 

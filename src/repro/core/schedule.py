@@ -212,13 +212,23 @@ class Schedule:
     # Capture indicators (paper Section III-B)
     # ------------------------------------------------------------------
 
-    def captures_ei(self, ei: ExecutionInterval, use_true_window: bool = True) -> bool:
+    def captures_ei(
+        self,
+        ei: ExecutionInterval,
+        use_true_window: bool = True,
+        dropped: Collection[tuple[ResourceId, Chronon, int]] = (),
+    ) -> bool:
         """The indicator ``I(I, S)``: does some probe fall in the window?
 
         ``use_true_window=True`` (the default) validates against the
         ground-truth window, which is how the paper scores noisy runs;
         ``use_true_window=False`` checks the scheduling window instead
         (what the proxy believes during the run).
+
+        ``dropped`` holds ``(resource, chronon, seq)`` triples from per-EI
+        partial probe failures (``OnlineMonitor.dropped_captures``): a
+        probe listed there did not retrieve *this* EI's data, so it does
+        not count as a capture.
         """
         if use_true_window:
             # Not an assert: under ``python -O`` an assert vanishes and the
@@ -232,26 +242,37 @@ class Schedule:
             start, finish = ei.true_start, ei.true_finish
         else:
             start, finish = ei.start, ei.finish
+        resource = ei.resource
+        seq = ei.seq
         # Iterate the shorter side: window chronons vs. probe chronons.
         if finish - start + 1 <= len(self.probes):
             for chronon in range(start, finish + 1):
-                if ei.resource in self.probes.get(chronon, ()):
+                if resource in self.probes.get(chronon, ()):
+                    if dropped and (resource, chronon, seq) in dropped:
+                        continue
                     return True
             return False
         for chronon, resources in self.probes.items():
-            if start <= chronon <= finish and ei.resource in resources:
+            if start <= chronon <= finish and resource in resources:
+                if dropped and (resource, chronon, seq) in dropped:
+                    continue
                 return True
         return False
 
     def captures_cei(
-        self, cei: ComplexExecutionInterval, use_true_window: bool = True
+        self,
+        cei: ComplexExecutionInterval,
+        use_true_window: bool = True,
+        dropped: Collection[tuple[ResourceId, Chronon, int]] = (),
     ) -> bool:
         """The indicator ``I(η, S)`` under the CEI's capture semantics.
 
         For the paper's AND semantics this is ``prod_{I in η} I(I, S)``.
         """
         captured = sum(
-            1 for ei in cei.eis if self.captures_ei(ei, use_true_window=use_true_window)
+            1
+            for ei in cei.eis
+            if self.captures_ei(ei, use_true_window=use_true_window, dropped=dropped)
         )
         return cei.satisfied_by_count(captured)
 

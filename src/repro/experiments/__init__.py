@@ -13,6 +13,7 @@ from repro.experiments import (  # noqa: F401 (re-exported for the CLI)
     fig15_noise,
     model_quality,
     panorama,
+    reliability_sweep,
     runtime_table,
     summary,
     table1_config,
@@ -34,6 +35,7 @@ __all__ = [
     "fig15_noise",
     "model_quality",
     "panorama",
+    "reliability_sweep",
     "runtime_table",
     "summary",
     "table1_config",

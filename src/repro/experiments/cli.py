@@ -29,6 +29,7 @@ from repro.experiments import (
     fig15_noise,
     model_quality,
     panorama,
+    reliability_sweep,
     summary,
     workload_grid,
     runtime_table,
@@ -52,6 +53,10 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
     "fig15news": ("Figure 15 (news part) — Poisson model", fig15_noise.run_news),
     "ablations": ("Ablations A1-A4", ablations.run),
     "faults": ("Extension — probe failure-rate sweep", failure_sweep.run),
+    "reliability": (
+        "Extension — blind vs expected-gain under heterogeneous reliability",
+        reliability_sweep.run,
+    ),
     "models": ("Extension — update-model quality vs completeness", model_quality.run),
     "competitive": ("Extension — empirical competitive ratios", competitive.run),
     "grid": ("Extension — λ × m workload surface", workload_grid.run),

@@ -31,6 +31,7 @@ from repro.experiments.common import (
     repeat_mean,
     scaled,
 )
+from repro.online.config import MonitorConfig
 from repro.online.faults import FailureModel, RetryPolicy
 from repro.sim.engine import simulate
 from repro.workloads.generator import GeneratorSpec
@@ -71,7 +72,8 @@ def run(scale: float = 1.0, seed: int = 0, repetitions: int = 5) -> ExperimentRe
     )
 
     for rate in RATES:
-        faults = FailureModel(rate=rate, seed=FAULT_SEED)
+        plain_cfg = MonitorConfig(faults=FailureModel(rate=rate, seed=FAULT_SEED))
+        retry_cfg = plain_cfg.replace(retry=RETRY)
 
         def one_repetition(rng: np.random.Generator) -> list[float]:
             profiles = poisson_instance(
@@ -80,13 +82,13 @@ def run(scale: float = 1.0, seed: int = 0, repetitions: int = 5) -> ExperimentRe
             values = [
                 simulate(
                     profiles, epoch, budget, name,
-                    preemptive=p, faults=faults,
+                    preemptive=p, config=plain_cfg,
                 ).completeness
                 for name, p in LINEUP
             ]
             retried = simulate(
                 profiles, epoch, budget, "MRSF",
-                preemptive=True, faults=faults, retry=RETRY,
+                preemptive=True, config=retry_cfg,
             )
             values.append(retried.completeness)
             values.append(float(retried.probes_failed))

@@ -1,26 +1,32 @@
 """Online monitoring: Algorithm 1 and its candidate-pool data structures."""
 
 from repro.online.candidates import CandidatePool, CEIState
+from repro.online.config import ENGINES, Engine, MonitorConfig, resolve_config
 from repro.online.fastpath import FastCandidatePool, FastCEIView
 from repro.online.faults import (
     FailureModel,
     FaultInjector,
     FaultStats,
     Outage,
+    RateWindow,
     RetryPolicy,
 )
-from repro.online.monitor import ENGINES, OnlineMonitor
+from repro.online.monitor import OnlineMonitor
 
 __all__ = [
     "ENGINES",
     "CandidatePool",
     "CEIState",
+    "Engine",
     "FailureModel",
     "FastCandidatePool",
     "FastCEIView",
     "FaultInjector",
     "FaultStats",
+    "MonitorConfig",
     "OnlineMonitor",
     "Outage",
+    "RateWindow",
     "RetryPolicy",
+    "resolve_config",
 ]

@@ -151,9 +151,16 @@ class CandidatePool:
     # ------------------------------------------------------------------
 
     def capture_resource(
-        self, resource: ResourceId, now: Chronon
+        self,
+        resource: ResourceId,
+        now: Chronon,
+        skip: frozenset[int] = frozenset(),
     ) -> tuple[list[ExecutionInterval], list[ComplexExecutionInterval]]:
         """A probe of ``resource`` captures all its active candidate EIs.
+
+        ``skip`` holds EI seqs the probe failed to retrieve (per-EI partial
+        failures): those EIs stay active and uncaptured, so a later probe
+        of the resource can still pick them up.
 
         Returns ``(captured_eis, touched_ceis)`` where ``touched_ceis`` are
         the parent CEIs whose capture state changed (policies that are
@@ -162,7 +169,10 @@ class CandidatePool:
         eis_here = self._by_resource.get(resource)
         if not eis_here:
             return [], []
-        captured = list(eis_here)
+        if skip:
+            captured = [ei for ei in eis_here if ei.seq not in skip]
+        else:
+            captured = list(eis_here)
         touched: list[ComplexExecutionInterval] = []
         for ei in captured:
             self._active.pop(ei.seq, None)
@@ -174,7 +184,11 @@ class CandidatePool:
             if not state.satisfied and state.residual == 0:
                 state.satisfied = True
                 self._num_satisfied += 1
-        eis_here.clear()
+        if skip:
+            for ei in captured:
+                eis_here.discard(ei)
+        else:
+            eis_here.clear()
         # Satisfied CEIs (k-of-n / ANY semantics) release their leftover EIs.
         for cei in touched:
             state = self._states[cei.cid]
@@ -272,6 +286,18 @@ class CandidatePool:
             for rid, group in self._by_resource.items()
             if group and rid in resources and resources[rid].push_enabled
         ]
+
+    def active_seqs_on(self, resource: ResourceId) -> list[int]:
+        """Sorted seqs of the active candidate EIs on ``resource``.
+
+        Sorted so per-EI fault verdicts (which consume one uniform draw per
+        seq, in order) are independent of set iteration order — both
+        engines see the identical sequence.
+        """
+        group = self._by_resource.get(resource)
+        if not group:
+            return []
+        return sorted(ei.seq for ei in group)
 
     def active_eis(self) -> Iterator[ExecutionInterval]:
         """All currently active, uncaptured candidate EIs (the probe pool)."""

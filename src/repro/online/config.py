@@ -1,0 +1,148 @@
+"""Unified monitor configuration: one frozen object instead of kwarg sprawl.
+
+The engine/fault/retry/worker knobs used to travel as loose keywords
+through four separate entry points (``OnlineMonitor``, ``MonitoringProxy``,
+``run_suite``, ``sweep``), each validating the engine string on its own.
+:class:`MonitorConfig` collapses them into a single frozen dataclass that
+every entry point accepts as ``config=``; :class:`Engine` promotes the
+engine string to a str-enum whose :meth:`Engine.coerce` is the one place
+an engine value is validated.
+
+The old keywords keep working through :func:`resolve_config`, the shared
+deprecation shim: passing any of them emits a ``DeprecationWarning`` and
+builds the equivalent ``MonitorConfig``; passing both a config *and* a
+legacy keyword is an error (there is no sensible merge order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.online.faults import FailureModel, RetryPolicy
+
+
+class Engine(str, enum.Enum):
+    """The two interchangeable monitor implementations.
+
+    A str-enum: ``Engine.VECTORIZED == "vectorized"`` holds, so existing
+    string comparisons keep working wherever an ``Engine`` flows.
+    """
+
+    REFERENCE = "reference"
+    VECTORIZED = "vectorized"
+
+    @classmethod
+    def coerce(cls, value: "Engine | str") -> "Engine":
+        """The single validation point for engine values."""
+        if isinstance(value, Engine):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            options = tuple(engine.value for engine in cls)
+            raise ModelError(
+                f"unknown engine {value!r}; expected one of {options}"
+            ) from None
+
+
+#: Backwards-compatible tuple of valid engine names.
+ENGINES = tuple(engine.value for engine in Engine)
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorConfig:
+    """How a monitoring run executes, independent of *what* it monitors.
+
+    Parameters
+    ----------
+    engine:
+        Monitor implementation — :attr:`Engine.REFERENCE` (the Algorithm 1
+        transcription) or :attr:`Engine.VECTORIZED` (the structure-of-arrays
+        fast path).  A plain string is coerced and validated on
+        construction.
+    faults:
+        Optional :class:`repro.online.faults.FailureModel` injecting probe
+        failures into every run using this config.
+    retry:
+        Optional :class:`repro.online.faults.RetryPolicy`.  A config may
+        carry a retry policy without a failure model (e.g. as a ``sweep``
+        template whose per-point models arrive later); the monitor rejects
+        that combination at run construction.
+    workers:
+        Process-pool size for ``run_suite``/``sweep`` (None or 1 = serial).
+        Ignored by the single-run entry points.
+
+    The object is frozen: derive variants with :meth:`replace`.
+    """
+
+    engine: Engine = Engine.REFERENCE
+    faults: "Optional[FailureModel]" = None
+    retry: "Optional[RetryPolicy]" = None
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", Engine.coerce(self.engine))
+        if self.workers is not None and self.workers < 1:
+            raise ModelError(f"workers must be >= 1, got {self.workers}")
+
+    def replace(self, **changes) -> "MonitorConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+
+def resolve_config(
+    config: Optional[MonitorConfig],
+    *,
+    engine: "Optional[Engine | str]" = None,
+    faults: "Optional[FailureModel]" = None,
+    retry: "Optional[RetryPolicy]" = None,
+    workers: Optional[int] = None,
+    owner: str = "OnlineMonitor",
+    stacklevel: int = 3,
+) -> MonitorConfig:
+    """The deprecation shim shared by every config-accepting entry point.
+
+    ``config`` wins when given alone; the legacy keywords (``engine=``,
+    ``faults=``, ``retry=``, ``workers=``) still work but emit a
+    ``DeprecationWarning`` naming the owner.  Mixing both is rejected —
+    silently merging a config with loose keywords would hide which one
+    took effect.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("engine", engine),
+            ("faults", faults),
+            ("retry", retry),
+            ("workers", workers),
+        )
+        if value is not None
+    }
+    if legacy:
+        names = ", ".join(f"{name}=" for name in legacy)
+        warnings.warn(
+            f"{owner}: the {names} keyword(s) are deprecated; "
+            f"pass config=MonitorConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        if config is not None:
+            raise ModelError(
+                f"{owner}: pass either config= or the deprecated "
+                f"{names} keyword(s), not both"
+            )
+        return MonitorConfig(**legacy)
+    if config is None:
+        return MonitorConfig()
+    if not isinstance(config, MonitorConfig):
+        raise ModelError(
+            f"{owner}: config must be a MonitorConfig, got {type(config).__name__}"
+        )
+    return config

@@ -399,18 +399,25 @@ class FastCandidatePool:
             self.cei_satisfied[cidx] = True
             self._num_satisfied += 1
 
-    def capture_resource_rows(self, resource: ResourceId) -> list[int]:
+    def capture_resource_rows(
+        self, resource: ResourceId, skip: frozenset[int] = frozenset()
+    ) -> list[int]:
         """Vectorized-engine capture: probe ``resource``, return touched CEIs.
 
-        The return value lists the CEI *index* of every captured row (with
-        repeats, matching the reference's touched list) so the probe loop
-        can re-rank siblings without materializing objects.
+        ``skip`` holds EI *seqs* dropped by a partial per-EI fault verdict:
+        their rows stay active and uncaptured.  The return value lists the
+        CEI *index* of every captured row (with repeats, matching the
+        reference's touched list) so the probe loop can re-rank siblings
+        without materializing objects.
         """
         group = self._by_resource.get(resource)
         if not group:
             return []
         touched: list[int] = []
+        row_seq = self.row_seq
         for row in list(group):
+            if skip and row_seq[row] in skip:
+                continue
             cidx = self.row_cidx[row]
             self._capture_row(row, cidx, self._row_ei[row])
             touched.append(cidx)
@@ -430,14 +437,25 @@ class FastCandidatePool:
         return [cidx]
 
     def capture_resource(
-        self, resource: ResourceId, now: Chronon
+        self,
+        resource: ResourceId,
+        now: Chronon,
+        skip: frozenset[int] = frozenset(),
     ) -> tuple[list[ExecutionInterval], list[ComplexExecutionInterval]]:
         """Object-level capture API (reference-path compatibility)."""
         group = self._by_resource.get(resource)
         if not group:
             return [], []
-        captured = [self._row_ei[row] for row in group]
-        touched = [self._cei_obj[cidx] for cidx in self.capture_resource_rows(resource)]
+        row_seq = self.row_seq
+        captured = [
+            self._row_ei[row]
+            for row in group
+            if not skip or row_seq[row] not in skip
+        ]
+        touched = [
+            self._cei_obj[cidx]
+            for cidx in self.capture_resource_rows(resource, skip)
+        ]
         return captured, touched
 
     def capture_single(
@@ -504,6 +522,19 @@ class FastCandidatePool:
             for rid, group in self._by_resource.items()
             if group and rid in resources and resources[rid].push_enabled
         ]
+
+    def active_seqs_on(self, resource: ResourceId) -> list[int]:
+        """Sorted seqs of the active candidate EIs on ``resource``.
+
+        Sorted so per-EI fault verdicts (one uniform draw per seq, in
+        order) match the reference pool's regardless of set iteration
+        order.
+        """
+        group = self._by_resource.get(resource)
+        if not group:
+            return []
+        row_seq = self.row_seq
+        return sorted(row_seq[row] for row in group)
 
     def active_eis(self) -> Iterator[ExecutionInterval]:
         """All currently active, uncaptured candidate EIs (the probe pool)."""
@@ -751,8 +782,12 @@ def _fast_phase(
         probed.add(rid)
         if probe_hook:
             policy.on_probe(rid, chronon)
+        skip = monitor._partial_drops(rid, chronon)
         if exploit_overlap:
-            touched = pool.capture_resource_rows(rid)
+            touched = pool.capture_resource_rows(rid, skip)
+        elif row_seq[row] in skip:
+            # Per-EI verdict dropped exactly the selected EI.
+            touched = []
         else:
             touched = pool.capture_single_row(row)
         if sensitive and touched:
@@ -785,10 +820,14 @@ def _refresh_siblings_fast(
     row_finish = pool.row_finish
     row_seq = pool.row_seq
     row_resource = pool.row_resource
+    row_dependent = kernel.row_dependent
     for cidx in touched:
         if pool.cei_satisfied[cidx] or pool.cei_failed[cidx]:
             continue  # closed CEIs left the candidate bag entirely
-        fresh = kernel.score_cei(pool, cidx, chronon)
+        # Row-dependent kernels (expected-gain: sibling rows on different
+        # resources score differently) re-score per row; the rest score
+        # once per CEI.
+        fresh = None if row_dependent else kernel.score_cei(pool, cidx, chronon)
         for row in range(pool.cei_row_begin[cidx], pool.cei_row_end[cidx]):
             if row not in active:
                 continue
@@ -797,7 +836,10 @@ def _refresh_siblings_fast(
             rid = row_resource[row]
             if rid in probed:
                 continue
-            key = (fresh, row_finish[row], row_seq[row])
+            score = (
+                kernel.score_row(pool, row, cidx, chronon) if row_dependent else fresh
+            )
+            key = (score, row_finish[row], row_seq[row])
             if cur.get(row) != key:
                 cur[row] = key
                 dirty.add(row)

@@ -7,11 +7,13 @@ to keep maximizing gained completeness (Eq. 1) when probes can fail:
 
 * :class:`FailureModel` — *when* probes fail.  A seeded base failure
   rate, per-resource overrides (driven by ``Resource.reliability``),
-  burst :class:`Outage` windows, and deterministic fault scripts.  Every
-  verdict is a pure function of ``(resource, chronon, attempt)`` — never
-  of call order — so the reference and vectorized engines, which may
-  evaluate candidates in different orders internally, see the *same*
-  fault universe and stay bit-identical.
+  burst :class:`Outage` windows, time-varying :class:`RateWindow`
+  multipliers (diurnal load shedding), deterministic fault scripts, and
+  per-EI *partial* verdicts (a successful probe may still drop the data
+  of individual EIs).  Every verdict is a pure function of its
+  coordinates — never of call order — so the reference and vectorized
+  engines, which may evaluate candidates in different orders internally,
+  see the *same* fault universe and stay bit-identical.
 * :class:`RetryPolicy` — *what the monitor does* about a failure: capped
   immediate retries within the chronon (the failed candidate is re-ranked
   against the rest of the bag and, being unchanged, retried right away if
@@ -25,15 +27,19 @@ to keep maximizing gained completeness (Eq. 1) when probes can fail:
 Failure semantics (see DESIGN.md "Failure semantics"): a failed probe
 **consumes its full probe cost but captures nothing** and is *not*
 recorded in the schedule — the schedule stays the record of data actually
-retrieved, which is what Eq. 1 scores.  Pushed updates are
+retrieved, which is what Eq. 1 scores.  A *partially* failed probe is
+recorded (the resource did answer) but the dropped EIs stay active and
+uncaptured; ``OnlineMonitor.dropped_captures`` carries the drop
+coordinates so metrics can discount the over-credit.  Pushed updates are
 server-initiated and never fail here.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -48,6 +54,15 @@ FaultScript = Union[
     Mapping[tuple[ResourceId, Chronon], float],
     Iterable[tuple[ResourceId, Chronon]],
 ]
+
+#: Attempts per (resource, chronon) served from one batched uniform block.
+#: Retry policies rarely allow more; attempts beyond the cap fall back to
+#: the per-attempt scalar draw (same determinism, slower construction).
+_ATTEMPT_CAP = 8
+
+#: Entropy salt separating the per-EI partial-verdict stream from the
+#: per-probe verdict stream (both derive from the model seed).
+_PARTIAL_SALT = 0x9E3779B9
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +83,56 @@ class Outage:
 
     def covers(self, resource: ResourceId, chronon: Chronon) -> bool:
         return resource == self.resource and self.start <= chronon <= self.finish
+
+
+@dataclass(frozen=True, slots=True)
+class RateWindow:
+    """A time-varying failure-rate multiplier over ``[start, finish]``.
+
+    While the window is active every resource's random failure rate is
+    multiplied by ``multiplier`` (clamped to 1.0) — the diurnal
+    load-shedding pattern layered over the static ``per_resource`` map.
+    Overlapping windows compound multiplicatively.  Multipliers below 1
+    model quiet hours; 0 suspends random failures entirely.
+    """
+
+    start: Chronon
+    finish: Chronon
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.finish < self.start:
+            raise ModelError(
+                f"rate window must satisfy start <= finish, got [{self.start}, {self.finish}]"
+            )
+        if self.multiplier < 0.0:
+            raise ModelError(f"rate multiplier must be >= 0, got {self.multiplier}")
+
+    def covers(self, chronon: Chronon) -> bool:
+        return self.start <= chronon <= self.finish
+
+
+#: Accepted ``rate_schedule`` entry forms: a :class:`RateWindow`, a
+#: ``(start, finish, multiplier)`` triple, or ``((start, finish), multiplier)``.
+RateScheduleEntry = Union[
+    RateWindow,
+    tuple[Chronon, Chronon, float],
+    tuple[tuple[Chronon, Chronon], float],
+]
+
+
+def _coerce_rate_schedule(entries: Iterable[RateScheduleEntry]) -> tuple[RateWindow, ...]:
+    windows: list[RateWindow] = []
+    for entry in entries:
+        if isinstance(entry, RateWindow):
+            windows.append(entry)
+        elif len(entry) == 3:
+            start, finish, multiplier = entry
+            windows.append(RateWindow(start, finish, float(multiplier)))
+        else:
+            (start, finish), multiplier = entry
+            windows.append(RateWindow(start, finish, float(multiplier)))
+    return tuple(windows)
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,17 +187,29 @@ class FailureModel:
     Verdict precedence for one attempt: an :class:`Outage` covering the
     chronon fails it; otherwise a script entry for ``(resource, chronon)``
     decides (attempt index below the scripted count fails, at or above it
-    succeeds); otherwise the attempt fails with the resource's failure
-    probability — ``per_resource`` override first, then the base ``rate``.
+    succeeds); otherwise the attempt fails with the resource's *effective*
+    failure probability — the ``per_resource`` override (else the base
+    ``rate``) times the product of all active :class:`RateWindow`
+    multipliers, clamped to 1.
 
-    Random verdicts are drawn by seeding a fresh generator from
-    ``(seed, resource, chronon, attempt)``, making :meth:`fails` a pure
-    function of its arguments.  Two monitors sharing a model therefore
-    experience identical fault universes regardless of engine or probe
-    order — the property the fast-path equivalence tests rely on.  The
-    draws are also *coupled across rates*: the same attempt's uniform
-    draw is compared against each rate, so raising the rate only ever
-    adds failures (monotone degradation in failure-rate sweeps).
+    Random verdicts are served from one batched uniform block per chronon,
+    seeded from ``(seed, chronon)`` and indexed by ``(resource, attempt)``
+    — so :meth:`fails` stays a pure function of its arguments while
+    failing-heavy runs avoid constructing a ``SeedSequence`` per attempt.
+    (``per_attempt_draws=True`` restores the legacy one-generator-per-
+    attempt scheme; it defines a *different* fault universe and exists for
+    benchmarking the two paths against each other.)  Two monitors sharing
+    a model therefore experience identical fault universes regardless of
+    engine or probe order — the property the fast-path equivalence tests
+    rely on.  The draws are also *coupled across rates*: the same
+    attempt's uniform draw is compared against each rate, so raising the
+    rate only ever adds failures (monotone degradation in failure-rate
+    sweeps).
+
+    ``partial_rate`` adds per-EI verdicts on *successful* probes: each
+    active EI on the probed resource is independently dropped with that
+    probability (see :meth:`partial_drops`).  Dropped EIs stay uncaptured
+    and active, so a later probe of the resource can still retrieve them.
     """
 
     def __init__(
@@ -142,12 +219,18 @@ class FailureModel:
         outages: Iterable[Outage] = (),
         script: Optional[FaultScript] = None,
         seed: int = 0,
+        rate_schedule: Iterable[RateScheduleEntry] = (),
+        partial_rate: float = 0.0,
+        per_attempt_draws: bool = False,
     ) -> None:
         if not 0.0 <= rate <= 1.0:
             raise ModelError(f"failure rate must be in [0, 1], got {rate}")
+        if not 0.0 <= partial_rate <= 1.0:
+            raise ModelError(f"partial failure rate must be in [0, 1], got {partial_rate}")
         if seed < 0:
             raise ModelError(f"failure seed must be >= 0, got {seed}")
         self.rate = float(rate)
+        self.partial_rate = float(partial_rate)
         self.per_resource: dict[ResourceId, float] = dict(per_resource or {})
         for rid, p in self.per_resource.items():
             if not 0.0 <= p <= 1.0:
@@ -155,6 +238,7 @@ class FailureModel:
                     f"per-resource failure rate must be in [0, 1], got {p} for resource {rid}"
                 )
         self.outages = tuple(outages)
+        self.rate_schedule = _coerce_rate_schedule(rate_schedule)
         if script is None:
             self.script: dict[tuple[ResourceId, Chronon], float] = {}
         elif isinstance(script, Mapping):
@@ -167,6 +251,15 @@ class FailureModel:
                     f"scripted failure count must be >= 0, got {count} at ({rid}, {chronon})"
                 )
         self.seed = seed
+        self.per_attempt_draws = per_attempt_draws
+        # Batched-draw state: one uniform block per chronon covering
+        # _uni_resources * _ATTEMPT_CAP (resource, attempt) slots.  The
+        # width only grows; PCG64's sequential fill is prefix-stable, so a
+        # regenerated (wider, or evicted-and-rebuilt) block serves already
+        # -queried positions the identical values.
+        self._uni_resources = 64
+        self._uni_cache: "OrderedDict[Chronon, np.ndarray]" = OrderedDict()
+        self._mult_cache: dict[Chronon, float] = {}
 
     @classmethod
     def from_pool(
@@ -176,6 +269,8 @@ class FailureModel:
         outages: Iterable[Outage] = (),
         script: Optional[FaultScript] = None,
         seed: int = 0,
+        rate_schedule: Iterable[RateScheduleEntry] = (),
+        partial_rate: float = 0.0,
     ) -> "FailureModel":
         """Derive per-resource failure rates from ``Resource.reliability``."""
         per_resource = {
@@ -184,41 +279,137 @@ class FailureModel:
             if resource.reliability < 1.0
         }
         return cls(
-            rate=rate, per_resource=per_resource, outages=outages, script=script, seed=seed
+            rate=rate,
+            per_resource=per_resource,
+            outages=outages,
+            script=script,
+            seed=seed,
+            rate_schedule=rate_schedule,
+            partial_rate=partial_rate,
         )
 
     @property
     def is_trivial(self) -> bool:
-        """True when no probe can ever fail under this model."""
+        """True when no probe (and no per-EI capture) can ever fail."""
         return (
             self.rate == 0.0
+            and self.partial_rate == 0.0
             and not self.outages
             and not self.script
             and all(p == 0.0 for p in self.per_resource.values())
         )
 
     def failure_rate(self, resource: ResourceId) -> float:
-        """The random failure probability applying to ``resource``."""
+        """The *static* random failure probability applying to ``resource``."""
         return self.per_resource.get(resource, self.rate)
 
-    def _draw(self, resource: ResourceId, chronon: Chronon, attempt: int) -> float:
-        entropy = (self.seed, resource, chronon, attempt)
-        return float(np.random.default_rng(np.random.SeedSequence(entropy)).random())
+    def rate_multiplier(self, chronon: Chronon) -> float:
+        """Product of all :class:`RateWindow` multipliers active at ``chronon``."""
+        if not self.rate_schedule:
+            return 1.0
+        cached = self._mult_cache.get(chronon)
+        if cached is None:
+            cached = 1.0
+            for window in self.rate_schedule:
+                if window.covers(chronon):
+                    cached *= window.multiplier
+            self._mult_cache[chronon] = cached
+        return cached
 
-    def fails(self, resource: ResourceId, chronon: Chronon, attempt: int) -> bool:
-        """Does attempt number ``attempt`` (0-based) at ``chronon`` fail?"""
+    def rate_with_multiplier(self, resource: ResourceId, multiplier: float) -> float:
+        """Static rate of ``resource`` scaled by a multiplier, clamped to 1.
+
+        The one place the effective rate is computed: both :meth:`fails`
+        and the expected-gain policy/kernel call through here, so their
+        float values agree bit-for-bit.
+        """
+        p = self.per_resource.get(resource, self.rate)
+        if multiplier != 1.0:
+            p = min(1.0, p * multiplier)
+        return p
+
+    def failure_rate_at(self, resource: ResourceId, chronon: Chronon) -> float:
+        """The effective random failure probability at ``chronon``."""
+        return self.rate_with_multiplier(resource, self.rate_multiplier(chronon))
+
+    def in_outage(self, resource: ResourceId, chronon: Chronon) -> bool:
+        """Is ``resource`` inside a declared :class:`Outage` window?"""
         for outage in self.outages:
             if outage.covers(resource, chronon):
                 return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Uniform draws
+    # ------------------------------------------------------------------
+
+    def _scalar_draw(self, resource: ResourceId, chronon: Chronon, attempt: int) -> float:
+        entropy = (self.seed, resource, chronon, attempt)
+        return float(np.random.default_rng(np.random.SeedSequence(entropy)).random())
+
+    def _block(self, chronon: Chronon) -> np.ndarray:
+        needed = self._uni_resources * _ATTEMPT_CAP
+        block = self._uni_cache.get(chronon)
+        if block is None or block.size < needed:
+            rng = np.random.default_rng(np.random.SeedSequence((self.seed, chronon)))
+            block = rng.random(needed)
+            self._uni_cache[chronon] = block
+        self._uni_cache.move_to_end(chronon)
+        while len(self._uni_cache) > 8:
+            self._uni_cache.popitem(last=False)
+        return block
+
+    def _draw(self, resource: ResourceId, chronon: Chronon, attempt: int) -> float:
+        if self.per_attempt_draws or attempt >= _ATTEMPT_CAP:
+            return self._scalar_draw(resource, chronon, attempt)
+        while resource >= self._uni_resources:
+            self._uni_resources *= 2
+        return float(self._block(chronon)[resource * _ATTEMPT_CAP + attempt])
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+
+    def fails(self, resource: ResourceId, chronon: Chronon, attempt: int) -> bool:
+        """Does attempt number ``attempt`` (0-based) at ``chronon`` fail?"""
+        if self.in_outage(resource, chronon):
+            return True
         scripted = self.script.get((resource, chronon))
         if scripted is not None:
             return attempt < scripted
-        p = self.failure_rate(resource)
+        p = self.failure_rate_at(resource, chronon)
         if p <= 0.0:
             return False
         if p >= 1.0:
             return True
         return self._draw(resource, chronon, attempt) < p
+
+    def partial_drops(
+        self,
+        resource: ResourceId,
+        chronon: Chronon,
+        attempt: int,
+        seqs: Sequence[int],
+    ) -> frozenset[int]:
+        """Per-EI verdicts of one *successful* probe: the dropped EI seqs.
+
+        Each active EI on the resource is dropped independently with
+        probability ``partial_rate``.  The draw is a pure function of
+        ``(resource, chronon, attempt)`` plus the *sorted* candidate seq
+        set: one generator serves the whole probe, with seqs consuming
+        uniforms in ascending order, so any two engines that agree on the
+        active set at probe time (which bit-identical engines do) agree on
+        the drops — regardless of internal iteration order.
+        """
+        if self.partial_rate <= 0.0 or not seqs:
+            return frozenset()
+        ordered = sorted(seqs)
+        if self.partial_rate >= 1.0:
+            return frozenset(ordered)
+        entropy = (self.seed, _PARTIAL_SALT, resource, chronon, attempt)
+        draws = np.random.default_rng(np.random.SeedSequence(entropy)).random(len(ordered))
+        rate = self.partial_rate
+        return frozenset(seq for seq, u in zip(ordered, draws) if u < rate)
 
 
 @dataclass(slots=True)
@@ -229,6 +420,7 @@ class FaultStats:
     failures: int = 0
     retries: int = 0
     backoffs: int = 0
+    failures_by_resource: dict[ResourceId, int] = field(default_factory=dict)
 
     @property
     def successes(self) -> int:
@@ -268,9 +460,19 @@ class FaultInjector:
         self._attempts.clear()
 
     def blocked(self, resource: ResourceId, chronon: Chronon) -> bool:
-        """Is ``resource`` inside an exponential-backoff window?"""
+        """Is ``resource`` unavailable before any budget is spent on it?
+
+        True inside an exponential-backoff window *and* inside a declared
+        :class:`Outage` — a probe during a known outage window cannot
+        succeed, so the monitor skips it without consuming budget or a
+        retry attempt (previously the attempt counter and the outage
+        verdict were consulted separately and an outage probe burned both
+        budget and attempts).
+        """
         until = self._blocked_until.get(resource)
-        return until is not None and chronon < until
+        if until is not None and chronon < until:
+            return True
+        return self.model.in_outage(resource, chronon)
 
     def exhausted(self, resource: ResourceId) -> bool:
         """Has the resource used up its attempts for the current chronon?"""
@@ -284,6 +486,10 @@ class FaultInjector:
         """After a failure: are more attempts allowed this chronon?"""
         return not self.exhausted(resource)
 
+    def attempts_used(self, resource: ResourceId) -> int:
+        """Probe attempts consumed by ``resource`` in the current chronon."""
+        return self._attempts.get(resource, 0)
+
     def attempt(self, resource: ResourceId, chronon: Chronon) -> bool:
         """Run one budgeted probe attempt; returns True on success."""
         n = self._attempts.get(resource, 0)
@@ -296,6 +502,8 @@ class FaultInjector:
             self._blocked_until.pop(resource, None)
             return True
         self.stats.failures += 1
+        by_resource = self.stats.failures_by_resource
+        by_resource[resource] = by_resource.get(resource, 0) + 1
         if n + 1 >= self.retry.max_attempts:
             # Final failure of the chronon: the streak of consecutive
             # failed chronons grows and may open a backoff window.

@@ -42,14 +42,15 @@ from repro.core.resource import ResourceId, ResourcePool
 from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Chronon, Epoch
 from repro.online.candidates import CandidatePool
-from repro.online.fastpath import FastCandidatePool, run_fast_phases
+from repro.online.config import ENGINES, MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, FaultInjector, FaultStats, RetryPolicy
+from repro.online.fastpath import FastCandidatePool, run_fast_phases
 from repro.policies.base import Policy
 from repro.policies.kernels import resolve_kernel
 
 _EPS = 1e-9
 
-ENGINES = ("reference", "vectorized")
+__all__ = ["ENGINES", "OnlineMonitor"]
 
 
 class OnlineMonitor:
@@ -71,21 +72,24 @@ class OnlineMonitor:
         When True (default, the paper's behaviour) a probe captures every
         active EI on the probed resource; when False it captures only the
         EI the policy selected.  Disabling this is the A1 ablation.
-    engine:
-        ``"reference"`` (default) for the per-EI Algorithm 1 loop,
-        ``"vectorized"`` for the NumPy structure-of-arrays fast path.
-        Both produce identical schedules for deterministic policies.
-    faults:
-        Optional :class:`repro.online.faults.FailureModel`.  With it, a
-        probe attempt may fail: the attempt consumes its full probe cost
-        but captures nothing and leaves no schedule entry.  Verdicts are
-        pure functions of ``(resource, chronon, attempt)``, so both
-        engines stay bit-identical under the same model.
-    retry:
-        Optional :class:`repro.online.faults.RetryPolicy` governing
-        immediate re-ranked retries within the chronon and exponential
-        backoff across chronons.  Only meaningful together with
-        ``faults``.
+    config:
+        A :class:`repro.online.config.MonitorConfig` bundling the
+        execution knobs: the engine (``Engine.REFERENCE`` runs the per-EI
+        Algorithm 1 loop, ``Engine.VECTORIZED`` the NumPy
+        structure-of-arrays fast path — both produce identical schedules
+        for deterministic policies), an optional
+        :class:`repro.online.faults.FailureModel` (a probe attempt may
+        fail: full probe cost, nothing captured, no schedule entry; with
+        ``partial_rate`` a *successful* probe may still drop individual
+        EIs) and an optional :class:`repro.online.faults.RetryPolicy`
+        (immediate re-ranked retries within the chronon, exponential
+        backoff across chronons — only meaningful together with a
+        failure model).  Fault verdicts are pure functions of
+        ``(resource, chronon, attempt)``, so both engines stay
+        bit-identical under the same model.
+    engine, faults, retry:
+        Deprecated keyword equivalents of the ``config`` fields; passing
+        any of them emits a ``DeprecationWarning``.
     """
 
     def __init__(
@@ -95,22 +99,29 @@ class OnlineMonitor:
         preemptive: bool = True,
         resources: Optional[ResourcePool] = None,
         exploit_overlap: bool = True,
-        engine: str = "reference",
+        config: Optional[MonitorConfig] = None,
+        *,
+        engine: Optional[str] = None,
         faults: Optional[FailureModel] = None,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
-        if engine not in ENGINES:
-            raise ModelError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-        if retry is not None and faults is None:
+        cfg = resolve_config(
+            config, engine=engine, faults=faults, retry=retry, owner="OnlineMonitor"
+        )
+        if cfg.retry is not None and cfg.faults is None:
             raise ModelError("a retry policy needs a failure model to retry against")
         self.policy = policy
         self.budget = budget
         self.preemptive = preemptive
         self.resources = resources
         self.exploit_overlap = exploit_overlap
-        self.engine = engine
+        self.config = cfg
+        self.engine = cfg.engine.value
+        # Reliability-aware policies adopt the run's fault universe before
+        # the kernel is resolved, so the kernel sees the bound model too.
+        policy.bind_reliability(cfg.faults, cfg.retry)
         self.pool: Union[CandidatePool, FastCandidatePool]
-        if engine == "vectorized":
+        if self.engine == "vectorized":
             self.pool = FastCandidatePool()
             self._kernel = resolve_kernel(policy)
         else:
@@ -118,8 +129,10 @@ class OnlineMonitor:
             self._kernel = None
         self.schedule = Schedule()
         self._faults: Optional[FaultInjector] = (
-            FaultInjector(faults, retry) if faults is not None else None
+            FaultInjector(cfg.faults, cfg.retry) if cfg.faults is not None else None
         )
+        self._partial = cfg.faults is not None and cfg.faults.partial_rate > 0.0
+        self._dropped: set[tuple[ResourceId, Chronon, int]] = set()
         self._push_probes: set[tuple[ResourceId, Chronon]] = set()
         self._consumed: dict[Chronon, float] = {}
         self._clock: Chronon = -1
@@ -249,7 +262,8 @@ class OnlineMonitor:
                     self.schedule.add_probe(resource, chronon)
                     probed.add(resource)
                     self.policy.on_probe(resource, chronon)
-                    self.pool.capture_resource(resource, chronon)
+                    skip = self._partial_drops(resource, chronon)
+                    self.pool.capture_resource(resource, chronon, skip)
                     break
                 # Failed probe: budget spent, nothing captured.  The pick
                 # was explicit, so a permitted retry re-attempts in place.
@@ -315,13 +329,39 @@ class OnlineMonitor:
                 self._refresh_siblings(touched, chronon, heap, current_key, probed)
         return budget_left
 
+    def _partial_drops(
+        self, resource: ResourceId, chronon: Chronon
+    ) -> frozenset[int]:
+        """Per-EI drop verdicts for the successful probe just issued.
+
+        Draws the :meth:`FailureModel.partial_drops` verdict over the
+        resource's currently-active candidate seqs (both engines agree on
+        that set at every probe, so the verdicts match bit-for-bit) and
+        records the drop coordinates for :attr:`dropped_captures`.
+        Returns the seqs to *skip* during capture.
+        """
+        if not self._partial:
+            return frozenset()
+        injector = self._faults
+        assert injector is not None  # _partial implies a model
+        attempt = injector.attempts_used(resource) - 1
+        seqs = self.pool.active_seqs_on(resource)
+        drops = injector.model.partial_drops(resource, chronon, attempt, seqs)
+        for seq in drops:
+            self._dropped.add((resource, chronon, seq))
+        return drops
+
     def _capture(
         self, chosen: ExecutionInterval, chronon: Chronon
     ) -> tuple[list[ExecutionInterval], list[ComplexExecutionInterval]]:
         """Apply a probe's captures, honouring the overlap ablation flag."""
+        skip = self._partial_drops(chosen.resource, chronon)
         if self.exploit_overlap:
-            return self.pool.capture_resource(chosen.resource, chronon)
-        # Ablation: the probe yields only the selected EI.
+            return self.pool.capture_resource(chosen.resource, chronon, skip)
+        # Ablation: the probe yields only the selected EI (unless the
+        # per-EI verdict dropped exactly that one).
+        if chosen.seq in skip:
+            return [], []
         return self.pool.capture_single(chosen)
 
     def _refresh_siblings(
@@ -427,6 +467,18 @@ class OnlineMonitor:
     def fault_stats(self) -> FaultStats:
         """Attempt/failure/retry/backoff counters for this run."""
         return self._faults.stats if self._faults is not None else FaultStats()
+
+    @property
+    def dropped_captures(self) -> frozenset[tuple[ResourceId, Chronon, int]]:
+        """Per-EI partial-failure drops: ``(resource, chronon, seq)`` triples.
+
+        Each triple names an EI that was active on a successfully-probed
+        resource but whose data the probe failed to retrieve.  The probe
+        itself *is* in the schedule, so metrics must exclude these
+        coordinates (``evaluate_schedule(..., dropped=...)``) or the
+        dropped EIs would be silently over-credited.
+        """
+        return frozenset(self._dropped)
 
     @property
     def push_probes(self) -> frozenset[tuple[ResourceId, Chronon]]:

@@ -15,6 +15,7 @@ from repro.policies.base import (
 )
 from repro.policies.hybrid import FollowSchedule, Hybrid, clairvoyant_policy
 from repro.policies.kernels import (
+    ExpectedGainKernel,
     MEDFKernel,
     MRSFKernel,
     ScoreKernel,
@@ -24,12 +25,23 @@ from repro.policies.kernels import (
 from repro.policies.medf import MEDF, m_edf_value
 from repro.policies.mrsf import MRSF, residual_count
 from repro.policies.naive import FIFO, RandomPolicy, RoundRobin
+from repro.policies.reliability import (
+    ExpectedGainMEDF,
+    ExpectedGainMRSF,
+    ExpectedGainPolicy,
+    ExpectedGainSEDF,
+)
 from repro.policies.sedf import SEDF, s_edf_value
 from repro.policies.weighted import WeightedMEDF, WeightedMRSF, WeightedSEDF
 from repro.policies.wic import WIC
 
 __all__ = [
     "ExpectedGain",
+    "ExpectedGainKernel",
+    "ExpectedGainMEDF",
+    "ExpectedGainMRSF",
+    "ExpectedGainPolicy",
+    "ExpectedGainSEDF",
     "FIFO",
     "FollowSchedule",
     "Hybrid",

@@ -92,6 +92,16 @@ class Policy(abc.ABC):
     def on_ei_expired(self, ei: ExecutionInterval, chronon: Chronon) -> None:
         """Called when an EI's window closes without capture."""
 
+    def bind_reliability(self, faults, retry) -> None:
+        """Called once by the monitor with its failure model and retry policy.
+
+        Most policies are reliability-blind and ignore the call (the
+        default).  Reliability-aware policies (the expected-gain wrappers)
+        adopt the run's :class:`~repro.online.faults.FailureModel` /
+        :class:`~repro.online.faults.RetryPolicy` here unless they were
+        constructed with an explicit model of their own.
+        """
+
     def sibling_sensitive(self) -> bool:
         """Does this policy's priority depend on sibling capture state?
 

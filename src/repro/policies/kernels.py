@@ -53,6 +53,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.online.fastpath import FastCandidatePool
     from repro.policies.base import Policy
+    from repro.policies.reliability import ExpectedGainPolicy
 
 
 class ScoreKernel:
@@ -63,6 +64,12 @@ class ScoreKernel:
     #: seq into one int64 sort key and orders a phase with a single
     #: ``argsort`` instead of a three-key ``lexsort``.
     integer_valued = False
+
+    #: True when two candidate rows of the *same* CEI can score differently
+    #: (e.g. they sit on resources with different failure rates).  The
+    #: sibling-refresh step then re-scores per row via :meth:`score_row`
+    #: instead of once per CEI via :meth:`score_cei`.
+    row_dependent = False
 
     def score_rows(
         self,
@@ -86,6 +93,16 @@ class ScoreKernel:
         sibling-refresh step of the vectorized probe loop.
         """
         raise NotImplementedError
+
+    def score_row(
+        self, pool: "FastCandidatePool", row: int, cidx: int, chronon: int
+    ) -> float:
+        """Scalar priority of one candidate row.
+
+        Only consulted by the sibling-refresh step when the kernel is
+        :attr:`row_dependent`; the default delegates to the per-CEI score.
+        """
+        return self.score_cei(pool, cidx, chronon)
 
 
 class SEDFKernel(ScoreKernel):
@@ -170,6 +187,41 @@ class WeightedMEDFKernel(MEDFKernel):
 
     def score_cei(self, pool, cidx, chronon):
         return super().score_cei(pool, cidx, chronon) / pool.cei_weight[cidx]
+
+
+class ExpectedGainKernel(ScoreKernel):
+    """A base kernel's scores divided by per-resource success probability.
+
+    The batched mirror of
+    :class:`repro.policies.reliability.ExpectedGainPolicy`: the policy
+    supplies a float64 array mapping resource id → ``p_success`` at the
+    current chronon, *built element-by-element from the same Python scalar
+    arithmetic the reference engine uses*, so dividing by a gathered array
+    entry and dividing by the scalar produce the identical IEEE-754
+    result.  Resources that cannot succeed (``p_success == 0``) score
+    ``inf`` — ranked last, exactly like the reference path.
+    """
+
+    integer_valued = False
+    row_dependent = True
+
+    def __init__(self, base: ScoreKernel, policy: "ExpectedGainPolicy") -> None:
+        self.base = base
+        self.policy = policy
+
+    def score_rows(self, pool, rows, cidx, chronon):
+        scores = self.base.score_rows(pool, rows, cidx, chronon)
+        ps = self.policy.p_success_array(chronon, pool.npr_resource.max(initial=0) + 1)
+        divisors = ps[pool.npr_resource[rows]]
+        out = np.full(len(scores), np.inf)
+        np.divide(scores, divisors, out=out, where=divisors > 0.0)
+        return out
+
+    def score_row(self, pool, row, cidx, chronon):
+        p = self.policy.p_success(pool.row_resource[row], chronon)
+        if p <= 0.0:
+            return float("inf")
+        return self.base.score_cei(pool, cidx, chronon) / p
 
 
 def resolve_kernel(policy: "Policy") -> Optional[ScoreKernel]:

@@ -1,0 +1,237 @@
+"""Reliability-aware policies: expected-gain discounting of any base policy.
+
+The paper's policies rank candidates as if every probe succeeds.  Under a
+:class:`~repro.online.faults.FailureModel` that is wrong twice over: a
+probe of a flaky resource (a) may pay its cost for nothing and (b) even
+with retries only captures with probability ``p_success < 1``.  The
+expected gained completeness of probing candidate ``I`` on resource ``r``
+is therefore its nominal gain *times* ``p_success(r)`` — so the wrapper
+here divides the base policy's priority (lower probes first) by
+``p_success``, pushing unreliable resources later in the ranking exactly
+in proportion to how much of their gain evaporates in expectation.  The
+shape follows the utility-discounted scheduling of the load-shedding and
+adaptive-probing literature (He et al.; Mahmoody et al.).
+
+``p_success`` compounds the per-attempt failure probability over the
+retry budget: with effective failure rate ``f`` and ``A`` attempts
+allowed per (resource, chronon), ``p_success = 1 - f**A``.  ``A`` is the
+*full* attempt allowance, not the attempts remaining — a failed candidate
+re-enters the ranking of both engines with an unchanged key, so the
+discount must be a constant per (resource, chronon).  Time-varying
+:class:`~repro.online.faults.RateWindow` multipliers flow through
+``FailureModel.rate_with_multiplier``; :class:`~repro.online.faults.Outage`
+windows do *not* discount (the injector already skips outaged resources
+before any budget is spent, so their candidates are simply unprobeable,
+not mispriced).
+
+The wrapper assumes the base policy's priorities are non-negative, which
+holds for every policy in this package (deadline distances, residuals and
+remaining-mass sums are all >= 0 for active candidates); a negative
+priority would have its urgency *amplified* by the division instead of
+discounted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.intervals import ExecutionInterval
+from repro.core.resource import ResourceId
+from repro.core.timebase import Chronon
+from repro.policies.base import MonitorView, Policy, Priority, make_policy, register_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.online.faults import FailureModel, RetryPolicy
+    from repro.policies.kernels import ScoreKernel
+
+
+class ExpectedGainPolicy(Policy):
+    """Discount a base policy's priority by probe success probability.
+
+    Parameters
+    ----------
+    base:
+        The wrapped policy (an instance, or a registry name).
+    faults, retry:
+        Optional explicit :class:`FailureModel` / :class:`RetryPolicy`.
+        When omitted (the usual case) the policy adopts the monitor's own
+        model and retry policy through :meth:`bind_reliability`, so
+        ``make_policy("EG-MRSF")`` needs no wiring — it discounts by
+        whatever fault universe the run actually injects.  With no model
+        at all (or a trivial one) the wrapper ranks identically to its
+        base: every ``p_success`` is 1.
+    """
+
+    def __init__(
+        self,
+        base: Policy | str,
+        faults: "Optional[FailureModel]" = None,
+        retry: "Optional[RetryPolicy]" = None,
+    ) -> None:
+        self.base = make_policy(base) if isinstance(base, str) else base
+        self.faults = faults
+        self.retry = retry
+        self._explicit_faults = faults is not None
+        self._explicit_retry = retry is not None
+        # Caches keyed by the active rate multiplier: {mult: {rid: p}} for
+        # scalar lookups and {mult: ndarray} for the kernel.  Cleared when
+        # bind_reliability swaps the model in.
+        self._p_cache: dict[float, dict[ResourceId, float]] = {}
+        self._array_cache: dict[float, np.ndarray] = {}
+        if not type(self).name:
+            self.name = f"EG-{self.base.name}"
+
+    # -- reliability plumbing ------------------------------------------
+
+    def bind_reliability(self, faults, retry) -> None:
+        """Adopt the monitor's fault universe unless explicitly configured."""
+        changed = False
+        if not self._explicit_faults and faults is not None and faults is not self.faults:
+            self.faults = faults
+            changed = True
+        if not self._explicit_retry and retry is not None and retry is not self.retry:
+            self.retry = retry
+            changed = True
+        if changed:
+            self._p_cache.clear()
+            self._array_cache.clear()
+
+    def _multiplier(self, chronon: Chronon) -> float:
+        model = self.faults
+        if model is None or not model.rate_schedule:
+            return 1.0
+        return model.rate_multiplier(chronon)
+
+    def _p_success_static(self, resource: ResourceId, multiplier: float) -> float:
+        """``p_success`` from plain Python scalar arithmetic.
+
+        The kernel's per-resource array is built entry-by-entry from this
+        same function, so the vectorized engine divides by bit-identical
+        float64 values.
+        """
+        model = self.faults
+        if model is None:
+            return 1.0
+        f = model.rate_with_multiplier(resource, multiplier)
+        if f <= 0.0:
+            return 1.0
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        return 1.0 - f**attempts
+
+    def p_success(self, resource: ResourceId, chronon: Chronon) -> float:
+        """Probability that probing ``resource`` at ``chronon`` captures."""
+        if self.faults is None:
+            return 1.0
+        multiplier = self._multiplier(chronon)
+        per_resource = self._p_cache.setdefault(multiplier, {})
+        p = per_resource.get(resource)
+        if p is None:
+            p = self._p_success_static(resource, multiplier)
+            per_resource[resource] = p
+        return p
+
+    def p_success_array(self, chronon: Chronon, size: int) -> np.ndarray:
+        """Resource-indexed ``p_success`` values for the batched kernel."""
+        multiplier = self._multiplier(chronon)
+        arr = self._array_cache.get(multiplier)
+        if arr is None or arr.size < size:
+            width = max(size, 64, 0 if arr is None else 2 * arr.size)
+            arr = np.array(
+                [self._p_success_static(rid, multiplier) for rid in range(width)]
+            )
+            self._array_cache[multiplier] = arr
+        return arr
+
+    # -- Policy interface ----------------------------------------------
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        base = self.base.priority(ei, chronon, view)
+        p = self.p_success(ei.resource, chronon)
+        if p <= 0.0:
+            return math.inf
+        return base / p
+
+    def sibling_sensitive(self) -> bool:
+        return self.base.sibling_sensitive()
+
+    def select_resources(self, chronon, limit, view):
+        return self.base.select_resources(chronon, limit, view)
+
+    def on_run_start(self, num_resources: int) -> None:
+        self.base.on_run_start(num_resources)
+
+    def on_chronon_start(self, chronon: Chronon) -> None:
+        self.base.on_chronon_start(chronon)
+
+    def on_probe(self, resource: ResourceId, chronon: Chronon) -> None:
+        self.base.on_probe(resource, chronon)
+
+    def on_ei_activated(self, ei: ExecutionInterval, chronon: Chronon) -> None:
+        self.base.on_ei_activated(ei, chronon)
+
+    def on_ei_expired(self, ei: ExecutionInterval, chronon: Chronon) -> None:
+        self.base.on_ei_expired(ei, chronon)
+
+    def make_kernel(self) -> "Optional[ScoreKernel]":
+        from repro.policies.kernels import ExpectedGainKernel
+
+        base_kernel = self.base.make_kernel()
+        if base_kernel is None:
+            return None
+        return ExpectedGainKernel(base_kernel, self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(base={self.base!r})"
+
+
+@register_policy("EG-S-EDF")
+class ExpectedGainSEDF(ExpectedGainPolicy):
+    """Expected-gain discounted S-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("S-EDF")
+
+
+@register_policy("EG-MRSF")
+class ExpectedGainMRSF(ExpectedGainPolicy):
+    """Expected-gain discounted MRSF."""
+
+    def __init__(self) -> None:
+        super().__init__("MRSF")
+
+
+@register_policy("EG-M-EDF")
+class ExpectedGainMEDF(ExpectedGainPolicy):
+    """Expected-gain discounted M-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("M-EDF")
+
+
+@register_policy("EG-W-S-EDF")
+class ExpectedGainWeightedSEDF(ExpectedGainPolicy):
+    """Expected-gain discounted weighted S-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("W-S-EDF")
+
+
+@register_policy("EG-W-MRSF")
+class ExpectedGainWeightedMRSF(ExpectedGainPolicy):
+    """Expected-gain discounted weighted MRSF."""
+
+    def __init__(self) -> None:
+        super().__init__("W-MRSF")
+
+
+@register_policy("EG-W-M-EDF")
+class ExpectedGainWeightedMEDF(ExpectedGainPolicy):
+    """Expected-gain discounted weighted M-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("W-M-EDF")

@@ -29,8 +29,9 @@ from repro.core.resource import ResourcePool
 from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrivals_from_profiles
+from repro.online.config import MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, RetryPolicy
-from repro.online.monitor import ENGINES, OnlineMonitor
+from repro.online.monitor import OnlineMonitor
 from repro.policies.base import Policy, make_policy
 from repro.proxy.compiler import CompilationContext, compile_queries
 from repro.proxy.delivery import ClientReport, client_report
@@ -77,7 +78,9 @@ class MonitoringProxy:
         policy: Policy | str = "MRSF",
         preemptive: bool = True,
         chronons_per_minute: float = 1.0,
-        engine: str = "reference",
+        config: Optional[MonitorConfig] = None,
+        *,
+        engine: Optional[str] = None,
         faults: Optional[FailureModel] = None,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
@@ -96,19 +99,26 @@ class MonitoringProxy:
         self.policy = policy
         self.preemptive = preemptive
         self.chronons_per_minute = chronons_per_minute
-        self.engine = self._check_engine(engine)
-        self.faults = faults
-        self.retry = retry
+        self.config = resolve_config(
+            config, engine=engine, faults=faults, retry=retry,
+            owner="MonitoringProxy",
+        )
         self._clients: dict[str, _Client] = {}
         self._resource_ids = {r.name: r.rid for r in resources}
 
-    @staticmethod
-    def _check_engine(engine: str) -> str:
-        if engine not in ENGINES:
-            raise ExperimentError(
-                f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
-            )
-        return engine
+    # Read-only views of the config for callers written against the old
+    # attribute surface.
+    @property
+    def engine(self) -> str:
+        return self.config.engine.value
+
+    @property
+    def faults(self) -> Optional[FailureModel]:
+        return self.config.faults
+
+    @property
+    def retry(self) -> Optional[RetryPolicy]:
+        return self.config.retry
 
     # ------------------------------------------------------------------
     # Registration
@@ -179,26 +189,42 @@ class MonitoringProxy:
             profiles.add(Profile(pid=pid, ceis=list(self._clients[name].ceis)))
         return profiles
 
-    def run(self, engine: Optional[str] = None) -> ProxyRunResult:
+    def run(
+        self,
+        config: Optional[MonitorConfig] = None,
+        *,
+        engine: Optional[str] = None,
+    ) -> ProxyRunResult:
         """Run one monitoring epoch over everything submitted so far.
 
-        ``engine`` overrides the proxy's configured monitor engine for
-        this run only.  (The facade previously dropped the engine choice
-        entirely and always ran the reference monitor.)
+        ``config`` overrides the proxy's configured :class:`MonitorConfig`
+        for this run only; the deprecated ``engine=`` keyword overrides
+        just the engine field.
         """
-        engine = self.engine if engine is None else self._check_engine(engine)
+        if config is not None and engine is not None:
+            raise ExperimentError(
+                "MonitoringProxy.run: pass either config= or the deprecated "
+                "engine= keyword, not both"
+            )
+        if engine is not None:
+            override = resolve_config(None, engine=engine, owner="MonitoringProxy.run")
+            cfg = self.config.replace(engine=override.engine)
+        elif config is not None:
+            cfg = resolve_config(config, owner="MonitoringProxy.run")
+        else:
+            cfg = self.config
         profiles = self.build_profiles()
         monitor = OnlineMonitor(
             policy=self.policy,
             budget=self.budget,
             preemptive=self.preemptive,
             resources=self.resources,
-            engine=engine,
-            faults=self.faults,
-            retry=self.retry,
+            config=cfg,
         )
         schedule = monitor.run(self.epoch, arrivals_from_profiles(profiles))
-        report = evaluate_schedule(profiles, schedule)
+        report = evaluate_schedule(
+            profiles, schedule, dropped=monitor.dropped_captures
+        )
         clients = tuple(
             client_report(name, profiles[pid], schedule)
             for pid, name in enumerate(self.client_names)

@@ -16,7 +16,7 @@ per EI, matching the paper's runtime metric (Section V-D).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.metrics import CompletenessReport, RuntimeStats, evaluate_schedule
@@ -26,6 +26,7 @@ from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Epoch
 from repro.offline.local_ratio import LocalRatioScheduler
 from repro.online.arrivals import arrivals_from_profiles
+from repro.online.config import MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, RetryPolicy
 from repro.online.monitor import OnlineMonitor
 from repro.policies.base import Policy, make_policy
@@ -48,6 +49,9 @@ class SimulationResult:
     believed_completeness: float
     probes_failed: int = 0
     retries_used: int = 0
+    backoffs: int = 0
+    failures_by_resource: dict[int, int] = field(default_factory=dict)
+    dropped_eis: int = 0
 
     @property
     def completeness(self) -> float:
@@ -68,19 +72,25 @@ def simulate(
     preemptive: bool = True,
     resources: Optional[ResourcePool] = None,
     exploit_overlap: bool = True,
-    engine: str = "reference",
+    config: Optional[MonitorConfig] = None,
+    *,
+    engine: Optional[str] = None,
     faults: Optional[FailureModel] = None,
     retry: Optional[RetryPolicy] = None,
 ) -> SimulationResult:
     """Run one online policy over a full epoch and score the schedule.
 
-    ``engine`` selects the monitor implementation (``"reference"`` or
-    ``"vectorized"``); deterministic policies produce identical schedules
-    on either, so the flag only changes the runtime statistics.  That
-    equivalence extends to runs with a ``faults`` model: its verdicts are
-    pure functions of ``(resource, chronon, attempt)``, never of engine
-    internals.
+    ``config`` selects the monitor implementation (``Engine.REFERENCE``
+    or ``Engine.VECTORIZED``) and the fault/retry universe; deterministic
+    policies produce identical schedules on either engine, so that choice
+    only changes the runtime statistics.  The equivalence extends to runs
+    with a failure model: its verdicts are pure functions of
+    ``(resource, chronon, attempt)``, never of engine internals.  The
+    bare ``engine=``/``faults=``/``retry=`` keywords are deprecated.
     """
+    cfg = resolve_config(
+        config, engine=engine, faults=faults, retry=retry, owner="simulate"
+    )
     if isinstance(policy, str):
         policy = make_policy(policy)
     monitor = OnlineMonitor(
@@ -89,9 +99,7 @@ def simulate(
         preemptive=preemptive,
         resources=resources,
         exploit_overlap=exploit_overlap,
-        engine=engine,
-        faults=faults,
-        retry=retry,
+        config=cfg,
     )
     arrivals = arrivals_from_profiles(profiles)
     started = time.perf_counter()
@@ -99,7 +107,11 @@ def simulate(
         monitor.step(chronon, arrivals.get(chronon, ()))
     elapsed = time.perf_counter() - started
 
-    report = evaluate_schedule(profiles, monitor.schedule, use_true_window=True)
+    dropped = monitor.dropped_captures
+    report = evaluate_schedule(
+        profiles, monitor.schedule, use_true_window=True, dropped=dropped
+    )
+    stats = monitor.fault_stats
     return SimulationResult(
         label=policy_label(policy.name, preemptive),
         schedule=monitor.schedule,
@@ -109,6 +121,9 @@ def simulate(
         believed_completeness=monitor.believed_completeness,
         probes_failed=monitor.probes_failed,
         retries_used=monitor.retries_used,
+        backoffs=stats.backoffs,
+        failures_by_resource=dict(stats.failures_by_resource),
+        dropped_eis=len(dropped),
     )
 
 

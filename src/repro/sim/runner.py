@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import fmean, pstdev
 from typing import Callable, Optional, Sequence
 
@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.profile import ProfileSet
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
+from repro.online.config import MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, RetryPolicy
 from repro.sim.engine import SimulationResult, policy_label, simulate, simulate_offline
 
@@ -49,10 +50,20 @@ class AggregateResult:
     repetitions: int
     probes_failed_mean: float = 0.0
     retries_mean: float = 0.0
+    backoffs_mean: float = 0.0
+    failures_by_resource_mean: dict[int, float] = field(default_factory=dict)
 
     @classmethod
     def from_runs(cls, label: str, runs: Sequence[SimulationResult]) -> "AggregateResult":
         completenesses = [run.completeness for run in runs]
+        # Per-resource failure means over the union of resources seen in
+        # any repetition; a repetition without failures on a resource
+        # contributes 0 to that resource's mean.
+        resources = sorted({rid for run in runs for rid in run.failures_by_resource})
+        per_resource = {
+            rid: fmean(run.failures_by_resource.get(rid, 0) for run in runs)
+            for rid in resources
+        }
         return cls(
             label=label,
             completeness_mean=fmean(completenesses),
@@ -62,6 +73,8 @@ class AggregateResult:
             repetitions=len(runs),
             probes_failed_mean=fmean(run.probes_failed for run in runs),
             retries_mean=fmean(run.retries_used for run in runs),
+            backoffs_mean=fmean(run.backoffs for run in runs),
+            failures_by_resource_mean=per_resource,
         )
 
 
@@ -83,18 +96,16 @@ def _run_cell(
     epoch: Epoch,
     budget: BudgetVector,
     cell: Optional[tuple[str, bool]],
-    engine: str,
+    config: MonitorConfig,
     offline_max_combinations: int,
-    faults: Optional[FailureModel] = None,
-    retry: Optional[RetryPolicy] = None,
 ) -> tuple[int, str, SimulationResult]:
     """One (repetition, policy) grid cell; ``cell=None`` is the offline run.
 
     Regenerates the repetition's instance from its SeedSequence child, so
     every cell of one repetition sees the identical problem instance the
-    serial loop would build.  ``faults`` verdicts are pure functions of
-    the probe coordinates, so worker-order nondeterminism cannot leak
-    into the results.
+    serial loop would build.  Fault verdicts are pure functions of the
+    probe coordinates, so worker-order nondeterminism cannot leak into
+    the results.
     """
     assert _WORKER_FACTORY is not None
     profiles = _WORKER_FACTORY(np.random.default_rng(child))
@@ -105,8 +116,7 @@ def _run_cell(
         return rep, "OFFLINE-LR", result
     name, preemptive = cell
     result = simulate(
-        profiles, epoch, budget, name,
-        preemptive=preemptive, engine=engine, faults=faults, retry=retry,
+        profiles, epoch, budget, name, preemptive=preemptive, config=config
     )
     return rep, policy_label(name, preemptive), result
 
@@ -120,7 +130,9 @@ def run_suite(
     seed: int = 0,
     include_offline: bool = False,
     offline_max_combinations: int = 100_000,
-    engine: str = "reference",
+    config: Optional[MonitorConfig] = None,
+    *,
+    engine: Optional[str] = None,
     workers: Optional[int] = None,
     faults: Optional[FailureModel] = None,
     retry: Optional[RetryPolicy] = None,
@@ -129,23 +141,35 @@ def run_suite(
 
     ``policies`` is a sequence of ``(registry_name, preemptive)`` pairs.
     With ``include_offline`` the local-ratio baseline joins the lineup
-    under the label ``"OFFLINE-LR"``.  ``engine`` is forwarded to every
-    online run.  ``workers`` > 1 distributes the ``(repetition, policy)``
-    cells over that many forked worker processes (requires the ``fork``
-    start method, i.e. POSIX; falls back to the serial loop elsewhere)
-    with results identical to the serial loop, seed for seed.
-    ``faults``/``retry`` inject probe failures into every online run (the
-    offline baseline plans with perfect knowledge and is left untouched);
-    failure and retry counts surface as ``probes_failed_mean`` /
-    ``retries_mean`` on the aggregates.
+    under the label ``"OFFLINE-LR"``.  ``config`` is forwarded to every
+    online run: its engine picks the monitor implementation, its
+    fault/retry models inject probe failures (the offline baseline plans
+    with perfect knowledge and is left untouched; failure, retry and
+    backoff counts surface as ``probes_failed_mean`` / ``retries_mean`` /
+    ``backoffs_mean`` and per-resource ``failures_by_resource_mean`` on
+    the aggregates), and ``config.workers`` > 1 distributes the
+    ``(repetition, policy)`` cells over that many forked worker processes
+    (requires the ``fork`` start method, i.e. POSIX; falls back to the
+    serial loop elsewhere) with results identical to the serial loop,
+    seed for seed.  The bare ``engine=``/``workers=``/``faults=``/
+    ``retry=`` keywords are deprecated.
     """
+    cfg = resolve_config(
+        config,
+        engine=engine,
+        faults=faults,
+        retry=retry,
+        workers=workers,
+        owner="run_suite",
+    )
     runs: dict[str, list[SimulationResult]] = {
         policy_label(name, preemptive): [] for name, preemptive in policies
     }
     if include_offline:
         runs["OFFLINE-LR"] = []
 
-    parallel = workers is not None and workers > 1
+    pool_size = cfg.workers
+    parallel = pool_size is not None and pool_size > 1
     if parallel:
         try:
             ctx = multiprocessing.get_context("fork")
@@ -160,7 +184,7 @@ def run_suite(
         global _WORKER_FACTORY
         _WORKER_FACTORY = make_instance
         try:
-            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            with ProcessPoolExecutor(max_workers=pool_size, mp_context=ctx) as pool:
                 futures = [
                     pool.submit(
                         _run_cell,
@@ -169,10 +193,8 @@ def run_suite(
                         epoch,
                         budget,
                         cell,
-                        engine,
+                        cfg,
                         offline_max_combinations,
-                        faults,
-                        retry,
                     )
                     for rep, child in enumerate(children)
                     for cell in cells
@@ -195,8 +217,7 @@ def run_suite(
                 runs[label].append(
                     simulate(
                         profiles, epoch, budget, name,
-                        preemptive=preemptive, engine=engine,
-                        faults=faults, retry=retry,
+                        preemptive=preemptive, config=cfg,
                     )
                 )
             if include_offline:
@@ -222,19 +243,37 @@ def sweep(
     repetitions: int = 10,
     seed: int = 0,
     include_offline: bool = False,
-    engine: str = "reference",
+    config: Optional[MonitorConfig] = None,
+    *,
+    engine: Optional[str] = None,
     workers: Optional[int] = None,
     faults_for: Optional[Callable[[object], Optional[FailureModel]]] = None,
     retry: Optional[RetryPolicy] = None,
 ) -> dict[object, dict[str, AggregateResult]]:
     """Run a suite at every point of a one-dimensional parameter sweep.
 
-    ``faults_for`` maps each sweep value to the failure model for that
-    point (or ``None`` for a failure-free point) — the hook behind the
-    failure-rate sweep experiment; ``retry`` applies at every point.
+    ``config`` acts as the template for every point: engine, worker count
+    and retry policy apply everywhere (a config may hold a retry policy
+    with no failure model precisely for this use).  ``faults_for`` stays
+    a first-class sweep hook — it maps each sweep value to the failure
+    model for that point (or ``None`` for a failure-free point),
+    overriding the template's ``faults`` field per point.  The bare
+    ``engine=``/``workers=``/``retry=`` keywords are deprecated.
     """
+    cfg = resolve_config(
+        config, engine=engine, retry=retry, workers=workers, owner="sweep"
+    )
     results: dict[object, dict[str, AggregateResult]] = {}
     for offset, value in enumerate(values):
+        point_cfg = cfg
+        if faults_for is not None:
+            point_faults = faults_for(value)
+            # A retry policy is meaningless (and rejected by the monitor)
+            # without a failure model, so fault-free points drop it too.
+            point_cfg = cfg.replace(
+                faults=point_faults,
+                retry=cfg.retry if point_faults is not None else None,
+            )
         results[value] = run_suite(
             make_instance=make_instance_for(value),
             epoch=epoch_for(value),
@@ -243,9 +282,6 @@ def sweep(
             repetitions=repetitions,
             seed=seed + offset,
             include_offline=include_offline,
-            engine=engine,
-            workers=workers,
-            faults=None if faults_for is None else faults_for(value),
-            retry=retry,
+            config=point_cfg,
         )
     return results

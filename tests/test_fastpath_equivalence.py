@@ -24,6 +24,7 @@ from repro.core.resource import Resource, ResourcePool
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrival_map
+from repro.online.config import MonitorConfig
 from repro.online.faults import FailureModel, Outage, RetryPolicy
 from repro.online.monitor import OnlineMonitor
 from repro.policies import MRSF, make_policy
@@ -32,6 +33,7 @@ from tests.conftest import random_general_instance
 PAPER_POLICIES = ["S-EDF", "MRSF", "M-EDF"]
 WEIGHTED_POLICIES = ["W-S-EDF", "W-MRSF", "W-M-EDF"]
 FALLBACK_POLICIES = ["FIFO", "ROUND-ROBIN", "WIC", "EXPECTED-GAIN"]
+RELIABILITY_POLICIES = ["EG-S-EDF", "EG-MRSF", "EG-M-EDF", "EG-W-MRSF"]
 
 NUM_CHRONONS = 30
 
@@ -49,11 +51,19 @@ def _instance(seed: int, num_ceis: int = 40):
     return arrival_map(cei for profile in profiles for cei in profile.ceis)
 
 
-def _run(engine: str, policy, arrivals, budget: float = 2.0, **kwargs) -> OnlineMonitor:
+def _run(
+    engine: str,
+    policy,
+    arrivals,
+    budget: float = 2.0,
+    faults=None,
+    retry=None,
+    **kwargs,
+) -> OnlineMonitor:
     monitor = OnlineMonitor(
         policy=policy,
         budget=BudgetVector.constant(budget, NUM_CHRONONS),
-        engine=engine,
+        config=MonitorConfig(engine=engine, faults=faults, retry=retry),
         **kwargs,
     )
     monitor.run(Epoch(NUM_CHRONONS), arrivals)
@@ -71,6 +81,8 @@ def assert_engines_agree(policy_name: str, arrivals, budget: float = 2.0, **kwar
     assert vec.pool.num_satisfied == ref.pool.num_satisfied
     assert vec.pool.num_failed == ref.pool.num_failed
     assert vec.believed_completeness == ref.believed_completeness
+    assert vec.fault_stats == ref.fault_stats
+    assert vec.dropped_captures == ref.dropped_captures
     for chronon in range(NUM_CHRONONS):
         assert vec.budget_consumed_at(chronon) == ref.budget_consumed_at(chronon)
     return ref, vec
@@ -248,6 +260,87 @@ class TestFaultEquivalence:
         )
 
 
+class TestReliabilityEquivalence:
+    """The reliability extensions must not open daylight between engines.
+
+    Expected-gain policies score rows resource-dependently (the batched
+    kernel divides by a p_success array), partial verdicts drop
+    individual EIs from otherwise-successful probes, and rate schedules
+    make the effective failure rate chronon-dependent.  All three must
+    produce bit-identical schedules, fault statistics and dropped-capture
+    sets on both engines.
+    """
+
+    HETEROGENEOUS = {1: 0.7, 3: 0.05, 5: 0.4}
+
+    @pytest.mark.parametrize("policy_name", RELIABILITY_POLICIES)
+    def test_expected_gain_policies(self, policy_name):
+        ref, vec = assert_engines_agree(
+            policy_name,
+            _instance(16),
+            faults=FailureModel(rate=0.25, per_resource=self.HETEROGENEOUS, seed=10),
+            retry=RetryPolicy(max_retries=2),
+        )
+        assert ref.probes_failed > 0
+
+    @pytest.mark.parametrize("policy_name", ["MRSF", "EG-MRSF"])
+    @pytest.mark.parametrize("exploit_overlap", [True, False])
+    def test_partial_verdicts(self, policy_name, exploit_overlap):
+        ref, vec = assert_engines_agree(
+            policy_name,
+            _instance(17),
+            faults=FailureModel(rate=0.2, seed=11, partial_rate=0.4),
+            retry=RetryPolicy(max_retries=1),
+            exploit_overlap=exploit_overlap,
+        )
+        if exploit_overlap:
+            assert ref.dropped_captures  # partial drops actually exercised
+
+    @pytest.mark.parametrize("policy_name", ["S-EDF", "EG-S-EDF"])
+    def test_rate_schedule(self, policy_name):
+        faults = FailureModel(
+            rate=0.15,
+            seed=12,
+            rate_schedule=[(5, 12, 3.0), (20, 25, 0.0)],
+        )
+        ref, vec = assert_engines_agree(
+            policy_name, _instance(18), faults=faults,
+            retry=RetryPolicy(max_retries=1),
+        )
+        assert ref.probes_failed > 0
+
+    def test_combined_reliability_model(self):
+        """Everything at once: EG policy, partials, schedule, outage, retry."""
+        faults = FailureModel(
+            rate=0.25,
+            per_resource=self.HETEROGENEOUS,
+            outages=(Outage(resource=4, start=8, finish=14),),
+            seed=13,
+            partial_rate=0.3,
+            rate_schedule=[(10, 20, 1.5)],
+        )
+        ref, vec = assert_engines_agree(
+            "EG-MRSF",
+            _instance(19),
+            budget=3.0,
+            faults=faults,
+            retry=RetryPolicy(max_retries=2, backoff_base=1.0, backoff_cap=4),
+        )
+        assert ref.probes_failed > 0 and ref.dropped_captures
+        # The outage fix: a known-down resource is never even attempted.
+        for chronon in range(8, 15):
+            assert not ref.schedule.is_probed(4, chronon)
+
+    def test_legacy_per_attempt_draws_agree_across_engines(self):
+        """The legacy draw scheme is a different universe, same contract."""
+        assert_engines_agree(
+            "MRSF",
+            _instance(20),
+            faults=FailureModel(rate=0.3, seed=14, per_attempt_draws=True),
+            retry=RetryPolicy(max_retries=1),
+        )
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     seed=st.integers(0, 10_000),
@@ -270,15 +363,18 @@ def test_property_engines_agree(seed, policy_name, preemptive, exploit_overlap, 
 @settings(max_examples=20, deadline=None)
 @given(
     seed=st.integers(0, 10_000),
-    policy_name=st.sampled_from(PAPER_POLICIES),
+    policy_name=st.sampled_from(PAPER_POLICIES + RELIABILITY_POLICIES),
     rate=st.sampled_from([0.1, 0.3, 0.6]),
     max_retries=st.integers(0, 2),
+    partial_rate=st.sampled_from([0.0, 0.5]),
 )
-def test_property_engines_agree_under_faults(seed, policy_name, rate, max_retries):
+def test_property_engines_agree_under_faults(
+    seed, policy_name, rate, max_retries, partial_rate
+):
     """Property form with nonzero failure rates and retry policies."""
     assert_engines_agree(
         policy_name,
         _instance(seed, num_ceis=25),
-        faults=FailureModel(rate=rate, seed=seed + 1),
+        faults=FailureModel(rate=rate, seed=seed + 1, partial_rate=partial_rate),
         retry=RetryPolicy(max_retries=max_retries) if max_retries else None,
     )

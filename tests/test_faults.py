@@ -19,6 +19,7 @@ from repro.core.resource import Resource, ResourcePool
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrivals_from_profiles
+from repro.online.config import MonitorConfig
 from repro.online.faults import (
     FailureModel,
     FaultInjector,
@@ -68,9 +69,14 @@ class TestValidation:
             Resource(rid=0, name="r0", reliability=1.5)
 
     def test_retry_without_faults_rejected(self):
+        # MonitorConfig itself allows retry-without-faults (sweep templates
+        # hold a retry policy while faults vary per point); the monitor is
+        # where the combination is rejected.
         with pytest.raises(ModelError, match="retry"):
             OnlineMonitor(
-                SEDF(), BudgetVector.constant(1, 5), retry=RetryPolicy(max_retries=1)
+                SEDF(),
+                BudgetVector.constant(1, 5),
+                config=MonitorConfig(retry=RetryPolicy(max_retries=1)),
             )
 
 
@@ -207,9 +213,16 @@ class TestRetryPolicyAndInjector:
         }
 
 
-def _monitor(ceis, budget=1.0, chronons=10, **kwargs) -> OnlineMonitor:
+def _monitor(
+    ceis, budget=1.0, chronons=10, faults=None, retry=None, resources=None
+) -> OnlineMonitor:
     profiles = ProfileSet.from_ceis(ceis)
-    monitor = OnlineMonitor(SEDF(), BudgetVector.constant(budget, chronons), **kwargs)
+    monitor = OnlineMonitor(
+        SEDF(),
+        BudgetVector.constant(budget, chronons),
+        resources=resources,
+        config=MonitorConfig(faults=faults, retry=retry),
+    )
     monitor.run(Epoch(chronons), arrivals_from_profiles(profiles))
     return monitor
 
@@ -307,7 +320,10 @@ class TestSimulationPlumbing:
         epoch, budget = Epoch(20), BudgetVector.constant(2.0, 20)
         result = simulate(
             self._profiles(), epoch, budget, "MRSF",
-            faults=FailureModel(rate=0.5, seed=1), retry=RetryPolicy(max_retries=1),
+            config=MonitorConfig(
+                faults=FailureModel(rate=0.5, seed=1),
+                retry=RetryPolicy(max_retries=1),
+            ),
         )
         assert result.probes_failed > 0
         assert result.retries_used > 0
@@ -324,8 +340,10 @@ class TestSimulationPlumbing:
             budget,
             [("MRSF", True)],
             repetitions=3,
-            faults=FailureModel(rate=0.5, seed=1),
-            retry=RetryPolicy(max_retries=1),
+            config=MonitorConfig(
+                faults=FailureModel(rate=0.5, seed=1),
+                retry=RetryPolicy(max_retries=1),
+            ),
         )
         cell = aggregates["MRSF(P)"]
         assert cell.probes_failed_mean > 0
@@ -337,7 +355,8 @@ class TestSimulationPlumbing:
         profiles = self._profiles(3)
         clean = simulate(profiles, epoch, budget, "MRSF")
         dead = simulate(
-            profiles, epoch, budget, "MRSF", faults=FailureModel(rate=1.0)
+            profiles, epoch, budget, "MRSF",
+            config=MonitorConfig(faults=FailureModel(rate=1.0)),
         )
         assert clean.completeness > 0
         assert dead.completeness == 0.0

@@ -1,0 +1,249 @@
+"""The unified MonitorConfig API and its deprecation shims.
+
+One frozen config object replaces the loose ``engine=``/``faults=``/
+``retry=``/``workers=`` keywords across all four entry points
+(``OnlineMonitor``, ``MonitoringProxy``, ``run_suite``, ``sweep``).
+These tests pin the enum coercion, the dataclass validation, and —
+per entry point — that the legacy keywords still work under a
+``DeprecationWarning`` and that config-plus-legacy is rejected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.resource import ResourcePool
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.online import (
+    ENGINES,
+    Engine,
+    FailureModel,
+    MonitorConfig,
+    OnlineMonitor,
+    RetryPolicy,
+    resolve_config,
+)
+from repro.policies import SEDF
+from repro.proxy import MonitoringProxy
+from repro.sim.runner import run_suite, sweep
+from tests.conftest import make_cei, random_general_instance
+
+
+class TestEngineEnum:
+    def test_members_match_legacy_tuple(self):
+        assert ENGINES == ("reference", "vectorized")
+        assert Engine.REFERENCE == "reference"
+        assert Engine.VECTORIZED == "vectorized"
+
+    def test_coerce_accepts_strings_and_members(self):
+        assert Engine.coerce("vectorized") is Engine.VECTORIZED
+        assert Engine.coerce(Engine.REFERENCE) is Engine.REFERENCE
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ModelError, match="unknown engine 'quantum'"):
+            Engine.coerce("quantum")
+
+
+class TestMonitorConfig:
+    def test_defaults(self):
+        cfg = MonitorConfig()
+        assert cfg.engine is Engine.REFERENCE
+        assert cfg.faults is None and cfg.retry is None and cfg.workers is None
+
+    def test_engine_string_coerced_on_construction(self):
+        assert MonitorConfig(engine="vectorized").engine is Engine.VECTORIZED
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ModelError, match="engine"):
+            MonitorConfig(engine="quantum")
+
+    def test_workers_validated(self):
+        assert MonitorConfig(workers=4).workers == 4
+        with pytest.raises(ModelError, match="workers"):
+            MonitorConfig(workers=0)
+
+    def test_frozen(self):
+        cfg = MonitorConfig()
+        with pytest.raises(AttributeError):
+            cfg.engine = Engine.VECTORIZED
+
+    def test_replace_revalidates(self):
+        cfg = MonitorConfig()
+        assert cfg.replace(engine="vectorized").engine is Engine.VECTORIZED
+        assert cfg.engine is Engine.REFERENCE  # original untouched
+        with pytest.raises(ModelError):
+            cfg.replace(engine="quantum")
+
+    def test_retry_without_faults_allowed_as_template(self):
+        # sweep templates carry a retry policy while per-point failure
+        # models arrive later; only the monitor rejects the combination.
+        cfg = MonitorConfig(retry=RetryPolicy(max_retries=1))
+        assert cfg.faults is None
+        with pytest.raises(ModelError, match="retry"):
+            OnlineMonitor(SEDF(), BudgetVector.constant(1, 5), config=cfg)
+
+
+class TestResolveConfig:
+    def test_none_yields_defaults(self):
+        assert resolve_config(None) == MonitorConfig()
+
+    def test_config_passes_through(self):
+        cfg = MonitorConfig(engine="vectorized")
+        assert resolve_config(cfg) is cfg
+
+    def test_legacy_keywords_warn_and_build_config(self):
+        with pytest.warns(DeprecationWarning, match=r"simulate: the engine="):
+            cfg = resolve_config(None, engine="vectorized", owner="simulate")
+        assert cfg == MonitorConfig(engine="vectorized")
+
+    def test_config_plus_legacy_rejected(self):
+        with pytest.raises(ModelError, match="not both"), pytest.warns(
+            DeprecationWarning
+        ):
+            resolve_config(MonitorConfig(), engine="vectorized")
+
+    def test_non_config_rejected(self):
+        with pytest.raises(ModelError, match="MonitorConfig"):
+            resolve_config({"engine": "vectorized"})
+
+
+# ----------------------------------------------------------------------
+# The four entry points
+# ----------------------------------------------------------------------
+
+EPOCH = Epoch(15)
+
+
+def _profiles(seed=0):
+    rng = np.random.default_rng(seed)
+    return random_general_instance(
+        rng, num_resources=4, num_chronons=15, num_ceis=10, max_rank=2, max_width=3
+    )
+
+
+def _instance_factory(rng):
+    return random_general_instance(
+        rng, num_resources=4, num_chronons=15, num_ceis=10, max_rank=2, max_width=3
+    )
+
+
+class TestEntryPointShims:
+    """Every entry point accepts config= and shims the old keywords."""
+
+    def test_monitor_accepts_config(self):
+        monitor = OnlineMonitor(
+            SEDF(),
+            BudgetVector.constant(1, 15),
+            config=MonitorConfig(engine="vectorized"),
+        )
+        assert monitor.engine == "vectorized"
+        assert monitor.config.engine is Engine.VECTORIZED
+
+    def test_monitor_legacy_engine_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"OnlineMonitor: the engine="):
+            monitor = OnlineMonitor(
+                SEDF(), BudgetVector.constant(1, 15), engine="vectorized"
+            )
+        assert monitor.engine == "vectorized"
+
+    def test_monitor_legacy_faults_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"faults="):
+            monitor = OnlineMonitor(
+                SEDF(), BudgetVector.constant(1, 15), faults=FailureModel(rate=0.5)
+            )
+        assert monitor.config.faults is not None
+
+    def test_monitor_config_plus_legacy_rejected(self):
+        with pytest.raises(ModelError, match="not both"), pytest.warns(
+            DeprecationWarning
+        ):
+            OnlineMonitor(
+                SEDF(),
+                BudgetVector.constant(1, 15),
+                config=MonitorConfig(),
+                engine="vectorized",
+            )
+
+    def test_proxy_accepts_config_and_legacy_warns(self):
+        pool = ResourcePool.from_names(["A", "B"])
+        proxy = MonitoringProxy(
+            Epoch(10), pool, budget=1.0, config=MonitorConfig(engine="vectorized")
+        )
+        assert proxy.engine == "vectorized"
+        with pytest.warns(DeprecationWarning, match=r"MonitoringProxy: the engine="):
+            proxy = MonitoringProxy(Epoch(10), pool, budget=1.0, engine="vectorized")
+        assert proxy.engine == "vectorized"
+
+    def test_run_suite_accepts_config_and_legacy_warns(self):
+        budget = BudgetVector.constant(1, 15)
+        via_config = run_suite(
+            _instance_factory, EPOCH, budget, [("MRSF", True)],
+            repetitions=2, config=MonitorConfig(engine="vectorized"),
+        )
+        with pytest.warns(DeprecationWarning, match=r"run_suite: the engine="):
+            via_legacy = run_suite(
+                _instance_factory, EPOCH, budget, [("MRSF", True)],
+                repetitions=2, engine="vectorized",
+            )
+        lhs, rhs = via_config["MRSF(P)"], via_legacy["MRSF(P)"]
+        assert lhs.completeness_mean == rhs.completeness_mean
+        assert lhs.probes_mean == rhs.probes_mean
+
+    def test_sweep_accepts_config_and_legacy_warns(self):
+        kwargs = dict(
+            make_instance_for=lambda value: _instance_factory,
+            epoch_for=lambda value: EPOCH,
+            budget_for=lambda value: BudgetVector.constant(value, 15),
+            policies=[("MRSF", True)],
+            repetitions=1,
+        )
+        via_config = sweep([1], config=MonitorConfig(engine="vectorized"), **kwargs)
+        with pytest.warns(DeprecationWarning, match=r"sweep: the engine="):
+            via_legacy = sweep([1], engine="vectorized", **kwargs)
+        assert (
+            via_config[1]["MRSF(P)"].completeness_mean
+            == via_legacy[1]["MRSF(P)"].completeness_mean
+        )
+
+    def test_sweep_faults_for_overrides_template_per_point(self):
+        template = MonitorConfig(retry=RetryPolicy(max_retries=1))
+        results = sweep(
+            [0.0, 1.0],
+            make_instance_for=lambda value: _instance_factory,
+            epoch_for=lambda value: EPOCH,
+            budget_for=lambda value: BudgetVector.constant(2, 15),
+            policies=[("MRSF", True)],
+            repetitions=2,
+            config=template,
+            faults_for=lambda value: (
+                FailureModel(rate=value, seed=3) if value else None
+            ),
+        )
+        clean = results[0.0]["MRSF(P)"]
+        dead = results[1.0]["MRSF(P)"]
+        assert clean.probes_failed_mean == 0.0
+        assert dead.completeness_mean == 0.0
+        assert dead.probes_failed_mean > 0
+
+    def test_no_bare_keywords_left_in_src(self):
+        """The redesign's acceptance check: src/ calls go through config=."""
+        import pathlib
+        import re
+
+        pattern = re.compile(r"\b(?:engine|faults|retry)\s*=\s*(?!None\b)")
+        offenders = []
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        for path in src.rglob("*.py"):
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                stripped = line.split("#", 1)[0]
+                if "=" not in stripped:
+                    continue
+                if re.search(r"def \w+|^\s*(?:engine|faults|retry)\s*[:=]", stripped):
+                    continue  # definitions and config-field assignments
+                if pattern.search(stripped) and "MonitorConfig(" not in stripped:
+                    if re.search(r"\b(?:simulate|OnlineMonitor|MonitoringProxy|run_suite|sweep)\s*\(", stripped):
+                        offenders.append(f"{path}:{lineno}: {line.strip()}")
+        assert not offenders, "\n".join(offenders)

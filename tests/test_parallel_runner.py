@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
+from repro.online.config import MonitorConfig
 from repro.sim.runner import run_suite, sweep
 from repro.traces.noise import perfect_predictions
 from repro.traces.poisson import poisson_trace
@@ -59,7 +60,7 @@ def assert_same_statistics(left, right):
 class TestParallelSuite:
     def test_workers_match_serial(self):
         serial = _suite()
-        parallel = _suite(workers=2)
+        parallel = _suite(config=MonitorConfig(workers=2))
         # The workload must be contended enough to discriminate policies,
         # otherwise equality is vacuous.
         assert any(agg.completeness_mean < 1.0 for agg in serial.values())
@@ -67,17 +68,17 @@ class TestParallelSuite:
 
     def test_vectorized_engine_matches_serial_reference(self):
         serial = _suite()
-        parallel_vec = _suite(workers=3, engine="vectorized")
+        parallel_vec = _suite(config=MonitorConfig(engine="vectorized", workers=3))
         assert_same_statistics(serial, parallel_vec)
 
     def test_offline_cell_supported(self):
         serial = _suite(include_offline=True, repetitions=2)
-        parallel = _suite(include_offline=True, repetitions=2, workers=2)
+        parallel = _suite(include_offline=True, repetitions=2, config=MonitorConfig(workers=2))
         assert "OFFLINE-LR" in parallel
         assert_same_statistics(serial, parallel)
 
     def test_workers_one_is_serial(self):
-        assert_same_statistics(_suite(), _suite(workers=1))
+        assert_same_statistics(_suite(), _suite(config=MonitorConfig(workers=1)))
 
 
 def test_sweep_forwards_workers():
@@ -101,8 +102,7 @@ def test_sweep_forwards_workers():
         POLICIES,
         repetitions=2,
         seed=5,
-        workers=2,
-        engine="vectorized",
+        config=MonitorConfig(engine="vectorized", workers=2),
     )
     for value in (1, 2):
         assert_same_statistics(serial[value], parallel[value])

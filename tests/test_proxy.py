@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.core.errors import ExperimentError
+from repro.core.errors import ExperimentError, ModelError
 from repro.core.intervals import ComplexExecutionInterval, Semantics
+from repro.online import MonitorConfig
 from repro.core.profile import Profile
 from repro.core.resource import Resource, ResourcePool
 from repro.core.schedule import BudgetVector, Schedule
@@ -168,12 +169,12 @@ class TestMonitoringProxy:
         assert proxy.run().completeness == 1.0
 
     def test_engine_forwarded_to_monitor(self):
-        # Regression: the facade used to drop engine= entirely and always
-        # run the reference monitor.  Both engines must yield the same
-        # schedule through the facade.
+        # Regression: the facade used to drop the engine choice entirely
+        # and always run the reference monitor.  Both engines must yield
+        # the same schedule through the facade.
         results = {}
         for engine in ("reference", "vectorized"):
-            proxy = self.make_proxy(engine=engine)
+            proxy = self.make_proxy(config=MonitorConfig(engine=engine))
             proxy.register_client("ana")
             proxy.submit_ceis(
                 "ana", [make_cei((0, 0, 5)), make_cei((1, 3, 9), (2, 3, 9))]
@@ -189,19 +190,31 @@ class TestMonitoringProxy:
         assert proxy.engine == "reference"
         proxy.register_client("ana")
         proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
-        assert proxy.run(engine="vectorized").completeness == 1.0
+        result = proxy.run(config=proxy.config.replace(engine="vectorized"))
+        assert result.completeness == 1.0
+        # The override is per-run only.
+        assert proxy.engine == "reference"
+
+    def test_engine_override_deprecated_keyword(self):
+        proxy = self.make_proxy()
+        proxy.register_client("ana")
+        proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
+        with pytest.warns(DeprecationWarning, match="engine"):
+            assert proxy.run(engine="vectorized").completeness == 1.0
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(ExperimentError, match="engine"):
-            self.make_proxy(engine="quantum")
+        with pytest.raises(ModelError, match="engine"):
+            self.make_proxy(config=MonitorConfig(engine="quantum"))
         proxy = self.make_proxy()
-        with pytest.raises(ExperimentError, match="engine"):
+        with pytest.raises(ModelError, match="engine"), pytest.warns(
+            DeprecationWarning
+        ):
             proxy.run(engine="quantum")
 
     def test_faults_forwarded_to_monitor(self):
         from repro.online.faults import FailureModel
 
-        proxy = self.make_proxy(faults=FailureModel(rate=1.0))
+        proxy = self.make_proxy(config=MonitorConfig(faults=FailureModel(rate=1.0)))
         proxy.register_client("ana")
         proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
         result = proxy.run()
