@@ -172,6 +172,58 @@ def test_monitor_failing_heavy_run(benchmark, scheme):
     assert probes > 0
 
 
+@pytest.mark.parametrize("source", ["oracle", "learned"])
+def test_monitor_full_run_dense_health(benchmark, source):
+    """The health path's end-to-end cost on the dense vectorized run.
+
+    ``oracle`` is the baseline: EG-MRSF discounting by the true rates,
+    no health machinery.  ``learned`` runs LEG-MRSF with a HealthConfig:
+    every probe feeds the estimator, every chronon freezes a snapshot
+    and the kernel divides by learned estimates.  The delta between the
+    two is the whole per-run overhead of online health estimation, which
+    ``check_health_overhead.py`` gates at 5%.
+    """
+    from repro.online.health import HealthConfig
+
+    faults = FailureModel(rate=0.2, seed=7)
+    retry = RetryPolicy(max_retries=1)
+    if source == "learned":
+        config = MonitorConfig(
+            engine="vectorized", faults=faults, retry=retry, health=HealthConfig()
+        )
+        policy = "LEG-MRSF"
+    else:
+        config = MonitorConfig(engine="vectorized", faults=faults, retry=retry)
+        policy = "EG-MRSF"
+    probes = benchmark.pedantic(
+        _run_full_monitor,
+        args=(lambda: make_policy(policy), "vectorized", "dense", config),
+        rounds=3,
+        iterations=1,
+    )
+    assert probes > 0
+
+
+def test_health_estimator_observe_throughput(benchmark):
+    """The estimator alone: one decayed observe+estimate per probe outcome."""
+    from repro.online.health import HealthConfig, HealthEstimator
+
+    coords = [
+        (resource, chronon, (resource + chronon) % 3 == 0)
+        for chronon in range(200)
+        for resource in range(200)
+    ]
+
+    def drain():
+        estimator = HealthEstimator(HealthConfig(decay=0.99))
+        for resource, chronon, failed in coords:
+            estimator.observe(resource, chronon, 1.0 if failed else 0.0)
+        return sum(estimator.estimate(rid, 200) for rid in range(200))
+
+    total = benchmark(drain)
+    assert 0.0 < total < 200.0
+
+
 @pytest.mark.parametrize("bag_size", [100, 1000, 4000])
 def test_kernel_batch_scoring_vs_python_loop(benchmark, bag_size):
     """One phase's worth of scoring: batched kernel vs per-EI sort_key.

@@ -298,6 +298,64 @@ def fault_draw_cells(reps: int) -> list[dict]:
     return cells
 
 
+def health_path_cells(reps: int) -> list[dict]:
+    """The learned-reliability path vs the oracle on the dense workload.
+
+    Times the dense vectorized full run three ways: ``EG-MRSF`` (oracle
+    discount, the baseline), ``LEG-MRSF`` with a plain
+    :class:`~repro.online.health.HealthConfig` (estimator only), and
+    ``LEG-MRSF`` with the circuit breaker armed.  The estimator ratio is
+    the number ``check_health_overhead.py`` gates at 1.05 in CI; rounds
+    are interleaved so machine noise hits all variants alike.
+    """
+    from repro.online.health import HealthConfig
+
+    params = DENSITIES["dense"]
+    epoch, arrivals = build_instance(
+        params["window"], params["rate"], params["rank_max"]
+    )
+    faults = FailureModel(rate=0.2, seed=7)
+    retry = RetryPolicy(max_retries=1)
+    variants = {
+        "oracle": ("EG-MRSF", None),
+        "learned": ("LEG-MRSF", HealthConfig()),
+        "learned+breaker": ("LEG-MRSF", HealthConfig(breaker=True)),
+    }
+    best = {name: float("inf") for name in variants}
+    probes = {}
+    for _ in range(max(reps, 5)):
+        for name, (policy_name, health) in variants.items():
+            monitor = OnlineMonitor(
+                make_policy(policy_name),
+                BudgetVector.constant(params["budget"], len(epoch)),
+                config=MonitorConfig(
+                    engine="vectorized", faults=faults, retry=retry, health=health
+                ),
+            )
+            started = time.perf_counter()
+            for chronon in epoch:
+                monitor.step(chronon, arrivals.get(chronon, ()))
+            best[name] = min(best[name], time.perf_counter() - started)
+            probes[name] = monitor.probes_used
+    cells = []
+    for name, (policy_name, __) in variants.items():
+        ratio = round(best[name] / best["oracle"], 3)
+        cells.append(
+            {
+                "variant": name,
+                "policy": policy_name,
+                "seconds": round(best[name], 6),
+                "probes": probes[name],
+                "ratio_vs_oracle": ratio,
+            }
+        )
+        print(
+            f"health  {name:16s} {policy_name:9s} "
+            f"{best[name] * 1e3:8.2f}ms ratio={ratio:5.3f}"
+        )
+    return cells
+
+
 def parallel_suite_cell() -> dict:
     # Simulation-heavy cells (wide windows, M-EDF in the lineup) so the
     # measurement reflects scheduling work, not the per-cell instance
@@ -360,6 +418,7 @@ def main(argv=None) -> Path:
             "parallel_suite",
             "failure_sweep",
             "fault_draw",
+            "health_path",
         ],
         default=None,
         help="run a single section (the JSON then contains just that section)",
@@ -374,6 +433,7 @@ def main(argv=None) -> Path:
         "parallel_suite": parallel_suite_cell,
         "failure_sweep": lambda: failure_sweep_cells(args.reps),
         "fault_draw": lambda: fault_draw_cells(args.reps),
+        "health_path": lambda: health_path_cells(args.reps),
     }
     if args.only:
         sections = {args.only: sections[args.only]}

@@ -1,0 +1,86 @@
+"""Regression gate: the learned health path stays within 5% of the oracle.
+
+Runs the dense full-monitor benchmark workload (see ``bench_micro``) on
+the vectorized engine twice — ``EG-MRSF`` discounting by the oracle
+failure model, and ``LEG-MRSF`` discounting by online health estimates
+with a :class:`~repro.online.health.HealthConfig` armed — and compares
+best-of-N wall-clock times.  The two runs are interleaved and the best
+round is taken per side, which suppresses most scheduler noise on shared
+CI runners; the incremental frozen-snapshot caches are what keep the
+learned side at parity (docs/performance.md).
+
+Exit status 0 when ``learned / oracle < THRESHOLD``, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_health_overhead.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_micro import _instance  # noqa: E402
+
+from repro.core.schedule import BudgetVector  # noqa: E402
+from repro.online.config import MonitorConfig  # noqa: E402
+from repro.online.faults import FailureModel, RetryPolicy  # noqa: E402
+from repro.online.health import HealthConfig  # noqa: E402
+from repro.online.monitor import OnlineMonitor  # noqa: E402
+from repro.policies import make_policy  # noqa: E402
+
+THRESHOLD = 1.05
+ROUNDS = 9
+
+
+def timed_run(policy: str, config: MonitorConfig) -> float:
+    epoch, arrivals, budget = _instance("dense")
+    monitor = OnlineMonitor(
+        make_policy(policy),
+        BudgetVector.constant(budget, len(epoch)),
+        config=config,
+    )
+    started = time.perf_counter()
+    monitor.run(epoch, arrivals)
+    return time.perf_counter() - started
+
+
+def main() -> int:
+    faults = FailureModel(rate=0.2, seed=7)
+    retry = RetryPolicy(max_retries=1)
+    oracle_cfg = MonitorConfig(engine="vectorized", faults=faults, retry=retry)
+    learned_cfg = MonitorConfig(
+        engine="vectorized", faults=faults, retry=retry, health=HealthConfig()
+    )
+    _instance("dense")  # build the workload outside the timed region
+
+    oracle_times: list[float] = []
+    learned_times: list[float] = []
+    for _ in range(ROUNDS):
+        oracle_times.append(timed_run("EG-MRSF", oracle_cfg))
+        learned_times.append(timed_run("LEG-MRSF", learned_cfg))
+
+    oracle = min(oracle_times)
+    learned = min(learned_times)
+    ratio = learned / oracle
+    print(
+        f"dense vectorized full run, best of {ROUNDS}: "
+        f"oracle EG-MRSF {oracle:.3f}s, learned LEG-MRSF {learned:.3f}s, "
+        f"ratio {ratio:.4f} (threshold {THRESHOLD})"
+    )
+    if ratio >= THRESHOLD:
+        print(
+            "FAIL: the learned health path regressed past "
+            f"{(THRESHOLD - 1) * 100:.0f}% overhead"
+        )
+        return 1
+    print("OK: learned health path within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

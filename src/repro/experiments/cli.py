@@ -27,6 +27,7 @@ from repro.experiments import (
     fig13_budget,
     fig14_skew,
     fig15_noise,
+    learned_reliability,
     model_quality,
     panorama,
     reliability_sweep,
@@ -56,6 +57,10 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
     "reliability": (
         "Extension — blind vs expected-gain under heterogeneous reliability",
         reliability_sweep.run,
+    ),
+    "learned-reliability": (
+        "Extension — learned health estimates vs the reliability oracle",
+        learned_reliability.run,
     ),
     "models": ("Extension — update-model quality vs completeness", model_quality.run),
     "competitive": ("Extension — empirical competitive ratios", competitive.run),

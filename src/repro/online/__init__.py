@@ -11,18 +11,32 @@ from repro.online.faults import (
     RateWindow,
     RetryPolicy,
 )
+from repro.online.health import (
+    BreakerState,
+    CircuitBreaker,
+    HealthConfig,
+    HealthEstimator,
+    HealthStats,
+    HealthTracker,
+)
 from repro.online.monitor import OnlineMonitor
 
 __all__ = [
     "ENGINES",
+    "BreakerState",
     "CandidatePool",
     "CEIState",
+    "CircuitBreaker",
     "Engine",
     "FailureModel",
     "FastCandidatePool",
     "FastCEIView",
     "FaultInjector",
     "FaultStats",
+    "HealthConfig",
+    "HealthEstimator",
+    "HealthStats",
+    "HealthTracker",
     "MonitorConfig",
     "OnlineMonitor",
     "Outage",

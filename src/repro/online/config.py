@@ -26,6 +26,7 @@ from repro.core.errors import ModelError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.online.faults import FailureModel, RetryPolicy
+    from repro.online.health import HealthConfig
 
 
 class Engine(str, enum.Enum):
@@ -78,6 +79,12 @@ class MonitorConfig:
     workers:
         Process-pool size for ``run_suite``/``sweep`` (None or 1 = serial).
         Ignored by the single-run entry points.
+    health:
+        Optional :class:`repro.online.health.HealthConfig` enabling
+        per-resource online failure estimation (and, optionally, circuit
+        breaking) learned from the run's own probe outcomes.  Requires a
+        failure model to observe; the monitor rejects a health config
+        without one at run construction.
 
     The object is frozen: derive variants with :meth:`replace`.
     """
@@ -86,6 +93,7 @@ class MonitorConfig:
     faults: "Optional[FailureModel]" = None
     retry: "Optional[RetryPolicy]" = None
     workers: Optional[int] = None
+    health: "Optional[HealthConfig]" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", Engine.coerce(self.engine))

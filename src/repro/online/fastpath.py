@@ -666,6 +666,8 @@ def _fast_phase(
     assert kernel is not None
 
     faults = monitor._faults
+    retry_partials = monitor._retry_partials
+    reprobe = monitor._partial_retry_ok
     pool.sync_mirrors()
     cidx = pool.npr_cidx[rows]
     prio = kernel.score_rows(pool, rows, cidx, chronon)
@@ -712,7 +714,7 @@ def _fast_phase(
                 si += 1
                 continue
             rid = row_resource[row]
-            if rid in probed:
+            if rid in probed and rid not in reprobe:
                 si += 1
                 continue
             if faults is not None and not faults.available(rid, chronon):
@@ -726,7 +728,7 @@ def _fast_phase(
             if (
                 cur.get(orow) != (entry[0], entry[1], entry[2])
                 or orow not in active
-                or entry[4] in probed
+                or (entry[4] in probed and entry[4] not in reprobe)
                 or (faults is not None and not faults.available(entry[4], chronon))
             ):
                 heapq.heappop(overlay)
@@ -790,12 +792,31 @@ def _fast_phase(
             touched = []
         else:
             touched = pool.capture_single_row(row)
+        retry_partial = (
+            retry_partials and skip and faults is not None and faults.can_retry(rid)
+        )
+        if retry_partial:
+            reprobe.add(rid)
+        else:
+            reprobe.discard(rid)
+        pre = cur.get(row)
         if sensitive and touched:
             if in_phase is None and not whole_bag:
                 in_phase = set(sr)
             _refresh_siblings_fast(
-                pool, kernel, touched, chronon, in_phase, probed, overlay, cur, dirty
+                pool, kernel, touched, chronon, in_phase, probed, overlay, cur,
+                dirty, reprobe,
             )
+        if retry_partial and row in active:
+            post = cur.get(row)
+            if post is None or post == pre:
+                # The chosen row itself was dropped and the sibling
+                # refresh left its key unchanged: re-arm the consumed
+                # entry via the overlay so it competes for a re-probe —
+                # mirroring the reference heap's re-push.
+                cur[row] = key
+                dirty.add(row)
+                heapq.heappush(overlay, key + (row, rid))
     return budget_left
 
 
@@ -809,6 +830,7 @@ def _refresh_siblings_fast(
     overlay: list[tuple],
     cur: dict[int, tuple],
     dirty: set[int],
+    reprobe: set[ResourceId] = frozenset(),
 ) -> None:
     """Re-rank still-active siblings of CEIs whose state just changed.
 
@@ -834,7 +856,7 @@ def _refresh_siblings_fast(
             if in_phase is not None and row not in in_phase:
                 continue
             rid = row_resource[row]
-            if rid in probed:
+            if rid in probed and rid not in reprobe:
                 continue
             score = (
                 kernel.score_row(pool, row, cidx, chronon) if row_dependent else fresh

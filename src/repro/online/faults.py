@@ -39,13 +39,16 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.errors import ModelError
 from repro.core.resource import ResourceId, ResourcePool
 from repro.core.timebase import Chronon
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.online.health import HealthTracker
 
 #: A fault script: ``(resource, chronon) -> number of leading attempts that
 #: fail there`` (``math.inf`` = every attempt fails).  A bare collection of
@@ -155,11 +158,20 @@ class RetryPolicy:
         backoff.  A later successful probe resets the streak.
     backoff_cap:
         Upper bound, in chronons, on one backoff window.
+    retry_partials:
+        Partial-failure-aware retry: after a *successful* probe whose
+        per-EI verdicts dropped some candidates, re-rank only the dropped
+        EIs' resource windows — the resource stays eligible for the rest
+        of the chronon (attempts permitting) instead of being treated as
+        fully probed, and each re-probe draws fresh per-EI verdicts at
+        the next attempt index.  Off by default: the classic behaviour
+        retries whole-probe failures only.
     """
 
     max_retries: int = 0
     backoff_base: float = 0.0
     backoff_cap: int = 64
+    retry_partials: bool = False
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -446,31 +458,46 @@ class FaultInjector:
     wall-clock or global RNG state.
     """
 
-    def __init__(self, model: FailureModel, retry: Optional[RetryPolicy] = None) -> None:
+    def __init__(
+        self,
+        model: FailureModel,
+        retry: Optional[RetryPolicy] = None,
+        health: "Optional[HealthTracker]" = None,
+    ) -> None:
         self.model = model
         self.retry = retry or RetryPolicy()
+        self.health = health
         self.stats = FaultStats()
         self._chronon: Chronon = -1
         self._attempts: dict[ResourceId, int] = {}
         self._streak: dict[ResourceId, int] = {}
         self._blocked_until: dict[ResourceId, Chronon] = {}
+        # Success observations are deferred to record_partial when per-EI
+        # verdicts exist: the observation weight is the dropped fraction,
+        # which only the monitor (holding the active candidate set) knows.
+        self._defer_success = model.partial_rate > 0.0
 
     def begin_chronon(self, chronon: Chronon) -> None:
         self._chronon = chronon
         self._attempts.clear()
+        if self.health is not None:
+            self.health.begin_chronon(chronon)
 
     def blocked(self, resource: ResourceId, chronon: Chronon) -> bool:
         """Is ``resource`` unavailable before any budget is spent on it?
 
-        True inside an exponential-backoff window *and* inside a declared
+        True inside an exponential-backoff window, inside a declared
         :class:`Outage` — a probe during a known outage window cannot
         succeed, so the monitor skips it without consuming budget or a
         retry attempt (previously the attempt counter and the outage
         verdict were consulted separately and an outage probe burned both
-        budget and attempts).
+        budget and attempts) — and while the resource's learned circuit
+        breaker is OPEN.
         """
         until = self._blocked_until.get(resource)
         if until is not None and chronon < until:
+            return True
+        if self.health is not None and self.health.blocked(resource):
             return True
         return self.model.in_outage(resource, chronon)
 
@@ -500,8 +527,12 @@ class FaultInjector:
         if not self.model.fails(resource, chronon, n):
             self._streak.pop(resource, None)
             self._blocked_until.pop(resource, None)
+            if self.health is not None and not self._defer_success:
+                self.health.record_probe(resource, chronon, False, 0.0)
             return True
         self.stats.failures += 1
+        if self.health is not None:
+            self.health.record_probe(resource, chronon, True, 1.0)
         by_resource = self.stats.failures_by_resource
         by_resource[resource] = by_resource.get(resource, 0) + 1
         if n + 1 >= self.retry.max_attempts:
@@ -514,3 +545,18 @@ class FaultInjector:
                 self._blocked_until[resource] = chronon + 1 + span
                 self.stats.backoffs += 1
         return False
+
+    def record_partial(
+        self, resource: ResourceId, chronon: Chronon, dropped: int, total: int
+    ) -> None:
+        """Health observation of a *successful* probe's per-EI verdicts.
+
+        Called by the monitor once per successful probe when the model
+        has ``partial_rate > 0`` (the success observation deferred by
+        :meth:`attempt`): the observation weight is the dropped fraction
+        ``dropped/total``, making the estimator target the combined
+        probability that a probe's data fails to arrive.
+        """
+        if self.health is not None and self._defer_success:
+            weight = dropped / total if total else 0.0
+            self.health.record_probe(resource, chronon, False, weight)

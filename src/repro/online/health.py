@@ -1,0 +1,513 @@
+"""Learned per-resource health: online failure estimation and circuit breaking.
+
+The expected-gain policies of :mod:`repro.policies.reliability` discount
+probe priority by the *injected* :class:`~repro.online.faults.FailureModel`'s
+true rates — an oracle a real proxy never has.  This module supplies what
+a proxy actually can have: an estimate of each resource's failure
+probability *learned from its own probe outcomes*, plus a circuit breaker
+that stops spending budget on resources whose observed behaviour says the
+probes cannot succeed.
+
+Three pieces:
+
+* :class:`HealthEstimator` — a per-resource online estimator of the
+  probability that a probe's data fails to arrive.  Two modes:
+  ``"beta"`` keeps decayed Beta-posterior pseudo-counts (failures ``f``,
+  successes ``s``; the estimate is the posterior mean
+  ``(α+f)/(α+β+f+s)``), ``"ewma"`` keeps an exponentially-weighted moving
+  average that relaxes toward the prior mean across observation gaps.
+  Both apply ``decay**gap`` sliding-window forgetting, so rate changes
+  (a :class:`~repro.online.faults.RateWindow` turning on) are tracked
+  instead of averaged away.  Observations are *weighted*: a full probe
+  failure contributes weight 1, a clean success weight 0, and a partial
+  failure the dropped fraction ``dropped/total`` — which makes the
+  estimate target the *combined* per-probe data-loss probability.
+* :class:`CircuitBreaker` — the classic three-state machine per resource:
+  CLOSED (probes flow) → OPEN after ``breaker_failures`` *consecutive*
+  full failures or a posterior mean ≥ ``breaker_threshold`` (with at
+  least ``breaker_min_observations`` of observed weight) → HALF_OPEN once
+  the cooldown expires, where up to ``probation_probes`` successful
+  probes re-close the circuit and a single failure re-opens it with an
+  escalated cooldown (``cooldown_factor``, capped at ``cooldown_cap``).
+  An OPEN resource is reported through ``FaultInjector.blocked`` exactly
+  like a backoff window: the monitor skips it without spending budget.
+* :class:`HealthTracker` — the per-run facade the injector feeds and the
+  policies read.  At every chronon start it *freezes* one estimate per
+  observed resource; the learned expected-gain policies consume only the
+  frozen snapshot, so both engines — which interleave reads and updates
+  differently within a chronon — rank candidates against identical
+  estimates and stay bit-identical.  With ``track_error=True`` it also
+  records, per chronon, the mean absolute error between the frozen
+  estimates and the model's static true rates — the convergence series
+  the learned-reliability sweep reports.
+
+Everything is driven off the injector's ``attempt``/``record_partial``
+calls, which the two engines issue in identical order for deterministic
+policies; no wall-clock, no global RNG.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import ModelError
+from repro.core.resource import ResourceId
+from repro.core.timebase import Chronon
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.online.faults import FailureModel
+
+_ESTIMATORS = ("beta", "ewma")
+
+
+@dataclass(frozen=True, slots=True)
+class HealthConfig:
+    """Frozen knobs for online health estimation and circuit breaking.
+
+    Parameters
+    ----------
+    estimator:
+        ``"beta"`` (decayed Beta-posterior pseudo-counts, the default) or
+        ``"ewma"`` (exponentially-weighted moving average).
+    prior_alpha, prior_beta:
+        The Beta prior over the failure probability.  The prior mean
+        ``α/(α+β)`` is what unobserved resources estimate at, and what
+        the EWMA mode relaxes toward across gaps.  ``α, β > 0`` keeps
+        every posterior mean strictly inside (0, 1), so a learned
+        ``p_success`` can never hit exactly 0.
+    ewma_alpha:
+        Step size of the EWMA update (only used by ``estimator="ewma"``).
+    decay:
+        Sliding-window forgetting factor per chronon of *gap* between
+        observations, in (0, 1]; 1.0 (default) never forgets.
+    breaker:
+        Enable the per-resource circuit breaker.
+    breaker_failures:
+        Consecutive full probe failures that trip a CLOSED circuit.
+        0 disables the streak trigger.
+    breaker_threshold:
+        Posterior-mean failure probability that trips a CLOSED circuit
+        (checked after each failure).  1.0 (default) disables the
+        threshold trigger — a proper posterior mean never reaches it.
+    breaker_min_observations:
+        Observed weight a resource must have accumulated before the
+        threshold trigger may trip (guards against opening on the prior).
+    cooldown:
+        Chronons an opened circuit stays OPEN before HALF_OPEN probation.
+    cooldown_factor, cooldown_cap:
+        Each re-open from probation multiplies the cooldown by
+        ``cooldown_factor`` (capped at ``cooldown_cap`` chronons).
+    probation_probes:
+        Successful HALF_OPEN probes required to re-close the circuit
+        (1 by default: a single good probe re-admits the resource).
+    track_error:
+        Record the per-chronon mean absolute error between the frozen
+        estimates and the failure model's static true rates (the
+        convergence diagnostic; costs one pass over the rate map per
+        chronon).
+    """
+
+    estimator: str = "beta"
+    prior_alpha: float = 1.0
+    prior_beta: float = 1.0
+    ewma_alpha: float = 0.2
+    decay: float = 1.0
+    breaker: bool = False
+    breaker_failures: int = 3
+    breaker_threshold: float = 1.0
+    breaker_min_observations: float = 5.0
+    cooldown: int = 8
+    cooldown_factor: float = 2.0
+    cooldown_cap: int = 64
+    probation_probes: int = 1
+    track_error: bool = False
+
+    def __post_init__(self) -> None:
+        if self.estimator not in _ESTIMATORS:
+            raise ModelError(
+                f"unknown estimator {self.estimator!r}; expected one of {_ESTIMATORS}"
+            )
+        if self.prior_alpha <= 0.0 or self.prior_beta <= 0.0:
+            raise ModelError(
+                f"prior pseudo-counts must be > 0, got "
+                f"alpha={self.prior_alpha}, beta={self.prior_beta}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ModelError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if not 0.0 < self.decay <= 1.0:
+            raise ModelError(f"decay must be in (0, 1], got {self.decay}")
+        if self.breaker_failures < 0:
+            raise ModelError(f"breaker_failures must be >= 0, got {self.breaker_failures}")
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise ModelError(
+                f"breaker_threshold must be in (0, 1], got {self.breaker_threshold}"
+            )
+        if self.breaker_min_observations < 0.0:
+            raise ModelError(
+                f"breaker_min_observations must be >= 0, got "
+                f"{self.breaker_min_observations}"
+            )
+        if self.cooldown < 1:
+            raise ModelError(f"cooldown must be >= 1, got {self.cooldown}")
+        if self.cooldown_factor < 1.0:
+            raise ModelError(f"cooldown_factor must be >= 1, got {self.cooldown_factor}")
+        if self.cooldown_cap < 1:
+            raise ModelError(f"cooldown_cap must be >= 1, got {self.cooldown_cap}")
+        if self.probation_probes < 1:
+            raise ModelError(f"probation_probes must be >= 1, got {self.probation_probes}")
+
+    @property
+    def prior_mean(self) -> float:
+        """Failure-probability estimate of a never-observed resource."""
+        return self.prior_alpha / (self.prior_alpha + self.prior_beta)
+
+
+class BreakerState(enum.Enum):
+    """Circuit state of one resource."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(slots=True)
+class HealthStats:
+    """Counters of one run's health machinery.
+
+    ``short_circuited`` counts OPEN resource-chronons — probe
+    opportunities the breaker denied — rather than individual skipped
+    candidates, so the number is comparable across policies and engines.
+    ``error_log`` holds ``(chronon, mean |estimate - true rate|)`` pairs
+    when :attr:`HealthConfig.track_error` is on.
+    """
+
+    observations: int = 0
+    opens: int = 0
+    reopens: int = 0
+    closes: int = 0
+    probation_probes: int = 0
+    short_circuited: int = 0
+    error_log: list[tuple[Chronon, float]] = field(default_factory=list)
+
+    @property
+    def final_error(self) -> float:
+        """Last recorded estimate error (0.0 when tracking was off)."""
+        return self.error_log[-1][1] if self.error_log else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "observations": self.observations,
+            "opens": self.opens,
+            "reopens": self.reopens,
+            "closes": self.closes,
+            "probation_probes": self.probation_probes,
+            "short_circuited": self.short_circuited,
+            "final_error": self.final_error,
+        }
+
+
+class HealthEstimator:
+    """Per-resource online estimator of probe data-loss probability.
+
+    Observations arrive as ``(resource, chronon, weight)`` with weight in
+    [0, 1]: the fraction of the probe's data that failed to arrive.  Both
+    modes forget across *gaps* between observations by ``decay**gap`` —
+    applied lazily, at observe and estimate time, so idle resources cost
+    nothing per chronon.
+    """
+
+    __slots__ = ("config", "_fail", "_succ", "_ewma", "_last", "_dirty")
+
+    def __init__(self, config: HealthConfig) -> None:
+        self.config = config
+        # Decayed pseudo-counts (both modes keep them; min-observation
+        # guards read the decayed total weight fail + succ).
+        self._fail: dict[ResourceId, float] = {}
+        self._succ: dict[ResourceId, float] = {}
+        self._ewma: dict[ResourceId, float] = {}
+        self._last: dict[ResourceId, Chronon] = {}
+        self._dirty: set[ResourceId] = set()
+
+    def resources(self) -> list[ResourceId]:
+        """Every resource observed so far, in first-observation order."""
+        return list(self._last)
+
+    def pop_dirty(self) -> set[ResourceId]:
+        """Resources observed since the last call (and reset the set).
+
+        With ``decay == 1.0`` estimates are time-independent, so these
+        are exactly the resources whose estimate can have changed —
+        the tracker freezes snapshots incrementally from this set.
+        """
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    def _decay_factor(self, resource: ResourceId, chronon: Chronon) -> float:
+        last = self._last.get(resource)
+        if last is None or self.config.decay >= 1.0:
+            return 1.0
+        gap = chronon - last
+        return self.config.decay**gap if gap > 0 else 1.0
+
+    def observe(self, resource: ResourceId, chronon: Chronon, weight: float) -> None:
+        """Record one probe outcome; ``weight`` is the failed fraction."""
+        factor = self._decay_factor(resource, chronon)
+        fail = self._fail.get(resource, 0.0) * factor + weight
+        succ = self._succ.get(resource, 0.0) * factor + (1.0 - weight)
+        self._fail[resource] = fail
+        self._succ[resource] = succ
+        if self.config.estimator == "ewma":
+            prior = self.config.prior_mean
+            mean = self._ewma.get(resource, prior)
+            mean = prior + (mean - prior) * factor
+            self._ewma[resource] = mean + self.config.ewma_alpha * (weight - mean)
+        self._last[resource] = chronon
+        self._dirty.add(resource)
+
+    def estimate(self, resource: ResourceId, chronon: Chronon) -> float:
+        """Current failure-probability estimate (prior mean if unobserved)."""
+        last = self._last.get(resource)
+        if last is None:
+            return self.config.prior_mean
+        factor = self._decay_factor(resource, chronon)
+        if self.config.estimator == "ewma":
+            prior = self.config.prior_mean
+            return prior + (self._ewma[resource] - prior) * factor
+        fail = self._fail[resource] * factor
+        succ = self._succ[resource] * factor
+        return (self.config.prior_alpha + fail) / (
+            self.config.prior_alpha + self.config.prior_beta + fail + succ
+        )
+
+    def observed_weight(self, resource: ResourceId, chronon: Chronon) -> float:
+        """Decayed total observation weight backing the estimate."""
+        last = self._last.get(resource)
+        if last is None:
+            return 0.0
+        factor = self._decay_factor(resource, chronon)
+        return (self._fail[resource] + self._succ[resource]) * factor
+
+
+class CircuitBreaker:
+    """Per-resource CLOSED → OPEN → HALF_OPEN state machine.
+
+    State only changes at two well-defined points: probe verdicts
+    (:meth:`on_success` / :meth:`on_failure`, driven by the injector's
+    ``attempt`` calls, which both engines issue in identical order) and
+    the eager OPEN → HALF_OPEN promotion in :meth:`begin_chronon`.
+    Reads (:meth:`blocked`, :meth:`state`) never mutate, so the engines'
+    different read interleavings cannot diverge the machine.
+    """
+
+    __slots__ = ("config", "stats", "_state", "_streak", "_reopen_at", "_span", "_probation")
+
+    def __init__(self, config: HealthConfig, stats: HealthStats) -> None:
+        self.config = config
+        self.stats = stats
+        self._state: dict[ResourceId, BreakerState] = {}
+        self._streak: dict[ResourceId, int] = {}
+        self._reopen_at: dict[ResourceId, Chronon] = {}
+        self._span: dict[ResourceId, int] = {}
+        self._probation: dict[ResourceId, int] = {}
+
+    def state(self, resource: ResourceId) -> BreakerState:
+        return self._state.get(resource, BreakerState.CLOSED)
+
+    def blocked(self, resource: ResourceId) -> bool:
+        """Is the circuit OPEN (probes denied without budget)?"""
+        return self._state.get(resource) is BreakerState.OPEN
+
+    def begin_chronon(self, chronon: Chronon) -> None:
+        """Promote expired OPEN circuits to HALF_OPEN; count the rest."""
+        for resource, state in self._state.items():
+            if state is not BreakerState.OPEN:
+                continue
+            if chronon >= self._reopen_at[resource]:
+                self._state[resource] = BreakerState.HALF_OPEN
+                self._probation[resource] = 0
+            else:
+                self.stats.short_circuited += 1
+
+    def _open(self, resource: ResourceId, chronon: Chronon, reopen: bool) -> None:
+        if reopen:
+            span = min(
+                self.config.cooldown_cap,
+                math.ceil(self._span[resource] * self.config.cooldown_factor),
+            )
+            self.stats.reopens += 1
+        else:
+            span = self.config.cooldown
+            self.stats.opens += 1
+        self._span[resource] = span
+        self._state[resource] = BreakerState.OPEN
+        self._reopen_at[resource] = chronon + 1 + span
+        self._streak[resource] = 0
+
+    def on_success(self, resource: ResourceId, chronon: Chronon) -> None:
+        """A probe of ``resource`` succeeded (possibly with partial drops)."""
+        self._streak[resource] = 0
+        if self._state.get(resource) is BreakerState.HALF_OPEN:
+            self.stats.probation_probes += 1
+            count = self._probation.get(resource, 0) + 1
+            if count >= self.config.probation_probes:
+                self._state[resource] = BreakerState.CLOSED
+                self._span.pop(resource, None)
+                self._probation.pop(resource, None)
+                self.stats.closes += 1
+            else:
+                self._probation[resource] = count
+
+    def on_failure(
+        self, resource: ResourceId, chronon: Chronon, estimate: float, weight: float
+    ) -> None:
+        """A probe of ``resource`` fully failed.
+
+        ``estimate`` and ``weight`` are the estimator's posterior mean and
+        observed weight *after* recording this failure, for the threshold
+        trigger.
+        """
+        if self._state.get(resource) is BreakerState.HALF_OPEN:
+            self.stats.probation_probes += 1
+            self._open(resource, chronon, reopen=True)
+            return
+        if self._state.get(resource) is BreakerState.OPEN:  # pragma: no cover
+            return  # defensive: the monitor never probes an OPEN circuit
+        streak = self._streak.get(resource, 0) + 1
+        self._streak[resource] = streak
+        trip = self.config.breaker_failures > 0 and streak >= self.config.breaker_failures
+        if not trip and self.config.breaker_threshold < 1.0:
+            trip = (
+                weight >= self.config.breaker_min_observations
+                and estimate >= self.config.breaker_threshold
+            )
+        if trip:
+            self._open(resource, chronon, reopen=False)
+
+
+class HealthTracker:
+    """Per-run health state: one estimator, one breaker, frozen snapshots.
+
+    The :class:`~repro.online.faults.FaultInjector` owns exactly one
+    tracker per run (when the config asks for one) and feeds it every
+    verdict; policies read estimates *only* through :meth:`p_failure`,
+    which serves the per-chronon frozen snapshot — never the live
+    estimator — so mid-chronon observations cannot reorder candidates
+    differently across engines.  :attr:`version` increments per chronon;
+    learned policies key their caches on it.
+    """
+
+    __slots__ = (
+        "config",
+        "stats",
+        "estimator",
+        "breaker",
+        "_oracle",
+        "_frozen",
+        "_prior",
+        "version",
+        "_chronon",
+        "frozen_dirty",
+    )
+
+    def __init__(
+        self, config: HealthConfig, model: "Optional[FailureModel]" = None
+    ) -> None:
+        self.config = config
+        self.stats = HealthStats()
+        self.estimator = HealthEstimator(config)
+        self.breaker = CircuitBreaker(config, self.stats) if config.breaker else None
+        self._oracle = model if config.track_error else None
+        self._frozen: dict[ResourceId, float] = {}
+        self._prior = config.prior_mean
+        self.version = -1
+        self._chronon: Chronon = -1
+        #: Resources whose frozen estimate changed at the latest freeze.
+        #: Learned policies use it to update their priority caches
+        #: incrementally across consecutive versions.
+        self.frozen_dirty: frozenset[ResourceId] = frozenset()
+
+    def begin_chronon(self, chronon: Chronon) -> None:
+        """Freeze this chronon's estimates; advance the breaker clocks."""
+        self._chronon = chronon
+        self.version += 1
+        if self.breaker is not None:
+            self.breaker.begin_chronon(chronon)
+        estimator = self.estimator
+        if self.config.decay >= 1.0:
+            # No forgetting: estimates are time-independent, so only the
+            # resources observed since the last freeze can have moved.
+            frozen = self._frozen
+            dirty = estimator.pop_dirty()
+            for resource in dirty:
+                frozen[resource] = estimator.estimate(resource, chronon)
+            self.frozen_dirty = frozenset(dirty)
+        else:
+            # Forgetting drifts every observed resource's estimate each
+            # chronon, so the snapshot is rebuilt in full.
+            estimator.pop_dirty()
+            self._frozen = {
+                resource: estimator.estimate(resource, chronon)
+                for resource in estimator.resources()
+            }
+            self.frozen_dirty = frozenset(self._frozen)
+        if self._oracle is not None:
+            self._record_error(chronon)
+
+    def _record_error(self, chronon: Chronon) -> None:
+        oracle = self._oracle
+        assert oracle is not None
+        rids = oracle.per_resource or self._frozen
+        if not rids:
+            return
+        total = 0.0
+        for rid in rids:
+            est = self._frozen.get(rid, self._prior)
+            total += abs(est - oracle.failure_rate(rid))
+        self.stats.error_log.append((chronon, total / len(rids)))
+
+    def p_failure(self, resource: ResourceId) -> float:
+        """The frozen failure-probability estimate for this chronon."""
+        return self._frozen.get(resource, self._prior)
+
+    def estimates(self) -> dict[ResourceId, float]:
+        """The current frozen snapshot (a copy)."""
+        return dict(self._frozen)
+
+    def blocked(self, resource: ResourceId) -> bool:
+        """Is the resource's circuit OPEN right now?"""
+        return self.breaker is not None and self.breaker.blocked(resource)
+
+    def record_probe(
+        self, resource: ResourceId, chronon: Chronon, failed: bool, weight: float
+    ) -> None:
+        """One probe verdict: full failure (weight 1) or success with the
+        given dropped-data fraction."""
+        self.stats.observations += 1
+        estimator = self.estimator
+        estimator.observe(resource, chronon, weight)
+        breaker = self.breaker
+        if breaker is None:
+            return
+        if failed:
+            breaker.on_failure(
+                resource,
+                chronon,
+                estimator.estimate(resource, chronon),
+                estimator.observed_weight(resource, chronon),
+            )
+        else:
+            breaker.on_success(resource, chronon)
+
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthConfig",
+    "HealthEstimator",
+    "HealthStats",
+    "HealthTracker",
+]

@@ -45,6 +45,7 @@ from repro.online.candidates import CandidatePool
 from repro.online.config import ENGINES, MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, FaultInjector, FaultStats, RetryPolicy
 from repro.online.fastpath import FastCandidatePool, run_fast_phases
+from repro.online.health import HealthStats, HealthTracker
 from repro.policies.base import Policy
 from repro.policies.kernels import resolve_kernel
 
@@ -110,6 +111,8 @@ class OnlineMonitor:
         )
         if cfg.retry is not None and cfg.faults is None:
             raise ModelError("a retry policy needs a failure model to retry against")
+        if cfg.health is not None and cfg.faults is None:
+            raise ModelError("a health config needs a failure model to observe")
         self.policy = policy
         self.budget = budget
         self.preemptive = preemptive
@@ -117,9 +120,15 @@ class OnlineMonitor:
         self.exploit_overlap = exploit_overlap
         self.config = cfg
         self.engine = cfg.engine.value
-        # Reliability-aware policies adopt the run's fault universe before
-        # the kernel is resolved, so the kernel sees the bound model too.
+        self._health: Optional[HealthTracker] = (
+            HealthTracker(cfg.health, cfg.faults) if cfg.health is not None else None
+        )
+        # Reliability-aware policies adopt the run's fault universe (and
+        # learned health tracker) before the kernel is resolved, so the
+        # kernel sees the bound model too.
         policy.bind_reliability(cfg.faults, cfg.retry)
+        if self._health is not None:
+            policy.bind_health(self._health)
         self.pool: Union[CandidatePool, FastCandidatePool]
         if self.engine == "vectorized":
             self.pool = FastCandidatePool()
@@ -129,9 +138,18 @@ class OnlineMonitor:
             self._kernel = None
         self.schedule = Schedule()
         self._faults: Optional[FaultInjector] = (
-            FaultInjector(cfg.faults, cfg.retry) if cfg.faults is not None else None
+            FaultInjector(cfg.faults, cfg.retry, health=self._health)
+            if cfg.faults is not None
+            else None
         )
         self._partial = cfg.faults is not None and cfg.faults.partial_rate > 0.0
+        self._retry_partials = (
+            self._partial and cfg.retry is not None and cfg.retry.retry_partials
+        )
+        # Resources whose last successful probe this chronon dropped EIs
+        # and may be re-probed (partial-failure-aware retry): the usual
+        # "already probed" skip is waived for them.
+        self._partial_retry_ok: set[ResourceId] = set()
         self._dropped: set[tuple[ResourceId, Chronon, int]] = set()
         self._push_probes: set[tuple[ResourceId, Chronon]] = set()
         self._consumed: dict[Chronon, float] = {}
@@ -168,6 +186,7 @@ class OnlineMonitor:
         self.policy.on_chronon_start(chronon)
         if self._faults is not None:
             self._faults.begin_chronon(chronon)
+        self._partial_retry_ok.clear()
         fast = self._kernel is not None
 
         if self.engine == "vectorized":
@@ -264,6 +283,16 @@ class OnlineMonitor:
                     self.policy.on_probe(resource, chronon)
                     skip = self._partial_drops(resource, chronon)
                     self.pool.capture_resource(resource, chronon, skip)
+                    if (
+                        self._retry_partials
+                        and skip
+                        and faults is not None
+                        and faults.can_retry(resource)
+                    ):
+                        # Partial-failure-aware retry: the pick was
+                        # explicit, so re-attempt the dropped EIs in
+                        # place (fresh per-EI verdicts per attempt).
+                        continue
                     break
                 # Failed probe: budget spent, nothing captured.  The pick
                 # was explicit, so a permitted retry re-attempts in place.
@@ -293,16 +322,17 @@ class OnlineMonitor:
 
         sibling_sensitive = policy.sibling_sensitive()
         faults = self._faults
+        reprobe_ok = self._partial_retry_ok
         while heap and budget_left > _EPS:
             priority, tiebreak, seq, ei = heapq.heappop(heap)
             if not self.pool.is_active(ei):
                 continue  # captured or expired since queued
             if current_key.get(ei.seq) != (priority, tiebreak, seq):
                 continue  # stale entry; a fresher one is in the heap
-            if ei.resource in probed:
+            if ei.resource in probed and ei.resource not in reprobe_ok:
                 continue  # already captured by this chronon's probe of r
             if faults is not None and not faults.available(ei.resource, chronon):
-                continue  # backed off, or attempts exhausted this chronon
+                continue  # backed off, opened, or attempts exhausted
             cost = self._probe_cost(ei.resource)
             if cost > budget_left + _EPS:
                 # With uniform unit costs this means the budget is spent;
@@ -324,9 +354,30 @@ class OnlineMonitor:
             self.schedule.add_probe(ei.resource, chronon)
             probed.add(ei.resource)
             policy.on_probe(ei.resource, chronon)
-            captured, touched = self._capture(ei, chronon)
+            skip = self._partial_drops(ei.resource, chronon)
+            captured, touched = self._capture(ei, chronon, skip)
+            retry_partial = (
+                self._retry_partials
+                and skip
+                and faults is not None
+                and faults.can_retry(ei.resource)
+            )
+            if retry_partial:
+                reprobe_ok.add(ei.resource)
+            else:
+                reprobe_ok.discard(ei.resource)
             if sibling_sensitive and touched:
                 self._refresh_siblings(touched, chronon, heap, current_key, probed)
+            if (
+                retry_partial
+                and self.pool.is_active(ei)
+                and current_key.get(ei.seq) == (priority, tiebreak, seq)
+            ):
+                # The chosen EI itself was dropped and its key is
+                # unchanged: re-arm its consumed heap entry so it
+                # competes for a re-probe (a sibling refresh that
+                # changed the key already pushed a fresh entry).
+                heapq.heappush(heap, (priority, tiebreak, seq, ei))
         return budget_left
 
     def _partial_drops(
@@ -349,13 +400,16 @@ class OnlineMonitor:
         drops = injector.model.partial_drops(resource, chronon, attempt, seqs)
         for seq in drops:
             self._dropped.add((resource, chronon, seq))
+        injector.record_partial(resource, chronon, len(drops), len(seqs))
         return drops
 
     def _capture(
-        self, chosen: ExecutionInterval, chronon: Chronon
+        self,
+        chosen: ExecutionInterval,
+        chronon: Chronon,
+        skip: frozenset[int] = frozenset(),
     ) -> tuple[list[ExecutionInterval], list[ComplexExecutionInterval]]:
         """Apply a probe's captures, honouring the overlap ablation flag."""
-        skip = self._partial_drops(chosen.resource, chronon)
         if self.exploit_overlap:
             return self.pool.capture_resource(chosen.resource, chronon, skip)
         # Ablation: the probe yields only the selected EI (unless the
@@ -375,13 +429,14 @@ class OnlineMonitor:
         """Re-rank still-active siblings of CEIs whose state just changed."""
         view = self.pool
         policy = self.policy
+        reprobe_ok = self._partial_retry_ok
         for cei in touched:
             for sibling in cei.eis:
                 if sibling.seq not in current_key:
                     continue  # not part of this phase's candidate set
                 if not self.pool.is_active(sibling):
                     continue
-                if sibling.resource in probed:
+                if sibling.resource in probed and sibling.resource not in reprobe_ok:
                     continue
                 key = policy.sort_key(sibling, chronon, view)
                 if current_key[sibling.seq] != key:
@@ -467,6 +522,16 @@ class OnlineMonitor:
     def fault_stats(self) -> FaultStats:
         """Attempt/failure/retry/backoff counters for this run."""
         return self._faults.stats if self._faults is not None else FaultStats()
+
+    @property
+    def health(self) -> Optional[HealthTracker]:
+        """The run's learned health tracker (None without a health config)."""
+        return self._health
+
+    @property
+    def health_stats(self) -> Optional[HealthStats]:
+        """Estimator/breaker counters for this run (None without health)."""
+        return self._health.stats if self._health is not None else None
 
     @property
     def dropped_captures(self) -> frozenset[tuple[ResourceId, Chronon, int]]:

@@ -20,6 +20,7 @@ from repro.policies.kernels import (
     MRSFKernel,
     ScoreKernel,
     SEDFKernel,
+    SLOExpectedGainKernel,
     resolve_kernel,
 )
 from repro.policies.medf import MEDF, m_edf_value
@@ -30,6 +31,7 @@ from repro.policies.reliability import (
     ExpectedGainMRSF,
     ExpectedGainPolicy,
     ExpectedGainSEDF,
+    SLOExpectedGainPolicy,
 )
 from repro.policies.sedf import SEDF, s_edf_value
 from repro.policies.weighted import WeightedMEDF, WeightedMRSF, WeightedSEDF
@@ -56,6 +58,8 @@ __all__ = [
     "RoundRobin",
     "SEDF",
     "SEDFKernel",
+    "SLOExpectedGainKernel",
+    "SLOExpectedGainPolicy",
     "ScoreKernel",
     "WIC",
     "WeightedMEDF",

@@ -102,6 +102,18 @@ class Policy(abc.ABC):
         constructed with an explicit model of their own.
         """
 
+    def bind_health(self, health) -> None:
+        """Called once by the monitor with its learned health tracker.
+
+        Only issued when the run carries a
+        :class:`~repro.online.health.HealthConfig`.  Policies that
+        consume *learned* reliability (the ``LEG-*`` / ``LSLO-*``
+        expected-gain wrappers) adopt the run's
+        :class:`~repro.online.health.HealthTracker` here and read its
+        per-chronon frozen ``p_failure`` snapshots instead of the bound
+        oracle model; everyone else ignores the call (the default).
+        """
+
     def sibling_sensitive(self) -> bool:
         """Does this policy's priority depend on sibling capture state?
 

@@ -224,6 +224,34 @@ class ExpectedGainKernel(ScoreKernel):
         return self.base.score_cei(pool, cidx, chronon) / p
 
 
+class SLOExpectedGainKernel(ExpectedGainKernel):
+    """Expected gain with the success probability raised to the CEI weight.
+
+    Batched mirror of
+    :class:`repro.policies.reliability.SLOExpectedGainPolicy`: the divisor
+    is ``p_success ** weight`` evaluated as a float64 ``np.power``, the
+    same operation the policy's scalar ``_discount`` applies, so both
+    engines divide by bit-identical values.  ``p_success == 0`` rows score
+    ``inf`` (``0 ** w == 0`` for the positive weights the CEI validator
+    enforces, so the zero-divisor gate still catches them).
+    """
+
+    def score_rows(self, pool, rows, cidx, chronon):
+        scores = self.base.score_rows(pool, rows, cidx, chronon)
+        ps = self.policy.p_success_array(chronon, pool.npr_resource.max(initial=0) + 1)
+        divisors = np.power(ps[pool.npr_resource[rows]], pool.npc_weight[cidx])
+        out = np.full(len(scores), np.inf)
+        np.divide(scores, divisors, out=out, where=divisors > 0.0)
+        return out
+
+    def score_row(self, pool, row, cidx, chronon):
+        p = self.policy.p_success(pool.row_resource[row], chronon)
+        if p <= 0.0:
+            return float("inf")
+        d = self.policy._discount(p, float(pool.cei_weight[cidx]))
+        return self.base.score_cei(pool, cidx, chronon) / d
+
+
 def resolve_kernel(policy: "Policy") -> Optional[ScoreKernel]:
     """The batched kernel for ``policy``, or None to use the generic path.
 

@@ -29,6 +29,26 @@ holds for every policy in this package (deadline distances, residuals and
 remaining-mass sums are all >= 0 for active candidates); a negative
 priority would have its urgency *amplified* by the division instead of
 discounted.
+
+Two discount *sources* exist.  ``source="oracle"`` (default, the ``EG-*``
+registrations) reads the injected failure model's true rates — the upper
+bound a real proxy cannot reach.  ``source="learned"`` (the ``LEG-*``
+registrations) reads the run's
+:class:`~repro.online.health.HealthTracker` instead: per-resource failure
+probabilities estimated online from the monitor's own probe outcomes,
+frozen once per chronon so both engines rank against identical values.
+A learned wrapper starts from the estimator's prior (no information: it
+ranks almost like its base) and converges toward the oracle wrapper as
+observations accumulate — the convergence the learned-reliability sweep
+measures.
+
+:class:`SLOExpectedGainPolicy` (``SLO-*`` / learned ``LSLO-*``) weights
+the discount *exponent* by the parent CEI's client utility:
+``priority = base / p_success**weight``.  For ``weight > 1`` the penalty
+for unreliable resources is amplified — a per-client reliability SLO:
+high-value clients' candidates on flaky mirrors are shed first, which
+concentrates their probes on reliable replicas, while ``weight == 1``
+degenerates to the plain expected-gain discount.
 """
 
 from __future__ import annotations
@@ -38,6 +58,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.core.errors import ModelError
 from repro.core.intervals import ExecutionInterval
 from repro.core.resource import ResourceId
 from repro.core.timebase import Chronon
@@ -45,6 +66,7 @@ from repro.policies.base import MonitorView, Policy, Priority, make_policy, regi
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.online.faults import FailureModel, RetryPolicy
+    from repro.online.health import HealthTracker
     from repro.policies.kernels import ScoreKernel
 
 
@@ -63,6 +85,12 @@ class ExpectedGainPolicy(Policy):
         whatever fault universe the run actually injects.  With no model
         at all (or a trivial one) the wrapper ranks identically to its
         base: every ``p_success`` is 1.
+    source:
+        ``"oracle"`` (default) discounts by the failure model's true
+        rates; ``"learned"`` discounts by the run's
+        :class:`~repro.online.health.HealthTracker` estimates adopted via
+        :meth:`bind_health`.  A learned wrapper with no tracker bound
+        (run without a health config) ranks identically to its base.
     """
 
     def __init__(
@@ -70,19 +98,32 @@ class ExpectedGainPolicy(Policy):
         base: Policy | str,
         faults: "Optional[FailureModel]" = None,
         retry: "Optional[RetryPolicy]" = None,
+        source: str = "oracle",
     ) -> None:
+        if source not in ("oracle", "learned"):
+            raise ModelError(
+                f"source must be 'oracle' or 'learned', got {source!r}"
+            )
         self.base = make_policy(base) if isinstance(base, str) else base
         self.faults = faults
         self.retry = retry
+        self.source = source
+        self.health: "Optional[HealthTracker]" = None
         self._explicit_faults = faults is not None
         self._explicit_retry = retry is not None
-        # Caches keyed by the active rate multiplier: {mult: {rid: p}} for
-        # scalar lookups and {mult: ndarray} for the kernel.  Cleared when
-        # bind_reliability swaps the model in.
+        # Oracle caches keyed by the active rate multiplier: {mult: {rid: p}}
+        # for scalar lookups and {mult: ndarray} for the kernel.  Cleared
+        # when bind_reliability swaps the model in.
         self._p_cache: dict[float, dict[ResourceId, float]] = {}
         self._array_cache: dict[float, np.ndarray] = {}
+        # Learned caches keyed by the tracker's snapshot version (which
+        # bumps once per chronon, when the frozen estimates change).
+        self._learned_version = -1
+        self._learned_p: dict[ResourceId, float] = {}
+        self._learned_arr: Optional[np.ndarray] = None
         if not type(self).name:
-            self.name = f"EG-{self.base.name}"
+            prefix = "LEG-" if source == "learned" else "EG-"
+            self.name = prefix + self.base.name
 
     # -- reliability plumbing ------------------------------------------
 
@@ -98,6 +139,39 @@ class ExpectedGainPolicy(Policy):
         if changed:
             self._p_cache.clear()
             self._array_cache.clear()
+
+    def bind_health(self, health) -> None:
+        """Adopt the monitor's learned health tracker (learned source only)."""
+        if health is not self.health:
+            self.health = health
+            self._learned_version = -1
+            self._learned_p = {}
+            self._learned_arr = None
+
+    def _sync_learned(self, health: "HealthTracker") -> None:
+        """Refresh learned caches when the tracker froze a new snapshot.
+
+        Across consecutive versions only the tracker's ``frozen_dirty``
+        resources moved, so the caches are patched in place; a version
+        jump (no access for a whole chronon) or a dirty resource beyond
+        the array's width drops them for a lazy full rebuild.
+        """
+        if health.version == self._learned_version:
+            return
+        if self._learned_arr is not None and health.version == self._learned_version + 1:
+            arr = self._learned_arr
+            for rid in health.frozen_dirty:
+                self._learned_p.pop(rid, None)
+                if rid < arr.size:
+                    arr[rid] = self._p_success_learned(rid)
+                else:
+                    # A first observation beyond the array's width: too
+                    # narrow to patch, rebuild lazily at the next demand.
+                    self._learned_arr = None
+        else:
+            self._learned_p = {}
+            self._learned_arr = None
+        self._learned_version = health.version
 
     def _multiplier(self, chronon: Chronon) -> float:
         model = self.faults
@@ -121,8 +195,32 @@ class ExpectedGainPolicy(Policy):
         attempts = self.retry.max_attempts if self.retry is not None else 1
         return 1.0 - f**attempts
 
+    def _p_success_learned(self, resource: ResourceId) -> float:
+        """``p_success`` from the tracker's frozen per-chronon estimate.
+
+        Same scalar arithmetic as :meth:`_p_success_static`, fed by the
+        learned failure probability; the kernel array is built
+        entry-by-entry from this function, so both engines divide by
+        bit-identical float64 values.
+        """
+        f = self.health.p_failure(resource)
+        if f <= 0.0:
+            return 1.0
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        return 1.0 - f**attempts
+
     def p_success(self, resource: ResourceId, chronon: Chronon) -> float:
         """Probability that probing ``resource`` at ``chronon`` captures."""
+        if self.source == "learned":
+            health = self.health
+            if health is None:
+                return 1.0
+            self._sync_learned(health)
+            p = self._learned_p.get(resource)
+            if p is None:
+                p = self._p_success_learned(resource)
+                self._learned_p[resource] = p
+            return p
         if self.faults is None:
             return 1.0
         multiplier = self._multiplier(chronon)
@@ -135,6 +233,21 @@ class ExpectedGainPolicy(Policy):
 
     def p_success_array(self, chronon: Chronon, size: int) -> np.ndarray:
         """Resource-indexed ``p_success`` values for the batched kernel."""
+        if self.source == "learned":
+            health = self.health
+            if health is not None:
+                self._sync_learned(health)
+            arr = self._learned_arr
+            if arr is None or arr.size < size:
+                width = max(size, 64, 0 if arr is None else 2 * arr.size)
+                if health is None:
+                    arr = np.ones(width)
+                else:
+                    arr = np.array(
+                        [self._p_success_learned(rid) for rid in range(width)]
+                    )
+                self._learned_arr = arr
+            return arr
         multiplier = self._multiplier(chronon)
         arr = self._array_cache.get(multiplier)
         if arr is None or arr.size < size:
@@ -189,6 +302,64 @@ class ExpectedGainPolicy(Policy):
         return f"{type(self).__name__}(base={self.base!r})"
 
 
+class SLOExpectedGainPolicy(ExpectedGainPolicy):
+    """Expected gain with the discount exponent weighted by client utility.
+
+    ``priority = base / p_success ** weight`` where ``weight`` is the
+    parent CEI's utility.  The natural pairing is a weighted base (the
+    ``W-*`` family), so utility enters twice: linearly through the base
+    (more gain per probe) and exponentially through the discount (more
+    risk aversion) — a high-utility client's candidates shed flaky
+    resources first, concentrating that client's probes on reliable
+    replicas.  With all weights 1 this is exactly
+    :class:`ExpectedGainPolicy`.
+
+    Both the scalar path and the batched kernel evaluate the discount as
+    a float64 ``np.power``, so the engines stay bit-identical.
+    """
+
+    def __init__(
+        self,
+        base: Policy | str,
+        faults: "Optional[FailureModel]" = None,
+        retry: "Optional[RetryPolicy]" = None,
+        source: str = "oracle",
+    ) -> None:
+        super().__init__(base, faults, retry, source=source)
+        self._discount_cache: dict[tuple[float, float], float] = {}
+        if not type(self).name:
+            prefix = "LSLO-" if source == "learned" else "SLO-"
+            self.name = prefix + self.base.name
+
+    def _discount(self, p: float, weight: float) -> float:
+        """``p ** weight`` via the same float64 power the kernel applies."""
+        key = (p, weight)
+        d = self._discount_cache.get(key)
+        if d is None:
+            d = float(np.float64(p) ** np.float64(weight))
+            self._discount_cache[key] = d
+        return d
+
+    def priority(
+        self, ei: ExecutionInterval, chronon: Chronon, view: MonitorView
+    ) -> Priority:
+        base = self.base.priority(ei, chronon, view)
+        p = self.p_success(ei.resource, chronon)
+        if p <= 0.0:
+            return math.inf
+        cei = ei.parent
+        weight = cei.weight if cei is not None else 1.0
+        return base / self._discount(p, weight)
+
+    def make_kernel(self) -> "Optional[ScoreKernel]":
+        from repro.policies.kernels import SLOExpectedGainKernel
+
+        base_kernel = self.base.make_kernel()
+        if base_kernel is None:
+            return None
+        return SLOExpectedGainKernel(base_kernel, self)
+
+
 @register_policy("EG-S-EDF")
 class ExpectedGainSEDF(ExpectedGainPolicy):
     """Expected-gain discounted S-EDF."""
@@ -235,3 +406,75 @@ class ExpectedGainWeightedMEDF(ExpectedGainPolicy):
 
     def __init__(self) -> None:
         super().__init__("W-M-EDF")
+
+
+@register_policy("LEG-S-EDF")
+class LearnedExpectedGainSEDF(ExpectedGainPolicy):
+    """Learned-reliability expected-gain S-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("S-EDF", source="learned")
+
+
+@register_policy("LEG-MRSF")
+class LearnedExpectedGainMRSF(ExpectedGainPolicy):
+    """Learned-reliability expected-gain MRSF."""
+
+    def __init__(self) -> None:
+        super().__init__("MRSF", source="learned")
+
+
+@register_policy("LEG-M-EDF")
+class LearnedExpectedGainMEDF(ExpectedGainPolicy):
+    """Learned-reliability expected-gain M-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("M-EDF", source="learned")
+
+
+@register_policy("SLO-S-EDF")
+class SLOSEDF(SLOExpectedGainPolicy):
+    """Utility-exponent (SLO) expected gain over weighted S-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("W-S-EDF")
+
+
+@register_policy("SLO-MRSF")
+class SLOMRSF(SLOExpectedGainPolicy):
+    """Utility-exponent (SLO) expected gain over weighted MRSF."""
+
+    def __init__(self) -> None:
+        super().__init__("W-MRSF")
+
+
+@register_policy("SLO-M-EDF")
+class SLOMEDF(SLOExpectedGainPolicy):
+    """Utility-exponent (SLO) expected gain over weighted M-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("W-M-EDF")
+
+
+@register_policy("LSLO-S-EDF")
+class LearnedSLOSEDF(SLOExpectedGainPolicy):
+    """Learned-reliability SLO expected gain over weighted S-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("W-S-EDF", source="learned")
+
+
+@register_policy("LSLO-MRSF")
+class LearnedSLOMRSF(SLOExpectedGainPolicy):
+    """Learned-reliability SLO expected gain over weighted MRSF."""
+
+    def __init__(self) -> None:
+        super().__init__("W-MRSF", source="learned")
+
+
+@register_policy("LSLO-M-EDF")
+class LearnedSLOMEDF(SLOExpectedGainPolicy):
+    """Learned-reliability SLO expected gain over weighted M-EDF."""
+
+    def __init__(self) -> None:
+        super().__init__("W-M-EDF", source="learned")

@@ -28,6 +28,7 @@ from repro.offline.local_ratio import LocalRatioScheduler
 from repro.online.arrivals import arrivals_from_profiles
 from repro.online.config import MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, RetryPolicy
+from repro.online.health import HealthStats
 from repro.online.monitor import OnlineMonitor
 from repro.policies.base import Policy, make_policy
 
@@ -52,6 +53,7 @@ class SimulationResult:
     backoffs: int = 0
     failures_by_resource: dict[int, int] = field(default_factory=dict)
     dropped_eis: int = 0
+    health: Optional[HealthStats] = None
 
     @property
     def completeness(self) -> float:
@@ -124,6 +126,7 @@ def simulate(
         backoffs=stats.backoffs,
         failures_by_resource=dict(stats.failures_by_resource),
         dropped_eis=len(dropped),
+        health=monitor.health_stats,
     )
 
 

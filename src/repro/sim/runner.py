@@ -52,6 +52,10 @@ class AggregateResult:
     retries_mean: float = 0.0
     backoffs_mean: float = 0.0
     failures_by_resource_mean: dict[int, float] = field(default_factory=dict)
+    health_opens_mean: float = 0.0
+    health_closes_mean: float = 0.0
+    health_short_circuited_mean: float = 0.0
+    health_error_mean: float = 0.0
 
     @classmethod
     def from_runs(cls, label: str, runs: Sequence[SimulationResult]) -> "AggregateResult":
@@ -64,6 +68,20 @@ class AggregateResult:
             rid: fmean(run.failures_by_resource.get(rid, 0) for run in runs)
             for rid in resources
         }
+        # Health aggregates: runs without a health config contribute 0 —
+        # the means stay meaningful because a suite either carries a
+        # health config on every run or on none.
+        opens = [
+            run.health.opens + run.health.reopens if run.health is not None else 0
+            for run in runs
+        ]
+        closes = [run.health.closes if run.health is not None else 0 for run in runs]
+        shorted = [
+            run.health.short_circuited if run.health is not None else 0 for run in runs
+        ]
+        errors = [
+            run.health.final_error if run.health is not None else 0.0 for run in runs
+        ]
         return cls(
             label=label,
             completeness_mean=fmean(completenesses),
@@ -75,6 +93,10 @@ class AggregateResult:
             retries_mean=fmean(run.retries_used for run in runs),
             backoffs_mean=fmean(run.backoffs for run in runs),
             failures_by_resource_mean=per_resource,
+            health_opens_mean=fmean(opens),
+            health_closes_mean=fmean(closes),
+            health_short_circuited_mean=fmean(shorted),
+            health_error_mean=fmean(errors),
         )
 
 
@@ -268,11 +290,13 @@ def sweep(
         point_cfg = cfg
         if faults_for is not None:
             point_faults = faults_for(value)
-            # A retry policy is meaningless (and rejected by the monitor)
-            # without a failure model, so fault-free points drop it too.
+            # Retry and health configs are meaningless (and rejected by
+            # the monitor) without a failure model, so fault-free points
+            # drop them too.
             point_cfg = cfg.replace(
                 faults=point_faults,
                 retry=cfg.retry if point_faults is not None else None,
+                health=cfg.health if point_faults is not None else None,
             )
         results[value] = run_suite(
             make_instance=make_instance_for(value),

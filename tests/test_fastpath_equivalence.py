@@ -26,6 +26,7 @@ from repro.core.timebase import Epoch
 from repro.online.arrivals import arrival_map
 from repro.online.config import MonitorConfig
 from repro.online.faults import FailureModel, Outage, RetryPolicy
+from repro.online.health import HealthConfig
 from repro.online.monitor import OnlineMonitor
 from repro.policies import MRSF, make_policy
 from tests.conftest import random_general_instance
@@ -58,12 +59,13 @@ def _run(
     budget: float = 2.0,
     faults=None,
     retry=None,
+    health=None,
     **kwargs,
 ) -> OnlineMonitor:
     monitor = OnlineMonitor(
         policy=policy,
         budget=BudgetVector.constant(budget, NUM_CHRONONS),
-        config=MonitorConfig(engine=engine, faults=faults, retry=retry),
+        config=MonitorConfig(engine=engine, faults=faults, retry=retry, health=health),
         **kwargs,
     )
     monitor.run(Epoch(NUM_CHRONONS), arrivals)
@@ -339,6 +341,157 @@ class TestReliabilityEquivalence:
             faults=FailureModel(rate=0.3, seed=14, per_attempt_draws=True),
             retry=RetryPolicy(max_retries=1),
         )
+
+
+LEARNED_POLICIES = ["LEG-S-EDF", "LEG-MRSF", "LEG-M-EDF"]
+SLO_POLICIES = ["SLO-MRSF", "LSLO-S-EDF", "LSLO-MRSF", "LSLO-M-EDF"]
+
+
+class TestLearnedHealthEquivalence:
+    """Learned estimates, breakers and SLO discounts stay bit-identical.
+
+    The learned policies rank by health estimates that shift every
+    chronon, the breaker masks resources in and out of the candidate
+    set, and the SLO kernel exponentiates p_success by per-client
+    weights — each a fresh opportunity for the scalar and batched paths
+    to disagree.  Health stats are asserted equal too: both engines
+    must feed the estimator the same observation stream.
+    """
+
+    def _agree(self, policy_name, arrivals, health, **kwargs):
+        ref, vec = assert_engines_agree(
+            policy_name, arrivals, health=health, **kwargs
+        )
+        if health is not None:
+            assert ref.health_stats.as_dict() == vec.health_stats.as_dict()
+        return ref, vec
+
+    @pytest.mark.parametrize("policy_name", LEARNED_POLICIES)
+    def test_learned_expected_gain(self, policy_name):
+        ref, vec = self._agree(
+            policy_name,
+            _instance(21),
+            HealthConfig(),
+            faults=FailureModel(rate=0.3, per_resource={2: 0.8}, seed=15),
+            retry=RetryPolicy(max_retries=2),
+        )
+        assert ref.probes_failed > 0
+        assert ref.health_stats.observations == ref.probes_used
+
+    @pytest.mark.parametrize(
+        "health",
+        [
+            HealthConfig(estimator="ewma", ewma_alpha=0.3),
+            HealthConfig(decay=0.9),
+            HealthConfig(estimator="ewma", ewma_alpha=0.5, decay=0.8),
+        ],
+        ids=["ewma", "beta-decay", "ewma-decay"],
+    )
+    def test_estimator_variants(self, health):
+        self._agree(
+            "LEG-MRSF",
+            _instance(22),
+            health,
+            faults=FailureModel(rate=0.35, seed=16),
+            retry=RetryPolicy(max_retries=1),
+        )
+
+    def test_circuit_breaker_masks_identically(self):
+        health = HealthConfig(
+            breaker=True, breaker_failures=2, cooldown=3, cooldown_factor=2.0
+        )
+        ref, vec = self._agree(
+            "LEG-MRSF",
+            _instance(23),
+            health,
+            faults=FailureModel(rate=0.2, per_resource={0: 1.0, 4: 0.9}, seed=17),
+            retry=RetryPolicy(max_retries=1),
+        )
+        assert ref.health_stats.opens >= 1
+        assert ref.health_stats.short_circuited > 0
+
+    @pytest.mark.parametrize("policy_name", SLO_POLICIES)
+    def test_slo_weighted_discounts(self, policy_name):
+        # random_general_instance draws non-unit CEI weights, so the
+        # utility exponent in the SLO kernel is genuinely exercised.
+        health = HealthConfig() if policy_name.startswith("LSLO") else None
+        ref, vec = self._agree(
+            policy_name,
+            _instance(24),
+            health,
+            faults=FailureModel(rate=0.3, per_resource={1: 0.7}, seed=18),
+            retry=RetryPolicy(max_retries=2),
+        )
+        assert ref.probes_failed > 0
+
+    @pytest.mark.parametrize("policy_name", ["MRSF", "LEG-MRSF"])
+    def test_partial_retry_reprobes(self, policy_name):
+        health = HealthConfig() if policy_name.startswith("LEG") else None
+        ref, vec = self._agree(
+            policy_name,
+            _instance(25),
+            health,
+            budget=3.0,
+            faults=FailureModel(
+                rate=0.1, partial_rate=0.5, per_attempt_draws=True, seed=19
+            ),
+            retry=RetryPolicy(max_retries=2, retry_partials=True),
+        )
+        assert ref.retries_used > 0
+        assert ref.dropped_captures
+
+    def test_combined_learned_stack(self):
+        """Everything at once: learned SLO, breaker, partials, schedule."""
+        faults = FailureModel(
+            rate=0.25,
+            per_resource={1: 0.8, 6: 0.6},
+            outages=(Outage(resource=3, start=5, finish=9),),
+            seed=20,
+            partial_rate=0.3,
+            per_attempt_draws=True,
+            rate_schedule=[(12, 18, 2.0)],
+        )
+        health = HealthConfig(
+            estimator="ewma",
+            ewma_alpha=0.4,
+            decay=0.95,
+            breaker=True,
+            breaker_failures=3,
+            cooldown=4,
+        )
+        ref, vec = self._agree(
+            "LSLO-MRSF",
+            _instance(26),
+            health,
+            budget=3.0,
+            faults=faults,
+            retry=RetryPolicy(
+                max_retries=2, backoff_base=1.0, backoff_cap=4, retry_partials=True
+            ),
+        )
+        assert ref.probes_failed > 0 and ref.dropped_captures
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    policy_name=st.sampled_from(LEARNED_POLICIES + ["LSLO-MRSF"]),
+    rate=st.sampled_from([0.2, 0.5]),
+    breaker=st.booleans(),
+    retry_partials=st.booleans(),
+)
+def test_property_engines_agree_with_learned_health(
+    seed, policy_name, rate, breaker, retry_partials
+):
+    """Property form: learned health never opens daylight between engines."""
+    health = HealthConfig(breaker=breaker, breaker_failures=2, cooldown=3)
+    assert_engines_agree(
+        policy_name,
+        _instance(seed, num_ceis=25),
+        faults=FailureModel(rate=rate, partial_rate=0.2, seed=seed + 1),
+        retry=RetryPolicy(max_retries=1, retry_partials=retry_partials),
+        health=health,
+    )
 
 
 @settings(max_examples=30, deadline=None)

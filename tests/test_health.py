@@ -1,0 +1,501 @@
+"""Online health estimation, circuit breaking and SLO-aware degradation.
+
+Covers the :class:`HealthEstimator` edge cases the issue calls out
+(zero-observation prior, all-failures posterior, EWMA decay across
+observation gaps, circuit re-close after exactly one successful
+probation probe), the :class:`CircuitBreaker` state machine (streak and
+posterior triggers, cooldown escalation, short-circuit accounting), the
+:class:`HealthTracker`'s frozen per-chronon snapshots, the learned
+expected-gain policies (``LEG-*``) and the utility-exponent SLO
+wrappers, partial-failure weighting and partial-drop retry, and the
+monitor-level plumbing (config validation, stats surfacing).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.profile import ProfileSet
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.online import (
+    BreakerState,
+    CircuitBreaker,
+    FailureModel,
+    HealthConfig,
+    HealthEstimator,
+    HealthStats,
+    HealthTracker,
+    MonitorConfig,
+    OnlineMonitor,
+    RetryPolicy,
+)
+from repro.online.arrivals import arrivals_from_profiles
+from repro.policies import SLOExpectedGainPolicy, make_policy
+from repro.sim.engine import simulate
+from tests.conftest import make_cei, make_ei, unit_budget
+
+
+class TestHealthConfigValidation:
+    def test_defaults_valid(self):
+        cfg = HealthConfig()
+        assert cfg.estimator == "beta"
+        assert cfg.prior_mean == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"estimator": "kalman"},
+            {"prior_alpha": 0.0},
+            {"prior_beta": -1.0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"decay": 0.0},
+            {"decay": 1.2},
+            {"breaker_failures": -1},
+            {"breaker_threshold": 0.0},
+            {"breaker_min_observations": -0.5},
+            {"cooldown": 0},
+            {"cooldown_factor": 0.5},
+            {"cooldown_cap": 0},
+            {"probation_probes": 0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            HealthConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = HealthConfig()
+        with pytest.raises(AttributeError):
+            cfg.decay = 0.5
+
+
+class TestHealthEstimator:
+    def test_zero_observations_estimate_at_prior(self):
+        est = HealthEstimator(HealthConfig(prior_alpha=2.0, prior_beta=6.0))
+        assert est.estimate(7, 0) == pytest.approx(0.25)
+        assert est.estimate(7, 100) == pytest.approx(0.25)
+        assert est.observed_weight(7, 0) == 0.0
+        assert est.resources() == []
+
+    def test_all_failures_posterior_approaches_one_from_below(self):
+        est = HealthEstimator(HealthConfig())
+        for chronon in range(50):
+            est.observe(3, chronon, 1.0)
+        # Beta(1+50, 1+0) mean = 51/52 — high, but strictly below 1, so a
+        # learned p_success never collapses to exactly 0.
+        assert est.estimate(3, 50) == pytest.approx(51 / 52)
+        assert est.estimate(3, 50) < 1.0
+
+    def test_all_successes_posterior_approaches_zero_from_above(self):
+        est = HealthEstimator(HealthConfig())
+        for chronon in range(30):
+            est.observe(3, chronon, 0.0)
+        assert est.estimate(3, 30) == pytest.approx(1 / 32)
+        assert est.estimate(3, 30) > 0.0
+
+    def test_partial_weight_sits_between(self):
+        est = HealthEstimator(HealthConfig())
+        est.observe(0, 0, 0.25)
+        # Beta counts: fail 0.25, succ 0.75 -> (1 + 0.25) / (2 + 1).
+        assert est.estimate(0, 1) == pytest.approx(1.25 / 3)
+
+    def test_beta_decay_forgets_across_gap(self):
+        cfg = HealthConfig(decay=0.5)
+        est = HealthEstimator(cfg)
+        for chronon in range(3):
+            est.observe(0, chronon, 1.0)
+        fresh = est.estimate(0, 2)
+        # Ten idle chronons decay the pseudo-counts by 0.5**10, pulling
+        # the posterior most of the way back to the prior mean.
+        stale = est.estimate(0, 12)
+        assert fresh > 0.7
+        assert abs(stale - cfg.prior_mean) < abs(fresh - cfg.prior_mean)
+
+    def test_ewma_relaxes_toward_prior_across_gaps(self):
+        cfg = HealthConfig(estimator="ewma", ewma_alpha=0.5, decay=0.5)
+        est = HealthEstimator(cfg)
+        est.observe(0, 0, 1.0)
+        at_once = est.estimate(0, 0)
+        assert at_once > cfg.prior_mean
+        later = est.estimate(0, 8)
+        assert cfg.prior_mean < later < at_once
+        # And the relaxed mean is what the next observation starts from:
+        # a failure at chronon 8 moves the estimate from the *relaxed*
+        # mean, not the stale one.
+        est.observe(0, 8, 1.0)
+        assert est.estimate(0, 8) == pytest.approx(later + 0.5 * (1.0 - later))
+
+    def test_ewma_without_decay_ignores_gaps(self):
+        cfg = HealthConfig(estimator="ewma", ewma_alpha=0.5)
+        est = HealthEstimator(cfg)
+        est.observe(0, 0, 1.0)
+        assert est.estimate(0, 0) == est.estimate(0, 1000)
+
+    def test_dirty_tracking_resets_on_pop(self):
+        est = HealthEstimator(HealthConfig())
+        est.observe(4, 0, 1.0)
+        est.observe(9, 0, 0.0)
+        assert est.pop_dirty() == {4, 9}
+        assert est.pop_dirty() == set()
+
+
+def _breaker(**kwargs) -> CircuitBreaker:
+    config = HealthConfig(breaker=True, **kwargs)
+    return CircuitBreaker(config, HealthStats())
+
+
+class TestCircuitBreaker:
+    def test_streak_trips_open(self):
+        breaker = _breaker(breaker_failures=3, cooldown=4)
+        for chronon in range(2):
+            breaker.on_failure(0, chronon, 0.9, 10.0)
+        assert breaker.state(0) is BreakerState.CLOSED
+        breaker.on_failure(0, 2, 0.9, 10.0)
+        assert breaker.state(0) is BreakerState.OPEN
+        assert breaker.blocked(0)
+        assert breaker.stats.opens == 1
+
+    def test_success_resets_streak(self):
+        breaker = _breaker(breaker_failures=2)
+        breaker.on_failure(0, 0, 0.5, 1.0)
+        breaker.on_success(0, 1)
+        breaker.on_failure(0, 2, 0.5, 2.0)
+        assert breaker.state(0) is BreakerState.CLOSED
+
+    def test_posterior_threshold_needs_min_observations(self):
+        breaker = _breaker(
+            breaker_failures=0, breaker_threshold=0.8, breaker_min_observations=5.0
+        )
+        breaker.on_failure(0, 0, 0.9, 3.0)  # hot estimate, thin evidence
+        assert breaker.state(0) is BreakerState.CLOSED
+        breaker.on_failure(0, 1, 0.9, 5.0)
+        assert breaker.state(0) is BreakerState.OPEN
+
+    def test_reclose_after_exactly_one_probation_probe(self):
+        breaker = _breaker(breaker_failures=1, cooldown=2, probation_probes=1)
+        breaker.on_failure(0, 0, 0.9, 1.0)
+        assert breaker.state(0) is BreakerState.OPEN
+        # Cooldown spans chronons 1-2; the chronon-3 promotion makes the
+        # resource probeable again.
+        breaker.begin_chronon(1)
+        breaker.begin_chronon(2)
+        assert breaker.state(0) is BreakerState.OPEN
+        breaker.begin_chronon(3)
+        assert breaker.state(0) is BreakerState.HALF_OPEN
+        assert not breaker.blocked(0)
+        breaker.on_success(0, 3)
+        assert breaker.state(0) is BreakerState.CLOSED
+        assert breaker.stats.closes == 1
+        assert breaker.stats.probation_probes == 1
+
+    def test_probation_failure_reopens_with_escalated_cooldown(self):
+        breaker = _breaker(
+            breaker_failures=1, cooldown=2, cooldown_factor=2.0, cooldown_cap=64
+        )
+        breaker.on_failure(0, 0, 0.9, 1.0)
+        breaker.begin_chronon(3)
+        assert breaker.state(0) is BreakerState.HALF_OPEN
+        breaker.on_failure(0, 3, 0.9, 2.0)
+        assert breaker.state(0) is BreakerState.OPEN
+        assert breaker.stats.reopens == 1
+        # Escalated span 4: OPEN through chronons 4-7, HALF_OPEN at 8.
+        breaker.begin_chronon(7)
+        assert breaker.state(0) is BreakerState.OPEN
+        breaker.begin_chronon(8)
+        assert breaker.state(0) is BreakerState.HALF_OPEN
+
+    def test_cooldown_cap_bounds_escalation(self):
+        breaker = _breaker(
+            breaker_failures=1, cooldown=8, cooldown_factor=10.0, cooldown_cap=16
+        )
+        breaker.on_failure(0, 0, 0.9, 1.0)
+        breaker.begin_chronon(9)
+        breaker.on_failure(0, 9, 0.9, 2.0)
+        assert breaker._span[0] == 16
+
+    def test_multi_probe_probation(self):
+        breaker = _breaker(breaker_failures=1, cooldown=1, probation_probes=2)
+        breaker.on_failure(0, 0, 0.9, 1.0)
+        breaker.begin_chronon(2)
+        breaker.on_success(0, 2)
+        assert breaker.state(0) is BreakerState.HALF_OPEN
+        breaker.on_success(0, 3)
+        assert breaker.state(0) is BreakerState.CLOSED
+
+    def test_short_circuited_counts_open_chronons(self):
+        breaker = _breaker(breaker_failures=1, cooldown=3)
+        breaker.on_failure(0, 0, 0.9, 1.0)
+        breaker.begin_chronon(1)
+        breaker.begin_chronon(2)
+        assert breaker.stats.short_circuited == 2
+
+
+class TestHealthTracker:
+    def test_snapshot_frozen_within_chronon(self):
+        tracker = HealthTracker(HealthConfig())
+        tracker.begin_chronon(0)
+        before = tracker.p_failure(0)
+        tracker.record_probe(0, 0, True, 1.0)
+        # Mid-chronon observations must not move the served estimate.
+        assert tracker.p_failure(0) == before
+        tracker.begin_chronon(1)
+        assert tracker.p_failure(0) > before
+
+    def test_version_bumps_per_chronon(self):
+        tracker = HealthTracker(HealthConfig())
+        v0 = tracker.version
+        tracker.begin_chronon(0)
+        tracker.begin_chronon(1)
+        assert tracker.version == v0 + 2
+
+    def test_frozen_dirty_lists_observed_resources(self):
+        tracker = HealthTracker(HealthConfig())
+        tracker.begin_chronon(0)
+        tracker.record_probe(5, 0, True, 1.0)
+        tracker.begin_chronon(1)
+        assert tracker.frozen_dirty == frozenset({5})
+        tracker.begin_chronon(2)
+        assert tracker.frozen_dirty == frozenset()
+
+    def test_decayed_config_refreezes_everything(self):
+        tracker = HealthTracker(HealthConfig(decay=0.9))
+        tracker.begin_chronon(0)
+        tracker.record_probe(1, 0, True, 1.0)
+        tracker.record_probe(2, 0, False, 0.0)
+        tracker.begin_chronon(1)
+        assert tracker.frozen_dirty == frozenset({1, 2})
+        tracker.begin_chronon(2)
+        # No new observations, but decay drifts every estimate.
+        assert tracker.frozen_dirty == frozenset({1, 2})
+
+    def test_error_log_tracks_oracle_gap(self):
+        model = FailureModel(per_resource={0: 0.8, 1: 0.8})
+        tracker = HealthTracker(HealthConfig(track_error=True), model)
+        tracker.begin_chronon(0)
+        # Prior 0.5 vs true 0.8 on both resources.
+        assert tracker.stats.error_log[-1] == (0, pytest.approx(0.3))
+        for chronon in range(1, 40):
+            tracker.record_probe(0, chronon, True, 1.0)
+            tracker.record_probe(1, chronon, True, 1.0)
+            tracker.begin_chronon(chronon)
+        first_error = tracker.stats.error_log[0][1]
+        assert tracker.stats.final_error < first_error
+
+    def test_partial_weight_flows_into_estimate(self):
+        tracker = HealthTracker(HealthConfig())
+        tracker.record_probe(0, 0, False, 0.5)
+        tracker.begin_chronon(1)
+        assert tracker.p_failure(0) == pytest.approx(1.5 / 3)
+
+
+class TestLearnedPolicies:
+    def test_learned_without_tracker_matches_base(self):
+        policy = make_policy("LEG-S-EDF")
+        ei = make_ei(0, 0, 9)
+        assert policy.source == "learned"
+        assert policy.p_success(0, 0) == 1.0
+        assert policy.priority(ei, 0, None) == policy.base.priority(ei, 0, None)
+
+    def test_learned_p_success_reads_frozen_snapshot(self):
+        policy = make_policy("LEG-S-EDF")
+        tracker = HealthTracker(HealthConfig())
+        policy.bind_health(tracker)
+        retry = RetryPolicy(max_retries=1)
+        policy.bind_reliability(FailureModel(rate=0.5), retry)
+        for chronon in range(20):
+            tracker.record_probe(0, chronon, True, 1.0)
+        tracker.begin_chronon(20)
+        f = tracker.p_failure(0)
+        assert policy.p_success(0, 20) == pytest.approx(1.0 - f**2)
+        # The oracle's rate never enters the learned path.
+        assert policy.p_success(0, 20) != pytest.approx(1.0 - 0.5**2)
+
+    def test_learned_array_matches_scalars_bitwise(self):
+        policy = make_policy("LEG-MRSF")
+        tracker = HealthTracker(HealthConfig())
+        policy.bind_health(tracker)
+        rng = np.random.default_rng(5)
+        for chronon in range(30):
+            rid = int(rng.integers(0, 8))
+            tracker.record_probe(rid, chronon, bool(rng.integers(0, 2)), 1.0)
+            tracker.begin_chronon(chronon)
+            arr = policy.p_success_array(chronon, 8)
+            for rid2 in range(8):
+                assert arr[rid2] == policy.p_success(rid2, chronon)
+
+    def test_invalid_source_rejected(self):
+        from repro.policies import ExpectedGainPolicy
+
+        with pytest.raises(ModelError, match="source"):
+            ExpectedGainPolicy("S-EDF", source="psychic")
+
+    def test_slo_discount_uses_cei_weight_exponent(self):
+        policy = SLOExpectedGainPolicy(
+            "W-S-EDF",
+            faults=FailureModel(per_resource={0: 0.5}),
+            retry=RetryPolicy(max_retries=1),
+        )
+        cei = make_cei((0, 0, 9), weight=3.0)
+        ei = cei.eis[0]
+        p = policy.p_success(0, 0)  # 0.75
+        base = policy.base.priority(ei, 0, None)
+        assert policy.priority(ei, 0, None) == pytest.approx(base / p**3.0)
+
+    def test_slo_with_unit_weight_matches_plain_expected_gain(self):
+        from repro.policies import ExpectedGainPolicy
+
+        faults = FailureModel(per_resource={0: 0.4})
+        retry = RetryPolicy(max_retries=1)
+        slo = SLOExpectedGainPolicy("W-S-EDF", faults=faults, retry=retry)
+        plain = ExpectedGainPolicy("W-S-EDF", faults=faults, retry=retry)
+        cei = make_cei((0, 0, 9))  # weight 1.0
+        ei = cei.eis[0]
+        assert slo.priority(ei, 0, None) == plain.priority(ei, 0, None)
+
+    def test_slo_certain_failure_ranks_last(self):
+        policy = SLOExpectedGainPolicy(
+            "W-S-EDF", faults=FailureModel(per_resource={0: 1.0})
+        )
+        cei = make_cei((0, 0, 9), weight=2.0)
+        assert policy.priority(cei.eis[0], 0, None) == math.inf
+
+    def test_registry_names(self):
+        for name, source, prefix in [
+            ("LEG-MRSF", "learned", "LEG-"),
+            ("SLO-MRSF", "oracle", "SLO-"),
+            ("LSLO-M-EDF", "learned", "LSLO-"),
+        ]:
+            policy = make_policy(name)
+            assert policy.source == source
+            assert policy.name.startswith(prefix)
+
+
+def _run_monitor(ceis, config, budget=1.0, chronons=12, policy="LEG-S-EDF"):
+    profiles = ProfileSet.from_ceis(ceis)
+    epoch = Epoch(chronons)
+    monitor = OnlineMonitor(
+        make_policy(policy), unit_budget(epoch, budget), config=config
+    )
+    monitor.run(epoch, arrivals_from_profiles(profiles))
+    return monitor
+
+
+class TestMonitorIntegration:
+    def test_health_without_faults_rejected(self):
+        cfg = MonitorConfig(health=HealthConfig())
+        with pytest.raises(ModelError, match="health"):
+            OnlineMonitor(make_policy("S-EDF"), BudgetVector.constant(1, 5), config=cfg)
+
+    def test_health_config_allowed_as_template(self):
+        # Like retry: a sweep template may carry health without faults;
+        # only the monitor rejects the combination.
+        cfg = MonitorConfig(health=HealthConfig())
+        assert cfg.faults is None and cfg.health is not None
+
+    def test_monitor_without_health_has_no_stats(self):
+        monitor = _run_monitor(
+            [make_cei((0, 0, 4))], MonitorConfig(), policy="S-EDF"
+        )
+        assert monitor.health is None
+        assert monitor.health_stats is None
+
+    def test_every_probe_is_observed(self):
+        cfg = MonitorConfig(faults=FailureModel(rate=0.3, seed=2), health=HealthConfig())
+        monitor = _run_monitor(
+            [make_cei((0, 0, 11)), make_cei((1, 0, 11))], cfg, budget=2.0
+        )
+        assert monitor.health_stats.observations == monitor.probes_used
+
+    def test_breaker_blocks_dead_resource_and_recovers_budget(self):
+        # Resource 0 always fails; resource 1 never does.  With the
+        # breaker armed the monitor stops wasting its single probe on
+        # resource 0 during cooldown, so resource 1 gains captures.
+        model = FailureModel(per_resource={0: 1.0, 1: 0.0})
+        ceis = [make_cei((0, 0, 19)), make_cei((1, 0, 19))]
+        blind_cfg = MonitorConfig(faults=model)
+        armed_cfg = MonitorConfig(
+            faults=model,
+            health=HealthConfig(breaker=True, breaker_failures=2, cooldown=4),
+        )
+        blind = _run_monitor(ceis, blind_cfg, chronons=20)
+        armed = _run_monitor(ceis, armed_cfg, chronons=20)
+        stats = armed.health_stats
+        assert stats.opens >= 1
+        assert stats.short_circuited > 0
+        assert armed.pool.num_satisfied >= blind.pool.num_satisfied
+        assert armed.probes_failed < blind.probes_failed
+
+    def test_simulation_result_carries_health_stats(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 9))])
+        epoch = Epoch(10)
+        cfg = MonitorConfig(faults=FailureModel(rate=0.2, seed=1), health=HealthConfig())
+        result = simulate(profiles, epoch, unit_budget(epoch), "LEG-S-EDF", config=cfg)
+        assert result.health is not None
+        assert result.health.observations == result.probes_used
+        assert "observations" in result.health.as_dict()
+
+    def test_no_health_keeps_simulation_result_none(self):
+        profiles = ProfileSet.from_ceis([make_cei((0, 0, 9))])
+        epoch = Epoch(10)
+        result = simulate(profiles, epoch, unit_budget(epoch), "S-EDF")
+        assert result.health is None
+
+
+class TestPartialRetry:
+    def _partial_cfg(self, retry_partials, engine="reference"):
+        return MonitorConfig(
+            engine=engine,
+            faults=FailureModel(rate=0.0, partial_rate=1.0, seed=3),
+            retry=RetryPolicy(max_retries=2, retry_partials=retry_partials),
+            health=HealthConfig(),
+        )
+
+    def test_partial_drops_recorded_as_weighted_observations(self):
+        # partial_rate=1 drops every EI of every probe: each probe is a
+        # success whose entire payload vanished, observed at weight 1.
+        cfg = self._partial_cfg(retry_partials=False)
+        monitor = _run_monitor([make_cei((0, 0, 9))], cfg, chronons=10)
+        stats = monitor.health_stats
+        assert monitor.dropped_captures
+        assert stats.observations == monitor.probes_used
+        tracker = monitor.health
+        tracker.begin_chronon(99)
+        assert tracker.p_failure(0) > 0.5  # all-drops posterior
+
+    def test_retry_partials_spends_attempts_on_dropped_eis(self):
+        baseline = _run_monitor(
+            [make_cei((0, 0, 9))], self._partial_cfg(False), budget=3.0, chronons=10
+        )
+        retrying = _run_monitor(
+            [make_cei((0, 0, 9))], self._partial_cfg(True), budget=3.0, chronons=10
+        )
+        assert baseline.retries_used == 0
+        # With every EI dropped every time, the re-probe exhausts the full
+        # attempt allowance on the dropped window each chronon.
+        assert retrying.retries_used > 0
+        assert retrying.probes_used > baseline.probes_used
+
+    def test_retry_partials_recovers_drops_at_moderate_rate(self):
+        # At partial_rate=0.4 a re-probe usually redraws a clean verdict,
+        # so the retrying run loses fewer EIs outright.
+        ceis = [make_cei((rid % 3, 0, 14)) for rid in range(9)]
+        faults = FailureModel(rate=0.0, partial_rate=0.4, seed=11)
+        base_cfg = MonitorConfig(
+            faults=faults, retry=RetryPolicy(max_retries=2, retry_partials=False)
+        )
+        retry_cfg = MonitorConfig(
+            faults=faults, retry=RetryPolicy(max_retries=2, retry_partials=True)
+        )
+        baseline = _run_monitor(ceis, base_cfg, budget=3.0, chronons=15, policy="S-EDF")
+        retrying = _run_monitor(ceis, retry_cfg, budget=3.0, chronons=15, policy="S-EDF")
+        assert len(retrying.dropped_captures) <= len(baseline.dropped_captures)
+        assert retrying.pool.num_satisfied >= baseline.pool.num_satisfied
+
+    def test_retry_partials_field_default_off(self):
+        assert RetryPolicy(max_retries=1).retry_partials is False

@@ -85,6 +85,26 @@ class TestMonitorConfig:
         with pytest.raises(ModelError, match="retry"):
             OnlineMonitor(SEDF(), BudgetVector.constant(1, 5), config=cfg)
 
+    def test_health_defaults_none(self):
+        assert MonitorConfig().health is None
+
+    def test_health_without_faults_allowed_as_template(self):
+        # Same template rule as retry: the config carries the health
+        # knobs, sweep injects per-point failure models later.
+        from repro.online import HealthConfig
+
+        cfg = MonitorConfig(health=HealthConfig())
+        assert cfg.faults is None
+        with pytest.raises(ModelError, match="health"):
+            OnlineMonitor(SEDF(), BudgetVector.constant(1, 5), config=cfg)
+
+    def test_health_replace_revalidates(self):
+        from repro.online import HealthConfig
+
+        cfg = MonitorConfig(faults=FailureModel(rate=0.1))
+        assert cfg.replace(health=HealthConfig()).health is not None
+        assert cfg.health is None  # original untouched
+
 
 class TestResolveConfig:
     def test_none_yields_defaults(self):
@@ -108,6 +128,34 @@ class TestResolveConfig:
     def test_non_config_rejected(self):
         with pytest.raises(ModelError, match="MonitorConfig"):
             resolve_config({"engine": "vectorized"})
+
+    def test_warning_points_at_caller_of_entry_point(self):
+        # resolve_config warns with stacklevel=3: one hop for itself, one
+        # for the entry point that delegated to it, landing on the caller.
+        # The warning must therefore attribute to THIS file, not to
+        # config.py or monitor.py — that is what makes the deprecation
+        # actionable from a user's traceback.
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            OnlineMonitor(
+                SEDF(), BudgetVector.constant(1, 5), engine="vectorized"
+            )
+        records = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(records) == 1
+        assert records[0].filename == __file__
+
+    def test_direct_resolve_call_stacklevel_two(self):
+        # Called directly (no entry-point hop), stacklevel=2 points here.
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_config(None, engine="vectorized", stacklevel=2)
+        records = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(records) == 1
+        assert records[0].filename == __file__
 
 
 # ----------------------------------------------------------------------

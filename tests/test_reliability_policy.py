@@ -247,6 +247,23 @@ class TestRateSchedule:
         with pytest.raises(ModelError, match="multiplier"):
             RateWindow(0, 5, -0.5)
 
+    def test_window_finish_boundary_is_inclusive_not_beyond(self):
+        # Regression guard: a window ending at chronon t applies AT t
+        # (finish is inclusive, matching EI windows) but must not leak
+        # into t + 1 — an off-by-one here silently doubles failure rates
+        # for one extra chronon per storm window.
+        window = RateWindow(2, 7, 3.0)
+        assert window.covers(7)
+        assert not window.covers(8)
+        model = FailureModel(rate=0.2, rate_schedule=[window])
+        assert model.rate_multiplier(7) == 3.0
+        assert model.rate_multiplier(8) == 1.0
+        assert model.failure_rate_at(0, 7) == pytest.approx(0.6)
+        assert model.failure_rate_at(0, 8) == pytest.approx(0.2)
+        # Start boundary mirrors the rule: applies at start, not before.
+        assert model.rate_multiplier(1) == 1.0
+        assert model.rate_multiplier(2) == 3.0
+
 
 class TestBatchedDraws:
     def test_matches_itself_across_instances(self):
