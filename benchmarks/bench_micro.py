@@ -74,6 +74,7 @@ def test_medf_value_evaluation(benchmark):
 
 
 _INSTANCE_CACHE = {}
+_ARENA_CACHE = {}
 
 
 def _instance(density):
@@ -81,8 +82,25 @@ def _instance(density):
     if density not in _INSTANCE_CACHE:
         window, rate, rank_max, budget = DENSITIES[density]
         epoch, profiles = _workload(rank_max=rank_max, window=window, rate=rate)
-        _INSTANCE_CACHE[density] = (epoch, arrivals_from_profiles(profiles), budget)
-    return _INSTANCE_CACHE[density]
+        _INSTANCE_CACHE[density] = (
+            epoch,
+            arrivals_from_profiles(profiles),
+            budget,
+            profiles,
+        )
+    epoch, arrivals, budget, _ = _INSTANCE_CACHE[density]
+    return epoch, arrivals, budget
+
+
+def _arena_instance(density):
+    """Same instance, compiled once into an arena (the run_suite pattern)."""
+    from repro.sim.arena import compile_arena
+
+    if density not in _ARENA_CACHE:
+        _instance(density)
+        _ARENA_CACHE[density] = compile_arena(_INSTANCE_CACHE[density][3])
+    epoch, _, budget, _ = _INSTANCE_CACHE[density]
+    return epoch, _ARENA_CACHE[density], budget
 
 
 def _run_full_monitor(policy_factory, engine="reference", density="sparse", config=None):
@@ -125,6 +143,62 @@ def test_monitor_full_run_dense(benchmark, policy_name, engine):
         iterations=1,
     )
     assert probes > 0
+
+
+@pytest.mark.parametrize("policy_name", ["S-EDF", "MRSF", "M-EDF"])
+def test_monitor_full_run_dense_arena(benchmark, policy_name):
+    """The dense vectorized run against a pre-compiled instance arena.
+
+    The delta to the vectorized rows of ``test_monitor_full_run_dense``
+    is the per-run registration walk the arena amortizes away — the
+    setup cost every additional policy of a ``run_suite`` repetition
+    skips entirely.
+    """
+
+    def run():
+        epoch, arena, budget = _arena_instance("dense")
+        monitor = OnlineMonitor(
+            make_policy(policy_name),
+            BudgetVector.constant(budget, len(epoch)),
+            config=MonitorConfig(engine="vectorized"),
+            arena=arena,
+        )
+        monitor.run(epoch, arena.arrivals)
+        return monitor.probes_used
+
+    probes = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert probes > 0
+
+
+def test_mirror_growth_amortized(benchmark):
+    """Regression guard: mirror growth stays geometric, not per-batch.
+
+    Registers a dense instance's CEIs one at a time with a sync after
+    every registration — the worst-case append pattern — and asserts the
+    pool reallocated its NumPy mirrors only O(log rows) times.  If the
+    capacity-doubled arrays ever regress to per-batch reallocation this
+    count explodes (one per sync) and the timing collapses.
+    """
+    from repro.online.fastpath import FastCandidatePool
+
+    __, profiles = _workload(window=100, rate=40.0, rank_max=12)
+    ceis = [c for p in profiles for c in p.ceis]
+
+    def register_all():
+        pool = FastCandidatePool()
+        for cei in ceis:
+            pool.register(cei, 0)
+            pool.sync_mirrors()
+        return pool
+
+    pool = benchmark(register_all)
+    rows = len(pool.row_seq)
+    assert rows > 4000
+    # Row + CEI mirrors each double from their initial capacity.
+    bound = 2 * (int(np.ceil(np.log2(rows))) + 2)
+    assert pool.mirror_reallocs <= bound
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["mirror_reallocs"] = pool.mirror_reallocs
 
 
 @pytest.mark.parametrize("scheme", ["batched", "per_attempt"])

@@ -1,17 +1,25 @@
-"""Engine speedup report: writes the committed ``BENCH_<date>.json`` baseline.
+"""Engine speedup report: appends to the committed ``BENCH_<date>.json``.
 
 Runs the full-monitor benchmark grid (paper policies x densities x
 engines), the kernel-vs-Python-loop scoring microbenchmark and a small
-parallel-suite scaling check, then writes one JSON document next to this
-script.  The committed baseline lets future changes diff engine
-performance without re-deriving the harness:
+parallel-suite scaling check, then appends one *run record* — keyed by
+the git SHA it was measured at — to the JSON document next to this
+script.  The file is a performance trajectory::
+
+    {"format": "bench-trajectory-v1",
+     "runs": [{"git_sha": ..., "date": ..., "full_monitor": [...], ...},
+              ...]}
+
+so future changes can diff engine performance against any committed
+point without re-deriving the harness:
 
     PYTHONPATH=src python benchmarks/bench_report.py [--reps 3] [--out PATH]
 
-Timings are min-of-``reps`` wall clock; every speedup cell also records
-the probe count of both engines, which must match exactly (the report
-aborts otherwise — a perf baseline measured on diverging engines would
-be meaningless).
+A pre-trajectory baseline (a bare record at the top level) is wrapped
+as ``runs[0]`` on first append.  Timings are min-of-``reps`` wall
+clock; every speedup cell also records the probe count of both engines,
+which must match exactly (the report aborts otherwise — a perf baseline
+measured on diverging engines would be meaningless).
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import datetime
 import json
 import os
 import platform
+import subprocess
 import time
 from pathlib import Path
 
@@ -406,6 +415,41 @@ def parallel_suite_cell() -> dict:
     return cell
 
 
+def git_sha() -> str:
+    """The HEAD commit the record was measured at, or "unknown".
+
+    A ``-dirty`` suffix marks measurements taken on a modified working
+    tree — their code is HEAD plus uncommitted changes, typically the
+    very change the record is about to be committed with.
+    """
+    cwd = Path(__file__).parent
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return f"{sha}-dirty" if status else sha
+
+
+def load_trajectory(out: Path) -> list[dict]:
+    """Existing run records at ``out``, wrapping a pre-trajectory baseline."""
+    if not out.exists():
+        return []
+    document = json.loads(out.read_text())
+    if document.get("format") == "bench-trajectory-v1":
+        return document["runs"]
+    # A pre-trajectory report: one bare record, measured before records
+    # carried a git SHA.  Keep it as the trajectory's first point.
+    document.setdefault("git_sha", "unknown")
+    return [document]
+
+
 def main(argv=None) -> Path:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reps", type=int, default=3, help="min-of-N repetitions")
@@ -421,7 +465,7 @@ def main(argv=None) -> Path:
             "health_path",
         ],
         default=None,
-        help="run a single section (the JSON then contains just that section)",
+        help="run a single section (the appended record then has just that)",
     )
     args = parser.parse_args(argv)
 
@@ -437,7 +481,8 @@ def main(argv=None) -> Path:
     }
     if args.only:
         sections = {args.only: sections[args.only]}
-    report = {
+    record = {
+        "git_sha": git_sha(),
         "date": date,
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -447,8 +492,11 @@ def main(argv=None) -> Path:
         "workload": "100 profiles x 400 chronons x 200 resources (seed 3)",
         **{name: build() for name, build in sections.items()},
     }
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out}")
+    runs = load_trajectory(out)
+    runs.append(record)
+    document = {"format": "bench-trajectory-v1", "runs": runs}
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {out} ({len(runs)} run records)")
     return out
 
 

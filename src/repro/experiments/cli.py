@@ -31,6 +31,7 @@ from repro.experiments import (
     model_quality,
     panorama,
     reliability_sweep,
+    scalability,
     summary,
     workload_grid,
     runtime_table,
@@ -67,6 +68,10 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
     "grid": ("Extension — λ × m workload surface", workload_grid.run),
     "summary": ("Reproduction self-check — verdict every claim", summary.run),
     "panorama": ("Extension — full policy panorama", panorama.run),
+    "scalability": (
+        "Extension — repetition-chunked suite runner (--engine/--workers)",
+        scalability.run,
+    ),
 }
 
 
@@ -91,6 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--reps", type=int, default=0, help="override repetition count (0 = default)"
     )
     runner.add_argument(
+        "--engine",
+        choices=["reference", "vectorized"],
+        default="",
+        help="monitor engine, for experiments that take one (e.g. scalability)",
+    )
+    runner.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size, for experiments that take one "
+        "(0 = experiment default)",
+    )
+    runner.add_argument(
         "--format",
         choices=["table", "csv", "json"],
         default="table",
@@ -110,11 +128,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_one(key: str, scale: float, seed: int, reps: int) -> ExperimentResult:
+def run_one(
+    key: str,
+    scale: float,
+    seed: int,
+    reps: int,
+    engine: str = "",
+    workers: int = 0,
+) -> ExperimentResult:
     __, runner = EXPERIMENTS[key]
+    kwargs: dict[str, object] = {"scale": scale, "seed": seed}
     if reps > 0:
-        return runner(scale=scale, seed=seed, repetitions=reps)
-    return runner(scale=scale, seed=seed)
+        kwargs["repetitions"] = reps
+    # Runner knobs are forwarded only to experiments that declare them —
+    # `run all` must keep working for the figure modules that don't.
+    import inspect
+
+    accepted = inspect.signature(runner).parameters
+    if engine and "engine" in accepted:
+        kwargs["engine"] = engine
+    if workers and "workers" in accepted:
+        kwargs["workers"] = workers
+    return runner(**kwargs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -126,7 +161,10 @@ def main(argv: list[str] | None = None) -> int:
 
     keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for key in keys:
-        result = run_one(key, args.scale, args.seed, args.reps)
+        result = run_one(
+            key, args.scale, args.seed, args.reps,
+            engine=args.engine, workers=args.workers,
+        )
         if args.save:
             from pathlib import Path
 

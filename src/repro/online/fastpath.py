@@ -18,11 +18,23 @@ chronon bound in pure-Python ``sort_key`` calls.  This module provides the
   assignment, mutated CEIs from a dirty set.
 * :func:`run_fast_phases` — the vectorized ``probeEIs`` loop.  Each phase
   batch-scores the whole candidate bag with one
-  :class:`repro.policies.kernels.ScoreKernel` call and orders it with a
-  single ``np.lexsort`` over ``(priority, finish, seq)``; the probe walk
-  then consumes the sorted stream, re-ranking siblings of captured EIs
-  through an overlay heap with stale-entry invalidation — the same
-  invariant the reference heap maintains.
+  :class:`repro.policies.kernels.ScoreKernel` call, then *selects* rather
+  than sorts: a budget-aware ``np.argpartition`` extracts the ``~C_j +
+  overflow`` smallest keys and only that slice is exact-sorted into the
+  probe stream.  The partition boundary key is remembered as a strict
+  lower bound on every unmaterialized candidate; whenever the walk would
+  pick an overlay-heap re-rank at or past that bound — or drains the
+  slice with budget left — the cut widens geometrically and the next
+  slice materializes.  The probe walk consumes the stream re-ranking
+  siblings of captured EIs through an overlay heap with stale-entry
+  invalidation — the same invariant the reference heap maintains, at
+  ``O(A + k log k)`` per phase instead of ``O(A log A)``.
+
+Pools can also be built from a pre-compiled
+:class:`repro.sim.arena.InstanceArena` (``FastCandidatePool(arena=...)``)
+which shares the immutable row/CEI columns and mirrors across every
+policy run of one problem instance and skips the per-EI registration
+walk entirely.
 
 The two engines are interchangeable: for any deterministic policy they
 produce bit-for-bit identical schedules, probe counts and completeness
@@ -50,8 +62,20 @@ from repro.core.timebase import Chronon
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.online.monitor import OnlineMonitor
+    from repro.sim.arena import InstanceArena
 
 _EPS = 1e-9
+
+# Top-k phase selection knobs (module-level so tests and the speedup gate
+# can force tiny cuts or disable selection wholesale).  The initial cut
+# covers the picks the budget can possibly consume (each probe attempt
+# costs at least the cheapest resource) plus TOPK_OVERFLOW extra rows to
+# absorb walk skips — captured siblings, already-probed or backed-off
+# resources — without widening; each widening multiplies the cut by
+# TOPK_GROWTH.
+TOPK_ENABLED = True
+TOPK_OVERFLOW = 32
+TOPK_GROWTH = 4
 
 
 class FastCEIView:
@@ -90,7 +114,17 @@ class FastCandidatePool:
     unchanged, while the vectorized probe loop reads the columns directly.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, arena: Optional["InstanceArena"] = None) -> None:
+        #: Mirror-capacity reallocations performed so far.  Growth is
+        #: geometric (capacity doubling), so this stays O(log rows) for
+        #: any registration stream — bench_micro's mirror-growth bench
+        #: and tests/test_fastpath_equivalence.py guard the bound.
+        self.mirror_reallocs = 0
+        if arena is not None:
+            self._init_from_arena(arena)
+            return
+        self._arena: Optional["InstanceArena"] = None
+        self._registered: Optional[bytearray] = None
         # Row-level columns (one row per usable EI; Python side).
         self.row_seq: list[int] = []
         self.row_finish: list[int] = []
@@ -153,6 +187,72 @@ class FastCandidatePool:
         self._num_satisfied = 0
         self._num_failed = 0
 
+    def _init_from_arena(self, arena: "InstanceArena") -> None:
+        """Start a run from a compiled arena: share statics, copy state.
+
+        The immutable structures (row/CEI columns, NumPy mirrors, seq and
+        cid indexes) are *shared* with the arena — and therefore with
+        every other pool built from it — and never written; only the
+        per-run mutable state (captured flags, active masks, M-EDF
+        aggregates, counters) is freshly allocated.  The mirrors arrive
+        fully synced, so ``sync_mirrors`` reduces to the dirty-CEI patch.
+        """
+        self._arena = arena
+        self._registered = bytearray(arena.n_ceis)
+        n = arena.n_rows
+        self.row_seq = arena.row_seq
+        self.row_finish = arena.row_finish
+        self.row_resource = arena.row_resource
+        self.row_cidx = arena.row_cidx
+        self._row_ei = arena.row_ei
+        self.row_captured = [False] * n
+        self.active_set = set()
+        self.np_active = np.zeros(max(n, 1), bool)
+
+        m = arena.n_ceis
+        self.cei_rank = arena.cei_rank
+        self.cei_required = arena.cei_required
+        self.cei_weight = arena.cei_weight
+        self.cei_captured = [0] * m
+        self.cei_satisfied = [False] * m
+        self.cei_failed = [False] * m
+        self.cei_medf_s = list(arena.cei_medf_s0)
+        self.cei_medf_open = list(arena.cei_medf_open0)
+        self.cei_row_begin = arena.cei_row_begin
+        self.cei_row_end = arena.cei_row_end
+        self._cei_obj = arena.cei_obj
+
+        self._row_cap = max(n, 1)
+        self.npr_seq = arena.npr_seq
+        self.npr_finish = arena.npr_finish
+        self.npr_finish_f = arena.npr_finish_f
+        self.npr_resource = arena.npr_resource
+        self.npr_cidx = arena.npr_cidx
+        self.npr_static = arena.npr_static
+        self._synced_rows = n
+        self._max_seq = arena.max_seq
+        self._max_finish = arena.max_finish
+        self._packable = arena.packable
+        self._cei_cap = max(m, 1)
+        self.npc_rank_f = arena.npc_rank_f
+        self.npc_weight = arena.npc_weight
+        self.npc_captured_f = np.zeros(m, np.float64)
+        self.npc_medf_s_f = np.asarray(arena.cei_medf_s0, np.float64)
+        self.npc_medf_open_f = np.asarray(arena.cei_medf_open0, np.float64)
+        self._synced_ceis = m
+        self._dirty_ceis = set()
+
+        self._row_of_seq = arena.row_of_seq
+        self._cidx_of_cid = arena.cidx_of_cid
+        self._by_resource = {}
+        # Window events come from the arena's shared timelines (read
+        # without popping); these stay empty.
+        self._to_activate = {}
+        self._to_expire = {}
+        self._num_registered = 0
+        self._num_satisfied = 0
+        self._num_failed = 0
+
     # ------------------------------------------------------------------
     # Mirror synchronization
     # ------------------------------------------------------------------
@@ -178,6 +278,7 @@ class FastCandidatePool:
         new_active[: len(self.np_active)] = self.np_active
         self.np_active = new_active
         self._row_cap = cap
+        self.mirror_reallocs += 1
 
     def _grow_ceis(self, needed: int) -> None:
         cap = self._cei_cap
@@ -195,6 +296,7 @@ class FastCandidatePool:
             new[: self._synced_ceis] = old[: self._synced_ceis]
             setattr(self, name, new)
         self._cei_cap = cap
+        self.mirror_reallocs += 1
 
     def sync_mirrors(self) -> None:
         """Bring the NumPy mirrors up to date with the Python columns.
@@ -268,7 +370,42 @@ class FastCandidatePool:
         the objects).  Semantics otherwise match
         :meth:`repro.online.candidates.CandidatePool.register` exactly,
         including the dead-on-arrival rule for late submissions.
+
+        Arena-backed pools replay the compiled registration instead of
+        walking the EIs: activate the precomputed immediate rows, copy
+        nothing.  They only accept the CEIs (and arrival chronons) the
+        arena was compiled for.
         """
+        arena = self._arena
+        if arena is not None:
+            cidx = arena.cidx_of_cid.get(cei.cid)
+            if cidx is None:
+                raise ModelError(
+                    f"CEI {cei.cid} is not part of this pool's compiled arena"
+                )
+            registered = self._registered
+            assert registered is not None
+            if registered[cidx]:
+                raise ModelError(f"CEI {cei.cid} registered twice")
+            if now != arena.cei_release[cidx]:
+                raise ModelError(
+                    "arena-backed pools compile registration at the CEI's "
+                    f"release chronon {arena.cei_release[cidx]}, got {now}"
+                )
+            registered[cidx] = 1
+            self._num_registered += 1
+            if arena.cei_failed0[cidx]:
+                self.cei_failed[cidx] = True
+                self._num_failed += 1
+                return []
+            rows = arena.immediate_rows[cidx]
+            row_resource = self.row_resource
+            for row in rows:
+                self._activate_row(row, row_resource[row])
+            if collect and rows:
+                row_ei = self._row_ei
+                return [row_ei[row] for row in rows]
+            return []
         if cei.cid in self._cidx_of_cid:
             raise ModelError(f"CEI {cei.cid} registered twice")
         if len(self.row_seq) + len(cei.eis) > self._row_cap:
@@ -360,12 +497,20 @@ class FastCandidatePool:
 
     def open_windows(self, now: Chronon, collect: bool = True) -> list[ExecutionInterval]:
         """Activate every EI whose window opens at ``now``; returns them."""
-        rows = self._to_activate.pop(now, None)
+        if self._arena is not None:
+            # Shared timeline, read without popping (sibling pools of the
+            # same arena replay it too).
+            rows = self._arena.activate_at.get(now)
+        else:
+            rows = self._to_activate.pop(now, None)
         opened: list[ExecutionInterval] = []
         if rows is None:
             return opened
+        registered = self._registered
         for row in rows:
             cidx = self.row_cidx[row]
+            if registered is not None and not registered[cidx]:
+                continue  # compiled timeline row of a never-revealed CEI
             if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
                 continue  # parent died or was satisfied while pending
             if self.row_captured[row]:
@@ -476,12 +621,18 @@ class FastCandidatePool:
 
     def close_windows(self, now: Chronon, collect: bool = True) -> list[ExecutionInterval]:
         """End-of-chronon expiry (Algorithm 1, lines 20-27)."""
-        rows = self._to_expire.pop(now, None)
+        if self._arena is not None:
+            rows = self._arena.expire_at.get(now)
+        else:
+            rows = self._to_expire.pop(now, None)
         expired: list[ExecutionInterval] = []
         if rows is None:
             return expired
+        registered = self._registered
         for row in rows:
             cidx = self.row_cidx[row]
+            if registered is not None and not registered[cidx]:
+                continue  # compiled timeline row of a never-revealed CEI
             if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
                 continue
             if self.row_captured[row]:
@@ -647,14 +798,19 @@ def _fast_phase(
     probed: set[ResourceId],
     whole_bag: bool = False,
 ) -> float:
-    """One candidate partition: batch-score, lexsort, walk, refresh.
+    """One candidate partition: batch-score, top-k select, walk, refresh.
 
     The sorted stream plays the role of the reference heap's initial
-    contents; sibling refreshes push fresh keys onto a small overlay heap
-    and invalidate the row's stream entry (the ``dirty`` set), so at every
-    pick the chosen EI minimizes the *current* ``(priority, finish, seq)``
-    key over eligible candidates — the same invariant the reference heap
-    maintains with stale-entry skipping.
+    contents, materialized lazily in budget-sized slices (see the top-k
+    block below); sibling refreshes push fresh keys onto a small overlay
+    heap and invalidate the row's stream entry (the ``dirty`` set), so at
+    every pick the chosen EI minimizes the *current* ``(priority, finish,
+    seq)`` key over eligible candidates — the same invariant the
+    reference heap maintains with stale-entry skipping.  The widening
+    invariant: a pick is only trusted when its key is provably below
+    ``bound``, the strict lower bound on every unmaterialized key; stream
+    keys always are, overlay keys at or past the bound force the cut to
+    widen geometrically until the comparison is decisive.
     """
     if rows.size == 0:
         return budget_left
@@ -671,31 +827,99 @@ def _fast_phase(
     pool.sync_mirrors()
     cidx = pool.npr_cidx[rows]
     prio = kernel.score_rows(pool, rows, cidx, chronon)
+    packed_keys = None
+    static = None
     if pool._packable:
         static = pool.npr_static[rows]
         if kernel.integer_valued and float(np.abs(prio).max()) < float(1 << 20):
             # Integer priorities small enough to share an int64 with the
-            # static key: one unique-key argsort orders the whole phase.
-            order = np.argsort(prio.astype(np.int64) * (1 << 42) + static)
-        else:
-            order = np.lexsort((static, prio))
-    else:
-        order = np.lexsort((pool.npr_seq[rows], pool.npr_finish[rows], prio))
-    # Python-side sorted stream; finish/seq/resource are looked up from the
-    # Python columns only for the handful of entries the walk actually
-    # touches.
-    sp = prio[order].tolist()
-    sr = rows[order].tolist()
+            # static key: keys are then unique (seq is), so any slice is
+            # ordered by one plain argsort.
+            packed_keys = prio.astype(np.int64) * (1 << 42) + static
 
-    active = pool.active_set
     row_finish = pool.row_finish
     row_seq = pool.row_seq
+
+    # ------------------------------------------------------------------
+    # Top-k selection.  The probe walk consumes a sorted stream (sp, sr)
+    # that is materialized lazily: argpartition extracts the smallest
+    # keys, only that slice is exact-sorted, and `bound` records a strict
+    # lower bound on every key still unmaterialized.  The concatenated
+    # slices are element-for-element the full lexsorted stream (keys
+    # never tie across the cut: packed keys are unique, float cuts absorb
+    # all boundary-priority ties), so the walk below is oblivious to how
+    # much of it exists — it widens whenever the stream drains or an
+    # overlay pick cannot be proven to beat `bound`.
+    # ------------------------------------------------------------------
+    n = int(rows.size)
+    sp: list[float] = []  # materialized priorities, sorted
+    sr: list[int] = []  # materialized rows, sorted
+    remaining: Optional[np.ndarray] = np.arange(n)
+    bound: Optional[tuple] = None
+
+    def slice_order(sel: np.ndarray) -> np.ndarray:
+        """Exact (priority, finish, seq) order of one selected slice."""
+        if packed_keys is not None:
+            return sel[np.argsort(packed_keys[sel])]
+        if static is not None:
+            return sel[np.lexsort((static[sel], prio[sel]))]
+        sub = rows[sel]
+        return sel[np.lexsort((pool.npr_seq[sub], pool.npr_finish[sub], prio[sel]))]
+
+    def materialize(count: int) -> None:
+        """Append the ``count`` smallest unmaterialized keys to the stream."""
+        nonlocal remaining, bound
+        rem = remaining
+        assert rem is not None
+        if count >= rem.size:
+            chosen = slice_order(rem)
+            remaining = None
+            bound = None
+        elif packed_keys is not None:
+            part = np.argpartition(packed_keys[rem], count)
+            chosen = slice_order(rem[part[:count]])
+            # Unique keys: the boundary element is the exact minimum of
+            # the remainder, and every selected key is strictly below it.
+            b = int(rem[part[count]])
+            brow = int(rows[b])
+            bound = (float(prio[b]), row_finish[brow], row_seq[brow])
+            remaining = rem[part[count:]]
+        else:
+            # Float keys may tie on priority: absorb every row tied with
+            # the boundary value into the slice so the priority-only
+            # bound stays a *strict* lower bound on the remainder.
+            rem_prio = prio[rem]
+            part = np.argpartition(rem_prio, count)
+            cut_value = rem_prio[part[count]]
+            mask = rem_prio <= cut_value
+            chosen = slice_order(rem[mask])
+            rest = rem[~mask]
+            if rest.size:
+                bound = (float(prio[rest].min()),)
+                remaining = rest
+            else:
+                bound = None
+                remaining = None
+        sp.extend(prio[chosen].tolist())
+        sr.extend(rows[chosen].tolist())
+
+    if TOPK_ENABLED:
+        # Picks this phase can make: every probe attempt costs at least
+        # the cheapest resource.  The overflow absorbs walk skips.
+        cut = int(budget_left / monitor._min_probe_cost) + 1 + TOPK_OVERFLOW
+        if 2 * cut >= n:
+            cut = n  # partitioning would not pay for itself
+    else:
+        cut = n
+    materialize(cut)
+    next_cut = max(cut, 1) * TOPK_GROWTH
+
+    active = pool.active_set
     row_resource = pool.row_resource
     uniform = resources is None
     sensitive = monitor._sibling_sensitive
     probe_hook = monitor._wants_probe_hook
     exploit_overlap = monitor.exploit_overlap
-    length = len(sp)
     si = 0
     overlay: list[tuple] = []  # (priority, finish, seq, row, resource)
     cur: dict[int, tuple] = {}  # row -> freshest key among refreshed rows
@@ -705,22 +929,30 @@ def _fast_phase(
     while budget_left > _EPS:
         # Advance past permanently-invalid stream entries (captured or
         # expired rows, resources already probed or fault-ineligible,
-        # refreshed rows whose fresh key lives in the overlay).
+        # refreshed rows whose fresh key lives in the overlay), widening
+        # the cut whenever the materialized slice drains with rows left.
         row = -1
         rid = -1
-        while si < length:
-            row = sr[si]
-            if row in dirty or row not in active:
-                si += 1
-                continue
-            rid = row_resource[row]
-            if rid in probed and rid not in reprobe:
-                si += 1
-                continue
-            if faults is not None and not faults.available(rid, chronon):
-                si += 1
-                continue
-            break
+        stream_ready = False
+        while True:
+            while si < len(sr):
+                row = sr[si]
+                if row in dirty or row not in active:
+                    si += 1
+                    continue
+                rid = row_resource[row]
+                if rid in probed and rid not in reprobe:
+                    si += 1
+                    continue
+                if faults is not None and not faults.available(rid, chronon):
+                    si += 1
+                    continue
+                stream_ready = True
+                break
+            if stream_ready or remaining is None:
+                break
+            materialize(next_cut)
+            next_cut *= TOPK_GROWTH
         # Drop stale / ineligible overlay entries.
         while overlay:
             entry = overlay[0]
@@ -735,15 +967,23 @@ def _fast_phase(
                 continue
             break
         key = None
-        if si < length and (
+        if stream_ready and (
             not overlay
             or (sp[si], row_finish[row], row_seq[row]) <= overlay[0][:3]
         ):
+            # Stream picks are always safe: materialized keys lie
+            # strictly below `bound`, hence below every key not yet seen.
             from_stream = True
             if faults is not None:
                 key = (sp[si], row_finish[row], row_seq[row])
         elif overlay:
             entry = overlay[0]
+            if bound is not None and not (entry[:3] < bound):
+                # A not-yet-materialized candidate may beat this
+                # re-ranked key: widen until the comparison is decisive.
+                materialize(next_cut)
+                next_cut *= TOPK_GROWTH
+                continue
             row, rid = entry[3], entry[4]
             key = entry[:3]
             from_stream = False
@@ -800,9 +1040,15 @@ def _fast_phase(
         else:
             reprobe.discard(rid)
         pre = cur.get(row)
-        if sensitive and touched:
+        if sensitive and touched and budget_left > _EPS:
+            # (Skipped once the budget is spent: the refresh only feeds
+            # later picks of this same phase, so it cannot change the
+            # schedule — the reference loop does the work and discards it.)
             if in_phase is None and not whole_bag:
-                in_phase = set(sr)
+                # Phase membership covers the *whole* partition, not just
+                # the materialized slice — an unmaterialized row's fresh
+                # key must reach the overlay like any other sibling's.
+                in_phase = set(rows.tolist())
             _refresh_siblings_fast(
                 pool, kernel, touched, chronon, in_phase, probed, overlay, cur,
                 dirty, reprobe,

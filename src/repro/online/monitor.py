@@ -34,7 +34,7 @@ Two interchangeable engines implement that loop:
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.core.errors import ModelError
 from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
@@ -48,6 +48,9 @@ from repro.online.fastpath import FastCandidatePool, run_fast_phases
 from repro.online.health import HealthStats, HealthTracker
 from repro.policies.base import Policy
 from repro.policies.kernels import resolve_kernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.arena import InstanceArena
 
 _EPS = 1e-9
 
@@ -88,6 +91,13 @@ class OnlineMonitor:
         failure model).  Fault verdicts are pure functions of
         ``(resource, chronon, attempt)``, so both engines stay
         bit-identical under the same model.
+    arena:
+        Optional pre-compiled :class:`repro.sim.arena.InstanceArena` of
+        the problem instance this run will monitor.  The vectorized pool
+        then shares the arena's immutable columns and mirrors instead of
+        rebuilding them per run — bit-identical results, with the per-EI
+        registration walk amortized across every policy run of the same
+        instance.  Requires ``Engine.VECTORIZED``.
     engine, faults, retry:
         Deprecated keyword equivalents of the ``config`` fields; passing
         any of them emits a ``DeprecationWarning``.
@@ -102,6 +112,7 @@ class OnlineMonitor:
         exploit_overlap: bool = True,
         config: Optional[MonitorConfig] = None,
         *,
+        arena: Optional["InstanceArena"] = None,
         engine: Optional[str] = None,
         faults: Optional[FailureModel] = None,
         retry: Optional[RetryPolicy] = None,
@@ -131,9 +142,14 @@ class OnlineMonitor:
             policy.bind_health(self._health)
         self.pool: Union[CandidatePool, FastCandidatePool]
         if self.engine == "vectorized":
-            self.pool = FastCandidatePool()
+            self.pool = FastCandidatePool(arena=arena)
             self._kernel = resolve_kernel(policy)
         else:
+            if arena is not None:
+                raise ModelError(
+                    "instance arenas require the vectorized engine; "
+                    "pass the arena's profiles to a reference monitor instead"
+                )
             self.pool = CandidatePool()
             self._kernel = None
         self.schedule = Schedule()
@@ -162,6 +178,14 @@ class OnlineMonitor:
         self._wants_expiry_hook = cls.on_ei_expired is not Policy.on_ei_expired
         self._wants_probe_hook = cls.on_probe is not Policy.on_probe
         self._sibling_sensitive = policy.sibling_sensitive()
+        # Cheapest possible probe: bounds how many picks one chronon's
+        # budget can make (the fast path's top-k cut is sized from it).
+        if resources is None:
+            self._min_probe_cost = 1.0
+        else:
+            self._min_probe_cost = min(
+                (res.probe_cost for res in resources), default=1.0
+            )
         num_resources = len(resources) if resources is not None else 0
         policy.on_run_start(num_resources)
 

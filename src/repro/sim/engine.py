@@ -26,11 +26,12 @@ from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Epoch
 from repro.offline.local_ratio import LocalRatioScheduler
 from repro.online.arrivals import arrivals_from_profiles
-from repro.online.config import MonitorConfig, resolve_config
+from repro.online.config import Engine, MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, RetryPolicy
 from repro.online.health import HealthStats
 from repro.online.monitor import OnlineMonitor
 from repro.policies.base import Policy, make_policy
+from repro.sim.arena import InstanceArena
 
 
 def policy_label(name: str, preemptive: bool) -> str:
@@ -67,7 +68,7 @@ class SimulationResult:
 
 
 def simulate(
-    profiles: ProfileSet,
+    profiles: ProfileSet | InstanceArena,
     epoch: Epoch,
     budget: BudgetVector,
     policy: Policy | str,
@@ -82,6 +83,12 @@ def simulate(
 ) -> SimulationResult:
     """Run one online policy over a full epoch and score the schedule.
 
+    ``profiles`` may be a plain :class:`ProfileSet` or a pre-compiled
+    :class:`repro.sim.arena.InstanceArena` of one — the arena supplies
+    its arrival map and (on the vectorized engine) its frozen candidate
+    columns, so running many policies over the same instance skips the
+    per-run registration walk.  Results are identical either way.
+
     ``config`` selects the monitor implementation (``Engine.REFERENCE``
     or ``Engine.VECTORIZED``) and the fault/retry universe; deterministic
     policies produce identical schedules on either engine, so that choice
@@ -93,6 +100,10 @@ def simulate(
     cfg = resolve_config(
         config, engine=engine, faults=faults, retry=retry, owner="simulate"
     )
+    arena: Optional[InstanceArena] = None
+    if isinstance(profiles, InstanceArena):
+        arena = profiles
+        profiles = arena.profiles
     if isinstance(policy, str):
         policy = make_policy(policy)
     monitor = OnlineMonitor(
@@ -102,8 +113,11 @@ def simulate(
         resources=resources,
         exploit_overlap=exploit_overlap,
         config=cfg,
+        arena=arena if cfg.engine is Engine.VECTORIZED else None,
     )
-    arrivals = arrivals_from_profiles(profiles)
+    arrivals = (
+        arena.arrivals if arena is not None else arrivals_from_profiles(profiles)
+    )
     started = time.perf_counter()
     for chronon in epoch:
         monitor.step(chronon, arrivals.get(chronon, ()))

@@ -8,13 +8,19 @@ runs *every* policy on that same instance — exactly the paper's
 methodology of executing online and offline solutions on identical
 problem instances — and aggregates means and standard deviations.
 
-With ``workers > 1`` the suite fans the ``(repetition, policy)`` cells
-out over a process pool.  Every cell regenerates its repetition's
-instance from the same ``SeedSequence`` child seed the serial path uses,
-and results are re-assembled in repetition order before aggregation, so
-the parallel suite is seed-for-seed identical to the serial one
-(completeness, probe counts and their means — wall-clock runtime
-statistics naturally differ).
+With ``workers > 1`` the suite fans *whole repetitions* out over a
+process pool: each worker task regenerates its repetition's instance
+from the same ``SeedSequence`` child seed the serial path uses, compiles
+it once into an :class:`repro.sim.arena.InstanceArena` (vectorized
+engine), and runs every policy cell against that shared instance —
+instead of rebuilding the instance once per *(repetition, policy)* cell.
+A pool initializer pins the per-suite static arguments (epoch, budget,
+cell list, config) in each worker once, so per-task pickling reduces to
+``(rep, child_seed)``.  Results are re-assembled in repetition order
+before aggregation, so the parallel suite is seed-for-seed identical to
+the serial one (completeness, probe counts and their means — wall-clock
+runtime statistics naturally differ).  The serial path reuses the same
+arena across its policy loop too.
 """
 
 from __future__ import annotations
@@ -30,8 +36,9 @@ import numpy as np
 from repro.core.profile import ProfileSet
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
-from repro.online.config import MonitorConfig, resolve_config
+from repro.online.config import Engine, MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, RetryPolicy
+from repro.sim.arena import InstanceArena, compile_arena
 from repro.sim.engine import SimulationResult, policy_label, simulate, simulate_offline
 
 #: A problem-instance factory: child RNG -> profile set.
@@ -111,36 +118,54 @@ def child_rngs(seed: int, count: int) -> list[np.random.Generator]:
 # by run_suite just before the pool starts.
 _WORKER_FACTORY: Optional[InstanceFactory] = None
 
+#: Per-suite static arguments, pinned once per worker by the pool
+#: initializer: (epoch, budget, cells, config, offline_max_combinations).
+_WORKER_CONTEXT: Optional[tuple] = None
 
-def _run_cell(
-    rep: int,
-    child: np.random.SeedSequence,
-    epoch: Epoch,
-    budget: BudgetVector,
-    cell: Optional[tuple[str, bool]],
-    config: MonitorConfig,
-    offline_max_combinations: int,
-) -> tuple[int, str, SimulationResult]:
-    """One (repetition, policy) grid cell; ``cell=None`` is the offline run.
 
-    Regenerates the repetition's instance from its SeedSequence child, so
-    every cell of one repetition sees the identical problem instance the
-    serial loop would build.  Fault verdicts are pure functions of the
-    probe coordinates, so worker-order nondeterminism cannot leak into
-    the results.
+def _init_suite_worker(context: tuple) -> None:
+    """Process-pool initializer: pin the suite's static arguments.
+
+    Runs once per worker process, so the repetition tasks themselves only
+    ship ``(rep, child_seed)`` over the pipe instead of re-pickling the
+    epoch, budget, cell list and config for every cell.
     """
-    assert _WORKER_FACTORY is not None
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_repetition(
+    rep: int, child: np.random.SeedSequence
+) -> tuple[int, list[tuple[str, SimulationResult]]]:
+    """One full repetition: build the instance once, run every cell on it.
+
+    Regenerates the repetition's instance from its SeedSequence child —
+    the identical instance the serial loop would build — compiles it into
+    an arena when the engine is vectorized, and runs every policy cell
+    (plus the optional offline baseline) against it in suite order.
+    Fault verdicts are pure functions of the probe coordinates, so
+    worker-order nondeterminism cannot leak into the results.
+    """
+    assert _WORKER_FACTORY is not None and _WORKER_CONTEXT is not None
+    epoch, budget, cells, config, offline_max_combinations = _WORKER_CONTEXT
     profiles = _WORKER_FACTORY(np.random.default_rng(child))
-    if cell is None:
-        result = simulate_offline(
-            profiles, epoch, budget, max_combinations=offline_max_combinations
-        )
-        return rep, "OFFLINE-LR", result
-    name, preemptive = cell
-    result = simulate(
-        profiles, epoch, budget, name, preemptive=preemptive, config=config
+    instance: ProfileSet | InstanceArena = (
+        compile_arena(profiles) if config.engine is Engine.VECTORIZED else profiles
     )
-    return rep, policy_label(name, preemptive), result
+    results: list[tuple[str, SimulationResult]] = []
+    for cell in cells:
+        if cell is None:
+            result = simulate_offline(
+                profiles, epoch, budget, max_combinations=offline_max_combinations
+            )
+            results.append(("OFFLINE-LR", result))
+        else:
+            name, preemptive = cell
+            result = simulate(
+                instance, epoch, budget, name, preemptive=preemptive, config=config
+            )
+            results.append((policy_label(name, preemptive), result))
+    return rep, results
 
 
 def run_suite(
@@ -169,12 +194,15 @@ def run_suite(
     with perfect knowledge and is left untouched; failure, retry and
     backoff counts surface as ``probes_failed_mean`` / ``retries_mean`` /
     ``backoffs_mean`` and per-resource ``failures_by_resource_mean`` on
-    the aggregates), and ``config.workers`` > 1 distributes the
-    ``(repetition, policy)`` cells over that many forked worker processes
-    (requires the ``fork`` start method, i.e. POSIX; falls back to the
-    serial loop elsewhere) with results identical to the serial loop,
-    seed for seed.  The bare ``engine=``/``workers=``/``faults=``/
-    ``retry=`` keywords are deprecated.
+    the aggregates), and ``config.workers`` > 1 distributes whole
+    repetitions over that many forked worker processes — each worker
+    builds its repetition's instance once (compiled into an
+    :class:`repro.sim.arena.InstanceArena` on the vectorized engine) and
+    runs every policy cell against it (requires the ``fork`` start
+    method, i.e. POSIX; falls back to the serial loop elsewhere) with
+    results identical to the serial loop, seed for seed.  The bare
+    ``engine=``/``workers=``/``faults=``/``retry=`` keywords are
+    deprecated.
     """
     cfg = resolve_config(
         config,
@@ -203,42 +231,41 @@ def run_suite(
         cells: list[Optional[tuple[str, bool]]] = list(policies)
         if include_offline:
             cells.append(None)
+        context = (epoch, budget, cells, cfg, offline_max_combinations)
         global _WORKER_FACTORY
         _WORKER_FACTORY = make_instance
         try:
-            with ProcessPoolExecutor(max_workers=pool_size, mp_context=ctx) as pool:
+            with ProcessPoolExecutor(
+                max_workers=pool_size,
+                mp_context=ctx,
+                initializer=_init_suite_worker,
+                initargs=(context,),
+            ) as pool:
                 futures = [
-                    pool.submit(
-                        _run_cell,
-                        rep,
-                        child,
-                        epoch,
-                        budget,
-                        cell,
-                        cfg,
-                        offline_max_combinations,
-                    )
+                    pool.submit(_run_repetition, rep, child)
                     for rep, child in enumerate(children)
-                    for cell in cells
                 ]
-                by_label: dict[str, dict[int, SimulationResult]] = {
-                    label: {} for label in runs
-                }
+                by_rep: dict[int, list[tuple[str, SimulationResult]]] = {}
                 for future in futures:
-                    rep, label, result = future.result()
-                    by_label[label][rep] = result
+                    rep, cell_results = future.result()
+                    by_rep[rep] = cell_results
         finally:
             _WORKER_FACTORY = None
-        for label, per_rep in by_label.items():
-            runs[label] = [per_rep[rep] for rep in range(repetitions)]
+        for rep in range(repetitions):
+            for label, result in by_rep[rep]:
+                runs[label].append(result)
     else:
+        use_arena = cfg.engine is Engine.VECTORIZED
         for rng in child_rngs(seed, repetitions):
             profiles = make_instance(rng)
+            instance: ProfileSet | InstanceArena = (
+                compile_arena(profiles) if use_arena else profiles
+            )
             for name, preemptive in policies:
                 label = policy_label(name, preemptive)
                 runs[label].append(
                     simulate(
-                        profiles, epoch, budget, name,
+                        instance, epoch, budget, name,
                         preemptive=preemptive, config=cfg,
                     )
                 )

@@ -1,0 +1,180 @@
+"""Compiled instance arenas must be a pure cache, never a semantic change.
+
+``compile_arena`` freezes one registration walk of a problem instance;
+``FastCandidatePool(arena=...)`` replays it.  Everything observable —
+schedules, probe counts, captured/satisfied bookkeeping, believed
+completeness — must be bit-identical to an incremental pool registering
+the same CEIs, which in turn matches the reference engine
+(tests/test_fastpath_equivalence.py).  Arenas are also shared across
+runs, so two monitors built from one arena must never see each other's
+per-run state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.online.config import MonitorConfig
+from repro.online.fastpath import FastCandidatePool
+from repro.online.monitor import OnlineMonitor
+from repro.policies import make_policy
+from repro.sim.arena import compile_arena
+from repro.sim.engine import simulate
+from tests.conftest import make_cei, random_general_instance
+
+NUM_CHRONONS = 30
+POLICIES = ["S-EDF", "MRSF", "M-EDF"]
+
+
+def _profiles(seed: int, num_ceis: int = 40):
+    rng = np.random.default_rng(seed)
+    return random_general_instance(
+        rng,
+        num_resources=8,
+        num_chronons=NUM_CHRONONS,
+        num_ceis=num_ceis,
+        max_rank=4,
+        max_width=5,
+    )
+
+
+def _run(policy_name: str, arrivals, engine="vectorized", arena=None, **kwargs):
+    monitor = OnlineMonitor(
+        policy=make_policy(policy_name),
+        budget=BudgetVector.constant(2.0, NUM_CHRONONS),
+        config=MonitorConfig(engine=engine),
+        arena=arena,
+        **kwargs,
+    )
+    monitor.run(Epoch(NUM_CHRONONS), arrivals)
+    return monitor
+
+
+class TestCompile:
+    def test_rows_follow_registration_order(self):
+        profiles = _profiles(1)
+        arena = compile_arena(profiles)
+        assert arena.n_rows == len(arena.row_seq) == arena.npr_seq.size
+        assert arena.n_ceis == len(arena.cei_obj)
+        # CEIs appear sorted by release; each CEI's rows are contiguous.
+        releases = [arena.cei_release[c] for c in range(arena.n_ceis)]
+        assert releases == sorted(releases)
+        for cidx in range(arena.n_ceis):
+            begin, end = arena.cei_row_begin[cidx], arena.cei_row_end[cidx]
+            assert all(arena.row_cidx[r] == cidx for r in range(begin, end))
+        assert arena.cidx_of_cid.keys() == {c.cid for c in arena.cei_obj}
+
+    def test_mirrors_match_incremental_pool(self):
+        profiles = _profiles(2)
+        arena = compile_arena(profiles)
+        pool = FastCandidatePool()
+        for cidx, cei in enumerate(arena.cei_obj):
+            pool.register(cei, arena.cei_release[cidx])
+        pool.sync_mirrors()
+        assert pool.row_seq == arena.row_seq
+        assert pool.row_finish == arena.row_finish
+        assert pool.row_resource == arena.row_resource
+        assert pool.cei_rank == arena.cei_rank
+        # Incremental mirrors are capacity-doubled; compare the live prefix.
+        n = len(pool.row_seq)
+        np.testing.assert_array_equal(pool.npr_seq[:n], arena.npr_seq)
+        np.testing.assert_array_equal(pool.npr_static[:n], arena.npr_static)
+        assert arena.packable == pool._packable
+
+    def test_immediate_vs_deferred_split(self):
+        profiles = _profiles(3)
+        arena = compile_arena(profiles)
+        for cidx in range(arena.n_ceis):
+            release = arena.cei_release[cidx]
+            begin, end = arena.cei_row_begin[cidx], arena.cei_row_end[cidx]
+            immediate = set(arena.immediate_rows[cidx])
+            for row in range(begin, end):
+                ei = arena.row_ei[row]
+                if ei.start <= release:
+                    assert row in immediate
+                else:
+                    assert row not in immediate
+                    assert row in arena.activate_at[ei.start]
+                assert row in arena.expire_at[ei.finish]
+
+
+class TestRunEquivalence:
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    @pytest.mark.parametrize("preemptive", [True, False])
+    def test_arena_matches_incremental_and_reference(self, policy_name, preemptive):
+        for seed in (4, 5):
+            arena = compile_arena(_profiles(seed))
+            plain = _run(policy_name, arena.arrivals, preemptive=preemptive)
+            backed = _run(
+                policy_name, arena.arrivals, arena=arena, preemptive=preemptive
+            )
+            ref = _run(
+                policy_name,
+                arena.arrivals,
+                engine="reference",
+                preemptive=preemptive,
+            )
+            assert backed.schedule.probes == plain.schedule.probes
+            assert backed.schedule.probes == ref.schedule.probes
+            assert backed.probes_used == ref.probes_used
+            assert backed.pool.num_satisfied == ref.pool.num_satisfied
+            assert backed.pool.num_failed == ref.pool.num_failed
+            assert backed.believed_completeness == ref.believed_completeness
+
+    def test_reuse_across_runs_is_isolated(self):
+        arena = compile_arena(_profiles(6))
+        first = _run("MRSF", arena.arrivals, arena=arena)
+        _run("M-EDF", arena.arrivals, arena=arena)  # mutates its own state only
+        again = _run("MRSF", arena.arrivals, arena=arena)
+        assert again.schedule.probes == first.schedule.probes
+        assert again.believed_completeness == first.believed_completeness
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_simulate_accepts_arena(self, engine):
+        profiles = _profiles(7)
+        arena = compile_arena(profiles)
+        epoch = Epoch(NUM_CHRONONS)
+        budget = BudgetVector.constant(2.0, NUM_CHRONONS)
+        cfg = MonitorConfig(engine=engine)
+        plain = simulate(profiles, epoch, budget, "MRSF", config=cfg)
+        backed = simulate(arena, epoch, budget, "MRSF", config=cfg)
+        assert backed.schedule.probes == plain.schedule.probes
+        assert backed.completeness == plain.completeness
+        assert backed.probes_used == plain.probes_used
+
+
+class TestRejections:
+    def test_foreign_cei(self):
+        arena = compile_arena(_profiles(8))
+        pool = FastCandidatePool(arena=arena)
+        with pytest.raises(ModelError, match="not part of this pool's compiled arena"):
+            pool.register(make_cei((0, 1, 2)), 0)
+
+    def test_wrong_release_chronon(self):
+        arena = compile_arena(_profiles(9))
+        pool = FastCandidatePool(arena=arena)
+        cei = arena.cei_obj[0]
+        with pytest.raises(ModelError, match="release chronon"):
+            pool.register(cei, arena.cei_release[0] + 1)
+
+    def test_double_registration(self):
+        arena = compile_arena(_profiles(10))
+        pool = FastCandidatePool(arena=arena)
+        cei = arena.cei_obj[0]
+        pool.register(cei, arena.cei_release[0])
+        with pytest.raises(ModelError, match="registered twice"):
+            pool.register(cei, arena.cei_release[0])
+
+    def test_reference_engine_rejects_arena(self):
+        arena = compile_arena(_profiles(11))
+        with pytest.raises(ModelError, match="require the vectorized engine"):
+            OnlineMonitor(
+                policy=make_policy("MRSF"),
+                budget=BudgetVector.constant(2.0, NUM_CHRONONS),
+                config=MonitorConfig(engine="reference"),
+                arena=arena,
+            )

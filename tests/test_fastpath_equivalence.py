@@ -15,6 +15,8 @@ what its test asserts.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -25,6 +27,7 @@ from repro.core.schedule import BudgetVector
 from repro.core.timebase import Epoch
 from repro.online.arrivals import arrival_map
 from repro.online.config import MonitorConfig
+from repro.online import fastpath
 from repro.online.faults import FailureModel, Outage, RetryPolicy
 from repro.online.health import HealthConfig
 from repro.online.monitor import OnlineMonitor
@@ -340,6 +343,121 @@ class TestReliabilityEquivalence:
             _instance(20),
             faults=FailureModel(rate=0.3, seed=14, per_attempt_draws=True),
             retry=RetryPolicy(max_retries=1),
+        )
+
+
+@contextlib.contextmanager
+def topk_knobs(enabled=True, overflow=None, growth=None):
+    """Temporarily override the top-k module knobs, restoring on exit."""
+    saved = (fastpath.TOPK_ENABLED, fastpath.TOPK_OVERFLOW, fastpath.TOPK_GROWTH)
+    try:
+        fastpath.TOPK_ENABLED = enabled
+        if overflow is not None:
+            fastpath.TOPK_OVERFLOW = overflow
+        if growth is not None:
+            fastpath.TOPK_GROWTH = growth
+        yield
+    finally:
+        fastpath.TOPK_ENABLED, fastpath.TOPK_OVERFLOW, fastpath.TOPK_GROWTH = saved
+
+
+class TestTopKSelection:
+    """Top-k phase selection only reorders *when* keys materialize.
+
+    The phase walk must see the identical candidate sequence whether the
+    bag is fully lexsorted up front or materialized in argpartition
+    slices.  Shrinking ``TOPK_OVERFLOW`` to zero and growth to 2 forces
+    the widening path — bound violations from the overlay heap, stream
+    exhaustion mid-phase, tie absorption at the cut — on instances small
+    enough that the default knobs would never widen.
+    """
+
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES + WEIGHTED_POLICIES)
+    @pytest.mark.parametrize("preemptive", [True, False])
+    def test_tiny_cuts_force_widening(self, policy_name, preemptive):
+        with topk_knobs(overflow=0, growth=2):
+            for seed in (31, 32):
+                assert_engines_agree(
+                    policy_name,
+                    _instance(seed),
+                    budget=1.0,  # cut of ~1 row per phase: maximal widening
+                    preemptive=preemptive,
+                )
+
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+    def test_disabled_equals_enabled(self, policy_name):
+        arrivals = _instance(33)
+        with topk_knobs(enabled=True):
+            topk = _run("vectorized", make_policy(policy_name), arrivals)
+        with topk_knobs(enabled=False):
+            full = _run("vectorized", make_policy(policy_name), arrivals)
+        assert topk.schedule.probes == full.schedule.probes
+        assert topk.believed_completeness == full.believed_completeness
+
+    @pytest.mark.parametrize("policy_name", ["MRSF", "EG-MRSF", "LEG-MRSF"])
+    def test_tiny_cuts_under_faults(self, policy_name):
+        """Widening interleaved with fault skips and overlay re-ranks."""
+        health = HealthConfig() if policy_name.startswith("LEG") else None
+        with topk_knobs(overflow=0, growth=2):
+            ref, vec = assert_engines_agree(
+                policy_name,
+                _instance(34),
+                budget=1.0,
+                faults=FailureModel(rate=0.4, seed=21, partial_rate=0.3),
+                retry=RetryPolicy(max_retries=2),
+                health=health,
+            )
+        assert ref.probes_failed > 0
+
+    def test_tiny_cuts_with_heterogeneous_costs(self):
+        """Non-unit probe costs shrink the budget-derived initial cut."""
+        pool = ResourcePool(
+            [Resource(rid=i, name=f"r{i}", probe_cost=1.0 + (i % 3)) for i in range(8)]
+        )
+        with topk_knobs(overflow=0, growth=2):
+            assert_engines_agree("MRSF", _instance(35), budget=3.0, resources=pool)
+
+    def test_mirror_reallocs_grow_logarithmically(self):
+        """Counter sanity: syncing after every register stays O(log n)."""
+        from repro.online.fastpath import FastCandidatePool
+
+        rng = np.random.default_rng(40)
+        profiles = random_general_instance(
+            rng,
+            num_resources=8,
+            num_chronons=NUM_CHRONONS,
+            num_ceis=120,
+            max_rank=4,
+            max_width=5,
+        )
+        pool = FastCandidatePool()
+        for profile in profiles:
+            for cei in profile.ceis:
+                pool.register(cei, cei.release)
+                pool.sync_mirrors()
+        rows = len(pool.row_seq)
+        assert rows > 100
+        assert pool.mirror_reallocs <= 2 * (int(np.ceil(np.log2(rows))) + 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    policy_name=st.sampled_from(PAPER_POLICIES),
+    overflow=st.sampled_from([0, 1, 4]),
+    budget=st.sampled_from([1.0, 2.0]),
+    preemptive=st.booleans(),
+)
+def test_property_topk_widening_agrees(
+    seed, policy_name, overflow, budget, preemptive
+):
+    """Property form: any cut size, the widening walk stays bit-identical."""
+    with topk_knobs(overflow=overflow, growth=2):
+        assert_engines_agree(
+            policy_name,
+            _instance(seed, num_ceis=25),
+            budget=budget,
+            preemptive=preemptive,
         )
 
 

@@ -80,6 +80,44 @@ class TestParallelSuite:
     def test_workers_one_is_serial(self):
         assert_same_statistics(_suite(), _suite(config=MonitorConfig(workers=1)))
 
+    def test_more_workers_than_repetitions(self):
+        """Idle pool slots are harmless: chunking is per repetition."""
+        serial = _suite(repetitions=2)
+        parallel = _suite(repetitions=2, config=MonitorConfig(workers=6))
+        assert_same_statistics(serial, parallel)
+
+
+class TestRepetitionTask:
+    """The worker task itself, run in-process against pinned context."""
+
+    def test_run_repetition_matches_serial_cells(self):
+        from repro.sim import runner
+
+        children = np.random.SeedSequence(17).spawn(2)
+        budget = BudgetVector.constant(1, len(EPOCH))
+        config = MonitorConfig(engine="vectorized")
+        runner._WORKER_FACTORY = make_instance
+        runner._init_suite_worker((EPOCH, budget, list(POLICIES), config, 100_000))
+        try:
+            rep, cells = runner._run_repetition(1, children[1])
+        finally:
+            runner._WORKER_FACTORY = None
+            runner._init_suite_worker(None)
+        assert rep == 1
+        assert [label for label, __ in cells] == [
+            f"{name}({'P' if preemptive else 'NP'})" for name, preemptive in POLICIES
+        ]
+        # The serial loop on the same child seed produces the same runs.
+        from repro.sim.engine import simulate
+
+        profiles = make_instance(np.random.default_rng(children[1]))
+        for (label, result), (name, preemptive) in zip(cells, POLICIES):
+            expected = simulate(
+                profiles, EPOCH, budget, name, preemptive=preemptive, config=config
+            )
+            assert result.schedule.probes == expected.schedule.probes
+            assert result.completeness == expected.completeness
+
 
 def test_sweep_forwards_workers():
     def factory_for(value):

@@ -72,6 +72,61 @@ class TestMinimumBudget:
             minimum_budget_for(make_instance, EPOCH, target=0.5, max_budget=0)
 
 
+class TestBisectionEdgeCases:
+    """The bisection against stubbed completeness curves.
+
+    Stubbing ``_mean_completeness`` pins the search logic itself: the
+    minimum-budget floor, and robustness to the repetition noise that
+    makes the empirical curve locally non-monotone.
+    """
+
+    @staticmethod
+    def _stub(monkeypatch, curve: dict[int, float]):
+        calls: list[int] = []
+
+        def fake(make_instance, epoch, c, policy, repetitions, seed):
+            calls.append(c)
+            return curve[c]
+
+        monkeypatch.setattr("repro.sim.planning._mean_completeness", fake)
+        return calls
+
+    def test_target_reachable_at_minimum_budget(self, monkeypatch):
+        curve = {c: 0.5 + 0.05 * c for c in range(1, 9)}
+        self._stub(monkeypatch, curve)
+        budget, achieved = minimum_budget_for(
+            make_instance, EPOCH, target=0.2, max_budget=8
+        )
+        assert budget == 1
+        assert achieved == curve[1]
+
+    def test_non_monotone_noise_still_returns_satisfying_budget(self, monkeypatch):
+        # Repetition noise dents the curve at C=3; the bisection must
+        # still land on a budget that meets the target, never on the dent.
+        curve = {1: 0.30, 2: 0.65, 3: 0.55, 4: 0.70,
+                 5: 0.72, 6: 0.74, 7: 0.76, 8: 0.90}
+        self._stub(monkeypatch, curve)
+        budget, achieved = minimum_budget_for(
+            make_instance, EPOCH, target=0.6, max_budget=8
+        )
+        assert achieved >= 0.6
+        assert budget == 2  # the smallest satisfying budget on the probe path
+
+    def test_unreachable_even_at_max_budget(self, monkeypatch):
+        self._stub(monkeypatch, {8: 0.4})
+        with pytest.raises(ExperimentError, match="unreachable"):
+            minimum_budget_for(make_instance, EPOCH, target=0.9, max_budget=8)
+
+    def test_probes_only_within_range(self, monkeypatch):
+        curve = {c: (0.0 if c < 5 else 1.0) for c in range(1, 17)}
+        calls = self._stub(monkeypatch, curve)
+        budget, __ = minimum_budget_for(
+            make_instance, EPOCH, target=0.99, max_budget=16
+        )
+        assert budget == 5
+        assert all(1 <= c <= 16 for c in calls)
+
+
 class TestResponseCurve:
     def test_monotone_in_budget(self):
         curve = budget_response_curve(
@@ -84,3 +139,18 @@ class TestResponseCurve:
         curve = budget_response_curve(make_instance, EPOCH, [1, 3], repetitions=1)
         assert [c for c, __ in curve] == [1, 3]
         assert all(0.0 <= v <= 1.0 for __, v in curve)
+
+    def test_budgets_preserved_verbatim(self, monkeypatch):
+        """One point per requested budget, in order, coerced to int."""
+        seen: list[int] = []
+
+        def fake(make_instance_, epoch_, c, policy, repetitions, seed):
+            seen.append(c)
+            return 0.5
+
+        monkeypatch.setattr("repro.sim.planning._mean_completeness", fake)
+        curve = budget_response_curve(
+            make_instance, EPOCH, np.asarray([4, 2, 4]), repetitions=1
+        )
+        assert [c for c, __ in curve] == [4, 2, 4] == seen
+        assert all(isinstance(c, int) for c, __ in curve)
