@@ -8,7 +8,11 @@ is the historical seed configuration (mean bag around 7 EIs, far below
 the vectorization break-even); ``dense`` keeps the same 100 profiles and
 400 chronons but widens windows and event rates until the bag averages
 about a thousand EIs, which is where the batched kernels shine (the
-paper's scalability axis, Figure 11).
+paper's scalability axis, Figure 11).  The full-run benchmarks carry a
+``density`` marker: ``--density sparse|dense|both`` (see
+``benchmarks/conftest.py``) restricts a session to one regime, and every
+engine axis includes ``auto`` so the dispatching engine is timed beside
+the two it chooses between.
 """
 
 import pytest
@@ -114,25 +118,29 @@ def _run_full_monitor(policy_factory, engine="reference", density="sparse", conf
     return monitor.probes_used
 
 
-@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.density("sparse")
+@pytest.mark.parametrize("engine", ["reference", "vectorized", "auto"])
 def test_monitor_full_run_sedf(benchmark, engine):
     probes = benchmark(_run_full_monitor, SEDF, engine)
     assert probes > 0
 
 
-@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.density("sparse")
+@pytest.mark.parametrize("engine", ["reference", "vectorized", "auto"])
 def test_monitor_full_run_mrsf(benchmark, engine):
     probes = benchmark(_run_full_monitor, MRSF, engine)
     assert probes > 0
 
 
-@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.density("sparse")
+@pytest.mark.parametrize("engine", ["reference", "vectorized", "auto"])
 def test_monitor_full_run_medf(benchmark, engine):
     probes = benchmark(_run_full_monitor, MEDF, engine)
     assert probes > 0
 
 
-@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.density("dense")
+@pytest.mark.parametrize("engine", ["reference", "vectorized", "auto"])
 @pytest.mark.parametrize("policy_name", ["S-EDF", "MRSF", "M-EDF"])
 def test_monitor_full_run_dense(benchmark, policy_name, engine):
     """The vectorization target: ~1000-EI bags, where kernels dominate."""
@@ -145,6 +153,7 @@ def test_monitor_full_run_dense(benchmark, policy_name, engine):
     assert probes > 0
 
 
+@pytest.mark.density("dense")
 @pytest.mark.parametrize("policy_name", ["S-EDF", "MRSF", "M-EDF"])
 def test_monitor_full_run_dense_arena(benchmark, policy_name):
     """The dense vectorized run against a pre-compiled instance arena.
@@ -246,6 +255,7 @@ def test_monitor_failing_heavy_run(benchmark, scheme):
     assert probes > 0
 
 
+@pytest.mark.density("dense")
 @pytest.mark.parametrize("source", ["oracle", "learned"])
 def test_monitor_full_run_dense_health(benchmark, source):
     """The health path's end-to-end cost on the dense vectorized run.

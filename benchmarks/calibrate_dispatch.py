@@ -1,0 +1,144 @@
+"""Calibrate the ``engine="auto"`` dispatch thresholds.
+
+The auto engine (``repro.online.dispatch``) switches between the
+reference pool (scalar sparse walk) and the vectorized fast pool on a
+candidate-bag-size EWMA.  This script measures where the crossover
+actually sits in the running container: it sweeps window length to
+produce workloads whose capture-free mean bag spans the sparse-to-dense
+range, times a full monitor run per fixed engine at each point
+(best-of-``ROUNDS``, interleaved), and locates the bag size where the
+vectorized engine first beats the reference engine.
+
+From the crossover ``x`` it recommends::
+
+    DENSE_THRESHOLD  = round(1.5 * x)   # promote only when clearly dense
+    SPARSE_THRESHOLD = round(0.6 * x)   # demote only when clearly sparse
+
+The asymmetric band is deliberate: a wrong engine near the crossover
+costs a few percent, a migration costs a pool rebuild, so both
+thresholds sit well away from the break-even point.  Paste the printed
+values into ``src/repro/online/dispatch.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/calibrate_dispatch.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Epoch
+from repro.online.arrivals import arrivals_from_profiles
+from repro.online.config import MonitorConfig
+from repro.online.monitor import OnlineMonitor
+from repro.policies import make_policy
+from repro.traces.noise import perfect_predictions
+from repro.traces.poisson import poisson_trace
+from repro.workloads.generator import GeneratorSpec, generate_profiles
+from repro.workloads.templates import LengthRule
+
+ROUNDS = 5
+POLICIES = ("S-EDF", "MRSF", "M-EDF")
+#: (window, events/resource) points swept to move the mean bag across the
+#: crossover; the rest of the workload is the bench_micro sparse cell
+#: (100 profiles, 400 chronons, 200 resources, rank_max 5, budget 2).
+#: The low-rate points cover the sparse regime, the high-rate points
+#: push the bag into the hundreds where vectorization must win.
+POINTS = (
+    (4, 8.0), (8, 8.0), (12, 8.0), (18, 8.0), (26, 8.0), (38, 8.0),
+    (10, 40.0), (20, 40.0), (40, 40.0), (70, 40.0), (100, 40.0),
+)
+
+
+def _build(window, rate):
+    epoch = Epoch(400)
+    rng = np.random.default_rng(3)
+    trace = poisson_trace(200, epoch, rate, rng)
+    profiles = generate_profiles(
+        perfect_predictions(trace), epoch,
+        GeneratorSpec(num_profiles=100, rank_max=5),
+        LengthRule.window(window), rng,
+    )
+    return epoch, arrivals_from_profiles(profiles), profiles
+
+
+def _mean_bag(epoch, arrivals, policy_name):
+    """Observed mean bag over stepped chronons of a reference run."""
+    monitor = OnlineMonitor(
+        make_policy(policy_name), BudgetVector.constant(2, len(epoch)),
+        config=MonitorConfig(engine="reference"),
+    )
+    total = 0
+    for chronon in epoch:
+        monitor.step(chronon, arrivals.get(chronon, ()))
+        total += monitor.pool.num_active()
+    return total / len(epoch)
+
+
+def _timed(epoch, arrivals, policy_name, engine):
+    monitor = OnlineMonitor(
+        make_policy(policy_name), BudgetVector.constant(2, len(epoch)),
+        config=MonitorConfig(engine=engine),
+    )
+    started = time.perf_counter()
+    monitor.run(epoch, arrivals)
+    return time.perf_counter() - started, monitor.probes_used
+
+
+def main() -> int:
+    print(f"{'policy':8} {'window':>6} {'rate':>6} {'bag':>8} {'ref_s':>9} "
+          f"{'vec_s':>9} {'vec/ref':>8}")
+    crossovers = []
+    for policy_name in POLICIES:
+        prev_bag = prev_ratio = None
+        crossover = None
+        for window, rate in POINTS:
+            epoch, arrivals, _ = _build(window, rate)
+            bag = _mean_bag(epoch, arrivals, policy_name)
+            ref_times, vec_times = [], []
+            ref_probes = vec_probes = None
+            for _ in range(ROUNDS):
+                seconds, ref_probes = _timed(epoch, arrivals, policy_name,
+                                             "reference")
+                ref_times.append(seconds)
+                seconds, vec_probes = _timed(epoch, arrivals, policy_name,
+                                             "vectorized")
+                vec_times.append(seconds)
+            if ref_probes != vec_probes:
+                raise SystemExit(
+                    f"engines diverged at window {window}: {ref_probes} vs "
+                    f"{vec_probes} probes"
+                )
+            ref, vec = min(ref_times), min(vec_times)
+            ratio = vec / ref
+            print(f"{policy_name:8} {window:>6} {rate:>6.0f} {bag:>8.1f} "
+                  f"{ref:>9.4f} {vec:>9.4f} {ratio:>8.2f}")
+            if (crossover is None and prev_ratio is not None
+                    and prev_ratio > 1.0 >= ratio):
+                # Linear interpolation of the bag size where vec/ref = 1.
+                frac = (prev_ratio - 1.0) / (prev_ratio - ratio)
+                crossover = prev_bag + frac * (bag - prev_bag)
+            prev_bag, prev_ratio = bag, ratio
+        if crossover is None and prev_ratio is not None and prev_ratio <= 1.0:
+            crossover = prev_bag  # already past it at the sparsest point
+        print(f"{policy_name:8} crossover ~ "
+              f"{'not reached' if crossover is None else f'{crossover:.0f} EIs'}")
+        if crossover is not None:
+            crossovers.append(crossover)
+    if not crossovers:
+        print("no crossover found in the swept range; widen WINDOWS")
+        return 1
+    x = float(np.median(crossovers))
+    print(f"\nmedian crossover: {x:.0f} EIs")
+    print(f"recommended DENSE_THRESHOLD  = {1.5 * x:.0f}.0")
+    print(f"recommended SPARSE_THRESHOLD = {0.6 * x:.0f}.0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

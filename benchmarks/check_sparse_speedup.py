@@ -1,0 +1,99 @@
+"""Regression gate: ``engine="auto"`` never loses to reference on sparse.
+
+Runs the sparse full-monitor benchmark workload (see ``bench_micro``)
+once per policy on the auto engine and once on the reference engine and
+compares best-of-N wall-clock times.  The rounds are interleaved and the
+best round taken per side, which suppresses most scheduler noise on
+shared CI runners.  Both sides must probe identically: auto dispatch is
+pure engine selection over bit-identical schedules, so any probe-count
+divergence means the dispatch invariant broke and the timing is
+meaningless.
+
+Sparse bags sit far below the dispatch crossover, so auto hosts these
+runs on the reference pool driven by the inlined scalar walk
+(``repro.online.scalarpath``) plus the batched run loop's idle skipping
+— the gate asserts that machinery at least breaks even against the
+plain reference engine on every sparse cell (it measures well above
+break-even; 1.0 is the never-regress floor).
+
+Exit status 0 when ``reference / auto >= THRESHOLD`` for all three
+policies, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_sparse_speedup.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_micro import _instance  # noqa: E402
+
+from repro.core.schedule import BudgetVector  # noqa: E402
+from repro.online.config import MonitorConfig  # noqa: E402
+from repro.online.monitor import OnlineMonitor  # noqa: E402
+from repro.policies import make_policy  # noqa: E402
+
+THRESHOLD = 1.0
+ROUNDS = 9
+POLICIES = ("S-EDF", "MRSF", "M-EDF")
+
+
+def timed_run(policy_name: str, engine: str) -> tuple[float, int]:
+    epoch, arrivals, budget = _instance("sparse")
+    monitor = OnlineMonitor(
+        make_policy(policy_name),
+        BudgetVector.constant(budget, len(epoch)),
+        config=MonitorConfig(engine=engine),
+    )
+    started = time.perf_counter()
+    monitor.run(epoch, arrivals)
+    elapsed = time.perf_counter() - started
+    return elapsed, monitor.probes_used
+
+
+def main() -> int:
+    _instance("sparse")  # build the workload outside the timed region
+
+    failures = 0
+    for policy_name in POLICIES:
+        auto_times: list[float] = []
+        ref_times: list[float] = []
+        auto_probes = ref_probes = None
+        for _ in range(ROUNDS):
+            seconds, auto_probes = timed_run(policy_name, "auto")
+            auto_times.append(seconds)
+            seconds, ref_probes = timed_run(policy_name, "reference")
+            ref_times.append(seconds)
+
+        if auto_probes != ref_probes:
+            raise SystemExit(
+                f"{policy_name}: auto diverged from reference: "
+                f"{auto_probes} vs {ref_probes} probes — dispatch "
+                "invariant broken"
+            )
+
+        auto = min(auto_times)
+        ref = min(ref_times)
+        speedup = ref / auto
+        print(
+            f"sparse {policy_name} full run, best of {ROUNDS}: "
+            f"reference {ref:.4f}s, auto {auto:.4f}s, "
+            f"speedup {speedup:.2f}x (threshold {THRESHOLD}x)"
+        )
+        if speedup < THRESHOLD:
+            print(f"FAIL: auto engine below {THRESHOLD}x on sparse {policy_name}")
+            failures += 1
+    if failures:
+        return 1
+    print("OK: auto engine holds the sparse regime")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

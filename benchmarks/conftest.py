@@ -10,6 +10,12 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE`` — instance scale factor (default 0.15; 1.0 runs
   paper-size instances).
 * ``REPRO_BENCH_REPS`` — repetitions per experiment point (default 2).
+
+Command-line knobs:
+
+* ``--density sparse|dense|both`` (default ``both``) — restrict the
+  density-marked micro-benchmarks (``bench_micro``) to one candidate
+  regime; unmarked benchmarks always run.
 """
 
 from __future__ import annotations
@@ -20,6 +26,34 @@ import pytest
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
 BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "2"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--density",
+        choices=("sparse", "dense", "both"),
+        default="both",
+        help="run only the density-marked benchmarks of this regime",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "density(regime): benchmark exercises one candidate-bag regime "
+        "('sparse' or 'dense'); filtered by --density",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    wanted = config.getoption("--density")
+    if wanted == "both":
+        return
+    skip = pytest.mark.skip(reason=f"--density {wanted} deselects this regime")
+    for item in items:
+        marker = item.get_closest_marker("density")
+        if marker is not None and marker.args and marker.args[0] != wanted:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

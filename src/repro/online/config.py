@@ -30,14 +30,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Engine(str, enum.Enum):
-    """The two interchangeable monitor implementations.
+    """The interchangeable monitor implementations.
 
     A str-enum: ``Engine.VECTORIZED == "vectorized"`` holds, so existing
     string comparisons keep working wherever an ``Engine`` flows.
+
+    ``Engine.AUTO`` is not a third implementation: it dispatches between
+    the two fixed engines per run — and re-evaluates the choice per
+    chronon via a bag-size hysteresis (:mod:`repro.online.dispatch`),
+    migrating the candidate pool exactly when the workload regime
+    changes.  Schedules stay bit-identical to either fixed engine.
     """
 
     REFERENCE = "reference"
     VECTORIZED = "vectorized"
+    AUTO = "auto"
 
     @classmethod
     def coerce(cls, value: "Engine | str") -> "Engine":
@@ -65,9 +72,10 @@ class MonitorConfig:
     ----------
     engine:
         Monitor implementation — :attr:`Engine.REFERENCE` (the Algorithm 1
-        transcription) or :attr:`Engine.VECTORIZED` (the structure-of-arrays
-        fast path).  A plain string is coerced and validated on
-        construction.
+        transcription), :attr:`Engine.VECTORIZED` (the structure-of-arrays
+        fast path) or :attr:`Engine.AUTO` (bag-size-aware dispatch between
+        the two, bit-identical to both).  A plain string is coerced and
+        validated on construction.
     faults:
         Optional :class:`repro.online.faults.FailureModel` injecting probe
         failures into every run using this config.

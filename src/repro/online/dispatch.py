@@ -1,0 +1,305 @@
+"""Bag-size-aware engine dispatch for ``engine="auto"``.
+
+The two fixed engines trade places at a measurable candidate-bag size:
+the vectorized engine amortizes NumPy call overhead over the bag and wins
+big once bags reach the hundreds, while the reference pool (driven by the
+inlined scalar walk of :mod:`repro.online.scalarpath`) wins on the sparse
+bags where array overhead dominates.  ``engine="auto"`` hosts the run on
+whichever side of that crossover the workload currently sits:
+
+* the **initial engine** comes from the compiled arena's capture-free
+  :attr:`~repro.sim.arena.InstanceArena.mean_bag` when one is available
+  (an upper bound on what the run will see), else defaults to reference —
+  a dense run without an arena pays at most the dwell-free first switch,
+  one reference chronon;
+* every subsequent chronon, :class:`DispatchController` folds the
+  observed bag size into an EWMA and compares it against *two*
+  thresholds with a minimum dwell between switches — plain hysteresis,
+  so bag noise around the crossover cannot thrash migrations;
+* a switch migrates the candidate pool **exactly** —
+  :func:`fast_pool_from_reference` / :func:`reference_pool_from_fast`
+  rebuild the destination representation from the source's state so the
+  continuation is bit-for-bit the run the destination engine would have
+  produced from the same history.  Schedules therefore stay identical to
+  both fixed engines at every chronon, mid-run switches included
+  (``tests/test_auto_dispatch.py`` forces switches both ways).
+
+The thresholds are calibrated by ``benchmarks/calibrate_dispatch.py``,
+which measures per-chronon cost of both engines against controlled bag
+sizes and prints the crossover; the defaults below bake in its container
+measurement.  They are module constants (looked up at call time, not
+bound at construction) so tests can monkeypatch them to force switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.timebase import Chronon
+from repro.online.candidates import CandidatePool, CEIState
+from repro.online.fastpath import FastCandidatePool
+
+#: Smoothing factor of the bag-size EWMA (jump-started to the first
+#: observation).  0.25 follows the observed bag autocorrelation: window
+#: lengths of tens of chronons mean regime shifts unfold over ~10
+#: chronons, and 0.25 reaches 95% of a level shift in that time.
+EWMA_ALPHA = 0.25
+
+#: Bag-size EWMA at or above which the run migrates to (or starts on) the
+#: vectorized engine.  Calibrated by ``benchmarks/calibrate_dispatch.py``:
+#: the container measurement put the break-even bag at ~117 EIs for
+#: S-EDF, ~98 for MRSF and ~17 for M-EDF (its O(rank) scalar values are
+#: the costliest); the thresholds bracket the median crossover (98) with
+#: an asymmetric band, since a wrong engine near break-even costs a few
+#: percent while a migration costs a pool rebuild.
+DENSE_THRESHOLD = 146.0
+
+#: Bag-size EWMA strictly below which a vectorized run migrates back to
+#: the reference engine.  Kept well under DENSE_THRESHOLD: the gap is the
+#: hysteresis band where either engine is acceptable and switching is not
+#: worth a migration.
+SPARSE_THRESHOLD = 59.0
+
+#: Minimum chronons between consecutive switches.  The *first* switch is
+#: exempt (the controller starts with a full dwell credit), bounding the
+#: cost of a mispredicted initial engine to one chronon.
+MIN_DWELL = 16
+
+
+@dataclass
+class DispatchStats:
+    """Per-run dispatch accounting, exposed as ``monitor.dispatch_stats``."""
+
+    #: Engine the run started on ("reference" or "vectorized").
+    initial_engine: str = "reference"
+    #: Chronons individually stepped on each engine.
+    reference_chronons: int = 0
+    vectorized_chronons: int = 0
+    #: Pool migrations performed.
+    switches: int = 0
+    #: Chronons skipped entirely (empty bag, no events) by the batched
+    #: run loop, and event-free spans stepped in one vectorized call.
+    idle_skipped: int = 0
+    batched_spans: int = 0
+
+    @property
+    def final_engine(self) -> str:
+        """Engine after the last switch."""
+        flip = self.switches % 2 == 1
+        if self.initial_engine == "vectorized":
+            return "reference" if flip else "vectorized"
+        return "vectorized" if flip else "reference"
+
+
+class DispatchController:
+    """Hysteresis over the bag-size EWMA: decides which engine hosts a step.
+
+    ``observe(bag)`` folds one observation in and returns the desired
+    engine as a flag (True = vectorized).  Thresholds, smoothing and
+    dwell default to the module constants *at call time* — constructor
+    arguments are only for explicit overrides.
+    """
+
+    def __init__(
+        self,
+        fast: bool,
+        *,
+        dense_threshold: Optional[float] = None,
+        sparse_threshold: Optional[float] = None,
+        alpha: Optional[float] = None,
+        min_dwell: Optional[int] = None,
+    ) -> None:
+        self.fast = fast
+        self._dense = dense_threshold
+        self._sparse = sparse_threshold
+        self._alpha = alpha
+        self._dwell = min_dwell
+        self.ewma: Optional[float] = None
+        # Full dwell credit up front: the first switch is always allowed,
+        # so a wrong initial-engine guess costs at most one chronon.
+        self._since_switch = min_dwell if min_dwell is not None else MIN_DWELL
+
+    def observe(self, bag: int) -> bool:
+        """Fold one bag-size observation; return the desired engine flag."""
+        alpha = self._alpha if self._alpha is not None else EWMA_ALPHA
+        if self.ewma is None:
+            self.ewma = float(bag)
+        else:
+            self.ewma += alpha * (bag - self.ewma)
+        dwell = self._dwell if self._dwell is not None else MIN_DWELL
+        if self._since_switch < dwell:
+            self._since_switch += 1
+            return self.fast
+        if self.fast:
+            sparse = self._sparse if self._sparse is not None else SPARSE_THRESHOLD
+            if self.ewma < sparse:
+                self.fast = False
+                self._since_switch = 0
+        else:
+            dense = self._dense if self._dense is not None else DENSE_THRESHOLD
+            if self.ewma >= dense:
+                self.fast = True
+                self._since_switch = 0
+        return self.fast
+
+
+# ----------------------------------------------------------------------
+# Exact pool migrations
+# ----------------------------------------------------------------------
+#
+# Both directions rebuild the destination pool so that every observable
+# it will ever produce — active bag, capture state, priorities, window
+# events, counters — matches what the destination engine would hold had
+# it run the whole history itself.  `now` is the last *completed*
+# chronon (migration happens between steps, before the clock advances).
+
+
+def fast_pool_from_reference(pool: CandidatePool, now: Chronon) -> FastCandidatePool:
+    """Rebuild a reference pool's state as an incremental fast pool.
+
+    CEIs are walked in registration order (dict insertion order), so row
+    and CEI indexes come out exactly as an all-along fast pool's would
+    modulo rows that can no longer matter.  Per CEI:
+
+    * the M-EDF aggregates follow the time-invariant form rule — an
+      *uncaptured* sibling of an open CEI contributes the open form
+      ``(finish + 1, 1)`` iff its window has started (``start <= now``,
+      which covers active siblings, siblings that expired mid-run *and*
+      siblings already expired on arrival — all of them entered the open
+      form at or before activation and nothing moves them back), else
+      the future form ``(width, 0)``; captured siblings contribute
+      nothing; closed CEIs keep zero aggregates (never scored);
+    * captured rows always materialize (``is_ei_captured`` must keep
+      answering), uncaptured rows of open CEIs materialize while their
+      window can still matter (``finish > now``) — active now, or
+      pending on the activation timeline; uncaptured rows of closed CEIs
+      and expired-uncaptured rows are provably unobservable and are
+      skipped;
+    * every materialized row with ``finish > now`` joins the expiry
+      timeline (captured entries are pop-time no-ops, exactly as in an
+      all-along pool).
+
+    The result is always an *incremental* pool (never arena-backed), so
+    later registrations keep working.
+    """
+    fast = FastCandidatePool()
+    states = pool._states.values()
+    total = 0
+    for st in states:
+        closed = st.failed or st.satisfied
+        captured = st.captured
+        for ei in st.cei.eis:
+            if ei.seq in captured or (not closed and ei.finish > now):
+                total += 1
+    if total > fast._row_cap:
+        # _activate_row writes np_active[row] directly: size rows up front.
+        fast._grow_rows(total)
+
+    for st in states:
+        cei = st.cei
+        captured = st.captured
+        closed = st.failed or st.satisfied
+        cidx = len(fast.cei_rank)
+        fast._cidx_of_cid[cei.cid] = cidx
+        fast._cei_obj.append(cei)
+        fast.cei_rank.append(len(cei.eis))
+        fast.cei_required.append(cei.required)
+        fast.cei_captured.append(len(captured))
+        fast.cei_weight.append(cei.weight)
+        fast.cei_satisfied.append(st.satisfied)
+        fast.cei_failed.append(st.failed)
+        fast.cei_row_begin.append(len(fast.row_seq))
+        medf_s = 0
+        medf_open = 0
+        for ei in cei.eis:
+            is_captured = ei.seq in captured
+            if not closed and not is_captured:
+                if ei.start <= now:
+                    medf_s += ei.finish + 1
+                    medf_open += 1
+                else:
+                    medf_s += ei.finish - ei.start + 1
+            if not (is_captured or (not closed and ei.finish > now)):
+                continue
+            row = len(fast.row_seq)
+            fast.row_seq.append(ei.seq)
+            fast.row_finish.append(ei.finish)
+            fast.row_resource.append(ei.resource)
+            fast.row_cidx.append(cidx)
+            fast.row_captured.append(is_captured)
+            fast._row_ei.append(ei)
+            fast._row_of_seq[ei.seq] = row
+            if not is_captured:
+                if ei.start <= now:
+                    fast._activate_row(row, ei.resource)
+                else:
+                    fast._to_activate.setdefault(ei.start, []).append(row)
+            if ei.finish > now:
+                fast._to_expire.setdefault(ei.finish, []).append(row)
+        fast.cei_row_end.append(len(fast.row_seq))
+        fast.cei_medf_s.append(medf_s)
+        fast.cei_medf_open.append(medf_open)
+
+    fast._num_registered = pool._num_registered
+    fast._num_satisfied = pool._num_satisfied
+    fast._num_failed = pool._num_failed
+    # _synced_rows/_synced_ceis stay 0: the first sync_mirrors bulk-syncs.
+    return fast
+
+
+def reference_pool_from_fast(pool: FastCandidatePool, now: Chronon) -> CandidatePool:
+    """Rebuild a fast pool's state as a reference pool.
+
+    Activation order of the rebuilt active set is sorted by row index
+    (registration order) — deterministic, and only observable to
+    iteration-order-sensitive policies, which have no kernel and
+    therefore never dispatch.  Timelines come from the pool's own dicts
+    (incremental pools; keys still pending are copied verbatim) or from
+    the arena's shared timelines filtered to *registered* CEIs
+    (arena-backed pools read them without popping; entries of closed or
+    captured rows are kept — the reference pool pop-skips them exactly
+    like the fast pool does).
+    """
+    ref = CandidatePool()
+    registered = pool._registered  # None for incremental pools
+    row_seq = pool.row_seq
+    row_cidx = pool.row_cidx
+    for cidx in range(len(pool.cei_rank)):
+        if registered is not None and not registered[cidx]:
+            continue
+        cei = pool._cei_obj[cidx]
+        st = CEIState(cei=cei)
+        st.satisfied = pool.cei_satisfied[cidx]
+        st.failed = pool.cei_failed[cidx]
+        for row in range(pool.cei_row_begin[cidx], pool.cei_row_end[cidx]):
+            if pool.row_captured[row]:
+                st.captured.add(row_seq[row])
+        ref._states[cei.cid] = st
+    row_ei = pool._row_ei
+    for row in sorted(pool.active_set):
+        ref._activate(row_ei[row])
+    arena = pool._arena
+    if arena is not None:
+        assert registered is not None
+        for chronon, rows in arena.activate_at.items():
+            if chronon <= now:
+                continue
+            eis = [row_ei[r] for r in rows if registered[row_cidx[r]]]
+            if eis:
+                ref._to_activate[chronon] = eis
+        for chronon, rows in arena.expire_at.items():
+            if chronon <= now:
+                continue
+            eis = [row_ei[r] for r in rows if registered[row_cidx[r]]]
+            if eis:
+                ref._to_expire[chronon] = eis
+    else:
+        for chronon, rows in pool._to_activate.items():
+            ref._to_activate[chronon] = [row_ei[r] for r in rows]
+        for chronon, rows in pool._to_expire.items():
+            ref._to_expire[chronon] = [row_ei[r] for r in rows]
+    ref._num_registered = pool._num_registered
+    ref._num_satisfied = pool._num_satisfied
+    ref._num_failed = pool._num_failed
+    return ref

@@ -59,6 +59,7 @@ from repro.core.errors import ModelError
 from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
 from repro.core.resource import ResourceId, ResourcePool
 from repro.core.timebase import Chronon
+from repro.policies import compiled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.online.monitor import OnlineMonitor
@@ -258,7 +259,10 @@ class FastCandidatePool:
     # ------------------------------------------------------------------
 
     def _grow_rows(self, needed: int) -> None:
-        cap = self._row_cap
+        # Guard the doubling loop against a zero starting capacity (an
+        # empty arena, or a pool whose caps were sized to a tiny
+        # instance): 0 * 2 never reaches `needed`.
+        cap = max(self._row_cap, 1)
         while cap < needed:
             cap *= 2
         for name in (
@@ -281,7 +285,8 @@ class FastCandidatePool:
         self.mirror_reallocs += 1
 
     def _grow_ceis(self, needed: int) -> None:
-        cap = self._cei_cap
+        # Same zero-capacity guard as _grow_rows.
+        cap = max(self._cei_cap, 1)
         while cap < needed:
             cap *= 2
         for name in (
@@ -835,7 +840,7 @@ def _fast_phase(
             # Integer priorities small enough to share an int64 with the
             # static key: keys are then unique (seq is), so any slice is
             # ordered by one plain argsort.
-            packed_keys = prio.astype(np.int64) * (1 << 42) + static
+            packed_keys = compiled.pack_keys(prio, static)
 
     row_finish = pool.row_finish
     row_seq = pool.row_seq
@@ -1112,3 +1117,134 @@ def _refresh_siblings_fast(
                 cur[row] = key
                 dirty.add(row)
                 heapq.heappush(overlay, key + (row, rid))
+
+
+def run_fast_span(monitor: "OnlineMonitor", t0: Chronon, t1: Chronon) -> None:
+    """Probe every chronon of the event-free span ``[t0, t1)`` in one call.
+
+    The batched-stepping fast path for ``monitor.run``: when no window
+    opens, no window expires and no CEI arrives anywhere in ``[t0, t1)``,
+    the candidate bag only changes through this walk's own captures — so
+    the whole span can be scored *once* at ``t0`` and consumed chronon by
+    chronon from the same sorted stream.  The caller guarantees the gates
+    (see ``OnlineMonitor._run_batched``): preemptive mode, overlap
+    exploitation on, uniform probe costs, no faults, no probe hook, and a
+    :attr:`repro.policies.kernels.ScoreKernel.shift_invariant` kernel.
+    That last gate is what licenses cross-chronon key reuse: either the
+    scores are chronon-free (MRSF family — so re-ranked sibling keys from
+    a later slot compare exactly against span-start stream keys), or the
+    policy is not sibling-sensitive and every score shifts by the same
+    per-chronon constant (S-EDF), preserving the stream order.
+
+    Per slot the walk replays the exact single-chronon semantics: a fresh
+    budget and probed set, the stream rescanned from the top (entries
+    skipped only because their resource was probed *this* slot become
+    eligible again), and overlay entries blocked only by the probed set
+    are *deferred* to the next slot instead of dropped.  Sibling
+    refreshes run even with the slot's budget spent — unlike the
+    single-phase walk, their fresh keys feed the later slots of the span.
+    """
+    pool: FastCandidatePool = monitor.pool
+    kernel = monitor._kernel
+    schedule = monitor.schedule
+    budget = monitor.budget
+    assert kernel is not None and kernel.shift_invariant
+    pool.sync_mirrors()
+    rows = np.flatnonzero(pool.np_active[: len(pool.row_seq)])
+    if rows.size == 0:
+        monitor._clock = t1 - 1
+        return
+    cidx = pool.npr_cidx[rows]
+    prio = kernel.score_rows(pool, rows, cidx, t0)
+    # Materialize the full sorted stream up front (no top-k cut: the span
+    # replays it once per slot, and a budget-sized cut would have to be
+    # sized for the whole span anyway).
+    if pool._packable:
+        static = pool.npr_static[rows]
+        if kernel.integer_valued and float(np.abs(prio).max()) < float(1 << 20):
+            order = np.argsort(compiled.pack_keys(prio, static))
+        else:
+            order = np.lexsort((static, prio))
+    else:
+        order = np.lexsort((pool.npr_seq[rows], pool.npr_finish[rows], prio))
+    sp = prio[order].tolist()
+    sr = rows[order].tolist()
+
+    active = pool.active_set
+    row_finish = pool.row_finish
+    row_seq = pool.row_seq
+    row_resource = pool.row_resource
+    sensitive = monitor._sibling_sensitive
+    no_probed: frozenset[ResourceId] = frozenset()
+    overlay: list[tuple] = []  # (priority, finish, seq, row, resource)
+    cur: dict[int, tuple] = {}  # row -> freshest key among refreshed rows
+    dirty: set[int] = set()  # rows whose stream entry was superseded
+    deferred: list[tuple] = []  # overlay entries blocked only by `probed`
+
+    for t in range(t0, t1):
+        if not active:
+            break
+        monitor._clock = t
+        budget_left = budget.at(t)
+        probed: set[ResourceId] = set()
+        si = 0
+        if deferred:
+            # Their resources are probe-able again now the slot rolled.
+            for entry in deferred:
+                heapq.heappush(overlay, entry)
+            deferred = []
+        while budget_left > _EPS:
+            if 1.0 > budget_left + _EPS:
+                break  # uniform costs: the slot's budget is spent
+            row = -1
+            rid = -1
+            stream_ready = False
+            while si < len(sr):
+                row = sr[si]
+                if row in dirty or row not in active:
+                    si += 1
+                    continue
+                rid = row_resource[row]
+                if rid in probed:
+                    si += 1  # per-slot skip; si resets at the next slot
+                    continue
+                stream_ready = True
+                break
+            while overlay:
+                entry = overlay[0]
+                orow = entry[3]
+                if (
+                    cur.get(orow) != (entry[0], entry[1], entry[2])
+                    or orow not in active
+                ):
+                    heapq.heappop(overlay)
+                    continue
+                if entry[4] in probed:
+                    # Ineligible only this slot: defer, don't drop.
+                    deferred.append(heapq.heappop(overlay))
+                    continue
+                break
+            if stream_ready and (
+                not overlay
+                or (sp[si], row_finish[row], row_seq[row]) <= overlay[0][:3]
+            ):
+                si += 1
+            elif overlay:
+                entry = heapq.heappop(overlay)
+                row, rid = entry[3], entry[4]
+            else:
+                break  # bag exhausted for this slot
+            budget_left -= 1.0
+            monitor._probes_used += 1
+            monitor._charge(rid, t, 1.0)
+            schedule.add_probe(rid, t)
+            probed.add(rid)
+            touched = pool.capture_resource_rows(rid)
+            if sensitive and touched:
+                # Empty probed set on purpose: a probed-resource sibling
+                # still needs its fresh key, or its stale stream entry
+                # would rank it wrongly at the next slot.
+                _refresh_siblings_fast(
+                    pool, kernel, touched, t, None, no_probed, overlay, cur, dirty
+                )
+    monitor._clock = t1 - 1

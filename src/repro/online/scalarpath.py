@@ -1,0 +1,213 @@
+"""Scalar phase walk: the sparse-regime probe loop of ``engine="auto"``.
+
+The reference probe loop (:meth:`OnlineMonitor._probe_phase`) is already
+asymptotically right for small candidate bags, but it pays real constants
+per candidate: a ``Policy.sort_key`` dispatch, a ``MonitorView`` protocol
+round-trip per priority and a heap with stale-entry bookkeeping.  On the
+sparse cells of the benchmark grid (bags of ~5-25 EIs) those constants are
+most of the chronon.  The vectorized engine is no help there — NumPy's
+per-call overhead exceeds the work at such sizes (measured ~0.5x vs the
+reference loop).
+
+This module closes that gap without touching either engine: for the three
+paper policies it *inlines* the priority arithmetic over the reference
+:class:`~repro.online.candidates.CandidatePool` and replaces the heap with
+a sorted list walk.  Selection is provably identical to the reference
+loop:
+
+* items are ``(priority, finish, seq, ei)`` tuples — the exact
+  ``Policy.sort_key`` ordering, and since ``seq`` is unique a plain
+  ``list.sort`` never compares the trailing ``ei``;
+* the walk skips captured rows (``seq`` left ``pool._active``) and
+  already-probed resources, exactly the reference heap's skip set under
+  this path's gates (uniform unit costs, no faults — the monitor falls
+  back to ``_probe_phase`` otherwise);
+* when a capture lands and the policy is sibling-sensitive, the walk
+  rebuilds and re-sorts the item list *from the original phase candidate
+  list* and restarts the scan.  The reference loop instead pushes fresh
+  keys for touched siblings and lets stale entries lose; both pick, at
+  every step, the minimum current key over the same eligible set, so the
+  chosen EI sequence is identical.  Rebuilds cost O(A log A) but only
+  fire on captures, and sparse bags are tiny by definition.
+
+The builders mirror the policy formulas exactly — including M-EDF's
+expired-uncaptured siblings (which still contribute ``finish - T + 1``,
+possibly negative) — and memoize per-CEI values within one build, since
+every sibling of a CEI shares the same priority under MRSF and M-EDF.
+Only the unweighted paper kernels map to a builder
+(:func:`scalar_builder_for` keys on the *exact* kernel type): the
+weighted variants and the reliability kernels read state this walk does
+not model, and fall back to the reference loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.core.intervals import ExecutionInterval
+from repro.core.resource import ResourceId
+from repro.core.timebase import Chronon
+from repro.online.candidates import CandidatePool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.online.monitor import OnlineMonitor
+    from repro.policies.kernels import ScoreKernel
+
+_EPS = 1e-9
+
+#: One sorted phase item: (priority, finish, seq, ei).
+_Item = tuple[float, int, int, ExecutionInterval]
+_Builder = Callable[[list[ExecutionInterval], Chronon, CandidatePool], list[_Item]]
+
+
+def _build_sedf(
+    candidates: list[ExecutionInterval], chronon: Chronon, pool: CandidatePool
+) -> list[_Item]:
+    """S-EDF items: priority = finish - T + 1, a pure per-EI formula."""
+    active = pool._active
+    items = [
+        (float(ei.finish - chronon + 1), ei.finish, ei.seq, ei)
+        for ei in candidates
+        if ei.seq in active
+    ]
+    items.sort()
+    return items
+
+
+def _build_mrsf(
+    candidates: list[ExecutionInterval], chronon: Chronon, pool: CandidatePool
+) -> list[_Item]:
+    """MRSF items: priority = the parent CEI's residual, memoized per CEI."""
+    active = pool._active
+    states = pool._states
+    vals: dict[int, float] = {}
+    items: list[_Item] = []
+    for ei in candidates:
+        if ei.seq not in active:
+            continue
+        cei = ei.parent
+        assert cei is not None
+        val = vals.get(cei.cid)
+        if val is None:
+            st = states[cei.cid]
+            val = float(len(cei.eis) - len(st.captured))
+            vals[cei.cid] = val
+        items.append((val, ei.finish, ei.seq, ei))
+    items.sort()
+    return items
+
+
+def _build_medf(
+    candidates: list[ExecutionInterval], chronon: Chronon, pool: CandidatePool
+) -> list[_Item]:
+    """M-EDF items: per-CEI remaining-chronon mass, memoized per CEI.
+
+    Matches :func:`repro.policies.medf.m_edf_value` term for term: every
+    *uncaptured* sibling contributes ``finish - max(T, start) + 1`` —
+    including already-expired siblings, whose contribution can go
+    negative.
+    """
+    active = pool._active
+    states = pool._states
+    vals: dict[int, float] = {}
+    items: list[_Item] = []
+    for ei in candidates:
+        if ei.seq not in active:
+            continue
+        cei = ei.parent
+        assert cei is not None
+        val = vals.get(cei.cid)
+        if val is None:
+            captured = states[cei.cid].captured
+            total = 0
+            for sib in cei.eis:
+                if sib.seq in captured:
+                    continue
+                start = sib.start
+                reference = chronon if chronon >= start else start
+                total += sib.finish - reference + 1
+            val = float(total)
+            vals[cei.cid] = val
+        items.append((val, ei.finish, ei.seq, ei))
+    items.sort()
+    return items
+
+
+def scalar_builder_for(kernel: "Optional[ScoreKernel]") -> Optional[_Builder]:
+    """The inlined item builder matching ``kernel``, or None.
+
+    Keys on the *exact* kernel type: the weighted kernels subclass the
+    paper ones but score differently, so ``type is`` (not isinstance)
+    keeps them on the reference loop.
+    """
+    if kernel is None:
+        return None
+    from repro.policies.kernels import MEDFKernel, MRSFKernel, SEDFKernel
+
+    kind = type(kernel)
+    if kind is SEDFKernel:
+        return _build_sedf
+    if kind is MRSFKernel:
+        return _build_mrsf
+    if kind is MEDFKernel:
+        return _build_medf
+    return None
+
+
+def run_scalar_phase(
+    monitor: "OnlineMonitor",
+    candidates: Iterable[ExecutionInterval],
+    chronon: Chronon,
+    budget_left: float,
+    probed: set[ResourceId],
+) -> float:
+    """Spend budget on one candidate partition via the sorted-list walk.
+
+    Drop-in for ``OnlineMonitor._probe_phase`` under the scalar gates
+    (reference pool, unweighted paper kernel, no faults, uniform costs);
+    returns the leftover budget.  ``candidates`` is consumed once and
+    kept for sibling-refresh rebuilds, preserving phase membership in
+    non-preemptive mode.
+    """
+    pool: CandidatePool = monitor.pool
+    policy = monitor.policy
+    schedule = monitor.schedule
+    build = monitor._scalar_builder
+    assert build is not None
+    cands = list(candidates)
+    items = build(cands, chronon, pool)
+    sensitive = monitor._sibling_sensitive
+    active = pool._active
+    i = 0
+    while budget_left > _EPS:
+        if 1.0 > budget_left + _EPS:
+            break  # uniform unit costs: the phase's budget is spent
+        chosen: Optional[ExecutionInterval] = None
+        while i < len(items):
+            item = items[i]
+            i += 1
+            ei = item[3]
+            if ei.seq not in active:
+                continue  # captured (or dropped) since the last build
+            if ei.resource in probed:
+                continue  # already captured by this chronon's probe of r
+            chosen = ei
+            break
+        if chosen is None:
+            break  # phase exhausted
+        rid = chosen.resource
+        budget_left -= 1.0
+        monitor._probes_used += 1
+        monitor._charge(rid, chronon, 1.0)
+        schedule.add_probe(rid, chronon)
+        probed.add(rid)
+        policy.on_probe(rid, chronon)
+        _, touched = monitor._capture(chosen, chronon)
+        if sensitive and touched and budget_left > _EPS:
+            # Priorities of touched CEIs' siblings changed: rebuild the
+            # ranking from the original candidate list.  (Skipped once
+            # the budget is spent — the refresh only feeds later picks
+            # of this same phase, like the fast path's late-refresh cut.)
+            items = build(cands, chronon, pool)
+            i = 0
+    return budget_left

@@ -1,0 +1,128 @@
+"""Optional numba-compiled scoring primitives (``REPRO_NUMBA`` opt-in).
+
+The vectorized engine's hot arithmetic — the three paper kernels' batched
+scores and the packed-int64 sort-key construction — is a handful of NumPy
+expressions.  This module provides ``@njit``-compiled versions of exactly
+those expressions behind a double gate:
+
+* numba must be importable (it is an *optional* dependency — the package
+  never requires it), and
+* the ``REPRO_NUMBA`` environment variable must be truthy (``1``,
+  ``true``, ``yes``, ``on``; case-insensitive).
+
+When either gate fails, the module binds the pure-NumPy implementations,
+which are the reference semantics and the path CI exercises.  When both
+hold, the compiled functions are bound instead — with ``cache=True`` so
+compilation is paid once per machine, and *without* ``fastmath``: the
+engine-equivalence guarantee rests on bit-identical float64 results, and
+fastmath would license FMA contraction and reassociation that break it.
+The compiled expressions are term-for-term the NumPy ones (same dtypes,
+same operation order), so both paths produce identical arrays;
+``tests/test_compiled_kernels.py`` asserts this whenever numba is
+available and skips otherwise.
+
+Callers (``repro.policies.kernels``, ``repro.online.fastpath``) import
+the bound names — ``sedf_scores``, ``mrsf_scores``, ``medf_scores``,
+``pack_keys`` — and stay oblivious to which gate state they run under;
+:func:`numba_active` / :func:`numba_version` expose the state for bench
+records and tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+
+def _truthy(value: str) -> bool:
+    return value.strip().lower() in {"1", "true", "yes", "on"}
+
+
+#: Did the environment opt in to compiled kernels?
+NUMBA_REQUESTED = _truthy(os.environ.get("REPRO_NUMBA", ""))
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    NUMBA_VERSION: Optional[str] = _numba.__version__
+except Exception:  # ImportError, or a broken installation
+    _numba = None
+    NUMBA_VERSION = None
+
+#: Both gates hold: the compiled implementations are bound below.
+NUMBA_ACTIVE = NUMBA_REQUESTED and _numba is not None
+
+
+def numba_available() -> bool:
+    """Is numba importable in this environment?"""
+    return _numba is not None
+
+
+def numba_version() -> Optional[str]:
+    """The installed numba version, or None when unavailable."""
+    return NUMBA_VERSION
+
+
+def numba_active() -> bool:
+    """Are the compiled kernels bound (available *and* opted in)?"""
+    return NUMBA_ACTIVE
+
+
+# ----------------------------------------------------------------------
+# Pure-NumPy reference implementations (the default, always-tested path).
+# Each compiled twin below must keep the identical expression shape.
+# ----------------------------------------------------------------------
+
+
+def _sedf_scores_np(finish_f: np.ndarray, chronon: int) -> np.ndarray:
+    """S-EDF batch: ``finish - (T - 1)`` over the gathered finish column."""
+    return finish_f - (chronon - 1)
+
+
+def _mrsf_scores_np(rank_f: np.ndarray, captured_f: np.ndarray) -> np.ndarray:
+    """MRSF batch: the per-CEI residual ``rank - captured``."""
+    return rank_f - captured_f
+
+
+def _medf_scores_np(
+    medf_s_f: np.ndarray, medf_open_f: np.ndarray, chronon: int
+) -> np.ndarray:
+    """M-EDF batch: ``S - n_open * T`` from the incremental aggregates."""
+    return medf_s_f - medf_open_f * chronon
+
+
+def _pack_keys_np(prio: np.ndarray, static: np.ndarray) -> np.ndarray:
+    """Pack integer priorities with the static key: ``p * 2^42 + static``."""
+    return prio.astype(np.int64) * (1 << 42) + static
+
+
+if NUMBA_ACTIVE:  # pragma: no cover - container CI has no numba
+    _njit = _numba.njit(cache=True)
+
+    @_njit
+    def _sedf_scores_nb(finish_f, chronon):
+        return finish_f - (chronon - 1)
+
+    @_njit
+    def _mrsf_scores_nb(rank_f, captured_f):
+        return rank_f - captured_f
+
+    @_njit
+    def _medf_scores_nb(medf_s_f, medf_open_f, chronon):
+        return medf_s_f - medf_open_f * chronon
+
+    @_njit
+    def _pack_keys_nb(prio, static):
+        return prio.astype(np.int64) * (1 << 42) + static
+
+    sedf_scores = _sedf_scores_nb
+    mrsf_scores = _mrsf_scores_nb
+    medf_scores = _medf_scores_nb
+    pack_keys = _pack_keys_nb
+else:
+    sedf_scores = _sedf_scores_np
+    mrsf_scores = _mrsf_scores_np
+    medf_scores = _medf_scores_np
+    pack_keys = _pack_keys_np

@@ -50,6 +50,8 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.policies import compiled
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.online.fastpath import FastCandidatePool
     from repro.policies.base import Policy
@@ -70,6 +72,20 @@ class ScoreKernel:
     #: sibling-refresh step then re-scores per row via :meth:`score_row`
     #: instead of once per CEI via :meth:`score_cei`.
     row_dependent = False
+
+    #: True when scores taken at one chronon stay valid for ranking at any
+    #: later chronon of an event-free span (no window openings/closings,
+    #: no registrations) — the licence for
+    #: :func:`repro.online.fastpath.run_fast_span` to score a whole span
+    #: once.  Precisely: either the scores are chronon-free (MRSF's
+    #: residual, weighted or not — so re-ranked sibling keys from a later
+    #: chronon compare exactly against span-start stream keys), or the
+    #: policy is not sibling-sensitive and a chronon step shifts every
+    #: score by the same constant (S-EDF), preserving the order of the
+    #: one-shot stream.  M-EDF fails both (per-CEI slopes differ via
+    #: ``n_open``), as do the weighted deadline kernels (per-CEI shift
+    #: ``1/weight``) and the reliability kernels (health state moves).
+    shift_invariant = False
 
     def score_rows(
         self,
@@ -109,6 +125,7 @@ class SEDFKernel(ScoreKernel):
     """S-EDF(I, T) = finish - T + 1 over the finish column."""
 
     integer_valued = True
+    shift_invariant = True  # uniform shift per chronon, never re-ranked
 
     def score_rows(
         self,
@@ -117,13 +134,14 @@ class SEDFKernel(ScoreKernel):
         cidx: np.ndarray,
         chronon: int,
     ) -> np.ndarray:
-        return pool.npr_finish_f[rows] - (chronon - 1)
+        return compiled.sedf_scores(pool.npr_finish_f[rows], chronon)
 
 
 class MRSFKernel(ScoreKernel):
     """MRSF(I) = rank - captured of the parent CEI (the residual)."""
 
     integer_valued = True
+    shift_invariant = True  # scores are chronon-free
 
     def score_rows(
         self,
@@ -132,7 +150,7 @@ class MRSFKernel(ScoreKernel):
         cidx: np.ndarray,
         chronon: int,
     ) -> np.ndarray:
-        return pool.npc_rank_f[cidx] - pool.npc_captured_f[cidx]
+        return compiled.mrsf_scores(pool.npc_rank_f[cidx], pool.npc_captured_f[cidx])
 
     def score_cei(self, pool: "FastCandidatePool", cidx: int, chronon: int) -> float:
         return float(pool.cei_rank[cidx] - pool.cei_captured[cidx])
@@ -150,7 +168,9 @@ class MEDFKernel(ScoreKernel):
         cidx: np.ndarray,
         chronon: int,
     ) -> np.ndarray:
-        return pool.npc_medf_s_f[cidx] - pool.npc_medf_open_f[cidx] * chronon
+        return compiled.medf_scores(
+            pool.npc_medf_s_f[cidx], pool.npc_medf_open_f[cidx], chronon
+        )
 
     def score_cei(self, pool: "FastCandidatePool", cidx: int, chronon: int) -> float:
         return float(pool.cei_medf_s[cidx] - pool.cei_medf_open[cidx] * chronon)
@@ -160,6 +180,7 @@ class WeightedSEDFKernel(SEDFKernel):
     """S-EDF divided by the parent CEI's client utility."""
 
     integer_valued = False
+    shift_invariant = False  # per-CEI shift slope 1/weight breaks the order
 
     def score_rows(self, pool, rows, cidx, chronon):
         return super().score_rows(pool, rows, cidx, chronon) / pool.npc_weight[cidx]

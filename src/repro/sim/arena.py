@@ -97,6 +97,13 @@ class InstanceArena:
     row_of_seq: dict[int, int]
     cidx_of_cid: dict[int, int]
 
+    #: Capture-free mean candidate-bag size over the instance's horizon:
+    #: sum of row window lengths (clipped to the release) divided by
+    #: ``max_finish + 1``.  An upper-bound predictor of the bag the
+    #: monitor will see (captures only shrink it) — ``engine="auto"``
+    #: uses it to pick the starting engine before the first chronon.
+    mean_bag: float = 0.0
+
 
 def compile_arena(profiles: ProfileSet) -> InstanceArena:
     """Compile a profile set into a reusable :class:`InstanceArena`.
@@ -181,6 +188,11 @@ def compile_arena(profiles: ProfileSet) -> InstanceArena:
     npr_static = npr_finish * (1 << 21) + npr_seq
     max_seq = int(npr_seq.max()) if row_seq else 0
     max_finish = int(npr_finish.max()) if row_seq else 0
+    active_chronons = sum(
+        finish - max(ei.start, cei_release[cidx]) + 1
+        for finish, cidx, ei in zip(row_finish, row_cidx, row_ei)
+    )
+    mean_bag = active_chronons / (max_finish + 1) if row_seq else 0.0
 
     return InstanceArena(
         profiles=profiles,
@@ -218,4 +230,5 @@ def compile_arena(profiles: ProfileSet) -> InstanceArena:
         expire_at=expire_at,
         row_of_seq=row_of_seq,
         cidx_of_cid=cidx_of_cid,
+        mean_bag=mean_bag,
     )

@@ -89,11 +89,12 @@ def simulate(
     columns, so running many policies over the same instance skips the
     per-run registration walk.  Results are identical either way.
 
-    ``config`` selects the monitor implementation (``Engine.REFERENCE``
-    or ``Engine.VECTORIZED``) and the fault/retry universe; deterministic
-    policies produce identical schedules on either engine, so that choice
-    only changes the runtime statistics.  The equivalence extends to runs
-    with a failure model: its verdicts are pure functions of
+    ``config`` selects the monitor implementation (``Engine.REFERENCE``,
+    ``Engine.VECTORIZED`` or the bag-size-dispatching ``Engine.AUTO``)
+    and the fault/retry universe; deterministic policies produce
+    identical schedules on any engine, so that choice only changes the
+    runtime statistics.  The equivalence extends to runs with a failure
+    model: its verdicts are pure functions of
     ``(resource, chronon, attempt)``, never of engine internals.  The
     bare ``engine=``/``faults=``/``retry=`` keywords are deprecated.
     """
@@ -113,14 +114,15 @@ def simulate(
         resources=resources,
         exploit_overlap=exploit_overlap,
         config=cfg,
-        arena=arena if cfg.engine is Engine.VECTORIZED else None,
+        arena=arena if cfg.engine is not Engine.REFERENCE else None,
     )
     arrivals = (
         arena.arrivals if arena is not None else arrivals_from_profiles(profiles)
     )
     started = time.perf_counter()
-    for chronon in epoch:
-        monitor.step(chronon, arrivals.get(chronon, ()))
+    # run() rather than a bare step loop: the monitor batches event-free
+    # chronon stretches (and skips idle ones) with bit-identical results.
+    monitor.run(epoch, arrivals)
     elapsed = time.perf_counter() - started
 
     dropped = monitor.dropped_captures

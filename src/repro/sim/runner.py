@@ -141,7 +141,9 @@ def _run_repetition(
 
     Regenerates the repetition's instance from its SeedSequence child —
     the identical instance the serial loop would build — compiles it into
-    an arena when the engine is vectorized, and runs every policy cell
+    an arena when the engine can use one (vectorized or auto, which also
+    reads the arena's mean bag to pick its starting engine), and runs
+    every policy cell
     (plus the optional offline baseline) against it in suite order.
     Fault verdicts are pure functions of the probe coordinates, so
     worker-order nondeterminism cannot leak into the results.
@@ -150,7 +152,9 @@ def _run_repetition(
     epoch, budget, cells, config, offline_max_combinations = _WORKER_CONTEXT
     profiles = _WORKER_FACTORY(np.random.default_rng(child))
     instance: ProfileSet | InstanceArena = (
-        compile_arena(profiles) if config.engine is Engine.VECTORIZED else profiles
+        compile_arena(profiles)
+        if config.engine is not Engine.REFERENCE
+        else profiles
     )
     results: list[tuple[str, SimulationResult]] = []
     for cell in cells:
@@ -255,7 +259,7 @@ def run_suite(
             for label, result in by_rep[rep]:
                 runs[label].append(result)
     else:
-        use_arena = cfg.engine is Engine.VECTORIZED
+        use_arena = cfg.engine is not Engine.REFERENCE
         for rng in child_rngs(seed, repetitions):
             profiles = make_instance(rng)
             instance: ProfileSet | InstanceArena = (

@@ -1,0 +1,190 @@
+"""The optional numba kernels: gating, fallback, and identical output.
+
+``repro.policies.compiled`` binds either pure-NumPy score/pack
+primitives (the default, and the only path in environments without
+numba) or their ``@njit`` twins when *both* gates hold: numba importable
+and ``REPRO_NUMBA`` truthy.  These tests pin the gate logic via module
+reloads under a patched environment, the NumPy implementations against
+the scalar formulas they batch, and — wherever numba actually is
+installed — bit-identical output between the two bindings.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.policies import compiled
+
+
+@contextlib.contextmanager
+def _reloaded_with_env(value):
+    """Reload ``compiled`` under REPRO_NUMBA=value; restore on exit.
+
+    Restores the environment *before* the closing reload so the module
+    leaves in exactly the process-start binding (monkeypatch would undo
+    the env only after a test's own cleanup ran).
+    """
+    old = os.environ.get("REPRO_NUMBA")
+    if value is None:
+        os.environ.pop("REPRO_NUMBA", None)
+    else:
+        os.environ["REPRO_NUMBA"] = value
+    importlib.reload(compiled)
+    try:
+        yield compiled
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_NUMBA", None)
+        else:
+            os.environ["REPRO_NUMBA"] = old
+        importlib.reload(compiled)
+
+
+def _random_columns(seed=7, n=257):
+    rng = np.random.default_rng(seed)
+    finish_f = rng.integers(0, 400, n).astype(np.float64)
+    rank_f = rng.integers(1, 12, n).astype(np.float64)
+    captured_f = rng.integers(0, 11, n).astype(np.float64)
+    medf_open_f = rng.integers(0, 12, n).astype(np.float64)
+    medf_s_f = (medf_open_f * rng.integers(1, 400, n)).astype(np.float64)
+    prio = rng.integers(-(1 << 19), 1 << 19, n)
+    static = rng.integers(0, 1 << 41, n)
+    return finish_f, rank_f, captured_f, medf_s_f, medf_open_f, prio, static
+
+
+class TestGates:
+    def test_truthy_values(self):
+        for value in ("1", "true", "Yes", " ON "):
+            assert compiled._truthy(value)
+        for value in ("", "0", "false", "off", "maybe"):
+            assert not compiled._truthy(value)
+
+    def test_not_requested_by_default(self):
+        with _reloaded_with_env(None):
+            assert compiled.NUMBA_REQUESTED is False
+            assert compiled.numba_active() is False
+            assert compiled.sedf_scores is compiled._sedf_scores_np
+
+    def test_requested_via_env(self):
+        with _reloaded_with_env("1"):
+            assert compiled.NUMBA_REQUESTED is True
+            # Active only when numba is importable too; either way the
+            # bound callables exist and agree with the reference formulas.
+            assert compiled.numba_active() == compiled.numba_available()
+            finish_f, *_ = _random_columns()
+            np.testing.assert_array_equal(
+                compiled.sedf_scores(finish_f, 50),
+                compiled._sedf_scores_np(finish_f, 50),
+            )
+
+    def test_version_reported_iff_available(self):
+        if compiled.numba_available():
+            assert isinstance(compiled.numba_version(), str)
+        else:
+            assert compiled.numba_version() is None
+
+    def test_reload_restores_session_binding(self):
+        # The guard the previous tests rely on: after their reload
+        # dance the module is back to the process-start state.
+        assert compiled.NUMBA_REQUESTED == compiled._truthy(
+            os.environ.get("REPRO_NUMBA", "")
+        )
+
+
+class TestNumpyFormulas:
+    """The always-on path batches exactly the scalar paper formulas."""
+
+    def test_sedf_matches_scalar(self):
+        finish_f, *_ = _random_columns()
+        scores = compiled._sedf_scores_np(finish_f, 50)
+        for finish, score in zip(finish_f, scores):
+            assert score == finish - 50 + 1  # s_edf_value at T=50
+
+    def test_mrsf_matches_scalar(self):
+        _, rank_f, captured_f, *_ = _random_columns()
+        scores = compiled._mrsf_scores_np(rank_f, captured_f)
+        np.testing.assert_array_equal(scores, rank_f - captured_f)
+
+    def test_medf_matches_aggregates(self):
+        _, _, _, medf_s_f, medf_open_f, _, _ = _random_columns()
+        scores = compiled._medf_scores_np(medf_s_f, medf_open_f, 37)
+        np.testing.assert_array_equal(scores, medf_s_f - medf_open_f * 37)
+
+    def test_pack_keys_orders_like_lexsort(self):
+        *_, prio, static = _random_columns()
+        packed = compiled._pack_keys_np(prio, static)
+        np.testing.assert_array_equal(
+            np.argsort(packed, kind="stable"),
+            np.lexsort((static, prio)),
+        )
+
+
+@pytest.mark.skipif(
+    not compiled.numba_available(), reason="numba not installed"
+)
+class TestCompiledTwinsIdentical:
+    """Wherever numba exists, the njit twins must match bit-for-bit."""
+
+    @pytest.fixture(autouse=True)
+    def _activated(self):
+        with _reloaded_with_env("1"):
+            assert compiled.numba_active()
+            yield
+
+    def test_all_primitives_bit_identical(self):
+        (finish_f, rank_f, captured_f, medf_s_f, medf_open_f,
+         prio, static) = _random_columns()
+        for chronon in (0, 1, 37, 399):
+            np.testing.assert_array_equal(
+                compiled.sedf_scores(finish_f, chronon),
+                compiled._sedf_scores_np(finish_f, chronon),
+            )
+            np.testing.assert_array_equal(
+                compiled.medf_scores(medf_s_f, medf_open_f, chronon),
+                compiled._medf_scores_np(medf_s_f, medf_open_f, chronon),
+            )
+        np.testing.assert_array_equal(
+            compiled.mrsf_scores(rank_f, captured_f),
+            compiled._mrsf_scores_np(rank_f, captured_f),
+        )
+        np.testing.assert_array_equal(
+            compiled.pack_keys(prio, static),
+            compiled._pack_keys_np(prio, static),
+        )
+
+    def test_full_run_schedule_identical_with_numba(self):
+        # End-to-end: a vectorized run under the compiled kernels makes
+        # the same schedule as the same run after deactivation.
+        from repro.core.schedule import BudgetVector
+        from repro.core.timebase import Epoch
+        from repro.online.arrivals import arrivals_from_profiles
+        from repro.online.config import MonitorConfig
+        from repro.online.monitor import OnlineMonitor
+        from repro.policies import make_policy
+        from tests.conftest import random_general_instance
+
+        rng = np.random.default_rng(5)
+        profiles = random_general_instance(
+            rng, num_resources=6, num_chronons=25, num_ceis=30,
+            max_rank=3, max_width=6,
+        )
+        arrivals = arrivals_from_profiles(profiles)
+
+        def run():
+            monitor = OnlineMonitor(
+                make_policy("M-EDF"),
+                BudgetVector.constant(2, 25),
+                config=MonitorConfig(engine="vectorized"),
+            )
+            monitor.run(Epoch(25), arrivals)
+            return monitor.schedule.probes
+
+        with_numba = run()
+        with _reloaded_with_env(None):  # back to the NumPy binding
+            without_numba = run()
+        assert without_numba == with_numba

@@ -34,9 +34,10 @@ from tests.conftest import make_cei, random_general_instance
 
 class TestEngineEnum:
     def test_members_match_legacy_tuple(self):
-        assert ENGINES == ("reference", "vectorized")
+        assert ENGINES == ("reference", "vectorized", "auto")
         assert Engine.REFERENCE == "reference"
         assert Engine.VECTORIZED == "vectorized"
+        assert Engine.AUTO == "auto"
 
     def test_coerce_accepts_strings_and_members(self):
         assert Engine.coerce("vectorized") is Engine.VECTORIZED
