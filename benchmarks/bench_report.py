@@ -421,6 +421,73 @@ def health_path_cells(reps: int) -> list[dict]:
     return cells
 
 
+def shedding_path_cells(reps: int) -> list[dict]:
+    """The shedding tick and an actively shedding run on the dense workload.
+
+    Times the dense vectorized stepped run three ways: shedding disabled
+    (the baseline every existing workload runs under), a shedder that is
+    *armed but untriggerable* (entry threshold 1e9 — pure per-chronon
+    mechanism cost, the path ``check_shedding_overhead.py`` gates in
+    CI), and an aggressive shedder that actually degrades and releases
+    under the dense workload's sustained overload.  Rounds are
+    interleaved so machine noise hits all variants alike; the active
+    variant also records its victim counters.
+    """
+    from repro.online.shedding import SheddingConfig
+
+    params = DENSITIES["dense"]
+    epoch, arrivals = build_instance(
+        params["window"], params["rate"], params["rank_max"]
+    )
+    variants = {
+        "disabled": None,
+        "armed-idle": SheddingConfig(overload_on=1e9, overload_off=1e9 - 1.0),
+        "active": SheddingConfig(
+            overload_on=1.5, overload_off=1.1, sustain=2, target_ratio=1.0
+        ),
+    }
+    best = {name: float("inf") for name in variants}
+    counters = {}
+    for _ in range(max(reps, 5)):
+        for name, shedding in variants.items():
+            monitor = OnlineMonitor(
+                make_policy("MRSF"),
+                BudgetVector.constant(params["budget"], len(epoch)),
+                config=MonitorConfig(engine="vectorized", shedding=shedding),
+            )
+            started = time.perf_counter()
+            for chronon in epoch:
+                monitor.step(chronon, arrivals.get(chronon, ()))
+            best[name] = min(best[name], time.perf_counter() - started)
+            stats = monitor.shedding_stats
+            counters[name] = stats.as_dict() if stats is not None else {}
+    cells = []
+    for name in variants:
+        ratio = round(best[name] / best["disabled"], 3)
+        cell = {
+            "variant": name,
+            "seconds": round(best[name], 6),
+            "ratio_vs_disabled": ratio,
+        }
+        stats = counters[name]
+        if stats:
+            cell["shed_ceis"] = stats["shed_ceis"]
+            cell["degraded_ceis"] = stats["degraded_ceis"]
+            cell["released_eis"] = stats["released_eis"]
+            cell["overload_chronons"] = stats["overload_chronons"]
+        cells.append(cell)
+        extra = (
+            f" shed={stats['shed_ceis']} degraded={stats['degraded_ceis']}"
+            if stats
+            else ""
+        )
+        print(
+            f"shed    {name:12s} {best[name] * 1e3:8.2f}ms "
+            f"ratio={ratio:5.3f}{extra}"
+        )
+    return cells
+
+
 def suite_workers() -> int:
     """Worker-pool size used by the parallel sections (also recorded
     top-level in the run record).  At least two so the baseline always
@@ -525,6 +592,7 @@ def main(argv=None) -> Path:
             "failure_sweep",
             "fault_draw",
             "health_path",
+            "shedding_path",
         ],
         default=None,
         help="run a single section (the appended record then has just that)",
@@ -540,6 +608,7 @@ def main(argv=None) -> Path:
         "failure_sweep": lambda: failure_sweep_cells(args.reps),
         "fault_draw": lambda: fault_draw_cells(args.reps),
         "health_path": lambda: health_path_cells(args.reps),
+        "shedding_path": lambda: shedding_path_cells(args.reps),
     }
     if args.only:
         sections = {args.only: sections[args.only]}

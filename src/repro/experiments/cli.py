@@ -29,6 +29,7 @@ from repro.experiments import (
     fig15_noise,
     learned_reliability,
     model_quality,
+    overload_sweep,
     panorama,
     reliability_sweep,
     scalability,
@@ -64,6 +65,10 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
         learned_reliability.run,
     ),
     "models": ("Extension — update-model quality vs completeness", model_quality.run),
+    "overload": (
+        "Extension — tiered load shedding vs blind expiry under overload",
+        overload_sweep.run,
+    ),
     "competitive": ("Extension — empirical competitive ratios", competitive.run),
     "grid": ("Extension — λ × m workload surface", workload_grid.run),
     "summary": ("Reproduction self-check — verdict every claim", summary.run),

@@ -14,7 +14,23 @@ Three estimators spanning the quality spectrum of Section V-H:
   gaps (a bootstrap renewal process).  Captures the gap *distribution*
   but not its time-of-day placement.
 
-All predictions are rounded to distinct chronons inside the epoch.
+All predictions are rounded to distinct chronons inside the epoch;
+candidates that fall outside the epoch are *dropped*, not clamped onto
+the boundary chronon (clamping used to pile every overshoot onto the
+last chronon, inventing a spurious end-of-epoch event).
+
+Behaviour changes vs. earlier revisions of this module:
+
+* ``HomogeneousPoissonModel`` in deterministic mode no longer forces a
+  minimum of one predicted event — a near-dead resource with
+  ``round(rate * len(epoch)) == 0`` now predicts ``[]``, matching the
+  stochastic branch (which always drew ``Poisson(expected)`` and could
+  return zero).
+* ``EmpiricalIntervalModel`` anchors its renewal clock at the *gap-phase
+  offset* of the first observation (``first % sampled-gap``) instead of
+  the raw first observed chronon, so a history that begins late in the
+  fitting horizon still predicts events across the epoch head instead of
+  leaving it unmonitored.
 """
 
 from __future__ import annotations
@@ -29,8 +45,9 @@ from repro.models.base import UpdateModel
 
 
 def _distinct_sorted(chronons: Sequence[int], epoch: Epoch) -> list[Chronon]:
-    """Clamp into the epoch, dedupe and sort."""
-    return sorted({epoch.clamp(int(c)) for c in chronons})
+    """Round to chronons, drop out-of-epoch values, dedupe and sort."""
+    first, last = epoch.first, epoch.last
+    return sorted({int(c) for c in chronons if first <= int(c) <= last})
 
 
 class HomogeneousPoissonModel(UpdateModel):
@@ -63,7 +80,11 @@ class HomogeneousPoissonModel(UpdateModel):
         if expected <= 0:
             return []
         if self._deterministic:
-            count = max(1, int(round(expected)))
+            count = int(round(expected))
+            if count == 0:
+                # A near-dead resource (expected << 0.5 events) predicts
+                # nothing, matching the stochastic branch's Poisson draw.
+                return []
             return _distinct_sorted(
                 ((j + 0.5) * k / count for j in range(count)), epoch
             )
@@ -149,7 +170,14 @@ class EmpiricalIntervalModel(UpdateModel):
             return []
         k = len(epoch)
         predicted: list[int] = []
-        clock = float(epoch.clamp(self._first))
+        # Anchor the renewal clock at the first observation's gap-phase
+        # offset, not the raw first chronon: a history that starts late
+        # in the fitting horizon describes a process that was already
+        # renewing before it — seeding at the raw ``first`` would leave
+        # the whole epoch head unpredicted (and unmonitored).
+        clock = float(self._first)
+        if clock > 0.0:
+            clock %= float(rng.choice(self._gaps))
         while clock < k:
             predicted.append(int(clock))
             clock += float(rng.choice(self._gaps))

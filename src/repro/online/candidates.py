@@ -66,6 +66,11 @@ class CandidatePool:
         self._by_resource: dict[ResourceId, set[ExecutionInterval]] = {}
         self._to_activate: dict[Chronon, list[ExecutionInterval]] = {}
         self._to_expire: dict[Chronon, list[ExecutionInterval]] = {}
+        # EI seqs withdrawn by load shedding (soft-tier degradation):
+        # never probe-able again, never activated, silent at expiry —
+        # but still counted by the M-EDF sibling walk, which only skips
+        # *captured* siblings (see repro.online.shedding).
+        self._released_seqs: set[int] = set()
         self._num_registered = 0
         self._num_satisfied = 0
         self._num_failed = 0
@@ -136,12 +141,15 @@ class CandidatePool:
     def open_windows(self, now: Chronon) -> list[ExecutionInterval]:
         """Activate every EI whose window opens at ``now``; returns them."""
         opened: list[ExecutionInterval] = []
+        released = self._released_seqs
         for ei in self._to_activate.pop(now, []):
             cei = ei.parent
             assert cei is not None
             state = self._states[cei.cid]
             if state.closed or ei.seq in state.captured:
                 continue  # parent died or was satisfied while pending
+            if released and ei.seq in released:
+                continue  # shed away while pending: never activates
             self._activate(ei)
             opened.append(ei)
         return opened
@@ -243,12 +251,15 @@ class CandidatePool:
         Returns the EIs that expired uncaptured.
         """
         expired: list[ExecutionInterval] = []
+        released = self._released_seqs
         for ei in self._to_expire.pop(now, []):
             cei = ei.parent
             assert cei is not None
             state = self._states[cei.cid]
             if state.closed or ei.seq in state.captured:
                 continue
+            if released and ei.seq in released:
+                continue  # shed away: spectral, no expiry event
             removed = self._active.pop(ei.seq, None)
             if removed is not None:
                 group = self._by_resource.get(ei.resource)
@@ -262,14 +273,72 @@ class CandidatePool:
         return expired
 
     def _cannot_satisfy(self, state: CEIState, now: Chronon) -> bool:
-        """Can the CEI still reach its required capture count after ``now``?"""
+        """Can the CEI still reach its required capture count after ``now``?
+
+        Released (shed-away) EIs can never be captured, so they do not
+        count as usable.
+        """
         usable = state.captured_count
+        released = self._released_seqs
         for ei in state.cei.eis:
             if ei.seq in state.captured:
+                continue
+            if released and ei.seq in released:
                 continue
             if ei.finish > now:
                 usable += 1
         return usable < state.cei.required
+
+    # ------------------------------------------------------------------
+    # Load shedding (repro.online.shedding)
+    # ------------------------------------------------------------------
+
+    def is_ei_released(self, ei: ExecutionInterval) -> bool:
+        """Was this EI withdrawn by load shedding?"""
+        return ei.seq in self._released_seqs
+
+    def release_ei(self, ei: ExecutionInterval) -> bool:
+        """Withdraw one uncaptured EI from the probe-able bag for good.
+
+        The EI is deactivated (if active), never activates later, and is
+        silent at expiry — but its parent CEI stays open and the EI keeps
+        its M-EDF sibling contribution (the sibling walk only skips
+        captured EIs), so policy scores are unchanged by the withdrawal
+        itself.  The caller (the soft-tier degrade pass) must leave the
+        CEI with at least ``residual`` unreleased usable EIs, or the CEI
+        will fail at its next expiry event.  Returns False when the EI is
+        not releasable (unknown, closed parent, captured, or already
+        released).
+        """
+        cei = ei.parent
+        if cei is None:
+            return False
+        state = self._states.get(cei.cid)
+        if state is None or state.closed or ei.seq in state.captured:
+            return False
+        if ei.seq in self._released_seqs:
+            return False
+        self._released_seqs.add(ei.seq)
+        removed = self._active.pop(ei.seq, None)
+        if removed is not None:
+            group = self._by_resource.get(ei.resource)
+            if group is not None:
+                group.discard(ei)
+        return True
+
+    def shed_cei(self, cei: ComplexExecutionInterval) -> bool:
+        """Evict one whole open CEI (counted as failed; EIs dropped)."""
+        state = self._states.get(cei.cid)
+        if state is None or state.closed:
+            return False
+        state.failed = True
+        self._num_failed += 1
+        self._drop_remaining_eis(state)
+        return True
+
+    def open_cei_objects(self) -> list[ComplexExecutionInterval]:
+        """Open (registered, not closed) CEIs in registration order."""
+        return [st.cei for st in self._states.values() if not st.closed]
 
     # ------------------------------------------------------------------
     # Queries

@@ -27,6 +27,7 @@ from repro.core.errors import ModelError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.online.faults import FailureModel, RetryPolicy
     from repro.online.health import HealthConfig
+    from repro.online.shedding import SheddingConfig
 
 
 class Engine(str, enum.Enum):
@@ -93,6 +94,14 @@ class MonitorConfig:
         breaking) learned from the run's own probe outcomes.  Requires a
         failure model to observe; the monitor rejects a health config
         without one at run construction.
+    shedding:
+        Optional :class:`repro.online.shedding.SheddingConfig` enabling
+        admission control / tiered load shedding under sustained overload:
+        an EWMA demand-to-budget detector with hysteresis, and a
+        utility-per-probe victim selector that degrades ``soft`` CEIs and
+        sheds ``best-effort`` ones (``hard`` CEIs are never touched).
+        Engine-neutral: both engines produce bit-identical schedules under
+        the same shedding config.
 
     The object is frozen: derive variants with :meth:`replace`.
     """
@@ -102,6 +111,7 @@ class MonitorConfig:
     retry: "Optional[RetryPolicy]" = None
     workers: Optional[int] = None
     health: "Optional[HealthConfig]" = None
+    shedding: "Optional[SheddingConfig]" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", Engine.coerce(self.engine))

@@ -178,12 +178,21 @@ def fast_pool_from_reference(pool: CandidatePool, now: Chronon) -> FastCandidate
       skipped;
     * every materialized row with ``finish > now`` joins the expiry
       timeline (captured entries are pop-time no-ops, exactly as in an
-      all-along pool).
+      all-along pool);
+    * shed-released EIs (``pool._released_seqs``) materialize like any
+      uncaptured row and keep the aggregate forms above, but never join
+      the active bag — pending ones stay on the activation timeline so
+      the future->open aggregate move still fires at their ``start``.
 
     The result is always an *incremental* pool (never arena-backed), so
     later registrations keep working.
     """
     fast = FastCandidatePool()
+    # Shed-released EIs migrate as a set: their rows materialize like any
+    # uncaptured row (keeping the M-EDF aggregate forms and the pending
+    # future->open move), but they never join the active bag.
+    fast._released_seqs = set(pool._released_seqs)
+    released = fast._released_seqs
     states = pool._states.values()
     total = 0
     for st in states:
@@ -232,7 +241,8 @@ def fast_pool_from_reference(pool: CandidatePool, now: Chronon) -> FastCandidate
             fast._row_of_seq[ei.seq] = row
             if not is_captured:
                 if ei.start <= now:
-                    fast._activate_row(row, ei.resource)
+                    if ei.seq not in released:
+                        fast._activate_row(row, ei.resource)
                 else:
                     fast._to_activate.setdefault(ei.start, []).append(row)
             if ei.finish > now:
@@ -262,6 +272,7 @@ def reference_pool_from_fast(pool: FastCandidatePool, now: Chronon) -> Candidate
     like the fast pool does).
     """
     ref = CandidatePool()
+    ref._released_seqs = set(pool._released_seqs)
     registered = pool._registered  # None for incremental pools
     row_seq = pool.row_seq
     row_cidx = pool.row_cidx

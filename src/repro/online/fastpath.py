@@ -184,6 +184,10 @@ class FastCandidatePool:
         self._by_resource: dict[ResourceId, set[int]] = {}
         self._to_activate: dict[Chronon, list[int]] = {}
         self._to_expire: dict[Chronon, list[int]] = {}
+        # EI seqs withdrawn by load shedding: deactivated for good but
+        # still contributing to the M-EDF aggregates (the reference
+        # sibling walk counts them too; see repro.online.shedding).
+        self._released_seqs: set[int] = set()
         self._num_registered = 0
         self._num_satisfied = 0
         self._num_failed = 0
@@ -250,6 +254,7 @@ class FastCandidatePool:
         # without popping); these stay empty.
         self._to_activate = {}
         self._to_expire = {}
+        self._released_seqs = set()
         self._num_registered = 0
         self._num_satisfied = 0
         self._num_failed = 0
@@ -512,6 +517,7 @@ class FastCandidatePool:
         if rows is None:
             return opened
         registered = self._registered
+        released = self._released_seqs
         for row in rows:
             cidx = self.row_cidx[row]
             if registered is not None and not registered[cidx]:
@@ -521,6 +527,16 @@ class FastCandidatePool:
             if self.row_captured[row]:
                 continue
             ei = self._row_ei[row]
+            if released and ei.seq in released:
+                # Shed away while pending: never activates, but the
+                # M-EDF move below must still happen — the reference
+                # sibling walk switches a released sibling from its
+                # future form to the open form at `start` like any
+                # other uncaptured sibling.
+                self.cei_medf_s[cidx] += ei.start
+                self.cei_medf_open[cidx] += 1
+                self._dirty_ceis.add(cidx)
+                continue
             self._activate_row(row, ei.resource)
             # M-EDF bucket move, future -> open: the sibling's width
             # |I| becomes finish + 1 (the -T term arrives via n_open).
@@ -634,6 +650,8 @@ class FastCandidatePool:
         if rows is None:
             return expired
         registered = self._registered
+        released = self._released_seqs
+        row_seq = self.row_seq
         for row in rows:
             cidx = self.row_cidx[row]
             if registered is not None and not registered[cidx]:
@@ -642,6 +660,8 @@ class FastCandidatePool:
                 continue
             if self.row_captured[row]:
                 continue
+            if released and row_seq[row] in released:
+                continue  # shed away: spectral, no expiry event
             if row in self.active_set:
                 self._deactivate_row(row, self.row_resource[row])
             if collect:
@@ -662,10 +682,81 @@ class FastCandidatePool:
         usable = self.cei_captured[cidx]
         row_captured = self.row_captured
         row_finish = self.row_finish
-        for row in range(self.cei_row_begin[cidx], self.cei_row_end[cidx]):
-            if not row_captured[row] and row_finish[row] > now:
-                usable += 1
+        released = self._released_seqs
+        if released:
+            row_seq = self.row_seq
+            for row in range(self.cei_row_begin[cidx], self.cei_row_end[cidx]):
+                if (
+                    not row_captured[row]
+                    and row_finish[row] > now
+                    and row_seq[row] not in released
+                ):
+                    usable += 1
+        else:
+            for row in range(self.cei_row_begin[cidx], self.cei_row_end[cidx]):
+                if not row_captured[row] and row_finish[row] > now:
+                    usable += 1
         return usable < self.cei_required[cidx]
+
+    # ------------------------------------------------------------------
+    # Load shedding (repro.online.shedding)
+    # ------------------------------------------------------------------
+
+    def is_ei_released(self, ei: ExecutionInterval) -> bool:
+        """Was this EI withdrawn by load shedding?"""
+        return ei.seq in self._released_seqs
+
+    def release_ei(self, ei: ExecutionInterval) -> bool:
+        """Withdraw one uncaptured EI from the probe-able bag for good.
+
+        Pure deactivation: the M-EDF aggregates are *not* adjusted,
+        because the reference sibling walk keeps counting a released
+        sibling exactly like an uncaptured one (only captures subtract).
+        Pending released rows get their future->open aggregate move at
+        window opening without activating.  Semantics otherwise match
+        :meth:`repro.online.candidates.CandidatePool.release_ei`.
+        """
+        row = self._row_of_seq.get(ei.seq)
+        if row is None:
+            return False  # expired on arrival: never materialized
+        cidx = self.row_cidx[row]
+        if self._registered is not None and not self._registered[cidx]:
+            return False
+        if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
+            return False
+        if self.row_captured[row]:
+            return False
+        if ei.seq in self._released_seqs:
+            return False
+        self._released_seqs.add(ei.seq)
+        if row in self.active_set:
+            self._deactivate_row(row, self.row_resource[row])
+        return True
+
+    def shed_cei(self, cei: ComplexExecutionInterval) -> bool:
+        """Evict one whole open CEI (counted as failed; rows dropped)."""
+        cidx = self._cidx_of_cid.get(cei.cid)
+        if cidx is None:
+            return False
+        if self._registered is not None and not self._registered[cidx]:
+            return False
+        if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
+            return False
+        self.cei_failed[cidx] = True
+        self._num_failed += 1
+        self._drop_remaining_rows(cidx)
+        return True
+
+    def open_cei_objects(self) -> list[ComplexExecutionInterval]:
+        """Open (registered, not closed) CEIs in registration order."""
+        registered = self._registered
+        return [
+            self._cei_obj[cidx]
+            for cidx in range(len(self.cei_rank))
+            if (registered is None or registered[cidx])
+            and not self.cei_satisfied[cidx]
+            and not self.cei_failed[cidx]
+        ]
 
     # ------------------------------------------------------------------
     # Queries

@@ -54,6 +54,7 @@ from repro.online.faults import FailureModel, FaultInjector, FaultStats, RetryPo
 from repro.online.fastpath import FastCandidatePool, run_fast_phases, run_fast_span
 from repro.online.health import HealthStats, HealthTracker
 from repro.online.scalarpath import run_scalar_phase, scalar_builder_for
+from repro.online.shedding import LoadShedder, SheddingStats
 from repro.policies.base import Policy
 from repro.policies.kernels import resolve_kernel
 
@@ -144,6 +145,12 @@ class OnlineMonitor:
         self.engine = cfg.engine.value
         self._health: Optional[HealthTracker] = (
             HealthTracker(cfg.health, cfg.faults) if cfg.health is not None else None
+        )
+        # Load shedding acts on pool state alone (per-CEI weights, tiers,
+        # residual demand), so the same tick is engine-neutral: both pools
+        # expose the release/shed primitives it drives.
+        self._shedder: Optional[LoadShedder] = (
+            LoadShedder(cfg.shedding) if cfg.shedding is not None else None
         )
         # Reliability-aware policies adopt the run's fault universe (and
         # learned health tracker) before the kernel is resolved, so the
@@ -300,6 +307,10 @@ class OnlineMonitor:
         self._apply_push_captures(chronon)
 
         remaining = self.budget.at(chronon)
+        if self._shedder is not None:
+            # Shed *before* probing: victims released this chronon never
+            # compete for this chronon's budget (in either engine).
+            self._shedder.tick(chronon, self.pool, remaining)
         probed: set[ResourceId] = set()
         if remaining > _EPS:
             # The full float budget reaches resource-level policies; a
@@ -372,6 +383,7 @@ class OnlineMonitor:
         cls = type(self.policy)
         batchable = (
             self._faults is None
+            and self._shedder is None
             and cls.on_chronon_start is Policy.on_chronon_start
             and cls.select_resources is Policy.select_resources
         )
@@ -771,6 +783,11 @@ class OnlineMonitor:
         loop (a span counts its whole length as vectorized chronons).
         """
         return self._dispatch_stats
+
+    @property
+    def shedding_stats(self) -> Optional[SheddingStats]:
+        """Overload/shedding counters (None unless ``config.shedding`` set)."""
+        return self._shedder.stats if self._shedder is not None else None
 
     @property
     def health(self) -> Optional[HealthTracker]:

@@ -32,6 +32,7 @@ from repro.online.arrivals import arrivals_from_profiles
 from repro.online.config import MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, RetryPolicy
 from repro.online.monitor import OnlineMonitor
+from repro.online.shedding import SheddingStats
 from repro.policies.base import Policy, make_policy
 from repro.proxy.compiler import CompilationContext, compile_queries
 from repro.proxy.delivery import ClientReport, client_report
@@ -47,6 +48,7 @@ class ProxyRunResult:
     clients: tuple[ClientReport, ...]
     probes_used: int
     probes_failed: int = 0
+    shedding: Optional[SheddingStats] = None
 
     @property
     def completeness(self) -> float:
@@ -235,4 +237,5 @@ class MonitoringProxy:
             clients=clients,
             probes_used=monitor.probes_used,
             probes_failed=monitor.probes_failed,
+            shedding=monitor.shedding_stats,
         )

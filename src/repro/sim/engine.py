@@ -30,6 +30,7 @@ from repro.online.config import Engine, MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, RetryPolicy
 from repro.online.health import HealthStats
 from repro.online.monitor import OnlineMonitor
+from repro.online.shedding import SheddingStats
 from repro.policies.base import Policy, make_policy
 from repro.sim.arena import InstanceArena
 
@@ -55,6 +56,7 @@ class SimulationResult:
     failures_by_resource: dict[int, int] = field(default_factory=dict)
     dropped_eis: int = 0
     health: Optional[HealthStats] = None
+    shedding: Optional[SheddingStats] = None
 
     @property
     def completeness(self) -> float:
@@ -143,6 +145,7 @@ def simulate(
         failures_by_resource=dict(stats.failures_by_resource),
         dropped_eis=len(dropped),
         health=monitor.health_stats,
+        shedding=monitor.shedding_stats,
     )
 
 

@@ -63,6 +63,10 @@ class AggregateResult:
     health_closes_mean: float = 0.0
     health_short_circuited_mean: float = 0.0
     health_error_mean: float = 0.0
+    shed_ceis_mean: float = 0.0
+    shed_weight_mean: float = 0.0
+    released_eis_mean: float = 0.0
+    overload_chronons_mean: float = 0.0
 
     @classmethod
     def from_runs(cls, label: str, runs: Sequence[SimulationResult]) -> "AggregateResult":
@@ -89,6 +93,23 @@ class AggregateResult:
         errors = [
             run.health.final_error if run.health is not None else 0.0 for run in runs
         ]
+        # Shedding aggregates follow the same convention: runs without a
+        # shedding config contribute 0 to every shed mean.
+        shed_ceis = [
+            run.shedding.shed_ceis if run.shedding is not None else 0 for run in runs
+        ]
+        shed_weight = [
+            run.shedding.shed_weight if run.shedding is not None else 0.0
+            for run in runs
+        ]
+        released = [
+            run.shedding.released_eis if run.shedding is not None else 0
+            for run in runs
+        ]
+        overloaded = [
+            run.shedding.overload_chronons if run.shedding is not None else 0
+            for run in runs
+        ]
         return cls(
             label=label,
             completeness_mean=fmean(completenesses),
@@ -104,6 +125,10 @@ class AggregateResult:
             health_closes_mean=fmean(closes),
             health_short_circuited_mean=fmean(shorted),
             health_error_mean=fmean(errors),
+            shed_ceis_mean=fmean(shed_ceis),
+            shed_weight_mean=fmean(shed_weight),
+            released_eis_mean=fmean(released),
+            overload_chronons_mean=fmean(overloaded),
         )
 
 

@@ -1,0 +1,146 @@
+"""Estimator edge cases: late starts, dead resources, epoch boundaries.
+
+Regression suite for two verified bugs:
+
+* ``EmpiricalIntervalModel`` used to seed its renewal clock at the raw
+  first observed chronon, so a history that starts late in the fitting
+  horizon (say chronon 15 of 20) predicted *nothing* for the epoch head
+  — the resource went unmonitored exactly where a renewal process says
+  events are due.  The clock now starts at the gap-phase offset.
+* ``HomogeneousPoissonModel`` in deterministic mode forced
+  ``max(1, round(expected))`` events, so a near-dead resource always
+  competed for probes while the stochastic branch correctly returned
+  ``[]``; and ``_distinct_sorted`` clamped out-of-epoch candidates onto
+  the boundary chronon instead of dropping them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timebase import Epoch
+from repro.models.estimators import (
+    BinnedIntensityModel,
+    EmpiricalIntervalModel,
+    HomogeneousPoissonModel,
+    _distinct_sorted,
+    make_model,
+)
+
+
+def rng_for(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestLateHistories:
+    def test_late_first_observation_covers_epoch_head(self):
+        """The ISSUE regression: first observation at 75% of the epoch."""
+        epoch = Epoch(20)
+        model = EmpiricalIntervalModel().fit([15, 18], horizon=20)
+        predictions = model.predict(epoch, rng_for())
+        assert predictions, "late history must still predict"
+        # Gap 3, phase 15 % 3 == 0: the whole epoch is covered, head first.
+        assert predictions[0] < 5
+        assert predictions == sorted(set(predictions))
+
+    def test_phase_offset_preserved(self):
+        """A history offset from chronon 0 keeps its phase, not its delay."""
+        epoch = Epoch(100)
+        model = EmpiricalIntervalModel().fit([52, 62, 72], horizon=100)
+        predictions = model.predict(epoch, rng_for())
+        # first=52, all gaps 10 -> clock starts at 52 % 10 == 2.
+        assert predictions == [2 + 10 * j for j in range(10)]
+
+    def test_early_history_unchanged(self):
+        """Histories that begin at chronon 0 behave exactly as before."""
+        epoch = Epoch(100)
+        model = EmpiricalIntervalModel().fit([0, 25, 50, 75], horizon=100)
+        assert model.predict(epoch, rng_for()) == [0, 25, 50, 75]
+
+
+class TestDegenerateHistories:
+    @pytest.mark.parametrize(
+        "name", ["homogeneous-poisson", "binned-intensity", "empirical-interval"]
+    )
+    def test_empty_history_predicts_nothing(self, name):
+        model = make_model(name).fit([], horizon=50)
+        assert model.predict(Epoch(50), rng_for()) == []
+
+    def test_singleton_history_empirical_predicts_nothing(self):
+        model = EmpiricalIntervalModel().fit([30], horizon=50)
+        assert model.predict(Epoch(50), rng_for()) == []
+
+    def test_singleton_history_poisson_still_predicts(self):
+        model = HomogeneousPoissonModel().fit([30], horizon=50)
+        assert model.predict(Epoch(50), rng_for()) == [25]
+
+
+class TestTinyRates:
+    def test_deterministic_near_dead_resource_predicts_nothing(self):
+        """round(expected) == 0 must mean no predictions, not one."""
+        # 1 event over 1000 chronons, predicting a 100-chronon epoch:
+        # expected = 0.1 events.
+        model = HomogeneousPoissonModel(deterministic=True).fit([7], horizon=1000)
+        assert model.predict(Epoch(100), rng_for()) == []
+
+    def test_deterministic_half_event_rounds_up(self):
+        # expected = 0.5 rounds to 0 under banker's rounding; 0.6 to 1.
+        model = HomogeneousPoissonModel(deterministic=True).fit(
+            [1, 2, 3, 4, 5, 6], horizon=1000
+        )
+        assert model.predict(Epoch(100), rng_for()) == [50]
+
+    def test_deterministic_spacing_regression(self):
+        """The healthy-rate behaviour is untouched by the fix."""
+        model = HomogeneousPoissonModel(deterministic=True).fit(
+            [0, 10, 20, 30], horizon=100
+        )
+        assert model.predict(Epoch(100), rng_for()) == [12, 37, 62, 87]
+
+    def test_branches_agree_on_dead_resources(self):
+        history, horizon, epoch = [3], 1000, Epoch(50)
+        deterministic = HomogeneousPoissonModel(True).fit(history, horizon)
+        stochastic = HomogeneousPoissonModel(False).fit(history, horizon)
+        assert deterministic.predict(epoch, rng_for()) == []
+        # expected = 0.05: virtually every draw is 0 events.
+        assert stochastic.predict(epoch, rng_for(1)) == []
+
+
+class TestEpochBoundaries:
+    def test_out_of_epoch_candidates_dropped_not_clamped(self):
+        epoch = Epoch(10)
+        assert _distinct_sorted([-3, 0, 4, 9, 10, 25], epoch) == [0, 4, 9]
+
+    def test_no_boundary_pileup(self):
+        """Overshoots used to collapse onto the last chronon."""
+        epoch = Epoch(10)
+        assert _distinct_sorted([12, 15, 300], epoch) == []
+
+
+ESTIMATOR_STRATEGY = st.sampled_from(
+    ["homogeneous-poisson", "binned-intensity", "empirical-interval"]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=ESTIMATOR_STRATEGY,
+    seed=st.integers(0, 10_000),
+    num_events=st.integers(0, 40),
+    horizon=st.integers(10, 200),
+    epoch_len=st.integers(5, 150),
+)
+def test_property_predictions_in_epoch_strictly_increasing(
+    name, seed, num_events, horizon, epoch_len
+):
+    """Every estimator: predictions inside the epoch, strictly increasing."""
+    rng = rng_for(seed)
+    history = sorted(int(c) for c in rng.integers(0, horizon, size=num_events))
+    model = make_model(name).fit(history, horizon=horizon)
+    epoch = Epoch(epoch_len)
+    predictions = model.predict(epoch, rng_for(seed + 1))
+    assert all(epoch.first <= c <= epoch.last for c in predictions)
+    assert all(b > a for a, b in zip(predictions, predictions[1:]))

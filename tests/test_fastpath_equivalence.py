@@ -31,6 +31,7 @@ from repro.online import fastpath
 from repro.online.faults import FailureModel, Outage, RetryPolicy
 from repro.online.health import HealthConfig
 from repro.online.monitor import OnlineMonitor
+from repro.online.shedding import SheddingConfig
 from repro.policies import MRSF, make_policy
 from tests.conftest import random_general_instance
 
@@ -63,12 +64,16 @@ def _run(
     faults=None,
     retry=None,
     health=None,
+    shedding=None,
     **kwargs,
 ) -> OnlineMonitor:
     monitor = OnlineMonitor(
         policy=policy,
         budget=BudgetVector.constant(budget, NUM_CHRONONS),
-        config=MonitorConfig(engine=engine, faults=faults, retry=retry, health=health),
+        config=MonitorConfig(
+            engine=engine, faults=faults, retry=retry, health=health,
+            shedding=shedding,
+        ),
         **kwargs,
     )
     monitor.run(Epoch(NUM_CHRONONS), arrivals)
@@ -88,6 +93,8 @@ def assert_engines_agree(policy_name: str, arrivals, budget: float = 2.0, **kwar
     assert vec.believed_completeness == ref.believed_completeness
     assert vec.fault_stats == ref.fault_stats
     assert vec.dropped_captures == ref.dropped_captures
+    if ref.shedding_stats is not None or vec.shedding_stats is not None:
+        assert vec.shedding_stats.as_dict() == ref.shedding_stats.as_dict()
     for chronon in range(NUM_CHRONONS):
         assert vec.budget_consumed_at(chronon) == ref.budget_consumed_at(chronon)
     return ref, vec
@@ -648,4 +655,134 @@ def test_property_engines_agree_under_faults(
         _instance(seed, num_ceis=25),
         faults=FailureModel(rate=rate, seed=seed + 1, partial_rate=partial_rate),
         retry=RetryPolicy(max_retries=max_retries) if max_retries else None,
+    )
+
+
+class TestSheddingEquivalence:
+    """Tiered load shedding must not open daylight between engines.
+
+    The shedder's victim choice is a pure function of per-CEI state both
+    engines agree on at every chronon, so enabling it (even under forced
+    auto-engine migrations) must keep the schedules bit-identical.
+    """
+
+    #: Aggressive thresholds: a budget-1 run over these instances enters
+    #: overload within a few chronons and sheds repeatedly.
+    SHED = SheddingConfig(
+        overload_on=1.5,
+        overload_off=1.1,
+        sustain=2,
+        target_ratio=1.0,
+        soft_weight=3.0,
+        hard_weight=6.0,
+    )
+
+    @staticmethod
+    def _tiered_arrivals(seed: int, num_ceis: int = 40):
+        """A seeded instance with cycling utility classes (1, 3, 8)."""
+        rng = np.random.default_rng(seed)
+        profiles = random_general_instance(
+            rng,
+            num_resources=8,
+            num_chronons=NUM_CHRONONS,
+            num_ceis=num_ceis,
+            max_rank=4,
+            max_width=5,
+        )
+        weights = (1.0, 1.0, 3.0, 1.0, 8.0)
+        for index, cei in enumerate(
+            cei for profile in profiles for cei in profile.ceis
+        ):
+            cei.weight = weights[index % len(weights)]
+        return arrival_map(cei for profile in profiles for cei in profile.ceis)
+
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES + WEIGHTED_POLICIES)
+    @pytest.mark.parametrize("preemptive", [True, False])
+    def test_shed_schedules_identical(self, policy_name, preemptive):
+        for seed in (31, 32):
+            ref, vec = assert_engines_agree(
+                policy_name,
+                self._tiered_arrivals(seed),
+                budget=1.0,
+                preemptive=preemptive,
+                shedding=self.SHED,
+            )
+            assert ref.shedding_stats.shed_ceis > 0
+
+    def test_shedding_actually_fires(self):
+        ref, __ = assert_engines_agree(
+            "M-EDF", self._tiered_arrivals(33), budget=1.0, shedding=self.SHED
+        )
+        stats = ref.shedding_stats
+        assert stats.overload_chronons > 0
+        assert stats.episodes >= 1
+        assert stats.shed_ceis > 0
+        assert "hard" not in stats.shed_by_tier
+
+    def test_never_triggered_config_matches_disabled(self):
+        """An armed-but-idle shedder is bit-identical to shedding=None."""
+        inert = SheddingConfig(overload_on=1e9, overload_off=1e9 - 1)
+        arrivals = self._tiered_arrivals(34)
+        for engine in ("reference", "vectorized"):
+            plain = _run(engine, make_policy("M-EDF"), arrivals, budget=1.0)
+            armed = _run(
+                engine, make_policy("M-EDF"), arrivals,
+                budget=1.0, shedding=inert,
+            )
+            assert armed.schedule.probes == plain.schedule.probes
+            assert armed.shedding_stats.shed_ceis == 0
+            assert armed.shedding_stats.released_eis == 0
+            assert plain.shedding_stats is None
+
+    def test_auto_migrations_with_shedding(self, monkeypatch):
+        """Forced mid-run pool migrations carry the released-seq set."""
+        from repro.online import dispatch
+
+        arrivals = self._tiered_arrivals(35)
+        budget = BudgetVector.constant(1.0, NUM_CHRONONS)
+        ref = _run(
+            "reference", make_policy("M-EDF"), arrivals,
+            budget=1.0, shedding=self.SHED,
+        )
+        # Straddle the thresholds around the shedding run's own bag
+        # trajectory so the auto run migrates in both directions.
+        probe = OnlineMonitor(
+            make_policy("M-EDF"),
+            budget,
+            config=MonitorConfig(engine="reference", shedding=self.SHED),
+        )
+        bags = []
+        for chronon in range(NUM_CHRONONS):
+            probe.step(chronon, arrivals.get(chronon, ()))
+            bags.append(probe.pool.num_active())
+        positive = [bag for bag in bags if bag > 0]
+        dense = float(np.percentile(positive, 60))
+        sparse = min(float(np.percentile(positive, 40)), dense - 0.5)
+        monkeypatch.setattr(dispatch, "DENSE_THRESHOLD", dense)
+        monkeypatch.setattr(dispatch, "SPARSE_THRESHOLD", sparse)
+        monkeypatch.setattr(dispatch, "MIN_DWELL", 2)
+        auto = _run(
+            "auto", make_policy("M-EDF"), arrivals,
+            budget=1.0, shedding=self.SHED,
+        )
+        assert auto.dispatch_stats.switches > 0
+        assert auto.schedule.probes == ref.schedule.probes
+        assert auto.shedding_stats.as_dict() == ref.shedding_stats.as_dict()
+        assert ref.shedding_stats.shed_ceis > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    policy_name=st.sampled_from(PAPER_POLICIES),
+    preemptive=st.booleans(),
+)
+def test_property_engines_agree_with_shedding(seed, policy_name, preemptive):
+    """Property form: shedding never opens daylight between engines."""
+    assert_engines_agree(
+        policy_name,
+        TestSheddingEquivalence._tiered_arrivals(seed, num_ceis=30),
+        budget=1.0,
+        preemptive=preemptive,
+        shedding=TestSheddingEquivalence.SHED,
     )
