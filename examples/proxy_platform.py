@@ -80,16 +80,16 @@ def main() -> None:
         epoch, pool, budget=2.0, policy="MRSF", chronons_per_minute=1.0
     )
 
-    proxy.register_client("analyst")
+    proxy.registry.register("analyst")
     proxy.submit_queries(
         "analyst", ANALYST_QUERIES,
         keyword_hits={"oil": {100, 250, 480}},  # pulls that matched %oil%
     )
 
-    proxy.register_client("trader")
+    proxy.registry.register("trader")
     proxy.submit_queries("trader", TRADER_QUERIES, predictions=predictions)
 
-    proxy.register_client("news-junkie")
+    proxy.registry.register("news-junkie")
     proxy.submit_queries("news-junkie", NEWS_JUNKIE_QUERIES)
 
     result = proxy.run()

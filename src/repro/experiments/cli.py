@@ -18,6 +18,7 @@ from typing import Callable
 
 from repro.experiments import (
     ablations,
+    churn,
     competitive,
     failure_sweep,
     fig09_preemption,
@@ -70,6 +71,10 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
         overload_sweep.run,
     ),
     "competitive": ("Extension — empirical competitive ratios", competitive.run),
+    "churn": (
+        "Extension — churn: ArenaPatch deltas vs recompilation",
+        churn.run,
+    ),
     "grid": ("Extension — λ × m workload surface", workload_grid.run),
     "summary": ("Reproduction self-check — verdict every claim", summary.run),
     "panorama": ("Extension — full policy panorama", panorama.run),

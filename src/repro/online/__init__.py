@@ -20,6 +20,7 @@ from repro.online.health import (
     HealthTracker,
 )
 from repro.online.monitor import OnlineMonitor
+from repro.online.streaming import StreamingBudget, StreamingMonitor
 
 __all__ = [
     "ENGINES",
@@ -42,5 +43,7 @@ __all__ = [
     "Outage",
     "RateWindow",
     "RetryPolicy",
+    "StreamingBudget",
+    "StreamingMonitor",
     "resolve_config",
 ]

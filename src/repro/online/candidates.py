@@ -37,6 +37,7 @@ class CEIState:
     captured: set[int] = field(default_factory=set)  # EI seqs captured
     failed: bool = False
     satisfied: bool = False
+    cancelled: bool = False
 
     @property
     def captured_count(self) -> int:
@@ -49,8 +50,8 @@ class CEIState:
 
     @property
     def closed(self) -> bool:
-        """No longer a candidate (captured or failed)."""
-        return self.failed or self.satisfied
+        """No longer a candidate (captured, failed, or withdrawn)."""
+        return self.failed or self.satisfied or self.cancelled
 
 
 class CandidatePool:
@@ -74,6 +75,7 @@ class CandidatePool:
         self._num_registered = 0
         self._num_satisfied = 0
         self._num_failed = 0
+        self._num_cancelled = 0
 
     # ------------------------------------------------------------------
     # MonitorView protocol
@@ -336,6 +338,24 @@ class CandidatePool:
         self._drop_remaining_eis(state)
         return True
 
+    def cancel_cei(self, cei: ComplexExecutionInterval) -> bool:
+        """Withdraw one open CEI at its client's request (mid-flight churn).
+
+        Like :meth:`shed_cei` the remaining EIs leave the candidate bag
+        for good, but the CEI is accounted as *cancelled*, not failed: it
+        leaves ``num_open`` without touching the failure counters, so
+        completeness over the surviving workload is unaffected by clients
+        walking away.  Returns False when the CEI is unknown or already
+        closed.
+        """
+        state = self._states.get(cei.cid)
+        if state is None or state.closed:
+            return False
+        state.cancelled = True
+        self._num_cancelled += 1
+        self._drop_remaining_eis(state)
+        return True
+
     def open_cei_objects(self) -> list[ComplexExecutionInterval]:
         """Open (registered, not closed) CEIs in registration order."""
         return [st.cei for st in self._states.values() if not st.closed]
@@ -419,6 +439,16 @@ class CandidatePool:
         return self._num_failed
 
     @property
+    def num_cancelled(self) -> int:
+        """CEIs withdrawn by their clients mid-flight."""
+        return self._num_cancelled
+
+    @property
     def num_open(self) -> int:
-        """CEIs still in play (registered, neither satisfied nor failed)."""
-        return self._num_registered - self._num_satisfied - self._num_failed
+        """CEIs still in play (registered and not yet closed)."""
+        return (
+            self._num_registered
+            - self._num_satisfied
+            - self._num_failed
+            - self._num_cancelled
+        )

@@ -8,17 +8,17 @@ every entry point accepts as ``config=``; :class:`Engine` promotes the
 engine string to a str-enum whose :meth:`Engine.coerce` is the one place
 an engine value is validated.
 
-The old keywords keep working through :func:`resolve_config`, the shared
-deprecation shim: passing any of them emits a ``DeprecationWarning`` and
-builds the equivalent ``MonitorConfig``; passing both a config *and* a
-legacy keyword is an error (there is no sensible merge order).
+The old keywords went through a deprecation cycle (``DeprecationWarning``
+since the ``MonitorConfig`` PR) and are now *removed*: passing bare
+``engine=``/``faults=``/``retry=``/``workers=`` to a config-accepting
+entry point raises :class:`TypeError` through :func:`resolve_config`, the
+shared graduation shim, with a message naming the ``config=`` replacement.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -133,14 +133,17 @@ def resolve_config(
     owner: str = "OnlineMonitor",
     stacklevel: int = 3,
 ) -> MonitorConfig:
-    """The deprecation shim shared by every config-accepting entry point.
+    """The graduation shim shared by every config-accepting entry point.
 
-    ``config`` wins when given alone; the legacy keywords (``engine=``,
-    ``faults=``, ``retry=``, ``workers=``) still work but emit a
-    ``DeprecationWarning`` naming the owner.  Mixing both is rejected —
-    silently merging a config with loose keywords would hide which one
-    took effect.
+    The loose keywords (``engine=``, ``faults=``, ``retry=``,
+    ``workers=``) were deprecated when :class:`MonitorConfig` landed and
+    have completed their cycle: passing any of them now raises
+    :class:`TypeError` naming the ``config=`` replacement, so old call
+    sites fail loudly with a migration hint instead of a generic
+    "unexpected keyword argument".  ``stacklevel`` is kept for
+    signature compatibility with older callers of the shim itself.
     """
+    del stacklevel  # no longer warns; kept for signature compatibility
     legacy = {
         name: value
         for name, value in (
@@ -153,18 +156,11 @@ def resolve_config(
     }
     if legacy:
         names = ", ".join(f"{name}=" for name in legacy)
-        warnings.warn(
-            f"{owner}: the {names} keyword(s) are deprecated; "
-            f"pass config=MonitorConfig(...) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
+        raise TypeError(
+            f"{owner}: the {names} keyword(s) were removed; "
+            f"pass config=MonitorConfig({', '.join(f'{n}=...' for n in legacy)}) "
+            f"instead"
         )
-        if config is not None:
-            raise ModelError(
-                f"{owner}: pass either config= or the deprecated "
-                f"{names} keyword(s), not both"
-            )
-        return MonitorConfig(**legacy)
     if config is None:
         return MonitorConfig()
     if not isinstance(config, MonitorConfig):

@@ -196,7 +196,7 @@ def fast_pool_from_reference(pool: CandidatePool, now: Chronon) -> FastCandidate
     states = pool._states.values()
     total = 0
     for st in states:
-        closed = st.failed or st.satisfied
+        closed = st.closed
         captured = st.captured
         for ei in st.cei.eis:
             if ei.seq in captured or (not closed and ei.finish > now):
@@ -208,7 +208,7 @@ def fast_pool_from_reference(pool: CandidatePool, now: Chronon) -> FastCandidate
     for st in states:
         cei = st.cei
         captured = st.captured
-        closed = st.failed or st.satisfied
+        closed = st.closed
         cidx = len(fast.cei_rank)
         fast._cidx_of_cid[cei.cid] = cidx
         fast._cei_obj.append(cei)
@@ -218,6 +218,7 @@ def fast_pool_from_reference(pool: CandidatePool, now: Chronon) -> FastCandidate
         fast.cei_weight.append(cei.weight)
         fast.cei_satisfied.append(st.satisfied)
         fast.cei_failed.append(st.failed)
+        fast.cei_cancelled.append(st.cancelled)
         fast.cei_row_begin.append(len(fast.row_seq))
         medf_s = 0
         medf_open = 0
@@ -254,6 +255,7 @@ def fast_pool_from_reference(pool: CandidatePool, now: Chronon) -> FastCandidate
     fast._num_registered = pool._num_registered
     fast._num_satisfied = pool._num_satisfied
     fast._num_failed = pool._num_failed
+    fast._num_cancelled = pool._num_cancelled
     # _synced_rows/_synced_ceis stay 0: the first sync_mirrors bulk-syncs.
     return fast
 
@@ -283,6 +285,7 @@ def reference_pool_from_fast(pool: FastCandidatePool, now: Chronon) -> Candidate
         st = CEIState(cei=cei)
         st.satisfied = pool.cei_satisfied[cidx]
         st.failed = pool.cei_failed[cidx]
+        st.cancelled = pool.cei_cancelled[cidx]
         for row in range(pool.cei_row_begin[cidx], pool.cei_row_end[cidx]):
             if pool.row_captured[row]:
                 st.captured.add(row_seq[row])
@@ -313,4 +316,5 @@ def reference_pool_from_fast(pool: FastCandidatePool, now: Chronon) -> Candidate
     ref._num_registered = pool._num_registered
     ref._num_satisfied = pool._num_satisfied
     ref._num_failed = pool._num_failed
+    ref._num_cancelled = pool._num_cancelled
     return ref

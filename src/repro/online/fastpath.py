@@ -82,7 +82,7 @@ TOPK_GROWTH = 4
 class FastCEIView:
     """Read-only capture state of one CEI (``state_of`` compatibility)."""
 
-    __slots__ = ("cei", "captured_count", "satisfied", "failed")
+    __slots__ = ("cei", "captured_count", "satisfied", "failed", "cancelled")
 
     def __init__(
         self,
@@ -90,11 +90,13 @@ class FastCEIView:
         captured_count: int,
         satisfied: bool,
         failed: bool,
+        cancelled: bool = False,
     ) -> None:
         self.cei = cei
         self.captured_count = captured_count
         self.satisfied = satisfied
         self.failed = failed
+        self.cancelled = cancelled
 
     @property
     def residual(self) -> int:
@@ -102,7 +104,7 @@ class FastCEIView:
 
     @property
     def closed(self) -> bool:
-        return self.failed or self.satisfied
+        return self.failed or self.satisfied or self.cancelled
 
 
 class FastCandidatePool:
@@ -145,6 +147,7 @@ class FastCandidatePool:
         self.cei_weight: list[float] = []
         self.cei_satisfied: list[bool] = []
         self.cei_failed: list[bool] = []
+        self.cei_cancelled: list[bool] = []
         self.cei_medf_s: list[int] = []
         self.cei_medf_open: list[int] = []
         self.cei_row_begin: list[int] = []
@@ -191,6 +194,7 @@ class FastCandidatePool:
         self._num_registered = 0
         self._num_satisfied = 0
         self._num_failed = 0
+        self._num_cancelled = 0
 
     def _init_from_arena(self, arena: "InstanceArena") -> None:
         """Start a run from a compiled arena: share statics, copy state.
@@ -221,6 +225,7 @@ class FastCandidatePool:
         self.cei_captured = [0] * m
         self.cei_satisfied = [False] * m
         self.cei_failed = [False] * m
+        self.cei_cancelled = [False] * m
         self.cei_medf_s = list(arena.cei_medf_s0)
         self.cei_medf_open = list(arena.cei_medf_open0)
         self.cei_row_begin = arena.cei_row_begin
@@ -258,6 +263,59 @@ class FastCandidatePool:
         self._num_registered = 0
         self._num_satisfied = 0
         self._num_failed = 0
+        self._num_cancelled = 0
+
+    def adopt_arena(self, arena: "InstanceArena") -> None:
+        """Absorb a patched generation of this pool's arena mid-run.
+
+        ``apply_patch`` has already extended the shared Python containers
+        in place (this pool references them directly, so its row/CEI
+        columns have silently grown); what remains is the per-run state
+        the patch cannot see: extend the captured flags, the per-run CEI
+        columns (fresh CEIs start from their compiled ``*0`` aggregates)
+        and the registration mask, and privatize the NumPy mirrors —
+        the shared arrays belong to the arena and are sized to the *old*
+        generation, so the next ``sync_mirrors`` would otherwise write
+        out of their bounds (or into sibling pools' shared view).  All
+        run state accumulated so far (captures, active bag, counters,
+        released seqs) is untouched: adopting a patch is invisible to the
+        schedule until the patched CEIs' arrival chronons are stepped.
+        """
+        old = self._arena
+        if old is None:
+            raise ModelError("only arena-backed pools can adopt a patched arena")
+        if arena.cidx_of_cid is not old.cidx_of_cid:
+            raise ModelError(
+                "adopt_arena requires a patched generation of this pool's own "
+                "arena (shared containers must be identical)"
+            )
+        # Grow when capacity is short, not only when the mirrors are still
+        # the arena's shared arrays: after a cancel-only patch the pool's
+        # ``_arena`` is a newer generation whose mirror objects differ,
+        # so the identity test alone would skip privatization and leave
+        # ``np_active``/``npr_*`` sized to the pre-churn row count.
+        n = len(self.row_seq)
+        if n > self._row_cap or (
+            n > self._synced_rows and self.npr_seq is old.npr_seq
+        ):
+            self._grow_rows(n)
+        m = len(self.cei_rank)
+        if m > self._cei_cap or (
+            m > self._synced_ceis and self.npc_rank_f is old.npc_rank_f
+        ):
+            self._grow_ceis(m)
+        self.row_captured.extend([False] * (n - len(self.row_captured)))
+        grown = m - len(self.cei_captured)
+        if grown:
+            self.cei_captured.extend([0] * grown)
+            self.cei_satisfied.extend([False] * grown)
+            self.cei_failed.extend([False] * grown)
+            self.cei_cancelled.extend([False] * grown)
+            self.cei_medf_s.extend(arena.cei_medf_s0[m - grown :])
+            self.cei_medf_open.extend(arena.cei_medf_open0[m - grown :])
+            assert self._registered is not None
+            self._registered.extend(bytes(grown))
+        self._arena = arena
 
     # ------------------------------------------------------------------
     # Mirror synchronization
@@ -400,7 +458,7 @@ class FastCandidatePool:
             if now != arena.cei_release[cidx]:
                 raise ModelError(
                     "arena-backed pools compile registration at the CEI's "
-                    f"release chronon {arena.cei_release[cidx]}, got {now}"
+                    f"arrival chronon {arena.cei_release[cidx]}, got {now}"
                 )
             registered[cidx] = 1
             self._num_registered += 1
@@ -436,6 +494,7 @@ class FastCandidatePool:
         self.cei_weight.append(cei.weight)
         self.cei_satisfied.append(False)
         self.cei_failed.append(failed)
+        self.cei_cancelled.append(False)
         self.cei_row_begin.append(n_rows)
         if failed:
             # Dead on arrival (late submission): no rows materialize.
@@ -522,7 +581,11 @@ class FastCandidatePool:
             cidx = self.row_cidx[row]
             if registered is not None and not registered[cidx]:
                 continue  # compiled timeline row of a never-revealed CEI
-            if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
+            if (
+                self.cei_satisfied[cidx]
+                or self.cei_failed[cidx]
+                or self.cei_cancelled[cidx]
+            ):
                 continue  # parent died or was satisfied while pending
             if self.row_captured[row]:
                 continue
@@ -656,7 +719,11 @@ class FastCandidatePool:
             cidx = self.row_cidx[row]
             if registered is not None and not registered[cidx]:
                 continue  # compiled timeline row of a never-revealed CEI
-            if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
+            if (
+                self.cei_satisfied[cidx]
+                or self.cei_failed[cidx]
+                or self.cei_cancelled[cidx]
+            ):
                 continue
             if self.row_captured[row]:
                 continue
@@ -722,7 +789,11 @@ class FastCandidatePool:
         cidx = self.row_cidx[row]
         if self._registered is not None and not self._registered[cidx]:
             return False
-        if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
+        if (
+            self.cei_satisfied[cidx]
+            or self.cei_failed[cidx]
+            or self.cei_cancelled[cidx]
+        ):
             return False
         if self.row_captured[row]:
             return False
@@ -740,10 +811,40 @@ class FastCandidatePool:
             return False
         if self._registered is not None and not self._registered[cidx]:
             return False
-        if self.cei_satisfied[cidx] or self.cei_failed[cidx]:
+        if (
+            self.cei_satisfied[cidx]
+            or self.cei_failed[cidx]
+            or self.cei_cancelled[cidx]
+        ):
             return False
         self.cei_failed[cidx] = True
         self._num_failed += 1
+        self._drop_remaining_rows(cidx)
+        return True
+
+    def cancel_cei(self, cei: ComplexExecutionInterval) -> bool:
+        """Withdraw one open CEI at its client's request (mid-flight churn).
+
+        Like :meth:`shed_cei` the remaining rows leave the candidate bag
+        for good, but the CEI is accounted as *cancelled*, not failed:
+        it leaves ``num_open`` without touching the failure counters, so
+        completeness over the surviving workload is unaffected by clients
+        walking away.  Returns False when the CEI is unknown, never
+        registered, or already closed.
+        """
+        cidx = self._cidx_of_cid.get(cei.cid)
+        if cidx is None:
+            return False
+        if self._registered is not None and not self._registered[cidx]:
+            return False
+        if (
+            self.cei_satisfied[cidx]
+            or self.cei_failed[cidx]
+            or self.cei_cancelled[cidx]
+        ):
+            return False
+        self.cei_cancelled[cidx] = True
+        self._num_cancelled += 1
         self._drop_remaining_rows(cidx)
         return True
 
@@ -756,6 +857,7 @@ class FastCandidatePool:
             if (registered is None or registered[cidx])
             and not self.cei_satisfied[cidx]
             and not self.cei_failed[cidx]
+            and not self.cei_cancelled[cidx]
         ]
 
     # ------------------------------------------------------------------
@@ -808,6 +910,7 @@ class FastCandidatePool:
             captured_count=self.cei_captured[cidx],
             satisfied=self.cei_satisfied[cidx],
             failed=self.cei_failed[cidx],
+            cancelled=self.cei_cancelled[cidx],
         )
 
     def split_by_prior_capture(
@@ -841,9 +944,19 @@ class FastCandidatePool:
         return self._num_failed
 
     @property
+    def num_cancelled(self) -> int:
+        """CEIs withdrawn by their clients mid-flight."""
+        return self._num_cancelled
+
+    @property
     def num_open(self) -> int:
-        """CEIs still in play (registered, neither satisfied nor failed)."""
-        return self._num_registered - self._num_satisfied - self._num_failed
+        """CEIs still in play (registered and not yet closed)."""
+        return (
+            self._num_registered
+            - self._num_satisfied
+            - self._num_failed
+            - self._num_cancelled
+        )
 
 
 # ----------------------------------------------------------------------
@@ -1186,7 +1299,11 @@ def _refresh_siblings_fast(
     row_resource = pool.row_resource
     row_dependent = kernel.row_dependent
     for cidx in touched:
-        if pool.cei_satisfied[cidx] or pool.cei_failed[cidx]:
+        if (
+            pool.cei_satisfied[cidx]
+            or pool.cei_failed[cidx]
+            or pool.cei_cancelled[cidx]
+        ):
             continue  # closed CEIs left the candidate bag entirely
         # Row-dependent kernels (expected-gain: sibling rows on different
         # resources score differently) re-score per row; the rest score

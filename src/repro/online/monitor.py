@@ -111,8 +111,9 @@ class OnlineMonitor:
         bag size that picks the starting engine (a reference start simply
         leaves the arena unused — the arrivals still carry the CEIs).
     engine, faults, retry:
-        Deprecated keyword equivalents of the ``config`` fields; passing
-        any of them emits a ``DeprecationWarning``.
+        Removed keyword equivalents of the ``config`` fields; passing
+        any of them raises :class:`TypeError` naming the ``config=``
+        replacement.
     """
 
     def __init__(
@@ -824,7 +825,13 @@ class OnlineMonitor:
 
     @property
     def believed_completeness(self) -> float:
-        """Fraction of revealed CEIs the proxy believes it captured."""
-        if self.pool.num_registered == 0:
+        """Fraction of revealed CEIs the proxy believes it captured.
+
+        Cancelled CEIs leave the denominator: a client withdrawing a
+        profile mid-flight is neither a success nor a failure of the
+        monitor, so churn does not dilute the completeness signal.
+        """
+        denom = self.pool.num_registered - self.pool.num_cancelled
+        if denom == 0:
             return 1.0
-        return self.pool.num_satisfied / self.pool.num_registered
+        return self.pool.num_satisfied / denom

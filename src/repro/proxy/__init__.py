@@ -19,7 +19,9 @@ from repro.proxy.delivery import (
     delivery_for,
 )
 from repro.proxy.proxy import MonitoringProxy, ProxyRunResult
+from repro.proxy.registry import ClientHandle, ClientRegistry
 from repro.proxy.session import ProxySession
+from repro.proxy.streaming import StreamingProxy
 from repro.proxy.queries import (
     ContinuousQuery,
     QueryParseError,
@@ -34,6 +36,8 @@ from repro.proxy.queries import (
 )
 
 __all__ = [
+    "ClientHandle",
+    "ClientRegistry",
     "ClientReport",
     "CompilationContext",
     "ContinuousOperation",
@@ -46,6 +50,7 @@ __all__ = [
     "ProxySession",
     "QueryCompileError",
     "QueryParseError",
+    "StreamingProxy",
     "TimeSpan",
     "WhenContains",
     "WhenEvery",

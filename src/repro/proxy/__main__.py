@@ -73,7 +73,7 @@ def main(argv: list[str] | None = None) -> int:
         epoch, pool, budget=args.budget, policy=args.policy
     )
 
-    proxy.register_client("analyst")
+    proxy.registry.register("analyst")
     oil_posts = {
         int(t) for t in rng.choice(args.chronons, size=4, replace=False)
     }
@@ -93,7 +93,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     for profile in background:
         name = f"client-{profile.pid:02d}"
-        proxy.register_client(name)
+        proxy.registry.register(name)
         proxy.submit_ceis(name, list(profile.ceis))
 
     result = proxy.run()

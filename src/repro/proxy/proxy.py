@@ -18,13 +18,14 @@ users are expected to touch first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.errors import ExperimentError
 from repro.core.intervals import ComplexExecutionInterval
 from repro.core.metrics import CompletenessReport, evaluate_schedule
-from repro.core.profile import Profile, ProfileSet
+from repro.core.profile import ProfileSet
 from repro.core.resource import ResourcePool
 from repro.core.schedule import BudgetVector, Schedule
 from repro.core.timebase import Epoch
@@ -37,6 +38,7 @@ from repro.policies.base import Policy, make_policy
 from repro.proxy.compiler import CompilationContext, compile_queries
 from repro.proxy.delivery import ClientReport, client_report
 from repro.proxy.queries import ContinuousQuery, parse_queries
+from repro.proxy.registry import ClientHandle, ClientRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,12 +63,6 @@ class ProxyRunResult:
             if report.client == name:
                 return report
         raise ExperimentError(f"unknown client {name!r}")
-
-
-@dataclass(slots=True)
-class _Client:
-    name: str
-    ceis: list[ComplexExecutionInterval] = field(default_factory=list)
 
 
 class MonitoringProxy:
@@ -105,7 +101,7 @@ class MonitoringProxy:
             config, engine=engine, faults=faults, retry=retry,
             owner="MonitoringProxy",
         )
-        self._clients: dict[str, _Client] = {}
+        self.registry = ClientRegistry()
         self._resource_ids = {r.name: r.rid for r in resources}
 
     # Read-only views of the config for callers written against the old
@@ -126,31 +122,25 @@ class MonitoringProxy:
     # Registration
     # ------------------------------------------------------------------
 
-    def register_client(self, name: str) -> str:
-        """Register a client; returns the name for convenience."""
-        if name in self._clients:
-            raise ExperimentError(f"client {name!r} already registered")
-        self._clients[name] = _Client(name=name)
-        return name
+    def register_client(self, name: str) -> ClientHandle:
+        """Deprecated: use ``proxy.registry.register(name)`` instead."""
+        warnings.warn(
+            "MonitoringProxy.register_client is deprecated; use "
+            "proxy.registry.register(name) (returns a ClientHandle)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.registry.register(name)
 
     @property
     def client_names(self) -> list[str]:
-        return sorted(self._clients)
-
-    def _client(self, name: str) -> _Client:
-        try:
-            return self._clients[name]
-        except KeyError:
-            raise ExperimentError(
-                f"client {name!r} is not registered"
-            ) from None
+        return self.registry.names
 
     def submit_ceis(
         self, client: str, ceis: Sequence[ComplexExecutionInterval]
     ) -> int:
         """Attach pre-built CEIs to a client; returns how many."""
-        self._client(client).ceis.extend(ceis)
-        return len(ceis)
+        return self.registry.submit(client, ceis)
 
     def submit_queries(
         self,
@@ -186,10 +176,7 @@ class MonitoringProxy:
 
     def build_profiles(self) -> ProfileSet:
         """The current registration state as a profile set (one per client)."""
-        profiles = ProfileSet()
-        for pid, name in enumerate(self.client_names):
-            profiles.add(Profile(pid=pid, ceis=list(self._clients[name].ceis)))
-        return profiles
+        return self.registry.build_profiles()
 
     def run(
         self,
@@ -200,18 +187,12 @@ class MonitoringProxy:
         """Run one monitoring epoch over everything submitted so far.
 
         ``config`` overrides the proxy's configured :class:`MonitorConfig`
-        for this run only; the deprecated ``engine=`` keyword overrides
-        just the engine field.
+        for this run only.  The removed ``engine=`` keyword raises
+        :class:`TypeError` via :func:`resolve_config`.
         """
-        if config is not None and engine is not None:
-            raise ExperimentError(
-                "MonitoringProxy.run: pass either config= or the deprecated "
-                "engine= keyword, not both"
-            )
         if engine is not None:
-            override = resolve_config(None, engine=engine, owner="MonitoringProxy.run")
-            cfg = self.config.replace(engine=override.engine)
-        elif config is not None:
+            resolve_config(None, engine=engine, owner="MonitoringProxy.run")
+        if config is not None:
             cfg = resolve_config(config, owner="MonitoringProxy.run")
         else:
             cfg = self.config

@@ -1,0 +1,172 @@
+"""Thin HTTP front end for :class:`repro.proxy.streaming.StreamingProxy`.
+
+Two flavours, both optional sugar over the in-process API:
+
+* :func:`serve` — a dependency-free :mod:`http.server` endpoint exposing
+  ``/healthz``, ``/stats`` and ``/clients/{name}/stats`` as JSON.  This
+  is what the CI service-smoke job drives: it works on a bare Python.
+* :func:`create_app` — the same routes as a FastAPI application, for
+  deployments that already run an ASGI stack.  FastAPI is *not* a
+  dependency of this repo: when it is absent, :func:`create_app` raises
+  a clear :class:`ExperimentError` and everything else in this module
+  (and the whole in-process API) keeps working.
+
+The HTTP surface is read-only by design: registration and churn are
+mutations of the owning process's state and stay on the Python API,
+where handles and CEI identity live.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import unquote
+
+from repro.core.errors import ExperimentError
+from repro.proxy.streaming import StreamingProxy
+
+__all__ = ["ProxyService", "create_app", "serve"]
+
+
+def _routes(proxy: StreamingProxy, path: str) -> tuple[int, dict]:
+    """Shared routing logic: ``(status, payload)`` for one GET path."""
+    if path in ("/healthz", "/healthz/"):
+        stats = proxy.stats()
+        return 200, {
+            "status": "ok",
+            "now": stats["now"],
+            "clients": stats["clients"],
+            "open_ceis": stats["open_ceis"],
+            "clock_running": proxy.running,
+        }
+    if path in ("/stats", "/stats/"):
+        return 200, dict(proxy.stats())
+    parts = [p for p in path.split("/") if p]
+    if len(parts) == 3 and parts[0] == "clients" and parts[2] == "stats":
+        name = unquote(parts[1])
+        if name not in proxy.registry:
+            return 404, {"error": f"client {name!r} is not registered"}
+        return 200, dict(proxy.client_stats(name))
+    return 404, {"error": f"no route for {path!r}"}
+
+
+class ProxyService:
+    """A running HTTP endpoint bound to one proxy (see :func:`serve`)."""
+
+    def __init__(self, proxy: StreamingProxy, host: str, port: int) -> None:
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                status, payload = _routes(outer.proxy, self.path.split("?")[0])
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-request spam
+                pass
+
+        self.proxy = proxy
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="streaming-proxy-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` auto-assignment)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def serve(
+    proxy: StreamingProxy, host: str = "127.0.0.1", port: int = 0
+) -> ProxyService:
+    """Expose a proxy over HTTP from a daemon thread; returns the service.
+
+    ``port=0`` picks a free port — read it back from
+    :attr:`ProxyService.port`.  The caller owns both lifetimes: stop the
+    proxy clock and call :meth:`ProxyService.shutdown` when done.
+    """
+    return ProxyService(proxy, host, port)
+
+
+def create_app(proxy: StreamingProxy):
+    """The same routes as a FastAPI application (optional dependency).
+
+    Returns a ``fastapi.FastAPI`` instance with ``/healthz``, ``/stats``
+    and ``/clients/{name}/stats``.  Raises :class:`ExperimentError` with
+    a pointer to :func:`serve` when FastAPI is not installed.
+    """
+    try:
+        from fastapi import FastAPI
+        from fastapi.responses import JSONResponse
+    except ImportError:
+        raise ExperimentError(
+            "fastapi is not installed; use repro.proxy.service.serve() "
+            "for the dependency-free HTTP endpoint or call the "
+            "StreamingProxy API in-process"
+        ) from None
+
+    app = FastAPI(title="repro streaming proxy")
+
+    @app.get("/healthz")
+    def healthz() -> JSONResponse:
+        status, payload = _routes(proxy, "/healthz")
+        return JSONResponse(payload, status_code=status)
+
+    @app.get("/stats")
+    def stats() -> JSONResponse:
+        status, payload = _routes(proxy, "/stats")
+        return JSONResponse(payload, status_code=status)
+
+    @app.get("/clients/{name}/stats")
+    def client_stats(name: str) -> JSONResponse:
+        status, payload = _routes(proxy, f"/clients/{name}/stats")
+        return JSONResponse(payload, status_code=status)
+
+    return app
+
+
+def _main() -> None:  # pragma: no cover - manual smoke entry point
+    """``python -m repro.proxy.service``: serve a demo proxy briefly."""
+    import time
+
+    proxy = StreamingProxy(budget=1.0, policy="MRSF")
+    proxy.register_client("demo")
+    service = serve(proxy)
+    proxy.start(interval=0.05)
+    print(f"serving {service.url} (ctrl-c to stop)")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.stop()
+        service.shutdown()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _main()

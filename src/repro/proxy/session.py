@@ -11,8 +11,8 @@ over the wire.
 Typical use::
 
     session = ProxySession(epoch, pool, budget=1.0, policy="MRSF")
-    session.register_client("ana")
-    session.submit_ceis("ana", morning_ceis)
+    ana = session.registry.register("ana")
+    ana.submit(morning_ceis)
     session.advance(300)                      # run the morning
     session.submit_ceis("ana", breaking_news) # needs arriving mid-run
     session.run_to_end()
@@ -21,12 +21,13 @@ Typical use::
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.core.errors import ExperimentError
 from repro.core.intervals import ComplexExecutionInterval
 from repro.core.metrics import evaluate_schedule
-from repro.core.profile import Profile, ProfileSet
+from repro.core.profile import ProfileSet
 from repro.core.resource import ResourcePool
 from repro.core.schedule import BudgetVector
 from repro.core.timebase import Chronon, Epoch
@@ -34,6 +35,7 @@ from repro.online.monitor import OnlineMonitor
 from repro.policies.base import Policy, make_policy
 from repro.proxy.delivery import client_report
 from repro.proxy.proxy import ProxyRunResult
+from repro.proxy.registry import ClientHandle, ClientRegistry
 
 
 class ProxySession:
@@ -62,7 +64,7 @@ class ProxySession:
         )
         self._next_chronon: Chronon = 0
         self._pending: dict[Chronon, list[ComplexExecutionInterval]] = {}
-        self._clients: dict[str, list[ComplexExecutionInterval]] = {}
+        self.registry = ClientRegistry()
 
     # ------------------------------------------------------------------
     # Clock
@@ -87,15 +89,19 @@ class ProxySession:
     # Clients and submissions
     # ------------------------------------------------------------------
 
-    def register_client(self, name: str) -> str:
-        if name in self._clients:
-            raise ExperimentError(f"client {name!r} already registered")
-        self._clients[name] = []
-        return name
+    def register_client(self, name: str) -> ClientHandle:
+        """Deprecated: use ``session.registry.register(name)`` instead."""
+        warnings.warn(
+            "ProxySession.register_client is deprecated; use "
+            "session.registry.register(name) (returns a ClientHandle)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.registry.register(name)
 
     @property
     def client_names(self) -> list[str]:
-        return sorted(self._clients)
+        return self.registry.names
 
     def submit_ceis(
         self, client: str, ceis: Sequence[ComplexExecutionInterval]
@@ -106,10 +112,8 @@ class ProxySession:
         client's completeness (they can never be captured) — submitting
         stale needs is the client's loss, exactly as in a live proxy.
         """
-        if client not in self._clients:
-            raise ExperimentError(f"client {client!r} is not registered")
+        self.registry.submit(client, ceis)
         for cei in ceis:
-            self._clients[client].append(cei)
             reveal_at = max(self._next_chronon, cei.release)
             if reveal_at < len(self.epoch):
                 self._pending.setdefault(reveal_at, []).append(cei)
@@ -165,10 +169,7 @@ class ProxySession:
 
     def build_profiles(self) -> ProfileSet:
         """Everything submitted so far, one profile per client."""
-        profiles = ProfileSet()
-        for pid, name in enumerate(self.client_names):
-            profiles.add(Profile(pid=pid, ceis=list(self._clients[name])))
-        return profiles
+        return self.registry.build_profiles()
 
     def finish(self) -> ProxyRunResult:
         """Run to the end (if needed) and score the session."""

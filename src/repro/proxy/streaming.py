@@ -1,0 +1,342 @@
+"""The always-on proxy: a service facade over the streaming monitor.
+
+:class:`MonitoringProxy` replays one epoch; :class:`StreamingProxy` is
+the paper's Section I platform as a *service*: clients register, submit
+and withdraw continuous needs at any time, and the proxy's clock runs
+forever — driven manually (:meth:`StreamingProxy.tick`), by a background
+thread (:meth:`StreamingProxy.start`), or by an asyncio task
+(:meth:`StreamingProxy.run_async`).  Per-client statistics are computed
+live from pool state, and the durable part of the service (the client
+table and every submitted need) snapshots to plain JSON-ready dicts and
+restores into a fresh process.
+
+The facade shares :class:`repro.proxy.registry.ClientRegistry` with the
+batch facades and delegates scheduling to
+:class:`repro.online.streaming.StreamingMonitor`, so churn rides the
+arena delta layer whenever the run is arena-backed.  An optional thin
+HTTP front end lives in :mod:`repro.proxy.service`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.errors import ExperimentError
+from repro.core.intervals import ComplexExecutionInterval
+from repro.core.resource import ResourcePool
+from repro.core.schedule import BudgetVector
+from repro.core.timebase import Chronon
+from repro.io.serialization import _cei_from_dict, _cei_to_dict
+from repro.online.config import MonitorConfig
+from repro.online.streaming import StreamingBudget, StreamingMonitor
+from repro.policies.base import Policy
+from repro.proxy.registry import ClientHandle, ClientRegistry
+from repro.sim.arena import InstanceArena
+
+__all__ = ["StreamingProxy"]
+
+#: Snapshot payload format tag (bumped on incompatible layout changes).
+SNAPSHOT_FORMAT = "repro.streaming-proxy/1"
+
+
+class StreamingProxy:
+    """Register clients, accept churn, and monitor forever.
+
+    Parameters
+    ----------
+    resources:
+        The monitored resource pool (probe costs, push flags).
+    budget, policy, preemptive, config, arena, compact_every:
+        Forwarded to :class:`StreamingMonitor`.
+    registry:
+        Optional pre-populated :class:`ClientRegistry` to adopt (CEIs
+        already in it are submitted to the monitor on construction) —
+        this is how :meth:`restore` rebuilds a proxy from a snapshot.
+    """
+
+    def __init__(
+        self,
+        resources: Optional[ResourcePool] = None,
+        budget: Union[StreamingBudget, BudgetVector, float, int] = 1.0,
+        policy: Union[Policy, str] = "MRSF",
+        preemptive: bool = True,
+        config: Optional[MonitorConfig] = None,
+        *,
+        arena: Optional[InstanceArena] = None,
+        compact_every: int = 0,
+        registry: Optional[ClientRegistry] = None,
+    ) -> None:
+        self._monitor = StreamingMonitor(
+            policy,
+            budget=budget,
+            resources=resources,
+            preemptive=preemptive,
+            config=config,
+            arena=arena,
+            compact_every=compact_every,
+        )
+        self.registry = registry if registry is not None else ClientRegistry()
+        # cid -> owning client name; the reverse of the registry's lists,
+        # kept here because cancellation and stats are cid-keyed.
+        self._owner_of_cid: dict[int, str] = {}
+        self._ceis_by_cid: dict[int, ComplexExecutionInterval] = {}
+        self._cancelled_cids: set[int] = set()
+        self._lock = threading.RLock()
+        self._clock_thread: Optional[threading.Thread] = None
+        self._clock_stop = threading.Event()
+        for name in self.registry.names:
+            for cei in self.registry.ceis_of(name):
+                self._admit(name, cei)
+
+    # ------------------------------------------------------------------
+    # Clients and churn
+    # ------------------------------------------------------------------
+
+    def register_client(self, name: str) -> ClientHandle:
+        """Register a new client; returns its typed handle."""
+        with self._lock:
+            return self.registry.register(name)
+
+    @property
+    def client_names(self) -> list[str]:
+        return self.registry.names
+
+    def _admit(self, client: str, cei: ComplexExecutionInterval) -> None:
+        self._owner_of_cid[cei.cid] = str(client)
+        self._ceis_by_cid[cei.cid] = cei
+        self._monitor.submit([cei])
+
+    def submit_ceis(
+        self, client: str, ceis: Sequence[ComplexExecutionInterval]
+    ) -> int:
+        """Admit CEIs for a client; they reveal at ``max(now, release)``."""
+        ceis = list(ceis)
+        with self._lock:
+            self.registry.require(client)
+            for cei in ceis:
+                self.registry.submit(client, [cei])
+                self._admit(client, cei)
+        return len(ceis)
+
+    def cancel_ceis(
+        self,
+        client: str,
+        ceis: Optional[Iterable[ComplexExecutionInterval]] = None,
+    ) -> int:
+        """Withdraw a client's needs mid-flight; returns how many closed.
+
+        With ``ceis=None`` every still-open need of the client is
+        withdrawn.  Cancelling another client's CEI is an error.
+        """
+        with self._lock:
+            self.registry.require(client)
+            if ceis is None:
+                targets = [
+                    cei for cid, cei in self._ceis_by_cid.items()
+                    if self._owner_of_cid[cid] == str(client)
+                    and cid not in self._cancelled_cids
+                ]
+            else:
+                targets = list(ceis)
+                for cei in targets:
+                    owner = self._owner_of_cid.get(cei.cid)
+                    if owner is None:
+                        raise ExperimentError(
+                            f"CEI {cei.cid} was never submitted to this proxy"
+                        )
+                    if owner != str(client):
+                        raise ExperimentError(
+                            f"CEI {cei.cid} belongs to client {owner!r}, "
+                            f"not {str(client)!r}"
+                        )
+            withdrawn = self._monitor.cancel(targets)
+            for cei in withdrawn:
+                self._cancelled_cids.add(cei.cid)
+            return len(withdrawn)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Chronon:
+        return self._monitor.now
+
+    def tick(self, chronons: int = 1) -> Chronon:
+        """Advance the proxy clock; returns the new now."""
+        with self._lock:
+            return self._monitor.advance(chronons)
+
+    def start(self, interval: float = 1.0) -> None:
+        """Drive the clock from a daemon thread: one tick per ``interval``
+        seconds, until :meth:`stop`.  Starting twice is an error."""
+        if self._clock_thread is not None and self._clock_thread.is_alive():
+            raise ExperimentError("streaming proxy clock already running")
+        self._clock_stop.clear()
+
+        def _loop() -> None:
+            while not self._clock_stop.wait(interval):
+                self.tick()
+
+        self._clock_thread = threading.Thread(
+            target=_loop, name="streaming-proxy-clock", daemon=True
+        )
+        self._clock_thread.start()
+
+    def stop(self) -> None:
+        """Stop the background clock (no-op if not running)."""
+        self._clock_stop.set()
+        if self._clock_thread is not None:
+            self._clock_thread.join(timeout=5.0)
+            self._clock_thread = None
+
+    @property
+    def running(self) -> bool:
+        """Is a background clock thread currently driving ticks?"""
+        return self._clock_thread is not None and self._clock_thread.is_alive()
+
+    async def run_async(self, chronons: int, interval: float = 0.0) -> Chronon:
+        """Asyncio-driven clock: tick ``chronons`` times, sleeping
+        ``interval`` seconds between ticks (0 yields to the loop)."""
+        import asyncio
+
+        for _ in range(chronons):
+            self.tick()
+            await asyncio.sleep(interval)
+        return self.now
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, float | int]:
+        """Global service statistics (the monitor snapshot + client count)."""
+        with self._lock:
+            out = self._monitor.snapshot()
+            out["clients"] = len(self.registry)
+            return out
+
+    def client_stats(self, client: str) -> dict[str, float | int]:
+        """Live per-client statistics, computed from pool state."""
+        with self._lock:
+            self.registry.require(client)
+            pool = self._monitor.pool
+            pending = 0
+            satisfied = 0
+            failed = 0
+            cancelled = 0
+            open_ = 0
+            total = 0
+            for cid, owner in self._owner_of_cid.items():
+                if owner != str(client):
+                    continue
+                total += 1
+                if cid in self._cancelled_cids:
+                    cancelled += 1
+                    continue
+                if self._monitor.is_pending(cid):
+                    pending += 1
+                    continue
+                view = pool.state_of(self._ceis_by_cid[cid])
+                if view is None:
+                    pending += 1
+                elif view.satisfied:
+                    satisfied += 1
+                elif view.failed:
+                    failed += 1
+                elif view.cancelled:
+                    cancelled += 1
+                else:
+                    open_ += 1
+            denom = total - cancelled - pending
+            return {
+                "client": str(client),
+                "submitted_ceis": total,
+                "pending_ceis": pending,
+                "open_ceis": open_,
+                "satisfied_ceis": satisfied,
+                "failed_ceis": failed,
+                "cancelled_ceis": cancelled,
+                "believed_completeness": (
+                    satisfied / denom if denom > 0 else 1.0
+                ),
+            }
+
+    @property
+    def monitor(self) -> StreamingMonitor:
+        """The underlying rolling-horizon monitor (read-only use)."""
+        return self._monitor
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The proxy's durable state as a JSON-ready payload.
+
+        Durable state is what outlives a process: the client table,
+        every submitted need (with which are withdrawn), and the clock.
+        Volatile scheduling state (capture flags, shedding estimators)
+        is deliberately not serialized — a restored proxy re-reveals the
+        needs that are still ahead of the restored clock and re-scores
+        from there.
+        """
+        with self._lock:
+            clients = {}
+            for name in self.registry.names:
+                clients[name] = [
+                    {
+                        "cei": _cei_to_dict(cei),
+                        "cancelled": cei.cid in self._cancelled_cids,
+                    }
+                    for cei in self.registry.ceis_of(name)
+                ]
+            return {
+                "format": SNAPSHOT_FORMAT,
+                "now": self._monitor.now,
+                "clients": clients,
+            }
+
+    @classmethod
+    def restore(
+        cls,
+        payload: dict,
+        *,
+        resources: Optional[ResourcePool] = None,
+        budget: Union[StreamingBudget, BudgetVector, float, int] = 1.0,
+        policy: Union[Policy, str] = "MRSF",
+        preemptive: bool = True,
+        config: Optional[MonitorConfig] = None,
+    ) -> "StreamingProxy":
+        """Rebuild a proxy from :meth:`snapshot` durable state.
+
+        The clock fast-forwards to the snapshot's ``now`` (needs whose
+        windows already passed register dead-on-arrival, exactly as a
+        late submission would); cancelled needs are re-cancelled.
+        """
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            raise ExperimentError(
+                f"not a streaming-proxy snapshot: format="
+                f"{payload.get('format')!r}"
+            )
+        proxy = cls(
+            resources=resources,
+            budget=budget,
+            policy=policy,
+            preemptive=preemptive,
+            config=config,
+        )
+        if int(payload["now"]):
+            proxy.tick(int(payload["now"]))
+        for name, entries in payload["clients"].items():
+            handle = proxy.register_client(name)
+            cancelled: list[ComplexExecutionInterval] = []
+            for entry in entries:
+                cei = _cei_from_dict(entry["cei"])
+                proxy.submit_ceis(handle, [cei])
+                if entry.get("cancelled"):
+                    cancelled.append(cei)
+            if cancelled:
+                proxy.cancel_ceis(handle, cancelled)
+        return proxy

@@ -1,5 +1,6 @@
 """Simulation environment: configuration, engine, runner, reporting."""
 
+from repro.sim.arena import ArenaPatch, InstanceArena, apply_patch, compile_arena
 from repro.sim.charts import bar_chart, chart_experiment, heatmap, line_chart, sparkline
 from repro.sim.config import PAPER_POLICIES, TABLE_I, ExperimentConfig
 from repro.sim.engine import (
@@ -15,11 +16,14 @@ from repro.sim.runner import AggregateResult, child_rngs, run_suite, sweep
 
 __all__ = [
     "AggregateResult",
+    "ArenaPatch",
+    "InstanceArena",
     "ExperimentConfig",
     "GridRunner",
     "PAPER_POLICIES",
     "SimulationResult",
     "TABLE_I",
+    "apply_patch",
     "ascii_table",
     "bar_chart",
     "budget_response_curve",
@@ -27,6 +31,7 @@ __all__ = [
     "grid_to_csv",
     "heatmap",
     "child_rngs",
+    "compile_arena",
     "line_chart",
     "minimum_budget_for",
     "pivot",

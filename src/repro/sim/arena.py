@@ -22,35 +22,62 @@ is bit-for-bit identical to one that registers the same CEIs
 incrementally (``tests/test_arena.py`` enforces this, and
 ``tests/test_fastpath_equivalence.py`` closes the loop against the
 reference engine).  Registration semantics are compiled for arrival at
-each CEI's release chronon — the only arrival rule ``simulate`` /
-``run_suite`` use — and the arena-backed pool rejects registrations that
-disagree with the compiled schedule.
+each CEI's release chronon by default — the arrival rule ``simulate`` /
+``run_suite`` use — or at explicit arrival chronons for streaming
+workloads, and the arena-backed pool rejects registrations that disagree
+with the compiled schedule.
+
+**Delta layer.**  A long-lived proxy cannot afford a full recompile per
+churn event.  :class:`ArenaPatch` describes one churn batch (CEIs to
+register at given arrival chronons, cids to cancel, a horizon to expire)
+and :func:`apply_patch` applies it *incrementally*: the shared Python
+columns are extended in place through the same per-CEI compile walk
+``compile_arena`` uses, the NumPy mirrors are extended by one
+concatenate each, and live arena-backed pools adopt the result without
+losing any run state (``FastCandidatePool.adopt_arena``).  Because the
+probe loop's selection keys are ``(priority, finish, seq)`` — and seqs
+are process-unique — appended rows rank exactly as they would in a
+from-scratch compile, so a patched run stays bit-identical to one whose
+profiles were known in advance (``tests/test_churn_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from repro.core.errors import ModelError
 from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
 from repro.core.profile import ProfileSet
 from repro.core.timebase import Chronon
 from repro.online.arrivals import arrivals_from_profiles
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.online.fastpath import FastCandidatePool
 
 
 @dataclass(frozen=True, slots=True)
 class InstanceArena:
     """Frozen structure-of-arrays snapshot of one problem instance.
 
-    Everything here is immutable for the lifetime of the arena: pools
-    built from it share these containers and never write to them.  Rows
-    appear in registration order (CEIs sorted by release, EIs in CEI
-    order), exactly the order an incremental pool would build.
+    The scalar fields and NumPy mirrors are immutable for the lifetime of
+    *this arena object*; pools built from it share the Python containers
+    and never write to them.  Rows appear in registration order (CEIs
+    sorted by arrival, EIs in CEI order), exactly the order an
+    incremental pool would build.
+
+    :func:`apply_patch` extends the shared containers in place and
+    returns a *new* ``InstanceArena`` with fresh scalars and mirrors; the
+    patched-out object must not be used to build new pools afterwards
+    (its scalar fields undercount the shared containers).  Live pools
+    migrate via :meth:`repro.online.fastpath.FastCandidatePool.adopt_arena`.
     """
 
     profiles: ProfileSet
-    #: The arrival map ``simulate`` consumes (release chronon -> CEIs).
+    #: The arrival map ``simulate`` consumes (arrival chronon -> CEIs).
     arrivals: dict[Chronon, list[ComplexExecutionInterval]]
 
     n_rows: int
@@ -98,137 +125,342 @@ class InstanceArena:
     cidx_of_cid: dict[int, int]
 
     #: Capture-free mean candidate-bag size over the instance's horizon:
-    #: sum of row window lengths (clipped to the release) divided by
+    #: sum of row window lengths (clipped to the arrival) divided by
     #: ``max_finish + 1``.  An upper-bound predictor of the bag the
     #: monitor will see (captures only shrink it) — ``engine="auto"``
     #: uses it to pick the starting engine before the first chronon.
     mean_bag: float = 0.0
 
+    #: Integer numerator of :attr:`mean_bag`, kept so patches update the
+    #: mean exactly (no float roundtrip drift vs. a from-scratch compile).
+    active_chronons: int = 0
 
-def compile_arena(profiles: ProfileSet) -> InstanceArena:
-    """Compile a profile set into a reusable :class:`InstanceArena`.
+    #: cids withdrawn by :func:`apply_patch` cancellations (shared across
+    #: patch generations).  Informational: registration replay of a
+    #: cancelled cid still works — the streaming layer consults this to
+    #: keep cancelled CEIs out of future registrations.
+    cancelled_cids: set[int] = field(default_factory=set)
 
-    Performs the registration walk of every CEI exactly once, at its
-    release chronon, mirroring ``FastCandidatePool.register`` semantics:
-    the dead-on-arrival rule, the immediate-vs-deferred activation split
-    and the initial M-EDF aggregates (``S`` and ``n_open`` right after
-    registration).  The cost is O(total EIs) — amortized over every
-    policy run that reuses the arena.
+
+@dataclass(frozen=True, slots=True)
+class ArenaPatch:
+    """One churn batch against a compiled arena.
+
+    Parameters
+    ----------
+    register:
+        ``(cei, arrival_chronon)`` pairs to compile into the arena.  The
+        arrival chronon is where the CEI will be revealed to the monitor
+        (``register(cei, arrival)``); late arrivals (past the CEI's
+        release) compile with the incremental pool's exact late-submission
+        semantics, dead-on-arrival included.
+    cancel:
+        cids to withdraw: pending arrivals are unscheduled, already
+        registered CEIs are closed in every live pool the patch is
+        applied to (see :func:`apply_patch`).
+    expire_before:
+        Optional horizon: arrival and window-event timeline entries at
+        chronons strictly below it are pruned (they are in the past for
+        any monitor that already stepped there).  Bounds the event-dict
+        growth of a long-running stream; rows are never re-indexed.
     """
-    arrivals = arrivals_from_profiles(profiles)
 
-    row_seq: list[int] = []
-    row_finish: list[int] = []
-    row_resource: list[int] = []
-    row_cidx: list[int] = []
-    row_ei: list[ExecutionInterval] = []
+    register: tuple[tuple[ComplexExecutionInterval, Chronon], ...] = ()
+    cancel: tuple[int, ...] = ()
+    expire_before: Optional[Chronon] = None
 
-    cei_rank: list[int] = []
-    cei_required: list[int] = []
-    cei_weight: list[float] = []
-    cei_failed0: list[bool] = []
-    cei_medf_s0: list[int] = []
-    cei_medf_open0: list[int] = []
-    cei_row_begin: list[int] = []
-    cei_row_end: list[int] = []
-    cei_release: list[Chronon] = []
-    cei_obj: list[ComplexExecutionInterval] = []
+    @classmethod
+    def registrations(
+        cls,
+        ceis: Sequence[ComplexExecutionInterval],
+        at: Optional[Chronon] = None,
+    ) -> "ArenaPatch":
+        """A register-only patch; ``at=None`` uses each CEI's release."""
+        return cls(
+            register=tuple(
+                (cei, cei.release if at is None else max(at, cei.release))
+                for cei in ceis
+            )
+        )
 
-    immediate_rows: list[list[int]] = []
-    activate_at: dict[Chronon, list[int]] = {}
-    expire_at: dict[Chronon, list[int]] = {}
-    row_of_seq: dict[int, int] = {}
-    cidx_of_cid: dict[int, int] = {}
+    def __bool__(self) -> bool:
+        return bool(self.register or self.cancel or self.expire_before is not None)
 
-    for release in sorted(arrivals):
-        for cei in arrivals[release]:
-            cidx = len(cei_rank)
-            cidx_of_cid[cei.cid] = cidx
-            cei_obj.append(cei)
-            cei_release.append(release)
-            eis = cei.eis
-            cei_rank.append(len(eis))
-            cei_required.append(cei.required)
-            cei_weight.append(cei.weight)
-            # At the release chronon no EI has expired yet (every finish
-            # >= its start >= the release), so dead-on-arrival reduces to
-            # the degenerate required > |eis| case.
-            failed = len(eis) < cei.required
-            cei_failed0.append(failed)
-            cei_row_begin.append(len(row_seq))
-            immediate: list[int] = []
-            medf_s = 0
-            medf_open = 0
-            if not failed:
-                for ei in eis:
-                    row = len(row_seq)
-                    row_seq.append(ei.seq)
-                    row_finish.append(ei.finish)
-                    row_resource.append(ei.resource)
-                    row_cidx.append(cidx)
-                    row_ei.append(ei)
-                    row_of_seq[ei.seq] = row
-                    if ei.start <= release:
-                        immediate.append(row)
-                        medf_s += ei.finish + 1
-                        medf_open += 1
-                    else:
-                        medf_s += ei.finish - ei.start + 1
-                        activate_at.setdefault(ei.start, []).append(row)
-                    expire_at.setdefault(ei.finish, []).append(row)
-            cei_row_end.append(len(row_seq))
-            cei_medf_s0.append(medf_s)
-            cei_medf_open0.append(medf_open)
-            immediate_rows.append(immediate)
 
+def _register_cei(cols, cei: ComplexExecutionInterval, at: Chronon) -> int:
+    """Compile one CEI's registration at arrival chronon ``at``.
+
+    ``cols`` is anything exposing the arena's mutable containers (the
+    arena itself, or the builder below).  Mirrors
+    ``FastCandidatePool.register`` / ``CandidatePool.register`` exactly:
+    EIs already expired at arrival contribute the open M-EDF form
+    ``(finish + 1, 1)`` without materializing a row, and a CEI whose
+    surviving EIs cannot reach ``required`` is dead on arrival (no rows).
+    Returns the chronons the materialized rows contribute to
+    :attr:`InstanceArena.active_chronons`.
+    """
+    cidx = len(cols.cei_rank)
+    cols.cidx_of_cid[cei.cid] = cidx
+    cols.cei_obj.append(cei)
+    cols.cei_release.append(at)
+    eis = cei.eis
+    cols.cei_rank.append(len(eis))
+    cols.cei_required.append(cei.required)
+    cols.cei_weight.append(cei.weight)
+    expired_on_arrival = sum(1 for ei in eis if ei.finish < at)
+    failed = len(eis) - expired_on_arrival < cei.required
+    cols.cei_failed0.append(failed)
+    cols.cei_row_begin.append(len(cols.row_seq))
+    immediate: list[int] = []
+    medf_s = 0
+    medf_open = 0
+    active_chronons = 0
+    if not failed:
+        for ei in eis:
+            finish = ei.finish
+            if finish < at:
+                # Unusable, but an uncaptured sibling for M-EDF purposes:
+                # contributes finish - T + 1 like any open-window sibling.
+                medf_s += finish + 1
+                medf_open += 1
+                continue
+            row = len(cols.row_seq)
+            cols.row_seq.append(ei.seq)
+            cols.row_finish.append(finish)
+            cols.row_resource.append(ei.resource)
+            cols.row_cidx.append(cidx)
+            cols.row_ei.append(ei)
+            cols.row_of_seq[ei.seq] = row
+            active_chronons += finish - max(ei.start, at) + 1
+            if ei.start <= at:
+                immediate.append(row)
+                medf_s += finish + 1
+                medf_open += 1
+            else:
+                medf_s += finish - ei.start + 1
+                cols.activate_at.setdefault(ei.start, []).append(row)
+            cols.expire_at.setdefault(finish, []).append(row)
+    cols.cei_row_end.append(len(cols.row_seq))
+    cols.cei_medf_s0.append(medf_s)
+    cols.cei_medf_open0.append(medf_open)
+    cols.immediate_rows.append(immediate)
+    return active_chronons
+
+
+def _row_mirrors(
+    row_seq: Sequence[int],
+    row_finish: Sequence[int],
+    row_resource: Sequence[int],
+    row_cidx: Sequence[int],
+) -> dict:
+    """NumPy row mirrors plus the packed-key scalars for a row slice."""
     npr_seq = np.asarray(row_seq, np.int64)
     npr_finish = np.asarray(row_finish, np.int64)
     # Same packed tie-break key the incremental pool maintains: valid
     # while both components fit in 21 bits (FastCandidatePool._packable).
-    npr_static = npr_finish * (1 << 21) + npr_seq
-    max_seq = int(npr_seq.max()) if row_seq else 0
-    max_finish = int(npr_finish.max()) if row_seq else 0
-    active_chronons = sum(
-        finish - max(ei.start, cei_release[cidx]) + 1
-        for finish, cidx, ei in zip(row_finish, row_cidx, row_ei)
-    )
-    mean_bag = active_chronons / (max_finish + 1) if row_seq else 0.0
-
-    return InstanceArena(
-        profiles=profiles,
-        arrivals=arrivals,
-        n_rows=len(row_seq),
-        n_ceis=len(cei_rank),
-        row_seq=row_seq,
-        row_finish=row_finish,
-        row_resource=row_resource,
-        row_cidx=row_cidx,
-        row_ei=row_ei,
+    return dict(
         npr_seq=npr_seq,
         npr_finish=npr_finish,
         npr_finish_f=npr_finish.astype(np.float64),
         npr_resource=np.asarray(row_resource, np.int64),
         npr_cidx=np.asarray(row_cidx, np.int64),
-        npr_static=npr_static,
+        npr_static=npr_finish * (1 << 21) + npr_seq,
+        max_seq=int(npr_seq.max()) if len(row_seq) else 0,
+        max_finish=int(npr_finish.max()) if len(row_seq) else 0,
+    )
+
+
+def compile_arena(
+    profiles: ProfileSet,
+    *,
+    arrivals: Optional[dict[Chronon, list[ComplexExecutionInterval]]] = None,
+) -> InstanceArena:
+    """Compile a profile set into a reusable :class:`InstanceArena`.
+
+    Performs the registration walk of every CEI exactly once, mirroring
+    ``FastCandidatePool.register`` semantics: the dead-on-arrival rule,
+    the immediate-vs-deferred activation split and the initial M-EDF
+    aggregates (``S`` and ``n_open`` right after registration).  The cost
+    is O(total EIs) — amortized over every policy run that reuses the
+    arena.
+
+    By default every CEI registers at its release chronon (the only
+    arrival rule ``simulate`` / ``run_suite`` use).  An explicit
+    ``arrivals`` map compiles each CEI at the chronon it appears under
+    instead — the from-scratch baseline for a streaming run whose churn
+    timeline is known in advance.
+    """
+    if arrivals is None:
+        arrivals = arrivals_from_profiles(profiles)
+
+    arena = InstanceArena(
+        profiles=profiles,
+        arrivals=arrivals,
+        n_rows=0,
+        n_ceis=0,
+        row_seq=[],
+        row_finish=[],
+        row_resource=[],
+        row_cidx=[],
+        row_ei=[],
+        npr_seq=np.empty(0, np.int64),
+        npr_finish=np.empty(0, np.int64),
+        npr_finish_f=np.empty(0, np.float64),
+        npr_resource=np.empty(0, np.int64),
+        npr_cidx=np.empty(0, np.int64),
+        npr_static=np.empty(0, np.int64),
+        max_seq=0,
+        max_finish=0,
+        packable=True,
+        cei_rank=[],
+        cei_required=[],
+        cei_weight=[],
+        cei_failed0=[],
+        cei_medf_s0=[],
+        cei_medf_open0=[],
+        cei_row_begin=[],
+        cei_row_end=[],
+        cei_release=[],
+        cei_obj=[],
+        npc_rank_f=np.empty(0, np.float64),
+        npc_weight=np.empty(0, np.float64),
+        immediate_rows=[],
+        activate_at={},
+        expire_at={},
+        row_of_seq={},
+        cidx_of_cid={},
+    )
+    active_chronons = 0
+    for arrival in sorted(arrivals):
+        for cei in arrivals[arrival]:
+            active_chronons += _register_cei(arena, cei, arrival)
+
+    mirrors = _row_mirrors(
+        arena.row_seq, arena.row_finish, arena.row_resource, arena.row_cidx
+    )
+    mean_bag = (
+        active_chronons / (mirrors["max_finish"] + 1) if arena.row_seq else 0.0
+    )
+    return dataclasses.replace(
+        arena,
+        n_rows=len(arena.row_seq),
+        n_ceis=len(arena.cei_rank),
+        packable=mirrors["max_seq"] < (1 << 21)
+        and mirrors["max_finish"] < (1 << 21),
+        npc_rank_f=np.asarray(arena.cei_rank, np.float64),
+        npc_weight=np.asarray(arena.cei_weight, np.float64),
+        mean_bag=mean_bag,
+        active_chronons=active_chronons,
+        **mirrors,
+    )
+
+
+def apply_patch(
+    arena: InstanceArena,
+    patch: ArenaPatch,
+    pools: "Sequence[FastCandidatePool]" = (),
+) -> InstanceArena:
+    """Apply one churn batch incrementally; returns the patched arena.
+
+    The shared Python containers are extended **in place** (so every
+    structure a live pool already shares keeps working), and a new
+    ``InstanceArena`` carrying extended NumPy mirrors and corrected
+    scalars is returned.  Cost is O(new EIs) Python work plus one
+    O(total rows) NumPy concatenate per mirror — no recompile.
+
+    ``pools`` lists the live arena-backed pools sharing ``arena``; each
+    one adopts the patched arena (per-run columns extended, mirrors
+    privatized) and has the patch's cancellations applied to its open
+    CEIs.  **Every** live pool of the arena must be listed — a pool left
+    out would observe the grown shared columns without the matching
+    per-run state.  Registered CEIs are *not* revealed here: they enter
+    each pool when the monitor steps their arrival chronon, exactly like
+    a compiled-in arrival.
+
+    The patched-out ``arena`` object must not build new pools afterwards;
+    use the returned arena.
+    """
+    for pool in pools:
+        if pool._arena is None or pool._arena.cidx_of_cid is not arena.cidx_of_cid:
+            raise ModelError(
+                "apply_patch pools must be live pools of the patched arena"
+            )
+
+    old_rows = len(arena.row_seq)
+    old_ceis = len(arena.cei_rank)
+    if old_rows != arena.n_rows or old_ceis != arena.n_ceis:
+        raise ModelError(
+            "apply_patch must run against the arena's newest generation "
+            f"(arena records {arena.n_ceis} CEIs, containers hold {old_ceis})"
+        )
+
+    active_chronons = arena.active_chronons
+    for cei, at in patch.register:
+        if cei.cid in arena.cidx_of_cid:
+            raise ModelError(f"CEI {cei.cid} is already compiled into this arena")
+        if at < 0:
+            raise ModelError(f"arrival chronon must be >= 0, got {at}")
+        active_chronons += _register_cei(arena, cei, at)
+        arena.arrivals.setdefault(at, []).append(cei)
+
+    for cid in patch.cancel:
+        cidx = arena.cidx_of_cid.get(cid)
+        if cidx is None:
+            raise ModelError(f"cannot cancel CEI {cid}: not in this arena")
+        if cid in arena.cancelled_cids:
+            continue
+        arena.cancelled_cids.add(cid)
+        cei = arena.cei_obj[cidx]
+        # Unschedule a still-pending arrival so no pool ever registers it.
+        pending = arena.arrivals.get(arena.cei_release[cidx])
+        if pending is not None and cei in pending:
+            pending.remove(cei)
+
+    if patch.expire_before is not None:
+        horizon = patch.expire_before
+        for timeline in (arena.arrivals, arena.activate_at, arena.expire_at):
+            for chronon in [t for t in timeline if t < horizon]:
+                del timeline[chronon]
+
+    # Extend the mirrors by one concatenate each (exact-size, fully
+    # synced, never written afterwards — same contract as a fresh compile).
+    new = _row_mirrors(
+        arena.row_seq[old_rows:],
+        arena.row_finish[old_rows:],
+        arena.row_resource[old_rows:],
+        arena.row_cidx[old_rows:],
+    )
+    max_seq = max(arena.max_seq, new.pop("max_seq"))
+    max_finish = max(arena.max_finish, new.pop("max_finish"))
+    mirrors = {
+        name: np.concatenate([getattr(arena, name), fresh])
+        for name, fresh in new.items()
+    }
+    patched = dataclasses.replace(
+        arena,
+        n_rows=len(arena.row_seq),
+        n_ceis=len(arena.cei_rank),
         max_seq=max_seq,
         max_finish=max_finish,
         packable=max_seq < (1 << 21) and max_finish < (1 << 21),
-        cei_rank=cei_rank,
-        cei_required=cei_required,
-        cei_weight=cei_weight,
-        cei_failed0=cei_failed0,
-        cei_medf_s0=cei_medf_s0,
-        cei_medf_open0=cei_medf_open0,
-        cei_row_begin=cei_row_begin,
-        cei_row_end=cei_row_end,
-        cei_release=cei_release,
-        cei_obj=cei_obj,
-        npc_rank_f=np.asarray(cei_rank, np.float64),
-        npc_weight=np.asarray(cei_weight, np.float64),
-        immediate_rows=immediate_rows,
-        activate_at=activate_at,
-        expire_at=expire_at,
-        row_of_seq=row_of_seq,
-        cidx_of_cid=cidx_of_cid,
-        mean_bag=mean_bag,
+        npc_rank_f=np.concatenate(
+            [arena.npc_rank_f, np.asarray(arena.cei_rank[old_ceis:], np.float64)]
+        ),
+        npc_weight=np.concatenate(
+            [arena.npc_weight, np.asarray(arena.cei_weight[old_ceis:], np.float64)]
+        ),
+        mean_bag=(
+            active_chronons / (max_finish + 1) if arena.row_seq else 0.0
+        ),
+        active_chronons=active_chronons,
+        **mirrors,
     )
+
+    for pool in pools:
+        pool.adopt_arena(patched)
+        for cid in patch.cancel:
+            cidx = patched.cidx_of_cid[cid]
+            registered = pool._registered
+            if registered is not None and registered[cidx]:
+                pool.cancel_cei(patched.cei_obj[cidx])
+    return patched

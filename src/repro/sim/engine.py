@@ -98,7 +98,8 @@ def simulate(
     runtime statistics.  The equivalence extends to runs with a failure
     model: its verdicts are pure functions of
     ``(resource, chronon, attempt)``, never of engine internals.  The
-    bare ``engine=``/``faults=``/``retry=`` keywords are deprecated.
+    bare ``engine=``/``faults=``/``retry=`` keywords were removed; passing
+    them raises :class:`TypeError` naming the ``config=`` replacement.
     """
     cfg = resolve_config(
         config, engine=engine, faults=faults, retry=retry, owner="simulate"
@@ -119,7 +120,9 @@ def simulate(
         arena=arena if cfg.engine is not Engine.REFERENCE else None,
     )
     arrivals = (
-        arena.arrivals if arena is not None else arrivals_from_profiles(profiles)
+        arena.arrivals
+        if arena is not None
+        else arrivals_from_profiles(profiles, epoch=epoch)
     )
     started = time.perf_counter()
     # run() rather than a bare step loop: the monitor batches event-free

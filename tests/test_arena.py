@@ -154,11 +154,11 @@ class TestRejections:
         with pytest.raises(ModelError, match="not part of this pool's compiled arena"):
             pool.register(make_cei((0, 1, 2)), 0)
 
-    def test_wrong_release_chronon(self):
+    def test_wrong_arrival_chronon(self):
         arena = compile_arena(_profiles(9))
         pool = FastCandidatePool(arena=arena)
         cei = arena.cei_obj[0]
-        with pytest.raises(ModelError, match="release chronon"):
+        with pytest.raises(ModelError, match="arrival chronon"):
             pool.register(cei, arena.cei_release[0] + 1)
 
     def test_double_registration(self):
@@ -178,3 +178,103 @@ class TestRejections:
                 config=MonitorConfig(engine="reference"),
                 arena=arena,
             )
+
+
+class TestPatchDeltas:
+    """Unit-level guards of the ArenaPatch/apply_patch/adopt_arena layer.
+
+    End-to-end equivalence of churned runs lives in
+    tests/test_churn_equivalence.py; these pin the rejection paths.
+    """
+
+    def test_register_patch_grows_arena(self):
+        from repro.sim.arena import ArenaPatch, apply_patch
+
+        arena = compile_arena(_profiles(20, num_ceis=10))
+        old_rows, old_ceis = arena.n_rows, arena.n_ceis
+        extra = make_cei((0, 5, 12), (1, 7, 15))
+        patched = apply_patch(arena, ArenaPatch.registrations([extra], at=3))
+        assert patched.n_ceis == old_ceis + 1
+        assert patched.n_rows == old_rows + 2
+        assert extra in patched.arrivals[5]  # clamped to release, not 3
+
+    def test_duplicate_cid_rejected(self):
+        from repro.sim.arena import ArenaPatch, apply_patch
+
+        arena = compile_arena(_profiles(21, num_ceis=6))
+        compiled = arena.cei_obj[0]
+        with pytest.raises(ModelError, match="already compiled"):
+            apply_patch(arena, ArenaPatch.registrations([compiled], at=0))
+
+    def test_unknown_cancel_rejected(self):
+        from repro.sim.arena import ArenaPatch, apply_patch
+
+        arena = compile_arena(_profiles(22, num_ceis=6))
+        with pytest.raises(ModelError, match="not in this arena"):
+            apply_patch(arena, ArenaPatch(cancel=(10**9,)))
+
+    def test_stale_generation_rejected(self):
+        from repro.sim.arena import ArenaPatch, apply_patch
+
+        arena = compile_arena(_profiles(23, num_ceis=6))
+        apply_patch(arena, ArenaPatch.registrations([make_cei((0, 2, 8))], at=0))
+        # The original object now records fewer CEIs than the shared
+        # containers hold: patching it again must be refused.
+        with pytest.raises(ModelError, match="newest generation"):
+            apply_patch(
+                arena, ArenaPatch.registrations([make_cei((1, 2, 8))], at=0)
+            )
+
+    def test_foreign_pool_rejected(self):
+        from repro.sim.arena import ArenaPatch, apply_patch
+
+        arena = compile_arena(_profiles(24, num_ceis=6))
+        other = compile_arena(_profiles(25, num_ceis=6))
+        pool = FastCandidatePool(arena=other)
+        with pytest.raises(ModelError, match="live pools"):
+            apply_patch(
+                arena,
+                ArenaPatch.registrations([make_cei((0, 2, 8))], at=0),
+                pools=(pool,),
+            )
+
+    def test_adopt_requires_own_arena_generation(self):
+        arena = compile_arena(_profiles(26, num_ceis=6))
+        other = compile_arena(_profiles(27, num_ceis=6))
+        pool = FastCandidatePool(arena=arena)
+        with pytest.raises(ModelError, match="own"):
+            pool.adopt_arena(other)
+        incremental = FastCandidatePool()
+        with pytest.raises(ModelError, match="arena-backed"):
+            incremental.adopt_arena(arena)
+
+    def test_expire_before_prunes_timelines(self):
+        from repro.sim.arena import ArenaPatch, apply_patch
+
+        arena = compile_arena(_profiles(28, num_ceis=12))
+        cutoff = NUM_CHRONONS // 2
+        patched = apply_patch(arena, ArenaPatch(expire_before=cutoff))
+        assert all(t >= cutoff for t in patched.activate_at)
+        assert all(t >= cutoff for t in patched.expire_at)
+
+
+class TestArrivalEpochValidation:
+    def test_out_of_epoch_release_rejected(self):
+        from repro.online.arrivals import arrival_map
+
+        cei = make_cei((0, 50, 60))
+        with pytest.raises(ModelError, match="outside the epoch"):
+            arrival_map([cei], epoch=Epoch(10))
+
+    def test_without_epoch_stays_permissive(self):
+        from repro.online.arrivals import arrival_map
+
+        cei = make_cei((0, 50, 60))
+        assert arrival_map([cei]) == {50: [cei]}
+
+    def test_simulate_rejects_never_revealed_ceis(self):
+        from tests.conftest import make_profiles
+
+        profiles = make_profiles(make_cei((0, 50, 60)))
+        with pytest.raises(ModelError, match="never be revealed"):
+            simulate(profiles, Epoch(10), budget=1.0, policy="MRSF")

@@ -82,10 +82,9 @@ class TestCoercion:
         assert Engine.coerce("auto") is Engine.AUTO
         assert MonitorConfig(engine="auto").engine is Engine.AUTO
 
-    def test_legacy_shim_passes_auto_through(self):
-        with pytest.warns(DeprecationWarning, match=r"simulate: the engine="):
-            cfg = resolve_config(None, engine="auto", owner="simulate")
-        assert cfg.engine is Engine.AUTO
+    def test_legacy_shim_graduated_to_type_error(self):
+        with pytest.raises(TypeError, match=r"simulate: the engine="):
+            resolve_config(None, engine="auto", owner="simulate")
 
     def test_monitor_exposes_auto(self):
         monitor = OnlineMonitor(
@@ -381,7 +380,7 @@ class TestEntryPoints:
             config=MonitorConfig(engine="auto"),
         )
         assert proxy.engine == "auto"
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         proxy.submit_ceis(
             "ana",
             [make_cei((0, 0, 5), (1, 3, 9)), make_cei((2, 6, 12))],
@@ -390,11 +389,10 @@ class TestEntryPoints:
         via_ref = proxy.run(config=MonitorConfig(engine="reference"))
         assert via_auto.schedule.probes == via_ref.schedule.probes
 
-    def test_proxy_legacy_engine_keyword_accepts_auto(self):
+    def test_proxy_legacy_engine_keyword_raises(self):
         pool = ResourcePool.from_names(["A", "B"])
-        with pytest.warns(DeprecationWarning, match=r"MonitoringProxy: the engine="):
-            proxy = MonitoringProxy(Epoch(10), pool, budget=1.0, engine="auto")
-        assert proxy.engine == "auto"
+        with pytest.raises(TypeError, match=r"MonitoringProxy: the engine="):
+            MonitoringProxy(Epoch(10), pool, budget=1.0, engine="auto")
 
 
 class TestBoundaries:

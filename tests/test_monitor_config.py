@@ -4,8 +4,8 @@ One frozen config object replaces the loose ``engine=``/``faults=``/
 ``retry=``/``workers=`` keywords across all four entry points
 (``OnlineMonitor``, ``MonitoringProxy``, ``run_suite``, ``sweep``).
 These tests pin the enum coercion, the dataclass validation, and —
-per entry point — that the legacy keywords still work under a
-``DeprecationWarning`` and that config-plus-legacy is rejected.
+per entry point — that the graduated legacy keywords now raise a
+``TypeError`` naming the ``config=`` replacement.
 """
 
 from __future__ import annotations
@@ -115,48 +115,29 @@ class TestResolveConfig:
         cfg = MonitorConfig(engine="vectorized")
         assert resolve_config(cfg) is cfg
 
-    def test_legacy_keywords_warn_and_build_config(self):
-        with pytest.warns(DeprecationWarning, match=r"simulate: the engine="):
-            cfg = resolve_config(None, engine="vectorized", owner="simulate")
-        assert cfg == MonitorConfig(engine="vectorized")
+    def test_legacy_keywords_raise_type_error(self):
+        with pytest.raises(TypeError, match=r"simulate: the engine= keyword"):
+            resolve_config(None, engine="vectorized", owner="simulate")
 
-    def test_config_plus_legacy_rejected(self):
-        with pytest.raises(ModelError, match="not both"), pytest.warns(
-            DeprecationWarning
-        ):
+    def test_error_names_the_replacement(self):
+        with pytest.raises(TypeError, match=r"config=MonitorConfig\(engine=\.\.\.\)"):
+            resolve_config(None, engine="vectorized")
+
+    def test_config_plus_legacy_still_raises(self):
+        # Even alongside a valid config, a legacy keyword is a hard error
+        # (the keyword is gone; there is nothing to merge).
+        with pytest.raises(TypeError, match=r"engine= keyword"):
             resolve_config(MonitorConfig(), engine="vectorized")
+
+    def test_multiple_legacy_keywords_all_named(self):
+        with pytest.raises(TypeError, match=r"engine=, faults="):
+            resolve_config(
+                None, engine="vectorized", faults=FailureModel(rate=0.5)
+            )
 
     def test_non_config_rejected(self):
         with pytest.raises(ModelError, match="MonitorConfig"):
             resolve_config({"engine": "vectorized"})
-
-    def test_warning_points_at_caller_of_entry_point(self):
-        # resolve_config warns with stacklevel=3: one hop for itself, one
-        # for the entry point that delegated to it, landing on the caller.
-        # The warning must therefore attribute to THIS file, not to
-        # config.py or monitor.py — that is what makes the deprecation
-        # actionable from a user's traceback.
-        import warnings
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            OnlineMonitor(
-                SEDF(), BudgetVector.constant(1, 5), engine="vectorized"
-            )
-        records = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-        assert len(records) == 1
-        assert records[0].filename == __file__
-
-    def test_direct_resolve_call_stacklevel_two(self):
-        # Called directly (no entry-point hop), stacklevel=2 points here.
-        import warnings
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            resolve_config(None, engine="vectorized", stacklevel=2)
-        records = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-        assert len(records) == 1
-        assert records[0].filename == __file__
 
 
 # ----------------------------------------------------------------------
@@ -191,24 +172,20 @@ class TestEntryPointShims:
         assert monitor.engine == "vectorized"
         assert monitor.config.engine is Engine.VECTORIZED
 
-    def test_monitor_legacy_engine_warns(self):
-        with pytest.warns(DeprecationWarning, match=r"OnlineMonitor: the engine="):
-            monitor = OnlineMonitor(
+    def test_monitor_legacy_engine_raises(self):
+        with pytest.raises(TypeError, match=r"OnlineMonitor: the engine="):
+            OnlineMonitor(
                 SEDF(), BudgetVector.constant(1, 15), engine="vectorized"
             )
-        assert monitor.engine == "vectorized"
 
-    def test_monitor_legacy_faults_warns(self):
-        with pytest.warns(DeprecationWarning, match=r"faults="):
-            monitor = OnlineMonitor(
+    def test_monitor_legacy_faults_raises(self):
+        with pytest.raises(TypeError, match=r"faults="):
+            OnlineMonitor(
                 SEDF(), BudgetVector.constant(1, 15), faults=FailureModel(rate=0.5)
             )
-        assert monitor.config.faults is not None
 
-    def test_monitor_config_plus_legacy_rejected(self):
-        with pytest.raises(ModelError, match="not both"), pytest.warns(
-            DeprecationWarning
-        ):
+    def test_monitor_config_plus_legacy_raises(self):
+        with pytest.raises(TypeError, match=r"engine= keyword"):
             OnlineMonitor(
                 SEDF(),
                 BudgetVector.constant(1, 15),
@@ -216,32 +193,29 @@ class TestEntryPointShims:
                 engine="vectorized",
             )
 
-    def test_proxy_accepts_config_and_legacy_warns(self):
+    def test_proxy_accepts_config_and_legacy_raises(self):
         pool = ResourcePool.from_names(["A", "B"])
         proxy = MonitoringProxy(
             Epoch(10), pool, budget=1.0, config=MonitorConfig(engine="vectorized")
         )
         assert proxy.engine == "vectorized"
-        with pytest.warns(DeprecationWarning, match=r"MonitoringProxy: the engine="):
-            proxy = MonitoringProxy(Epoch(10), pool, budget=1.0, engine="vectorized")
-        assert proxy.engine == "vectorized"
+        with pytest.raises(TypeError, match=r"MonitoringProxy: the engine="):
+            MonitoringProxy(Epoch(10), pool, budget=1.0, engine="vectorized")
 
-    def test_run_suite_accepts_config_and_legacy_warns(self):
+    def test_run_suite_accepts_config_and_legacy_raises(self):
         budget = BudgetVector.constant(1, 15)
         via_config = run_suite(
             _instance_factory, EPOCH, budget, [("MRSF", True)],
             repetitions=2, config=MonitorConfig(engine="vectorized"),
         )
-        with pytest.warns(DeprecationWarning, match=r"run_suite: the engine="):
-            via_legacy = run_suite(
+        assert via_config["MRSF(P)"].completeness_mean >= 0.0
+        with pytest.raises(TypeError, match=r"run_suite: the engine="):
+            run_suite(
                 _instance_factory, EPOCH, budget, [("MRSF", True)],
                 repetitions=2, engine="vectorized",
             )
-        lhs, rhs = via_config["MRSF(P)"], via_legacy["MRSF(P)"]
-        assert lhs.completeness_mean == rhs.completeness_mean
-        assert lhs.probes_mean == rhs.probes_mean
 
-    def test_sweep_accepts_config_and_legacy_warns(self):
+    def test_sweep_accepts_config_and_legacy_raises(self):
         kwargs = dict(
             make_instance_for=lambda value: _instance_factory,
             epoch_for=lambda value: EPOCH,
@@ -250,12 +224,9 @@ class TestEntryPointShims:
             repetitions=1,
         )
         via_config = sweep([1], config=MonitorConfig(engine="vectorized"), **kwargs)
-        with pytest.warns(DeprecationWarning, match=r"sweep: the engine="):
-            via_legacy = sweep([1], engine="vectorized", **kwargs)
-        assert (
-            via_config[1]["MRSF(P)"].completeness_mean
-            == via_legacy[1]["MRSF(P)"].completeness_mean
-        )
+        assert via_config[1]["MRSF(P)"].completeness_mean >= 0.0
+        with pytest.raises(TypeError, match=r"sweep: the engine="):
+            sweep([1], engine="vectorized", **kwargs)
 
     def test_sweep_faults_for_overrides_template_per_point(self):
         template = MonitorConfig(retry=RetryPolicy(max_retries=1))

@@ -75,15 +75,15 @@ class TestMonitoringProxy:
 
     def test_register_and_list_clients(self):
         proxy = self.make_proxy()
-        proxy.register_client("bob")
-        proxy.register_client("ana")
+        proxy.registry.register("bob")
+        proxy.registry.register("ana")
         assert proxy.client_names == ["ana", "bob"]
 
     def test_duplicate_client_rejected(self):
         proxy = self.make_proxy()
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         with pytest.raises(ExperimentError):
-            proxy.register_client("ana")
+            proxy.registry.register("ana")
 
     def test_submit_to_unknown_client_rejected(self):
         proxy = self.make_proxy()
@@ -92,7 +92,7 @@ class TestMonitoringProxy:
 
     def test_submit_ceis_and_run(self):
         proxy = self.make_proxy()
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         proxy.submit_ceis("ana", [make_cei((0, 5, 10)), make_cei((1, 20, 25))])
         result = proxy.run()
         assert result.completeness == 1.0
@@ -101,7 +101,7 @@ class TestMonitoringProxy:
 
     def test_submit_query_text(self):
         proxy = self.make_proxy()
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         count = proxy.submit_queries(
             "ana",
             "SELECT item AS F1; FROM feed(Blog); "
@@ -119,7 +119,7 @@ class TestMonitoringProxy:
             ]
         )
         proxy = MonitoringProxy(Epoch(50), pool, budget=1.0)
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         proxy.submit_queries(
             "ana",
             "SELECT a AS F1; FROM feed(Stock); WHEN ON PUSH AS T1\n\n"
@@ -131,8 +131,8 @@ class TestMonitoringProxy:
 
     def test_run_with_multiple_clients_reports_each(self):
         proxy = self.make_proxy()
-        proxy.register_client("ana")
-        proxy.register_client("bob")
+        proxy.registry.register("ana")
+        proxy.registry.register("bob")
         proxy.submit_ceis("ana", [make_cei((0, 0, 0))])
         proxy.submit_ceis("bob", [make_cei((1, 0, 0))])
         result = proxy.run()
@@ -143,7 +143,7 @@ class TestMonitoringProxy:
 
     def test_unknown_client_lookup(self):
         proxy = self.make_proxy()
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         result = proxy.run()
         with pytest.raises(ExperimentError):
             result.client("ghost")
@@ -164,7 +164,7 @@ class TestMonitoringProxy:
         from repro.policies import SEDF
 
         proxy = self.make_proxy(policy=SEDF())
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
         assert proxy.run().completeness == 1.0
 
@@ -175,7 +175,7 @@ class TestMonitoringProxy:
         results = {}
         for engine in ("reference", "vectorized"):
             proxy = self.make_proxy(config=MonitorConfig(engine=engine))
-            proxy.register_client("ana")
+            proxy.registry.register("ana")
             proxy.submit_ceis(
                 "ana", [make_cei((0, 0, 5)), make_cei((1, 3, 9), (2, 3, 9))]
             )
@@ -188,35 +188,106 @@ class TestMonitoringProxy:
     def test_engine_override_per_run(self):
         proxy = self.make_proxy()
         assert proxy.engine == "reference"
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
         result = proxy.run(config=proxy.config.replace(engine="vectorized"))
         assert result.completeness == 1.0
         # The override is per-run only.
         assert proxy.engine == "reference"
 
-    def test_engine_override_deprecated_keyword(self):
+    def test_engine_override_keyword_graduated(self):
         proxy = self.make_proxy()
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
-        with pytest.warns(DeprecationWarning, match="engine"):
-            assert proxy.run(engine="vectorized").completeness == 1.0
+        with pytest.raises(TypeError, match=r"engine= keyword"):
+            proxy.run(engine="vectorized")
+        assert proxy.run(config=MonitorConfig(engine="vectorized")).completeness == 1.0
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ModelError, match="engine"):
             self.make_proxy(config=MonitorConfig(engine="quantum"))
-        proxy = self.make_proxy()
-        with pytest.raises(ModelError, match="engine"), pytest.warns(
-            DeprecationWarning
-        ):
-            proxy.run(engine="quantum")
 
     def test_faults_forwarded_to_monitor(self):
         from repro.online.faults import FailureModel
 
         proxy = self.make_proxy(config=MonitorConfig(faults=FailureModel(rate=1.0)))
-        proxy.register_client("ana")
+        proxy.registry.register("ana")
         proxy.submit_ceis("ana", [make_cei((0, 0, 5))])
         result = proxy.run()
         assert result.completeness == 0.0
         assert result.probes_failed == result.probes_used > 0
+
+
+class TestClientRegistry:
+    """The shared client table behind every facade (satellite: extraction)."""
+
+    def make_proxy(self, **kwargs) -> MonitoringProxy:
+        pool = ResourcePool.from_names(["Blog", "CNN"])
+        defaults = dict(epoch=Epoch(30), resources=pool, budget=1.0, policy="MRSF")
+        defaults.update(kwargs)
+        return MonitoringProxy(**defaults)
+
+    def test_register_returns_typed_handle(self):
+        from repro.proxy import ClientHandle
+
+        proxy = self.make_proxy()
+        handle = proxy.registry.register("ana")
+        assert isinstance(handle, ClientHandle)
+        assert isinstance(handle, str)  # old string-keyed callers still work
+        assert handle == "ana"
+        assert handle.name == "ana"
+        assert handle.registry is proxy.registry
+
+    def test_handle_submit_and_ceis(self):
+        proxy = self.make_proxy()
+        ana = proxy.registry.register("ana")
+        ana.submit([make_cei((0, 0, 5))])
+        assert len(ana.ceis) == 1
+        assert proxy.run().client("ana").completeness == 1.0
+
+    def test_handle_usable_as_plain_string_key(self):
+        proxy = self.make_proxy()
+        ana = proxy.registry.register("ana")
+        proxy.submit_ceis(ana, [make_cei((0, 0, 5))])
+        assert proxy.run().client("ana").completeness == 1.0
+
+    def test_registry_protocol(self):
+        from repro.proxy import ClientRegistry
+
+        registry = ClientRegistry()
+        registry.register("bob")
+        registry.register("ana")
+        assert "ana" in registry
+        assert "ghost" not in registry
+        assert len(registry) == 2
+        assert registry.names == ["ana", "bob"]
+        assert sorted(registry) == ["ana", "bob"]
+
+    def test_registry_errors(self):
+        from repro.proxy import ClientRegistry
+
+        registry = ClientRegistry()
+        registry.register("ana")
+        with pytest.raises(ExperimentError, match="already registered"):
+            registry.register("ana")
+        with pytest.raises(ExperimentError, match="not registered"):
+            registry.require("ghost")
+
+    def test_build_profiles_pid_order_follows_sorted_names(self):
+        from repro.proxy import ClientRegistry
+
+        registry = ClientRegistry()
+        registry.register("zoe")
+        registry.register("ana")
+        registry.submit("zoe", [make_cei((0, 0, 5))])
+        registry.submit("ana", [make_cei((1, 2, 8))])
+        profiles = registry.build_profiles()
+        assert [p.pid for p in profiles] == [0, 1]
+        assert len(profiles[0].ceis) == 1  # pid 0 == "ana"
+
+    def test_register_client_shim_warns_and_delegates(self):
+        proxy = self.make_proxy()
+        with pytest.warns(DeprecationWarning, match="register_client is deprecated"):
+            handle = proxy.register_client("ana")
+        assert handle == "ana"
+        assert "ana" in proxy.registry

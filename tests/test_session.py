@@ -46,14 +46,14 @@ class TestClock:
 class TestSubmissions:
     def test_submission_before_start(self):
         session = make_session()
-        session.register_client("ana")
+        session.registry.register("ana")
         session.submit_ceis("ana", [make_cei((0, 5, 10))])
         result = session.finish()
         assert result.client("ana").completeness == 1.0
 
     def test_mid_run_submission_is_captured(self):
         session = make_session()
-        session.register_client("ana")
+        session.registry.register("ana")
         session.advance(20)
         session.submit_ceis("ana", [make_cei((0, 25, 30))])
         result = session.finish()
@@ -61,7 +61,7 @@ class TestSubmissions:
 
     def test_stale_submission_counts_against_client(self):
         session = make_session()
-        session.register_client("ana")
+        session.registry.register("ana")
         session.advance(20)
         # This CEI's window already passed; it can never be satisfied.
         session.submit_ceis("ana", [make_cei((0, 5, 10))])
@@ -70,7 +70,7 @@ class TestSubmissions:
 
     def test_partially_stale_submission(self):
         session = make_session()
-        session.register_client("ana")
+        session.registry.register("ana")
         session.advance(8)
         # Window [5, 15] is still open at chronon 8 — catchable.
         session.submit_ceis("ana", [make_cei((0, 5, 15))])
@@ -79,7 +79,7 @@ class TestSubmissions:
 
     def test_submission_past_epoch_never_revealed(self):
         session = make_session(num_chronons=10)
-        session.register_client("ana")
+        session.registry.register("ana")
         session.submit_ceis("ana", [make_cei((0, 50, 60))])
         result = session.finish()
         assert result.client("ana").completeness == 0.0
@@ -91,9 +91,9 @@ class TestSubmissions:
 
     def test_duplicate_client_rejected(self):
         session = make_session()
-        session.register_client("ana")
+        session.registry.register("ana")
         with pytest.raises(ExperimentError):
-            session.register_client("ana")
+            session.registry.register("ana")
 
 
 class TestEquivalence:
@@ -105,8 +105,8 @@ class TestEquivalence:
         ceis_b = [make_cei((3, 5, 9))]
 
         proxy = MonitoringProxy(Epoch(30), pool, budget=1.0, policy="MRSF")
-        proxy.register_client("ana")
-        proxy.register_client("bob")
+        proxy.registry.register("ana")
+        proxy.registry.register("bob")
 
         # Copies for the session (EIs cannot be shared between CEIs).
         from repro.io import profiles_from_dict, profiles_to_dict
@@ -122,8 +122,8 @@ class TestEquivalence:
         batch = proxy.run()
 
         session = ProxySession(Epoch(30), pool, budget=1.0, policy="MRSF")
-        session.register_client("ana")
-        session.register_client("bob")
+        session.registry.register("ana")
+        session.registry.register("bob")
         session.submit_ceis("ana", copied[:2])
         session.submit_ceis("bob", copied[2:])
         stepped = session.finish()
@@ -133,7 +133,7 @@ class TestEquivalence:
 
     def test_interleaved_advance_and_submit(self):
         session = make_session(num_chronons=40, budget=1.0)
-        session.register_client("ana")
+        session.registry.register("ana")
         for start in (0, 10, 20, 30):
             session.submit_ceis("ana", [make_cei((start % 5, start + 2, start + 6))])
             session.advance(10)
@@ -145,7 +145,7 @@ class TestEquivalence:
 class TestSnapshot:
     def test_snapshot_progression(self):
         session = make_session(num_chronons=30)
-        session.register_client("ana")
+        session.registry.register("ana")
         session.submit_ceis("ana", [make_cei((0, 2, 4)), make_cei((1, 20, 22))])
         before = session.snapshot()
         assert before["now"] == 0
@@ -163,7 +163,7 @@ class TestSnapshot:
 
     def test_snapshot_counts_failures(self):
         session = make_session(num_chronons=20, budget=1.0)
-        session.register_client("ana")
+        session.registry.register("ana")
         session.submit_ceis(
             "ana", [make_cei((0, 5, 5)), make_cei((1, 5, 5))]
         )
@@ -171,3 +171,12 @@ class TestSnapshot:
         snap = session.snapshot()
         assert snap["satisfied_ceis"] == 1
         assert snap["failed_ceis"] == 1
+
+
+class TestRegistryShim:
+    def test_register_client_shim_warns_and_delegates(self):
+        session = make_session()
+        with pytest.warns(DeprecationWarning, match="register_client is deprecated"):
+            handle = session.register_client("ana")
+        assert handle == "ana"
+        assert "ana" in session.registry

@@ -334,7 +334,7 @@ class TestStatsSurfacing:
             epoch, resources, budget=1.0, policy="M-EDF",
             config=MonitorConfig(shedding=AGGRESSIVE),
         )
-        proxy.register_client("c")
+        proxy.registry.register("c")
         proxy.submit_ceis(
             "c", [make_cei((r % 6, 0, 12), (r % 6, 5, 19)) for r in range(14)]
         )
