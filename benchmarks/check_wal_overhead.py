@@ -1,0 +1,202 @@
+"""Regression gate: write-ahead journaling stays under 5% overhead.
+
+Runs an identical steady-state streaming workload — a dense initial bag
+plus periodic submission bursts, driven chronon by chronon — through a
+plain :class:`StreamingProxy` (WAL off) and a
+:class:`DurableStreamingProxy` journaling every mutation to a real
+on-disk write-ahead log (WAL on, ``fsync=interval`` +
+``recovery=durable`` — the recommended throughput-oriented production
+policy; ``always``/``exact`` trade throughput for a zero-loss window
+and bit-identical replay, and are deliberately not what this gate
+prices).  The two sides are
+interleaved and best-of-N per side, which suppresses most scheduler
+noise on shared CI runners.
+
+Exit status 0 when ``wal_on / wal_off < THRESHOLD``, 1 otherwise.  Each
+run also appends a git-SHA-keyed record to ``benchmarks/WAL_OVERHEAD.json``
+(the ``bench-trajectory-v1`` format of ``bench_report.py``) so the
+overhead's history survives alongside the engine trajectories.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_wal_overhead.py [--rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import gc
+import json
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_report import git_sha, load_trajectory  # noqa: E402
+
+from repro.core.intervals import (  # noqa: E402
+    ComplexExecutionInterval,
+    ExecutionInterval,
+)
+from repro.core.resource import ResourcePool  # noqa: E402
+from repro.proxy.durability import (  # noqa: E402
+    DurabilityConfig,
+    DurableStreamingProxy,
+)
+from repro.proxy.streaming import StreamingProxy  # noqa: E402
+
+THRESHOLD = 1.05
+ROUNDS = 15
+OUT = Path(__file__).resolve().parent / "WAL_OVERHEAD.json"
+
+NUM_RESOURCES = 32
+CHRONONS = 200
+INITIAL_CEIS = 24000
+BURST_EVERY = 8
+BURST_SIZE = 5
+BUDGET = 12.0
+
+
+def _ceis(rng: random.Random, count: int, horizon: int) -> list:
+    out = []
+    for _ in range(count):
+        eis = []
+        for _ in range(rng.randint(1, 3)):
+            start = rng.randrange(0, horizon)
+            eis.append(
+                ExecutionInterval(
+                    resource=rng.randrange(NUM_RESOURCES),
+                    start=start,
+                    finish=start + rng.randint(40, 160),
+                )
+            )
+        out.append(ComplexExecutionInterval(eis=tuple(eis)))
+    return out
+
+
+def _boot(proxy) -> None:
+    """One-time bootstrap (not steady state, not timed)."""
+    rng = random.Random(0)
+    client = proxy.register_client("load")
+    proxy.submit_ceis(client, _ceis(rng, INITIAL_CEIS, CHRONONS))
+
+
+def _steady(proxy) -> None:
+    """The steady-state loop the gate prices: ticks plus churn bursts."""
+    rng = random.Random(1)
+    for chronon in range(CHRONONS):
+        if chronon and chronon % BURST_EVERY == 0:
+            proxy.submit_ceis(
+                "load", _ceis(rng, BURST_SIZE, CHRONONS + chronon)
+            )
+        proxy.tick()
+
+
+def timed_wal_off() -> float:
+    proxy = StreamingProxy(
+        resources=ResourcePool.uniform(NUM_RESOURCES), budget=BUDGET
+    )
+    _boot(proxy)
+    gc.collect()
+    started = time.perf_counter()
+    _steady(proxy)
+    return time.perf_counter() - started
+
+
+def timed_wal_on() -> float:
+    with tempfile.TemporaryDirectory() as root:
+        proxy = DurableStreamingProxy(
+            DurabilityConfig(
+                root=root,
+                fsync="interval",
+                fsync_every=256,
+                snapshot_every=0,
+                recovery="durable",
+            ),
+            resources=ResourcePool.uniform(NUM_RESOURCES),
+            budget=BUDGET,
+        )
+        _boot(proxy)
+        # Drain the bootstrap journal to disk before the clock starts, so
+        # kernel writeback of boot-time dirty pages does not bleed into
+        # the steady-state window being priced.
+        proxy._wal.sync()
+        gc.collect()
+        started = time.perf_counter()
+        _steady(proxy)
+        elapsed = time.perf_counter() - started
+        proxy.close()
+        return elapsed
+
+
+def append_trajectory(wal_off: float, wal_on: float, ratio: float) -> None:
+    runs = load_trajectory(OUT)
+    runs.append(
+        {
+            "git_sha": git_sha(),
+            "date": datetime.date.today().isoformat(),
+            "workload": {
+                "resources": NUM_RESOURCES,
+                "chronons": CHRONONS,
+                "initial_ceis": INITIAL_CEIS,
+                "burst_every": BURST_EVERY,
+                "burst_size": BURST_SIZE,
+                "budget": BUDGET,
+            },
+            "wal_off_s": round(wal_off, 6),
+            "wal_on_s": round(wal_on, 6),
+            "ratio": round(ratio, 6),
+            "threshold": THRESHOLD,
+        }
+    )
+    OUT.write_text(
+        json.dumps({"format": "bench-trajectory-v1", "runs": runs}, indent=2)
+        + "\n"
+    )
+    print(f"appended record to {OUT} ({len(runs)} run records)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip appending to the trajectory file (CI keeps it clean)",
+    )
+    args = parser.parse_args(argv)
+
+    timed_wal_off()  # warm both paths outside the scored rounds
+    timed_wal_on()
+    off_times: list[float] = []
+    on_times: list[float] = []
+    for _ in range(args.rounds):
+        off_times.append(timed_wal_off())
+        on_times.append(timed_wal_on())
+
+    wal_off = min(off_times)
+    wal_on = min(on_times)
+    ratio = wal_on / wal_off
+    print(
+        f"streaming steady state, best of {args.rounds}: "
+        f"WAL off {wal_off:.3f}s, WAL on {wal_on:.3f}s, "
+        f"ratio {ratio:.4f} (threshold {THRESHOLD})"
+    )
+    if not args.no_record:
+        append_trajectory(wal_off, wal_on, ratio)
+    if ratio >= THRESHOLD:
+        print(
+            f"FAIL: write-ahead journaling costs more than "
+            f"{(THRESHOLD - 1) * 100:.0f}% of steady-state throughput"
+        )
+        return 1
+    print("OK: WAL overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

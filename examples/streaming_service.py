@@ -15,11 +15,12 @@ service smoke test:
 """
 
 import json
+import tempfile
 import urllib.request
 
 from repro import ResourcePool
 from repro.core.intervals import ComplexExecutionInterval, ExecutionInterval
-from repro.proxy import StreamingProxy
+from repro.proxy import DurabilityConfig, DurableStreamingProxy, StreamingProxy
 from repro.proxy.service import serve
 
 
@@ -87,7 +88,63 @@ def main() -> None:
     assert restored.client_stats("bob")["cancelled_ceis"] == 1
     print(f"restored at chronon {restored.now} with clients "
           f"{restored.client_names}")
+
+    durable_round_trip(pool)
     print("OK: streaming service smoke passed")
+
+
+def durable_round_trip(pool: ResourcePool) -> None:
+    """The same service with journaling on: crash, reconstruct, resume.
+
+    The durable facade journals every mutation to a write-ahead log and
+    checkpoints into sqlite, so "restarting" is just constructing the
+    proxy again over the same directory — no snapshot payload to carry.
+    """
+    with tempfile.TemporaryDirectory() as root:
+        proxy = DurableStreamingProxy(
+            DurabilityConfig(root=root, snapshot_every=4),
+            resources=pool,
+            budget=1.0,
+            policy="MRSF",
+        )
+        ana = proxy.register_client("ana")
+        proxy.submit_ceis(ana, [need(0, 0, 6), need(1, 4, 12)])
+
+        service = serve(proxy)
+        try:
+            proxy.tick(8)
+            health = get(f"{service.url}/healthz")
+            print(f"durable healthz: {health}")
+            # The durable shape keeps the plain contract and adds the
+            # journal's vital signs.
+            assert health["status"] == "ok", health
+            assert health["wal_lag"] == 0, health
+            assert health["last_snapshot_chronon"] == 8, health
+            assert health["durability"]["wal_seq"] > 0, health
+
+            # Operators can force a checkpoint over the wire.
+            request = urllib.request.Request(
+                f"{service.url}/snapshot", method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=5) as response:
+                body = json.loads(response.read())
+            assert body["snapshot_id"] is not None, body
+        finally:
+            service.shutdown()
+        proxy.close()
+
+        # The process is gone; the directory is the service.
+        revived = DurableStreamingProxy(
+            DurabilityConfig(root=root, snapshot_every=4),
+            resources=pool,
+            budget=1.0,
+            policy="MRSF",
+        )
+        assert revived.now == 8
+        assert revived.client_stats("ana")["satisfied_ceis"] == 2
+        revived.tick(4)
+        revived.close()
+        print(f"revived from {root} at chronon 8, resumed to 12")
 
 
 if __name__ == "__main__":

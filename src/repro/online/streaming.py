@@ -38,7 +38,7 @@ from repro.online.monitor import OnlineMonitor
 from repro.policies.base import Policy, make_policy
 from repro.sim.arena import ArenaPatch, InstanceArena, apply_patch
 
-__all__ = ["StreamingBudget", "StreamingMonitor"]
+__all__ = ["StreamingBudget", "StreamingMonitor", "coerce_budget"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,14 +87,18 @@ class StreamingBudget:
         return self.values[-1]
 
 
-def _coerce_budget(
+def coerce_budget(
     budget: Union[StreamingBudget, BudgetVector, float, int]
 ) -> StreamingBudget:
+    """Any accepted budget spelling as a :class:`StreamingBudget`."""
     if isinstance(budget, StreamingBudget):
         return budget
     if isinstance(budget, BudgetVector):
         return StreamingBudget.from_vector(budget)
     return StreamingBudget.constant(float(budget))
+
+
+_coerce_budget = coerce_budget
 
 
 class StreamingMonitor:
@@ -202,9 +206,30 @@ class StreamingMonitor:
                 self.compact()
         return self._next
 
+    def fast_forward(self, to: Chronon) -> Chronon:
+        """Advance the clock *to* an absolute chronon (never backwards)."""
+        if to < self._next:
+            raise ModelError(
+                f"cannot fast-forward backwards: clock is at {self._next}, "
+                f"target is {to}"
+            )
+        return self.advance(to - self._next)
+
     # ------------------------------------------------------------------
     # Churn
     # ------------------------------------------------------------------
+
+    def set_budget(
+        self, budget: Union[StreamingBudget, BudgetVector, float, int]
+    ) -> None:
+        """Replace the per-chronon budget from the next step onwards.
+
+        The step loop reads the budget per chronon (``budget.at(t)``),
+        so a live swap takes effect at the very next advance; already
+        executed chronons are unaffected.
+        """
+        self.budget = coerce_budget(budget)
+        self._monitor.budget = self.budget  # type: ignore[assignment]
 
     def _queue(self, cei: ComplexExecutionInterval, reveal_at: Chronon) -> None:
         self._pending.setdefault(reveal_at, []).append(cei)

@@ -18,6 +18,13 @@ from repro.proxy.delivery import (
     deliveries_for,
     delivery_for,
 )
+from repro.proxy.durability import (
+    DurabilityConfig,
+    DurableStreamingProxy,
+    JournalCorruptError,
+    SnapshotStore,
+    WriteAheadLog,
+)
 from repro.proxy.proxy import MonitoringProxy, ProxyRunResult
 from repro.proxy.registry import ClientHandle, ClientRegistry
 from repro.proxy.session import ProxySession
@@ -43,7 +50,12 @@ __all__ = [
     "ContinuousOperation",
     "ContinuousQuery",
     "Delivery",
+    "DurabilityConfig",
+    "DurableStreamingProxy",
     "EpochOutcome",
+    "JournalCorruptError",
+    "SnapshotStore",
+    "WriteAheadLog",
     "MonitoringProxy",
     "OperationResult",
     "ProxyRunResult",

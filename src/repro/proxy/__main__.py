@@ -8,6 +8,12 @@ Options::
 
     python -m repro.proxy                  # defaults
     python -m repro.proxy --policy S-EDF --budget 1 --chronons 400
+
+``python -m repro.proxy serve`` instead runs the always-on HTTP service
+(see :func:`repro.proxy.service.main`) — add ``--wal-dir`` for the
+durable proxy with write-ahead journaling and crash recovery::
+
+    python -m repro.proxy serve --wal-dir /var/lib/repro --snapshot-every 100
 """
 
 from __future__ import annotations
@@ -58,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        from repro.proxy.service import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     epoch = Epoch(args.chronons)
     rng = np.random.default_rng(args.seed)

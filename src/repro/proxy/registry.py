@@ -93,6 +93,16 @@ class ClientRegistry:
         if name not in self._clients:
             raise ExperimentError(f"client {str(name)!r} is not registered")
 
+    def unregister(self, name: str) -> list[ComplexExecutionInterval]:
+        """Drop a registered client; returns its submission history.
+
+        The facade owning the registry is responsible for first
+        withdrawing the client's still-open needs from its monitor —
+        the registry only forgets the bookkeeping.
+        """
+        self.require(name)
+        return self._clients.pop(str(name))
+
     def __contains__(self, name: object) -> bool:
         return name in self._clients
 

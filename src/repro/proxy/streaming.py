@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 from typing import Iterable, Optional, Sequence, Union
 
-from repro.core.errors import ExperimentError
+from repro.core.errors import ExperimentError, ModelError
 from repro.core.intervals import ComplexExecutionInterval
 from repro.core.resource import ResourcePool
 from repro.core.schedule import BudgetVector
@@ -119,6 +119,41 @@ class StreamingProxy:
                 self._admit(client, cei)
         return len(ceis)
 
+    def resolve_cancel_targets(
+        self,
+        client: str,
+        ceis: Optional[Iterable[ComplexExecutionInterval]] = None,
+    ) -> list[ComplexExecutionInterval]:
+        """Validate and materialize a cancellation's target list.
+
+        ``ceis=None`` expands to every not-yet-cancelled need of the
+        client, in submission order.  Explicit targets are checked for
+        ownership (cancelling another client's CEI is an error).  The
+        durable facade calls this *before* journaling so the journal
+        records an explicit, replayable target list.
+        """
+        with self._lock:
+            self.registry.require(client)
+            if ceis is None:
+                return [
+                    cei for cid, cei in self._ceis_by_cid.items()
+                    if self._owner_of_cid[cid] == str(client)
+                    and cid not in self._cancelled_cids
+                ]
+            targets = list(ceis)
+            for cei in targets:
+                owner = self._owner_of_cid.get(cei.cid)
+                if owner is None:
+                    raise ExperimentError(
+                        f"CEI {cei.cid} was never submitted to this proxy"
+                    )
+                if owner != str(client):
+                    raise ExperimentError(
+                        f"CEI {cei.cid} belongs to client {owner!r}, "
+                        f"not {str(client)!r}"
+                    )
+            return targets
+
     def cancel_ceis(
         self,
         client: str,
@@ -130,30 +165,29 @@ class StreamingProxy:
         withdrawn.  Cancelling another client's CEI is an error.
         """
         with self._lock:
-            self.registry.require(client)
-            if ceis is None:
-                targets = [
-                    cei for cid, cei in self._ceis_by_cid.items()
-                    if self._owner_of_cid[cid] == str(client)
-                    and cid not in self._cancelled_cids
-                ]
-            else:
-                targets = list(ceis)
-                for cei in targets:
-                    owner = self._owner_of_cid.get(cei.cid)
-                    if owner is None:
-                        raise ExperimentError(
-                            f"CEI {cei.cid} was never submitted to this proxy"
-                        )
-                    if owner != str(client):
-                        raise ExperimentError(
-                            f"CEI {cei.cid} belongs to client {owner!r}, "
-                            f"not {str(client)!r}"
-                        )
+            targets = self.resolve_cancel_targets(client, ceis)
             withdrawn = self._monitor.cancel(targets)
             for cei in withdrawn:
                 self._cancelled_cids.add(cei.cid)
             return len(withdrawn)
+
+    def unregister_client(self, client: str) -> int:
+        """Withdraw a client's open needs and drop it from the registry.
+
+        Returns how many needs actually closed.  The client's history
+        leaves the per-client tables entirely — its cids no longer
+        resolve and its finished needs stop counting in ``stats()``
+        denominators — matching a subscriber deleting their account.
+        """
+        with self._lock:
+            self.registry.require(client)
+            withdrawn = self.cancel_ceis(client)
+            for cei in self.registry.ceis_of(client):
+                self._owner_of_cid.pop(cei.cid, None)
+                self._ceis_by_cid.pop(cei.cid, None)
+                self._cancelled_cids.discard(cei.cid)
+            self.registry.unregister(client)
+            return withdrawn
 
     # ------------------------------------------------------------------
     # Clock
@@ -167,6 +201,18 @@ class StreamingProxy:
         """Advance the proxy clock; returns the new now."""
         with self._lock:
             return self._monitor.advance(chronons)
+
+    def fast_forward(self, to: Chronon) -> Chronon:
+        """Advance the clock *to* an absolute chronon (never backwards)."""
+        with self._lock:
+            return self._monitor.fast_forward(to)
+
+    def set_budget(
+        self, budget: Union[StreamingBudget, BudgetVector, float, int]
+    ) -> None:
+        """Replace the per-chronon budget from the next tick onwards."""
+        with self._lock:
+            self._monitor.set_budget(budget)
 
     def start(self, interval: float = 1.0) -> None:
         """Drive the clock from a daemon thread: one tick per ``interval``
@@ -314,11 +360,23 @@ class StreamingProxy:
         The clock fast-forwards to the snapshot's ``now`` (needs whose
         windows already passed register dead-on-arrival, exactly as a
         late submission would); cancelled needs are re-cancelled.
+
+        The snapshot's clock is validated before anything registers: a
+        ``now`` that is not a plain non-negative integer would silently
+        reveal needs at the wrong chronon (a truncated float) or run the
+        clock backwards (a negative), so it raises :class:`ModelError`
+        instead.
         """
         if payload.get("format") != SNAPSHOT_FORMAT:
             raise ExperimentError(
                 f"not a streaming-proxy snapshot: format="
                 f"{payload.get('format')!r}"
+            )
+        now = payload.get("now")
+        if isinstance(now, bool) or not isinstance(now, int) or now < 0:
+            raise ModelError(
+                "snapshot clock must be a non-negative integer chronon, "
+                f"got {now!r}"
             )
         proxy = cls(
             resources=resources,
@@ -327,8 +385,8 @@ class StreamingProxy:
             preemptive=preemptive,
             config=config,
         )
-        if int(payload["now"]):
-            proxy.tick(int(payload["now"]))
+        if now:
+            proxy.tick(now)
         for name, entries in payload["clients"].items():
             handle = proxy.register_client(name)
             cancelled: list[ComplexExecutionInterval] = []

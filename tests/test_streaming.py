@@ -219,3 +219,36 @@ class TestSnapshot:
         assert snap["pending_ceis"] == 1
         assert snap["satisfied_ceis"] == 1
         assert snap["probes_used"] >= 1
+
+
+class TestLiveBudgetAndFastForward:
+    def test_set_budget_swaps_mid_run(self):
+        monitor = make_monitor(budget=0.0)
+        monitor.submit([make_cei((0, 0, 9))])
+        monitor.advance(3)
+        assert monitor.probes_used == 0
+        monitor.set_budget(1.0)
+        monitor.advance(3)
+        assert monitor.probes_used >= 1
+
+    def test_set_budget_accepts_streaming_budget(self):
+        monitor = make_monitor()
+        monitor.set_budget(StreamingBudget(values=(2.0, 0.0), cycle=True))
+        assert monitor.budget.cycle is True
+        assert monitor.monitor.budget is monitor.budget
+
+    def test_fast_forward_never_backwards(self):
+        monitor = make_monitor()
+        assert monitor.fast_forward(5) == 5
+        with pytest.raises(ModelError, match="backwards"):
+            monitor.fast_forward(2)
+
+    def test_coerce_budget_spellings(self):
+        from repro.core.schedule import BudgetVector
+        from repro.online.streaming import coerce_budget
+
+        assert coerce_budget(2).values == (2.0,)
+        vector = BudgetVector.constant(1.5, 4)
+        assert coerce_budget(vector).values == vector.values
+        budget = StreamingBudget.constant(3.0)
+        assert coerce_budget(budget) is budget

@@ -215,3 +215,61 @@ class TestHttpService:
         else:  # pragma: no cover - only on stacks that ship fastapi
             app = create_app(make_proxy())
             assert app is not None
+
+
+class TestLiveControls:
+    def test_set_budget_takes_effect_next_tick(self):
+        proxy = make_proxy(budget=0.0)
+        proxy.register_client("ana")
+        proxy.submit_ceis("ana", [make_cei((0, 0, 9))])
+        proxy.tick(2)
+        assert proxy.stats()["probes_used"] == 0
+        proxy.set_budget(2.0)
+        proxy.tick(2)
+        assert proxy.stats()["probes_used"] >= 1
+
+    def test_fast_forward_to_absolute_chronon(self):
+        proxy = make_proxy()
+        proxy.tick(3)
+        assert proxy.fast_forward(7) == 7
+        assert proxy.fast_forward(7) == 7  # no-op at the target
+        with pytest.raises(Exception, match="backwards"):
+            proxy.fast_forward(4)
+
+    def test_unregister_withdraws_and_forgets(self):
+        proxy = make_proxy()
+        ana = proxy.register_client("ana")
+        proxy.register_client("bob")
+        proxy.submit_ceis(ana, [make_cei((0, 5, 20)), make_cei((1, 8, 25))])
+        proxy.tick(1)
+        withdrawn = proxy.unregister_client(ana)
+        assert withdrawn == 2
+        assert proxy.client_names == ["bob"]
+        with pytest.raises(ExperimentError, match="not registered"):
+            proxy.client_stats("ana")
+        assert proxy.stats()["clients"] == 1
+        # The name is reusable after unregistration.
+        proxy.register_client("ana")
+        assert proxy.client_stats("ana")["submitted_ceis"] == 0
+
+    def test_unregister_unknown_client_is_an_error(self):
+        with pytest.raises(ExperimentError, match="not registered"):
+            make_proxy().unregister_client("ghost")
+
+
+class TestHealthzBreakers:
+    def test_plain_proxy_healthz_reports_breakers(self):
+        proxy = make_proxy()
+        service = serve(proxy)
+        try:
+            status, health = _get(f"{service.url}/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["breakers"] == {
+                "opens": 0, "reopens": 0, "closes": 0, "short_circuited": 0,
+            }
+            # The plain (non-durable) shape has no durability section.
+            assert "durability" not in health
+            assert "wal_lag" not in health
+        finally:
+            service.shutdown()
