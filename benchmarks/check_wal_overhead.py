@@ -12,10 +12,18 @@ prices).  The two sides are
 interleaved and best-of-N per side, which suppresses most scheduler
 noise on shared CI runners.
 
-Exit status 0 when ``wal_on / wal_off < THRESHOLD``, 1 otherwise.  Each
-run also appends a git-SHA-keyed record to ``benchmarks/WAL_OVERHEAD.json``
-(the ``bench-trajectory-v1`` format of ``bench_report.py``) so the
-overhead's history survives alongside the engine trajectories.
+A second leg prices group commit under ``fsync="always"``: the same
+(smaller) workload runs with per-append fsync and again with a
+``group_window`` that coalesces a window's appends into one fsync.
+Grouping must not cost throughput — ``grouped / plain`` is gated at
+``GROUP_THRESHOLD`` (it is normally well under 1.0 on spinning or
+network volumes; on fast local disks the two converge).
+
+Exit status 0 when ``wal_on / wal_off < THRESHOLD`` **and** the group
+leg passes, 1 otherwise.  Each run also appends a git-SHA-keyed record
+to ``benchmarks/WAL_OVERHEAD.json`` (the ``bench-trajectory-v1`` format
+of ``bench_report.py``) so the overhead's history survives alongside
+the engine trajectories.
 
 Usage::
 
@@ -50,7 +58,10 @@ from repro.proxy.durability import (  # noqa: E402
 from repro.proxy.streaming import StreamingProxy  # noqa: E402
 
 THRESHOLD = 1.05
+GROUP_THRESHOLD = 1.05
+GROUP_WINDOW = 0.01
 ROUNDS = 15
+GROUP_ROUNDS = 5
 OUT = Path(__file__).resolve().parent / "WAL_OVERHEAD.json"
 
 NUM_RESOURCES = 32
@@ -59,6 +70,12 @@ INITIAL_CEIS = 24000
 BURST_EVERY = 8
 BURST_SIZE = 5
 BUDGET = 12.0
+
+# The fsync="always" group-commit leg runs a trimmed workload: every
+# append hits the platter, so the full-size bag would price the disk,
+# not the journaling code.
+GROUP_CHRONONS = 60
+GROUP_INITIAL_CEIS = 2000
 
 
 def _ceis(rng: random.Random, count: int, horizon: int) -> list:
@@ -78,20 +95,20 @@ def _ceis(rng: random.Random, count: int, horizon: int) -> list:
     return out
 
 
-def _boot(proxy) -> None:
+def _boot(proxy, initial: int = INITIAL_CEIS, chronons: int = CHRONONS) -> None:
     """One-time bootstrap (not steady state, not timed)."""
     rng = random.Random(0)
     client = proxy.register_client("load")
-    proxy.submit_ceis(client, _ceis(rng, INITIAL_CEIS, CHRONONS))
+    proxy.submit_ceis(client, _ceis(rng, initial, chronons))
 
 
-def _steady(proxy) -> None:
+def _steady(proxy, chronons: int = CHRONONS) -> None:
     """The steady-state loop the gate prices: ticks plus churn bursts."""
     rng = random.Random(1)
-    for chronon in range(CHRONONS):
+    for chronon in range(chronons):
         if chronon and chronon % BURST_EVERY == 0:
             proxy.submit_ceis(
-                "load", _ceis(rng, BURST_SIZE, CHRONONS + chronon)
+                "load", _ceis(rng, BURST_SIZE, chronons + chronon)
             )
         proxy.tick()
 
@@ -133,7 +150,38 @@ def timed_wal_on() -> float:
         return elapsed
 
 
-def append_trajectory(wal_off: float, wal_on: float, ratio: float) -> None:
+def timed_always(group_window: float) -> float:
+    """The fsync="always" leg: per-append fsync vs. one per group."""
+    with tempfile.TemporaryDirectory() as root:
+        proxy = DurableStreamingProxy(
+            DurabilityConfig(
+                root=root,
+                fsync="always",
+                group_window=group_window,
+                snapshot_every=0,
+                recovery="durable",
+            ),
+            resources=ResourcePool.uniform(NUM_RESOURCES),
+            budget=BUDGET,
+        )
+        _boot(proxy, initial=GROUP_INITIAL_CEIS, chronons=GROUP_CHRONONS)
+        proxy._wal.sync()
+        gc.collect()
+        started = time.perf_counter()
+        _steady(proxy, chronons=GROUP_CHRONONS)
+        elapsed = time.perf_counter() - started
+        proxy.close()
+        return elapsed
+
+
+def append_trajectory(
+    wal_off: float,
+    wal_on: float,
+    ratio: float,
+    always_plain: float,
+    always_grouped: float,
+    group_ratio: float,
+) -> None:
     runs = load_trajectory(OUT)
     runs.append(
         {
@@ -151,6 +199,15 @@ def append_trajectory(wal_off: float, wal_on: float, ratio: float) -> None:
             "wal_on_s": round(wal_on, 6),
             "ratio": round(ratio, 6),
             "threshold": THRESHOLD,
+            "group_commit": {
+                "chronons": GROUP_CHRONONS,
+                "initial_ceis": GROUP_INITIAL_CEIS,
+                "group_window_s": GROUP_WINDOW,
+                "always_plain_s": round(always_plain, 6),
+                "always_grouped_s": round(always_grouped, 6),
+                "ratio": round(group_ratio, 6),
+                "threshold": GROUP_THRESHOLD,
+            },
         }
     )
     OUT.write_text(
@@ -163,6 +220,7 @@ def append_trajectory(wal_off: float, wal_on: float, ratio: float) -> None:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument("--group-rounds", type=int, default=GROUP_ROUNDS)
     parser.add_argument(
         "--no-record",
         action="store_true",
@@ -186,13 +244,44 @@ def main(argv=None) -> int:
         f"WAL off {wal_off:.3f}s, WAL on {wal_on:.3f}s, "
         f"ratio {ratio:.4f} (threshold {THRESHOLD})"
     )
+
+    # Group-commit leg: fsync="always" with and without a group window,
+    # interleaved best-of-N like the main comparison.
+    timed_always(0.0)  # warm
+    timed_always(GROUP_WINDOW)
+    plain_times: list[float] = []
+    grouped_times: list[float] = []
+    for _ in range(args.group_rounds):
+        plain_times.append(timed_always(0.0))
+        grouped_times.append(timed_always(GROUP_WINDOW))
+    always_plain = min(plain_times)
+    always_grouped = min(grouped_times)
+    group_ratio = always_grouped / always_plain
+    print(
+        f"fsync=always, best of {args.group_rounds}: "
+        f"plain {always_plain:.3f}s, "
+        f"group_window={GROUP_WINDOW}s {always_grouped:.3f}s, "
+        f"ratio {group_ratio:.4f} (threshold {GROUP_THRESHOLD})"
+    )
+
     if not args.no_record:
-        append_trajectory(wal_off, wal_on, ratio)
+        append_trajectory(
+            wal_off, wal_on, ratio, always_plain, always_grouped, group_ratio
+        )
+    failed = False
     if ratio >= THRESHOLD:
         print(
             f"FAIL: write-ahead journaling costs more than "
             f"{(THRESHOLD - 1) * 100:.0f}% of steady-state throughput"
         )
+        failed = True
+    if group_ratio >= GROUP_THRESHOLD:
+        print(
+            "FAIL: group commit made fsync=always slower "
+            f"(ratio {group_ratio:.4f} >= {GROUP_THRESHOLD})"
+        )
+        failed = True
+    if failed:
         return 1
     print("OK: WAL overhead within budget")
     return 0

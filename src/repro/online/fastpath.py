@@ -999,100 +999,122 @@ def run_fast_phases(
     return budget_left
 
 
-def _fast_phase(
-    monitor: "OnlineMonitor",
-    rows: np.ndarray,
-    chronon: Chronon,
-    budget_left: float,
-    probed: set[ResourceId],
-    whole_bag: bool = False,
-) -> float:
-    """One candidate partition: batch-score, top-k select, walk, refresh.
+class _LocalStream:
+    """Lazily-materialized sorted key stream over one phase partition.
 
-    The sorted stream plays the role of the reference heap's initial
-    contents, materialized lazily in budget-sized slices (see the top-k
-    block below); sibling refreshes push fresh keys onto a small overlay
-    heap and invalidate the row's stream entry (the ``dirty`` set), so at
-    every pick the chosen EI minimizes the *current* ``(priority, finish,
-    seq)`` key over eligible candidates — the same invariant the
-    reference heap maintains with stale-entry skipping.  The widening
-    invariant: a pick is only trusted when its key is provably below
-    ``bound``, the strict lower bound on every unmaterialized key; stream
-    keys always are, overlay keys at or past the bound force the cut to
-    widen geometrically until the comparison is decisive.
+    The stream plays the role of the reference heap's initial contents:
+    ``sp``/``sr`` hold the materialized ``(priority, row)`` prefix in
+    exact ``(priority, finish, seq)`` order, ``bound`` is a lower bound
+    on every unmaterialized key (materialized keys lie strictly below
+    it), and :meth:`widen` materializes the next geometric slice.  The
+    concatenated slices are element-for-element the full lexsorted
+    stream — keys never tie across a cut: packed keys are unique, float
+    cuts absorb all boundary-priority ties — so the probe walk is
+    oblivious to how much of it exists.
+
+    :func:`_phase_walk` consumes this interface; the sharded engine
+    (:mod:`repro.online.sharded`) supplies a merge-across-workers
+    implementation of the same ``sp``/``sr``/``bound``/``exhausted``/
+    ``widen`` surface.
     """
-    if rows.size == 0:
-        return budget_left
-    pool: FastCandidatePool = monitor.pool
-    policy = monitor.policy
-    kernel = monitor._kernel
-    resources = monitor.resources
-    schedule = monitor.schedule
-    assert kernel is not None
 
-    faults = monitor._faults
-    retry_partials = monitor._retry_partials
-    reprobe = monitor._partial_retry_ok
-    pool.sync_mirrors()
-    cidx = pool.npr_cidx[rows]
-    prio = kernel.score_rows(pool, rows, cidx, chronon)
-    packed_keys = None
-    static = None
-    if pool._packable:
-        static = pool.npr_static[rows]
-        if kernel.integer_valued and float(np.abs(prio).max()) < float(1 << 20):
-            # Integer priorities small enough to share an int64 with the
-            # static key: keys are then unique (seq is), so any slice is
-            # ordered by one plain argsort.
-            packed_keys = compiled.pack_keys(prio, static)
+    __slots__ = (
+        "sp",
+        "sr",
+        "bound",
+        "_pool",
+        "_rows",
+        "_prio",
+        "_packed_keys",
+        "_static",
+        "_remaining",
+        "_next_cut",
+    )
 
-    row_finish = pool.row_finish
-    row_seq = pool.row_seq
+    def __init__(
+        self,
+        pool: FastCandidatePool,
+        kernel,
+        rows: np.ndarray,
+        chronon: Chronon,
+        budget_left: float,
+        min_probe_cost: float,
+    ) -> None:
+        self._pool = pool
+        self._rows = rows
+        cidx = pool.npr_cidx[rows]
+        prio = kernel.score_rows(pool, rows, cidx, chronon)
+        self._prio = prio
+        packed_keys = None
+        static = None
+        if pool._packable:
+            static = pool.npr_static[rows]
+            if kernel.integer_valued and float(np.abs(prio).max()) < float(1 << 20):
+                # Integer priorities small enough to share an int64 with
+                # the static key: keys are then unique (seq is), so any
+                # slice is ordered by one plain argsort.
+                packed_keys = compiled.pack_keys(prio, static)
+        self._packed_keys = packed_keys
+        self._static = static
 
-    # ------------------------------------------------------------------
-    # Top-k selection.  The probe walk consumes a sorted stream (sp, sr)
-    # that is materialized lazily: argpartition extracts the smallest
-    # keys, only that slice is exact-sorted, and `bound` records a strict
-    # lower bound on every key still unmaterialized.  The concatenated
-    # slices are element-for-element the full lexsorted stream (keys
-    # never tie across the cut: packed keys are unique, float cuts absorb
-    # all boundary-priority ties), so the walk below is oblivious to how
-    # much of it exists — it widens whenever the stream drains or an
-    # overlay pick cannot be proven to beat `bound`.
-    # ------------------------------------------------------------------
-    n = int(rows.size)
-    sp: list[float] = []  # materialized priorities, sorted
-    sr: list[int] = []  # materialized rows, sorted
-    remaining: Optional[np.ndarray] = np.arange(n)
-    bound: Optional[tuple] = None
+        n = int(rows.size)
+        self.sp: list[float] = []  # materialized priorities, sorted
+        self.sr: list[int] = []  # materialized rows, sorted
+        self._remaining: Optional[np.ndarray] = np.arange(n)
+        self.bound: Optional[tuple] = None
+        if TOPK_ENABLED:
+            # Picks this phase can make: every probe attempt costs at
+            # least the cheapest resource; the overflow absorbs walk
+            # skips (captured siblings, probed or backed-off resources).
+            cut = int(budget_left / min_probe_cost) + 1 + TOPK_OVERFLOW
+            if 2 * cut >= n:
+                cut = n  # partitioning would not pay for itself
+        else:
+            cut = n
+        self._materialize(cut)
+        self._next_cut = max(cut, 1) * TOPK_GROWTH
 
-    def slice_order(sel: np.ndarray) -> np.ndarray:
+    @property
+    def exhausted(self) -> bool:
+        """Is every key of the partition materialized into ``sp``/``sr``?"""
+        return self._remaining is None
+
+    def widen(self) -> None:
+        """Materialize the next geometric slice of the stream."""
+        self._materialize(self._next_cut)
+        self._next_cut *= TOPK_GROWTH
+
+    def _slice_order(self, sel: np.ndarray) -> np.ndarray:
         """Exact (priority, finish, seq) order of one selected slice."""
-        if packed_keys is not None:
-            return sel[np.argsort(packed_keys[sel])]
-        if static is not None:
-            return sel[np.lexsort((static[sel], prio[sel]))]
-        sub = rows[sel]
+        if self._packed_keys is not None:
+            return sel[np.argsort(self._packed_keys[sel])]
+        prio = self._prio
+        if self._static is not None:
+            return sel[np.lexsort((self._static[sel], prio[sel]))]
+        pool = self._pool
+        sub = self._rows[sel]
         return sel[np.lexsort((pool.npr_seq[sub], pool.npr_finish[sub], prio[sel]))]
 
-    def materialize(count: int) -> None:
+    def _materialize(self, count: int) -> None:
         """Append the ``count`` smallest unmaterialized keys to the stream."""
-        nonlocal remaining, bound
-        rem = remaining
+        rem = self._remaining
         assert rem is not None
+        prio = self._prio
+        rows = self._rows
         if count >= rem.size:
-            chosen = slice_order(rem)
-            remaining = None
-            bound = None
-        elif packed_keys is not None:
-            part = np.argpartition(packed_keys[rem], count)
-            chosen = slice_order(rem[part[:count]])
+            chosen = self._slice_order(rem)
+            self._remaining = None
+            self.bound = None
+        elif self._packed_keys is not None:
+            part = np.argpartition(self._packed_keys[rem], count)
+            chosen = self._slice_order(rem[part[:count]])
             # Unique keys: the boundary element is the exact minimum of
             # the remainder, and every selected key is strictly below it.
             b = int(rem[part[count]])
             brow = int(rows[b])
-            bound = (float(prio[b]), row_finish[brow], row_seq[brow])
-            remaining = rem[part[count:]]
+            pool = self._pool
+            self.bound = (float(prio[b]), pool.row_finish[brow], pool.row_seq[brow])
+            self._remaining = rem[part[count:]]
         else:
             # Float keys may tie on priority: absorb every row tied with
             # the boundary value into the slice so the priority-only
@@ -1101,27 +1123,85 @@ def _fast_phase(
             part = np.argpartition(rem_prio, count)
             cut_value = rem_prio[part[count]]
             mask = rem_prio <= cut_value
-            chosen = slice_order(rem[mask])
+            chosen = self._slice_order(rem[mask])
             rest = rem[~mask]
             if rest.size:
-                bound = (float(prio[rest].min()),)
-                remaining = rest
+                self.bound = (float(prio[rest].min()),)
+                self._remaining = rest
             else:
-                bound = None
-                remaining = None
-        sp.extend(prio[chosen].tolist())
-        sr.extend(rows[chosen].tolist())
+                self.bound = None
+                self._remaining = None
+        self.sp.extend(prio[chosen].tolist())
+        self.sr.extend(rows[chosen].tolist())
 
-    if TOPK_ENABLED:
-        # Picks this phase can make: every probe attempt costs at least
-        # the cheapest resource.  The overflow absorbs walk skips.
-        cut = int(budget_left / monitor._min_probe_cost) + 1 + TOPK_OVERFLOW
-        if 2 * cut >= n:
-            cut = n  # partitioning would not pay for itself
-    else:
-        cut = n
-    materialize(cut)
-    next_cut = max(cut, 1) * TOPK_GROWTH
+
+def _fast_phase(
+    monitor: "OnlineMonitor",
+    rows: np.ndarray,
+    chronon: Chronon,
+    budget_left: float,
+    probed: set[ResourceId],
+    whole_bag: bool = False,
+) -> float:
+    """One candidate partition: batch-score, top-k select, walk, refresh."""
+    if rows.size == 0:
+        return budget_left
+    pool: FastCandidatePool = monitor.pool
+    kernel = monitor._kernel
+    assert kernel is not None
+    pool.sync_mirrors()
+    stream = _LocalStream(
+        pool, kernel, rows, chronon, budget_left, monitor._min_probe_cost
+    )
+    # Phase membership covers the *whole* partition, not just the
+    # materialized slice — an unmaterialized row's fresh key must reach
+    # the overlay like any other sibling's.  Built lazily by the walk
+    # (only if a sibling refresh actually fires); None when the phase
+    # spans the whole bag, where active implies in-phase.
+    membership = None if whole_bag else (lambda: set(rows.tolist()))
+    return _phase_walk(monitor, chronon, budget_left, probed, stream, membership)
+
+
+def _phase_walk(
+    monitor: "OnlineMonitor",
+    chronon: Chronon,
+    budget_left: float,
+    probed: set[ResourceId],
+    stream,
+    membership_factory,
+) -> float:
+    """The budget walk over one phase's sorted candidate stream.
+
+    ``stream`` supplies the materialized sorted prefix (``sp``/``sr``),
+    the lower ``bound`` on unmaterialized keys, and ``widen()`` —
+    either a :class:`_LocalStream` or the sharded merge stream.
+    Sibling refreshes push fresh keys onto a small overlay heap and
+    invalidate the row's stream entry (the ``dirty`` set), so at every
+    pick the chosen EI minimizes the *current* ``(priority, finish,
+    seq)`` key over eligible candidates — the same invariant the
+    reference heap maintains with stale-entry skipping.  The widening
+    invariant: a pick is only trusted when its key is provably below
+    ``bound``; stream keys always are, overlay keys at or past the
+    bound force the cut to widen geometrically until the comparison is
+    decisive.
+
+    ``membership_factory`` builds the phase-membership container for
+    sibling refreshes on first use (any object supporting ``in``); None
+    means the phase spans the whole bag and needs no check.
+    """
+    pool: FastCandidatePool = monitor.pool
+    policy = monitor.policy
+    kernel = monitor._kernel
+    resources = monitor.resources
+    schedule = monitor.schedule
+
+    faults = monitor._faults
+    retry_partials = monitor._retry_partials
+    reprobe = monitor._partial_retry_ok
+    row_finish = pool.row_finish
+    row_seq = pool.row_seq
+    sp = stream.sp  # aliases: widen() extends these lists in place
+    sr = stream.sr
 
     active = pool.active_set
     row_resource = pool.row_resource
@@ -1133,7 +1213,7 @@ def _fast_phase(
     overlay: list[tuple] = []  # (priority, finish, seq, row, resource)
     cur: dict[int, tuple] = {}  # row -> freshest key among refreshed rows
     dirty: set[int] = set()  # rows whose stream entry was superseded
-    in_phase: Optional[set[int]] = None
+    in_phase = None  # any object supporting ``row in in_phase``
 
     while budget_left > _EPS:
         # Advance past permanently-invalid stream entries (captured or
@@ -1158,10 +1238,9 @@ def _fast_phase(
                     continue
                 stream_ready = True
                 break
-            if stream_ready or remaining is None:
+            if stream_ready or stream.exhausted:
                 break
-            materialize(next_cut)
-            next_cut *= TOPK_GROWTH
+            stream.widen()
         # Drop stale / ineligible overlay entries.
         while overlay:
             entry = overlay[0]
@@ -1187,11 +1266,11 @@ def _fast_phase(
                 key = (sp[si], row_finish[row], row_seq[row])
         elif overlay:
             entry = overlay[0]
+            bound = stream.bound
             if bound is not None and not (entry[:3] < bound):
                 # A not-yet-materialized candidate may beat this
                 # re-ranked key: widen until the comparison is decisive.
-                materialize(next_cut)
-                next_cut *= TOPK_GROWTH
+                stream.widen()
                 continue
             row, rid = entry[3], entry[4]
             key = entry[:3]
@@ -1253,11 +1332,8 @@ def _fast_phase(
             # (Skipped once the budget is spent: the refresh only feeds
             # later picks of this same phase, so it cannot change the
             # schedule — the reference loop does the work and discards it.)
-            if in_phase is None and not whole_bag:
-                # Phase membership covers the *whole* partition, not just
-                # the materialized slice — an unmaterialized row's fresh
-                # key must reach the overlay like any other sibling's.
-                in_phase = set(rows.tolist())
+            if in_phase is None and membership_factory is not None:
+                in_phase = membership_factory()
             _refresh_siblings_fast(
                 pool, kernel, touched, chronon, in_phase, probed, overlay, cur,
                 dirty, reprobe,
@@ -1280,7 +1356,7 @@ def _refresh_siblings_fast(
     kernel,
     touched: list[int],
     chronon: Chronon,
-    in_phase: Optional[set[int]],
+    in_phase,
     probed: set[ResourceId],
     overlay: list[tuple],
     cur: dict[int, tuple],

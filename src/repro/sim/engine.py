@@ -30,6 +30,7 @@ from repro.online.config import Engine, MonitorConfig, resolve_config
 from repro.online.faults import FailureModel, RetryPolicy
 from repro.online.health import HealthStats
 from repro.online.monitor import OnlineMonitor
+from repro.online.sharded import ShardingStats
 from repro.online.shedding import SheddingStats
 from repro.policies.base import Policy, make_policy
 from repro.sim.arena import InstanceArena
@@ -57,6 +58,7 @@ class SimulationResult:
     dropped_eis: int = 0
     health: Optional[HealthStats] = None
     shedding: Optional[SheddingStats] = None
+    sharding: Optional[ShardingStats] = None
 
     @property
     def completeness(self) -> float:
@@ -127,7 +129,11 @@ def simulate(
     started = time.perf_counter()
     # run() rather than a bare step loop: the monitor batches event-free
     # chronon stretches (and skips idle ones) with bit-identical results.
-    monitor.run(epoch, arrivals)
+    try:
+        monitor.run(epoch, arrivals)
+    finally:
+        # Sharded runs hold forked workers and a /dev/shm segment.
+        monitor.close()
     elapsed = time.perf_counter() - started
 
     dropped = monitor.dropped_captures
@@ -149,6 +155,7 @@ def simulate(
         dropped_eis=len(dropped),
         health=monitor.health_stats,
         shedding=monitor.shedding_stats,
+        sharding=monitor.sharding_stats,
     )
 
 

@@ -255,6 +255,145 @@ class TestWriteAheadLog:
 
 
 # ---------------------------------------------------------------------------
+# Group-commit fsync batching
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    """Injectable monotonic clock for deterministic window tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestGroupCommit:
+    @pytest.fixture
+    def fsync_count(self, monkeypatch):
+        calls = {"n": 0}
+        real = os.fsync
+
+        def counting(fd):
+            calls["n"] += 1
+            real(fd)
+
+        monkeypatch.setattr(os, "fsync", counting)
+        return calls
+
+    def test_in_window_appends_defer_fsync(self, tmp_path, fsync_count):
+        clock = FakeClock()
+        wal = WriteAheadLog(
+            tmp_path / "wal.log", fsync="always", group_window=0.05, clock=clock
+        )
+        wal.append({"op": "tick", "to": 1})  # first append opens the group
+        assert fsync_count["n"] == 1
+        clock.now = 0.01
+        wal.append({"op": "tick", "to": 2})
+        clock.now = 0.02
+        wal.append({"op": "tick", "to": 3})
+        assert fsync_count["n"] == 1  # both rode the open group
+        clock.now = 0.06  # window elapsed: next append commits the group
+        wal.append({"op": "tick", "to": 4})
+        assert fsync_count["n"] == 2
+        wal.close()
+        records = WriteAheadLog(tmp_path / "wal.log").recover()
+        assert [r["to"] for r in records] == [1, 2, 3, 4]
+
+    def test_sync_commits_pending_group(self, tmp_path, fsync_count):
+        clock = FakeClock()
+        wal = WriteAheadLog(
+            tmp_path / "wal.log", fsync="always", group_window=10.0, clock=clock
+        )
+        wal.append({"op": "tick", "to": 1})
+        clock.now = 0.5
+        wal.append({"op": "tick", "to": 2})
+        before = fsync_count["n"]
+        wal.sync()  # explicit barrier commits the deferred group now
+        assert fsync_count["n"] == before + 1
+        wal.close()
+
+    def test_close_commits_pending_group(self, tmp_path, fsync_count):
+        clock = FakeClock()
+        wal = WriteAheadLog(
+            tmp_path / "wal.log", fsync="always", group_window=10.0, clock=clock
+        )
+        wal.append({"op": "tick", "to": 1})
+        clock.now = 1.0
+        wal.append({"op": "tick", "to": 2})
+        before = fsync_count["n"]
+        wal.close()
+        assert fsync_count["n"] == before + 1
+        assert len(WriteAheadLog(tmp_path / "wal.log").recover()) == 2
+
+    def test_zero_window_is_plain_always(self, tmp_path, fsync_count):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync="always")
+        for j in range(3):
+            wal.append({"op": "tick", "to": j})
+        assert fsync_count["n"] == 3
+        wal.close()
+
+    def test_backlog_drain_joins_group(self, tmp_path, fsync_count):
+        clock = FakeClock()
+        opener = FlakyOpener(fail_writes=100)
+        wal = WriteAheadLog(
+            tmp_path / "wal.log",
+            fsync="always",
+            group_window=10.0,
+            clock=clock,
+            retries=0,
+            backoff=0.0,
+            opener=opener,
+            sleep=lambda _s: None,
+        )
+        wal.append({"op": "tick", "to": 1})
+        wal.append({"op": "tick", "to": 2})
+        assert wal.degraded and wal.lag == 2
+        opener.remaining = 0
+        wal.append({"op": "tick", "to": 3})  # drains the backlog in one write
+        assert not wal.degraded
+        assert fsync_count["n"] == 1  # one group commit for all three
+        clock.now = 11.0
+        wal.append({"op": "tick", "to": 4})
+        assert fsync_count["n"] == 2
+        wal.close()
+        records = WriteAheadLog(tmp_path / "wal.log").recover()
+        assert [r["to"] for r in records] == [1, 2, 3, 4]
+
+    def test_window_validation(self, tmp_path):
+        with pytest.raises(ModelError, match="group_window"):
+            WriteAheadLog(tmp_path / "wal.log", group_window=-0.1)
+        with pytest.raises(ModelError, match="group_window"):
+            WriteAheadLog(
+                tmp_path / "wal.log", fsync="interval", group_window=0.5
+            )
+        with pytest.raises(ModelError, match="group_window"):
+            DurabilityConfig(root=tmp_path, group_window=-1.0)
+        with pytest.raises(ModelError, match="group_window"):
+            DurabilityConfig(root=tmp_path, fsync="never", group_window=0.5)
+
+    def test_proxy_passes_window_through(self, tmp_path, fsync_count):
+        proxy = DurableStreamingProxy(
+            DurabilityConfig(root=tmp_path, fsync="always", group_window=30.0),
+            resources=ResourcePool.uniform(4),
+            budget=1.0,
+        )
+        proxy.register_client("alice")
+        proxy.submit_ceis("alice", [make_cei((0, 0, 5))])
+        proxy.tick(2)
+        appends = fsync_count["n"]
+        assert appends <= 2  # first append fsyncs; the rest ride the group
+        expected = _state(proxy)
+        proxy.close()
+        recovered = make_durable(
+            tmp_path, fsync="always", group_window=30.0
+        )
+        assert _state(recovered) == expected
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
 # Snapshot store
 # ---------------------------------------------------------------------------
 
